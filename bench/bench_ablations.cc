@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  1. Leakage-temperature feedback: the paper models leakage growing
+ *     exponentially with temperature; turning the loop off
+ *     understates both temperature and FIT.
+ *  2. SOFR vs worst-structure: the paper's sum-of-failure-rates model
+ *     against a naive "hottest structure only" estimate.
+ *  3. V(f) slope: the Pentium-M-extrapolated 0.1 V/GHz slope against
+ *     shallower/steeper relations -- the slope drives the near-cubic
+ *     power-in-frequency behaviour that makes DVS so effective.
+ *  4. FIT interval granularity: per-interval FIT averaging (paper
+ *     Section 3.6) against FIT evaluated at time-averaged conditions;
+ *     convexity makes coarse averaging optimistic for phased apps.
+ *  5. SOFR's exponential-lifetime assumption vs Monte-Carlo Weibull
+ *     wear-out (the paper's Section 8 future work): for the same FIT
+ *     report, age-dependent failure rates lengthen the series-system
+ *     MTTF and shrink the early-failure tail.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+#include "core/hw_ramp.hh"
+#include "core/lifetime.hh"
+#include "drm/adaptation.hh"
+#include "sim/core.hh"
+#include "util/table.hh"
+#include "workload/trace_gen.hh"
+
+namespace {
+
+using namespace ramp;
+
+void
+ablationLeakageFeedback(bench::Suite &suite)
+{
+    std::printf("--- Ablation 1: leakage-temperature feedback ---\n");
+    const auto &app = workload::findApp("MP3dec");
+
+    core::EvalParams on = bench::benchEvalParams();
+    core::EvalParams off = on;
+    off.leakage_feedback = false;
+
+    const auto op_on = core::Evaluator(on).evaluate(
+        sim::baseMachine(), app);
+    const auto op_off = core::Evaluator(off).evaluate(
+        sim::baseMachine(), app);
+
+    const auto qual = suite.qualification(370.0);
+    const double fit_on = drm::operatingPointFit(qual, op_on);
+    const double fit_off = drm::operatingPointFit(qual, op_off);
+
+    util::Table t({"leakage loop", "leak W", "total W", "Tmax K",
+                   "FIT@370"});
+    t.addRow({"on (paper)", util::Table::num(op_on.power.totalLeakage(), 1),
+              util::Table::num(op_on.totalPower(), 1),
+              util::Table::num(op_on.maxTemp(), 1),
+              util::Table::num(fit_on, 0)});
+    t.addRow({"off", util::Table::num(op_off.power.totalLeakage(), 1),
+              util::Table::num(op_off.totalPower(), 1),
+              util::Table::num(op_off.maxTemp(), 1),
+              util::Table::num(fit_off, 0)});
+    t.print(std::cout);
+    const double delta = 100.0 * (fit_on - fit_off) / fit_off;
+    std::printf("  the loop moves FIT by %+.1f%%: pinning leakage at "
+                "the 383 K reference %s it for\n  this operating "
+                "point, and the bias feeds straight into "
+                "temperature and FIT\n\n",
+                delta, fit_on < fit_off ? "overstates" : "understates");
+}
+
+void
+ablationSofr(bench::Suite &suite)
+{
+    std::printf("--- Ablation 2: SOFR vs worst-structure ---\n");
+    const auto qual = suite.qualification(370.0);
+
+    util::Table t({"app", "SOFR FIT", "worst-structure FIT",
+                   "underestimate"});
+    for (std::size_t i = 0; i < suite.apps.size(); ++i) {
+        const auto &op = suite.base_ops[i];
+        const auto report = core::steadyFit(
+            qual, power::poweredFractions(op.config), op.temps_k,
+            op.activity.activity, op.config.voltage_v,
+            op.config.frequency_ghz);
+        double worst = 0.0;
+        for (auto s : sim::allStructures())
+            worst = std::max(worst, report.structureFit(s));
+        t.addRow({suite.apps[i].name,
+                  util::Table::num(report.totalFit(), 0),
+                  util::Table::num(worst, 0),
+                  util::Table::num(report.totalFit() / worst, 2) +
+                      "x"});
+    }
+    t.print(std::cout);
+    std::printf("  a worst-structure-only model understates the "
+                "processor failure rate severalfold\n\n");
+}
+
+void
+ablationVfSlope(bench::Suite &suite)
+{
+    std::printf("--- Ablation 3: V(f) slope ---\n");
+    const auto &app = workload::findApp("bzip2");
+
+    util::Table t({"dV/df (V/GHz)", "V @ 3GHz", "FIT@3GHz (Tq=335)",
+                   "f chosen @ Tq=335", "perf vs base"});
+    t.setTitle("Voltage-frequency slope and the DVS reliability "
+               "lever (bzip2)");
+
+    const auto qual = suite.qualification(335.0);
+    for (double slope : {0.05, 0.10, 0.20}) {
+        // Build a DVS ladder with this slope, anchored at 4GHz/1.0V.
+        drm::ExploredApp explored;
+        explored.app_name = app.name;
+        explored.base = suite.explorer.evaluateBase(app);
+        const double base_perf = explored.base.uopsPerSecond();
+        double fit_at_3ghz = 0.0;
+        for (double f = 2.5; f <= 5.0 + 1e-9; f += 0.25) {
+            sim::MachineConfig cfg = sim::baseMachine();
+            cfg.frequency_ghz = f;
+            cfg.voltage_v = 1.0 + slope * (f - 4.0);
+            drm::ExploredPoint pt;
+            pt.op = suite.explorer.evaluate(cfg, app);
+            pt.perf_rel = pt.op.uopsPerSecond() / base_perf;
+            if (std::abs(f - 3.0) < 1e-9)
+                fit_at_3ghz = drm::operatingPointFit(qual, pt.op);
+            explored.points.push_back(std::move(pt));
+        }
+        const auto sel = drm::selectDrm(explored, qual);
+        const auto &op = explored.points[sel.index].op;
+        t.addRow({util::Table::num(slope, 2),
+                  util::Table::num(1.0 + slope * (3.0 - 4.0), 3),
+                  util::Table::num(fit_at_3ghz, 0),
+                  util::Table::num(op.config.frequency_ghz, 2),
+                  util::Table::num(sel.perf_rel, 3)});
+    }
+    t.print(std::cout);
+    std::printf("  a steeper V(f) drops more voltage per lost GHz, "
+                "collapsing the TDDB term\n  (and the V^2 in power), "
+                "so each throttling step buys more reliability\n\n");
+}
+
+void
+ablationGranularity(bench::Suite &suite)
+{
+    std::printf("--- Ablation 4: FIT interval granularity ---\n");
+    const auto &app = workload::findApp("MPGdec"); // strongly phased
+    const auto qual = suite.qualification(370.0);
+    const core::Evaluator evaluator;
+    const sim::MachineConfig cfg = sim::baseMachine();
+
+    util::Table t({"interval (uops)", "intervals", "FIT@370"});
+
+    for (std::uint64_t interval_uops :
+         {std::uint64_t{1'200'000}, std::uint64_t{120'000},
+          std::uint64_t{30'000}}) {
+        workload::TraceGenerator gen(app, 1);
+        sim::Core core(cfg, gen);
+        core.runUops(600'000); // warm
+        core.takeInterval();
+        core.resetStats();
+
+        sim::PerStructure<double> on;
+        on.fill(1.0);
+        core::RampEngine engine(qual, on);
+        const std::uint64_t total = 1'200'000;
+        for (std::uint64_t done = 0; done < total;
+             done += interval_uops) {
+            core.runUops(interval_uops);
+            const auto sample = core.takeInterval();
+            const auto op =
+                evaluator.convergeThermal(cfg, sample, core.stats());
+            const double dt = static_cast<double>(sample.cycles) /
+                              (cfg.frequency_ghz * 1e9);
+            engine.addInterval(op.temps_k, sample.activity,
+                               cfg.voltage_v, cfg.frequency_ghz, dt);
+        }
+        t.addRow({std::to_string(interval_uops),
+                  std::to_string(engine.intervals()),
+                  util::Table::num(engine.report().totalFit(), 0)});
+    }
+    t.print(std::cout);
+    std::printf("  coarse averaging understates FIT for phased "
+                "applications (FIT is convex in temperature)\n\n");
+}
+
+void
+ablationLifetimeDistribution(bench::Suite &suite)
+{
+    std::printf("--- Ablation 5: exponential (SOFR) vs Weibull "
+                "wear-out lifetimes ---\n");
+    const auto qual = suite.qualification(370.0);
+
+    util::Table t({"app", "SOFR MTTF (y)", "Weibull MTTF (y)",
+                   "median (y)", "1st pct (y)"});
+    for (std::size_t i = 0; i < suite.apps.size(); ++i) {
+        const auto &op = suite.base_ops[i];
+        const auto report = core::steadyFit(
+            qual, power::poweredFractions(op.config), op.temps_k,
+            op.activity.activity, op.config.voltage_v,
+            op.config.frequency_ghz);
+        const core::LifetimeSimulator mc;
+        const auto est = mc.estimate(report);
+        t.addRow({suite.apps[i].name,
+                  util::Table::num(est.sofr_mttf_years, 1),
+                  util::Table::num(est.mttf_years, 1),
+                  util::Table::num(est.median_years, 1),
+                  util::Table::num(est.p01_years, 1)});
+    }
+    t.print(std::cout);
+    std::printf("  with age-dependent (beta~2) wear-out, the same FIT "
+                "report implies a longer series-system MTTF\n  and a "
+                "far-out early-failure percentile: SOFR is the "
+                "conservative choice the industry makes.\n\n");
+}
+
+void
+ablationSensors(bench::Suite &suite)
+{
+    std::printf("--- Ablation 6: hardware sensor precision ---\n");
+    const auto qual = suite.qualification(370.0);
+    const auto &op =
+        suite.base_ops[1]; // MP3dec, the hottest binding app
+
+    sim::PerStructure<double> on;
+    on.fill(1.0);
+    core::RampEngine exact(qual, on);
+    exact.addInterval(op.temps_k, op.activity.activity,
+                      op.config.voltage_v, op.config.frequency_ghz,
+                      1.0);
+    const double exact_fit = exact.report().totalFit();
+
+    util::Table t({"sensor step (K)", "counter bits", "HW FIT",
+                   "error vs exact"});
+    t.setTitle("Hardware RAMP (paper Section 3: sensors and "
+               "counters) vs exact, MP3dec @ T_qual=370K");
+    for (auto [step, bits] :
+         {std::pair{0.5, 6u}, std::pair{1.0, 4u}, std::pair{2.0, 3u},
+          std::pair{4.0, 2u}}) {
+        core::SensorParams sp;
+        sp.temp_quantum_k = step;
+        sp.activity_levels = 1u << bits;
+        core::HwRampEngine hw(qual, on, sp);
+        hw.addInterval(op.temps_k, op.activity.activity,
+                       op.config.voltage_v, op.config.frequency_ghz,
+                       1.0);
+        const double fit = hw.report().totalFit();
+        t.addRow({util::Table::num(step, 1), std::to_string(bits),
+                  util::Table::num(fit, 0),
+                  util::Table::num(100.0 * (fit - exact_fit) /
+                                       exact_fit, 2) + "%"});
+    }
+    t.print(std::cout);
+    std::printf("  exact FIT: %.0f. Diode-class sensors (1 K, 4-bit "
+                "counters) track the exact engine\n  to within a few "
+                "percent -- RAMP is implementable in hardware.\n\n",
+                exact_fit);
+}
+
+void
+ablationFetchThrottle(bench::Suite &suite)
+{
+    std::printf("--- Ablation 7: DVS vs fetch throttling ---\n");
+    const auto &app = workload::findApp("MP3dec");
+
+    const auto dvs =
+        suite.explorer.explore(app, drm::AdaptationSpace::Dvs);
+    const auto throttle = suite.explorer.explore(
+        app, drm::AdaptationSpace::FetchThrottle);
+
+    util::Table t({"constraint", "DVS perf", "throttle perf",
+                   "DVS wins by"});
+    t.setTitle("Best feasible point per response mechanism "
+               "(MP3dec)");
+
+    for (double temp : {355.0, 365.0, 375.0}) {
+        // As a DRM response.
+        const auto qual = suite.qualification(temp);
+        const auto d = drm::selectDrm(dvs, qual);
+        const auto f = drm::selectDrm(throttle, qual);
+        t.addRow({"DRM@" + util::Table::num(temp, 0) + "K",
+                  util::Table::num(d.perf_rel, 3) +
+                      (d.feasible ? "" : "*"),
+                  util::Table::num(f.perf_rel, 3) +
+                      (f.feasible ? "" : "*"),
+                  util::Table::num(
+                      100.0 * (d.perf_rel / f.perf_rel - 1.0), 0) +
+                      "%"});
+        // As a DTM response.
+        const auto dd = drm::selectDtm(dvs, temp);
+        const auto fd = drm::selectDtm(throttle, temp);
+        t.addRow({"DTM@" + util::Table::num(temp, 0) + "K",
+                  util::Table::num(dd.perf_rel, 3) +
+                      (dd.feasible ? "" : "*"),
+                  util::Table::num(fd.perf_rel, 3) +
+                      (fd.feasible ? "" : "*"),
+                  util::Table::num(
+                      100.0 * (dd.perf_rel / fd.perf_rel - 1.0), 0) +
+                      "%"});
+    }
+    t.print(std::cout);
+    std::printf("  fetch toggling only cuts the activity factor; DVS "
+                "cuts V^2 f and the TDDB voltage\n  term with it, so "
+                "DVS dominates as both a thermal and a reliability "
+                "response\n  (Section 7.2's conclusion, extended to "
+                "the classic DTM mechanism).\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ramp;
+    bench::Suite suite;
+    ablationLeakageFeedback(suite);
+    ablationSofr(suite);
+    ablationVfSlope(suite);
+    ablationGranularity(suite);
+    ablationLifetimeDistribution(suite);
+    ablationSensors(suite);
+    ablationFetchThrottle(suite);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: DRM performance with combined
+ * microarchitectural adaptation + DVS (ArchDVS) relative to the base
+ * non-adaptive processor, for qualification temperatures T_qual in
+ * {400, 370, 345, 325} K, across all nine applications.
+ *
+ * Expected shape (paper Section 7.1):
+ *  - T_qual = 400 K (worst case observed on chip): every application
+ *    gains (paper: 10-19%), low-IPC apps gain most;
+ *  - T_qual = 370 K: the hottest applications (MP3dec, MPGdec) sit at
+ *    ~1.0 -- qualification tuned so the worst apps just meet target;
+ *  - T_qual = 345 K: losses limited (paper: within 10%);
+ *  - T_qual = 325 K: drastic under-design; high-IPC multimedia apps
+ *    slow the most (paper: up to 26% for MP3dec) while the coolest
+ *    apps (art, ammp) still hold ~1.0.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ramp;
+    bench::Suite suite;
+
+    const double t_quals[] = {400.0, 370.0, 345.0, 325.0};
+
+    util::Table t({"app", "base FIT@370", "perf@400K", "perf@370K",
+                   "perf@345K", "perf@325K"});
+    t.setTitle("Figure 2: ArchDVS DRM performance vs base, by T_qual");
+
+    std::map<std::string, std::map<double, double>> perf;
+    for (const auto &app : suite.apps) {
+        const auto explored =
+            suite.explorer.explore(app, drm::AdaptationSpace::ArchDvs);
+
+        std::vector<std::string> row{app.name};
+        const auto qual370 = suite.qualification(370.0);
+        row.push_back(util::Table::num(
+            drm::operatingPointFit(qual370, explored.base), 0));
+
+        for (double tq : t_quals) {
+            const auto sel =
+                drm::selectDrm(explored, suite.qualification(tq));
+            perf[app.name][tq] = sel.perf_rel;
+            row.push_back(util::Table::num(sel.perf_rel, 3) +
+                          (sel.feasible ? "" : "*"));
+        }
+        t.addRow(std::move(row));
+        std::fprintf(stderr, "  explored %s (%zu configs)\n",
+                     app.name.c_str(), explored.points.size());
+    }
+    t.print(std::cout);
+    std::cout << "(* = no configuration met the FIT target; "
+                 "least-violating configuration shown)\n\n";
+
+    // Shape checks against Section 7.1.
+    int checks = 0, passed = 0;
+    auto check = [&](const char *what, bool ok) {
+        ++checks;
+        passed += ok;
+        std::printf("  [%s] %s\n", ok ? "ok" : "DEVIATION", what);
+    };
+
+    bool all_gain_400 = true, all_limited_345 = true;
+    for (const auto &app : suite.apps) {
+        all_gain_400 &= perf[app.name][400.0] >= 1.0;
+        all_limited_345 &= perf[app.name][345.0] >= 0.80;
+    }
+    check("T_qual=400K: every application gains or holds performance",
+          all_gain_400);
+    check("T_qual=370K: hottest apps (MPGdec, MP3dec) near 1.0",
+          perf["MPGdec"][370.0] > 0.93 && perf["MPGdec"][370.0] < 1.1 &&
+          perf["MP3dec"][370.0] > 0.93 && perf["MP3dec"][370.0] < 1.1);
+    check("T_qual=345K: all losses limited (>= 0.80 of base)",
+          all_limited_345);
+    check("T_qual=325K: hot multimedia apps slow the most",
+          perf["MP3dec"][325.0] < perf["art"][325.0] &&
+          perf["MPGdec"][325.0] < perf["art"][325.0]);
+    check("T_qual=325K: coolest apps (art) still hold >= 0.95",
+          perf["art"][325.0] >= 0.95);
+    check("low-IPC apps gain more than hot multimedia at 400K",
+          perf["twolf"][400.0] > perf["MP3dec"][400.0]);
+
+    std::printf("\nFigure 2 shape: %d/%d checks hold\n", passed,
+                checks);
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: the DVS frequency chosen by DRM
+ * (qualifying temperature T_qual) versus DTM (thermal design point
+ * T_design) for every application, at temperatures
+ * {325, 335, 345, 360, 370, 400} K.
+ *
+ * Expected shape (Section 7.3): the DTM frequency curve (DVS-Temp) is
+ * steeper than the DRM curve (DVS-Rel); the curves cross, and the
+ * crossover temperature is application-dependent. At high
+ * temperatures DTM's choice violates the reliability target; at low
+ * temperatures DRM's choice violates the thermal limit -- neither
+ * policy subsumes the other.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ramp;
+    bench::Suite suite;
+
+    const std::vector<double> temps = {325.0, 335.0, 345.0,
+                                       360.0, 370.0, 400.0};
+
+    int drm_thermal_violations = 0;  // DRM choice exceeding T_design
+    int dtm_fit_violations = 0;      // DTM choice exceeding FIT target
+    int crossovers_seen = 0;
+    std::vector<double> crossover_temps;
+
+    for (const auto &app : suite.apps) {
+        const auto explored =
+            suite.explorer.explore(app, drm::AdaptationSpace::Dvs);
+
+        util::Table t({"T (K)", "f DRM (DVS-Rel)", "f DTM (DVS-Temp)",
+                       "DRM Tmax", "DTM FIT"});
+        t.setTitle("Figure 4 [" + app.name +
+                   "]: frequency chosen by DRM vs DTM");
+
+        double prev_sign = 0.0;
+        double crossover = -1.0;
+        std::vector<double> f_drm_series, f_dtm_series;
+        for (double temp : temps) {
+            const auto qual = suite.qualification(temp);
+            const auto drm_sel = drm::selectDrm(explored, qual);
+            const auto dtm_sel = drm::selectDtm(explored, temp);
+
+            const auto &drm_op = explored.points[drm_sel.index].op;
+            const auto &dtm_op = explored.points[dtm_sel.index].op;
+            const double f_drm = drm_op.config.frequency_ghz;
+            const double f_dtm = dtm_op.config.frequency_ghz;
+            f_drm_series.push_back(f_drm);
+            f_dtm_series.push_back(f_dtm);
+
+            const double dtm_fit =
+                drm::operatingPointFit(qual, dtm_op);
+            const double drm_tmax = drm_op.maxTemp();
+
+            if (drm_tmax > temp + 1e-9)
+                ++drm_thermal_violations;
+            if (dtm_fit > qual.spec().target_fit * (1.0 + 1e-9))
+                ++dtm_fit_violations;
+
+            const double sign = f_dtm - f_drm;
+            if (prev_sign != 0.0 && sign != 0.0 &&
+                (sign > 0) != (prev_sign > 0) && crossover < 0.0)
+                crossover = temp;
+            if (sign != 0.0)
+                prev_sign = sign;
+
+            t.addRow({util::Table::num(temp, 0),
+                      util::Table::num(f_drm, 2),
+                      util::Table::num(f_dtm, 2),
+                      util::Table::num(drm_tmax, 1),
+                      util::Table::num(dtm_fit, 0)});
+        }
+        t.print(std::cout);
+        if (crossover > 0.0) {
+            ++crossovers_seen;
+            crossover_temps.push_back(crossover);
+            std::printf("  curves cross near %.0f K\n\n", crossover);
+        } else {
+            std::printf("  no crossover in the swept range\n\n");
+        }
+
+        // Slope check: DTM frequency range should exceed DRM's.
+        const double dtm_span = f_dtm_series.back() - f_dtm_series[0];
+        const double drm_span = f_drm_series.back() - f_drm_series[0];
+        std::printf("  frequency span over sweep: DTM %.2f GHz, "
+                    "DRM %.2f GHz (DTM steeper: %s)\n\n",
+                    dtm_span, drm_span,
+                    dtm_span > drm_span ? "yes" : "no");
+    }
+
+    std::printf("summary:\n");
+    std::printf("  DRM choices violating the thermal limit:  %d\n",
+                drm_thermal_violations);
+    std::printf("  DTM choices violating the FIT target:     %d\n",
+                dtm_fit_violations);
+    std::printf("  applications whose curves cross:          %d/9\n",
+                crossovers_seen);
+    bool varied = false;
+    for (std::size_t i = 1; i < crossover_temps.size(); ++i)
+        varied |= crossover_temps[i] != crossover_temps[0];
+    std::printf("  crossover temperature application-dependent: %s\n",
+                varied ? "yes" : "no");
+
+    const bool shape_ok =
+        drm_thermal_violations > 0 && dtm_fit_violations > 0;
+    std::printf("\nFigure 4 shape (neither policy subsumes the "
+                "other): %s\n",
+                shape_ok ? "holds" : "DEVIATION");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Google-benchmark micro-kernels for the performance-critical pieces:
+ * the failure-mechanism models, qualification FIT evaluation, the
+ * thermal solvers, the cache model, the branch predictor, trace
+ * generation, and whole-core cycle throughput. These bound the cost
+ * of the reproduction sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hh"
+#include "core/mechanisms.hh"
+#include "core/qualification.hh"
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/core.hh"
+#include "thermal/model.hh"
+#include "util/random.hh"
+#include "workload/trace_gen.hh"
+
+namespace {
+
+using namespace ramp;
+
+void
+BM_MechanismLogRate(benchmark::State &state)
+{
+    const auto mech = static_cast<core::Mechanism>(state.range(0));
+    core::OperatingConditions c;
+    c.temp_k = 360.0;
+    double t = 340.0;
+    for (auto _ : state) {
+        c.temp_k = t;
+        t = t < 400.0 ? t + 0.01 : 340.0;
+        benchmark::DoNotOptimize(core::logRelativeRate(mech, c));
+    }
+}
+BENCHMARK(BM_MechanismLogRate)->DenseRange(0, 3);
+
+void
+BM_QualificationFit(benchmark::State &state)
+{
+    core::QualificationSpec spec;
+    spec.alpha_qual.fill(0.5);
+    const core::Qualification qual(spec);
+    core::OperatingConditions c;
+    c.temp_k = 365.0;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (auto s : sim::allStructures())
+            for (auto m : core::allMechanisms())
+                total += qual.fit(s, m, c);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_QualificationFit);
+
+void
+BM_SteadyFitReport(benchmark::State &state)
+{
+    core::QualificationSpec spec;
+    spec.alpha_qual.fill(0.5);
+    const core::Qualification qual(spec);
+    sim::PerStructure<double> on;
+    on.fill(1.0);
+    sim::PerStructure<double> temps;
+    temps.fill(362.0);
+    sim::PerStructure<double> act;
+    act.fill(0.3);
+    for (auto _ : state) {
+        const auto rep =
+            core::steadyFit(qual, on, temps, act, 1.0, 4.0);
+        benchmark::DoNotOptimize(rep.totalFit());
+    }
+}
+BENCHMARK(BM_SteadyFitReport);
+
+void
+BM_ThermalSteadyState(benchmark::State &state)
+{
+    const thermal::ThermalModel model;
+    sim::PerStructure<double> power;
+    power.fill(2.5);
+    for (auto _ : state) {
+        const auto t = model.steadyState(power);
+        benchmark::DoNotOptimize(t.sink_k);
+    }
+}
+BENCHMARK(BM_ThermalSteadyState);
+
+void
+BM_ThermalTransientStep(benchmark::State &state)
+{
+    thermal::ThermalModel model;
+    sim::PerStructure<double> power;
+    power.fill(2.5);
+    model.initialiseSteady(power);
+    for (auto _ : state)
+        model.step(power, 1e-3);
+}
+BENCHMARK(BM_ThermalTransientStep);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache(64, 2, 64);
+    util::Rng rng(1);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 8) % (128 * 1024);
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    sim::BimodalAgree bp(8192);
+    std::uint64_t pc = 0x1000;
+    for (auto _ : state) {
+        pc = 0x1000 + (pc * 2654435761u) % 4096;
+        const bool taken = (pc & 64) != 0;
+        benchmark::DoNotOptimize(bp.predict(pc));
+        bp.update(pc, taken);
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TraceGenerator gen(workload::findApp("bzip2"), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CoreCycles(benchmark::State &state)
+{
+    const auto &app = workload::findApp(
+        state.range(0) == 0 ? "MPGdec" : "twolf");
+    workload::TraceGenerator gen(app, 1);
+    sim::Core core(sim::baseMachine(), gen);
+    core.run(50000); // warm
+    for (auto _ : state)
+        core.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoreCycles)->DenseRange(0, 1);
+
+} // namespace
+
+BENCHMARK_MAIN();

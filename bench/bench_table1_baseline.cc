@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the base non-adaptive processor.
+ *
+ * Prints the configured machine parameters next to the published
+ * values and fails (exit 1) if any derived quantity drifts from
+ * Table 1 -- this is the configuration regression check for the
+ * whole reproduction.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/machine.hh"
+#include "sim/structures.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ramp;
+    const sim::MachineConfig m = sim::baseMachine();
+
+    util::Table t({"parameter", "value", "paper (Table 1)"});
+    t.setTitle("Table 1: base non-adaptive processor");
+    auto row = [&](const char *name, const std::string &v,
+                   const char *paper) {
+        t.addRow({name, v, paper});
+    };
+
+    row("process technology", "65 nm", "65 nm");
+    row("supply voltage", util::Table::num(m.voltage_v, 1) + " V",
+        "1.0 V");
+    row("frequency", util::Table::num(m.frequency_ghz, 1) + " GHz",
+        "4.0 GHz");
+    row("core size",
+        util::Table::num(sim::totalCoreArea(), 2) + " mm^2",
+        "20.2 mm^2 (4.5mm x 4.5mm)");
+    row("fetch/retire rate",
+        std::to_string(m.fetch_width) + " per cycle", "8 per cycle");
+    row("functional units",
+        std::to_string(m.num_int_alu) + " Int, " +
+            std::to_string(m.num_fpu) + " FP, " +
+            std::to_string(m.num_agen) + " Add. gen.",
+        "6 Int, 4 FP, 2 Add. gen.");
+    row("integer FU latencies",
+        std::to_string(m.lat_int_add) + "/" +
+            std::to_string(m.lat_int_mul) + "/" +
+            std::to_string(m.lat_int_div) + " add/mul/div",
+        "1/7/12 add/multiply/divide");
+    row("FP FU latencies",
+        std::to_string(m.lat_fp) + " default, " +
+            std::to_string(m.lat_fp_div) + " div (not pipelined)",
+        "4 default, 12 div (not pipelined)");
+    row("instruction window", std::to_string(m.window_size) + " entries",
+        "128 entries");
+    row("register file",
+        std::to_string(m.int_regs) + " int + " +
+            std::to_string(m.fp_regs) + " FP",
+        "192 integer and 192 FP");
+    row("memory queue", std::to_string(m.mem_queue) + " entries",
+        "32 entries");
+    row("branch prediction",
+        "2KB bimodal agree (" + std::to_string(m.bpred_entries) +
+            " x 2b), " + std::to_string(m.ras_entries) + " entry RAS",
+        "2KB bimodal agree, 32 entry RAS");
+    row("L1 D-cache",
+        std::to_string(m.l1d_size_kb) + "KB " +
+            std::to_string(m.l1d_assoc) + "-way, 64B, " +
+            std::to_string(m.l1d_ports) + " ports, " +
+            std::to_string(m.l1d_mshrs) + " MSHRs",
+        "64KB 2-way, 64B line, 2 ports, 12 MSHRs");
+    row("L1 I-cache",
+        std::to_string(m.l1i_size_kb) + "KB " +
+            std::to_string(m.l1i_assoc) + "-way",
+        "32KB, 2-way");
+    row("L2 (unified)",
+        std::to_string(m.l2_size_kb / 1024) + "MB " +
+            std::to_string(m.l2_assoc) + "-way, 64B line, 1 port",
+        "1MB, 4-way, 64B line, 1 port");
+    row("L1 hit time", std::to_string(m.l1_hit_cycles) + " cycles",
+        "2 cycles");
+    row("L2 hit time", std::to_string(m.l2HitCycles()) + " cycles",
+        "20 cycles");
+    row("memory latency",
+        std::to_string(m.memLatencyCycles()) + " cycles", "102 cycles");
+    row("memory bandwidth",
+        "16B/cycle, " + std::to_string(m.mem_banks) +
+            "-way interleaved",
+        "16B/cycle, 4-way interleaved");
+
+    t.print(std::cout);
+
+    // Regression checks on every derived value.
+    bool ok = m.l2HitCycles() == 20 && m.memLatencyCycles() == 102 &&
+              m.issueWidth() == 12 &&
+              sim::totalCoreArea() > 20.19 &&
+              sim::totalCoreArea() < 20.26;
+    if (!ok) {
+        std::fprintf(stderr,
+                     "FAIL: derived configuration drifted from "
+                     "Table 1\n");
+        return 1;
+    }
+    std::cout << "\nTable 1 check: OK\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces paper Table 2: per-application IPC and base power
+ * (dynamic + leakage) on the base non-adaptive processor.
+ *
+ * The paper reports IPC 0.7-3.2 and power 15.6-36.5 W across the
+ * nine-application suite; the calibrated synthetic profiles must land
+ * on those operating points. The bench prints measured vs published
+ * values and checks the qualitative invariants the rest of the
+ * evaluation depends on (multimedia fastest/hottest, twolf/art
+ * coolest).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ramp;
+    bench::Suite suite;
+
+    util::Table t({"app", "type", "IPC", "IPC paper", "power W",
+                   "power paper", "Tmax K"});
+    t.setTitle("Table 2: workload description (measured vs paper)");
+
+    double ipc_mm_min = 1e9, ipc_rest_max = 0.0;
+    double worst_ipc_err = 0.0, worst_power_err = 0.0;
+    for (std::size_t i = 0; i < suite.apps.size(); ++i) {
+        const auto &app = suite.apps[i];
+        const auto &op = suite.base_ops[i];
+        t.addRow({
+            app.name,
+            workload::appClassName(app.app_class),
+            util::Table::num(op.ipc(), 2),
+            util::Table::num(app.table2_ipc, 1),
+            util::Table::num(op.totalPower(), 1),
+            util::Table::num(app.table2_power_w, 1),
+            util::Table::num(op.maxTemp(), 1),
+        });
+        const double ipc_err =
+            std::abs(op.ipc() - app.table2_ipc) / app.table2_ipc;
+        const double pow_err =
+            std::abs(op.totalPower() - app.table2_power_w) /
+            app.table2_power_w;
+        worst_ipc_err = std::max(worst_ipc_err, ipc_err);
+        worst_power_err = std::max(worst_power_err, pow_err);
+        if (app.app_class == workload::AppClass::Multimedia)
+            ipc_mm_min = std::min(ipc_mm_min, op.ipc());
+        else
+            ipc_rest_max = std::max(ipc_rest_max, op.ipc());
+    }
+    t.print(std::cout);
+
+    std::printf("\nworst IPC error vs Table 2:   %.1f%%\n",
+                100.0 * worst_ipc_err);
+    std::printf("worst power error vs Table 2: %.1f%%\n",
+                100.0 * worst_power_err);
+
+    // Shape invariants (Section 6.2 / 7.1): multimedia leads the
+    // suite in IPC, and the hottest application approaches 400 K.
+    double hottest = 0.0;
+    for (const auto &op : suite.base_ops)
+        hottest = std::max(hottest, op.maxTemp());
+    // The paper's "near 400 K" is a peak reading; our steady-state
+    // evaluator reports sustained temperatures (see EXPERIMENTS.md).
+    const bool ok = worst_ipc_err < 0.15 && worst_power_err < 0.25 &&
+                    ipc_mm_min > ipc_rest_max && hottest > 378.0 &&
+                    hottest < 400.0;
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: Table 2 calibration drifted\n");
+        return 1;
+    }
+    std::printf("hottest sustained block temperature: %.1f K "
+                "(paper reports a ~400 K peak)\n",
+                hottest);
+    std::printf("\nTable 2 check: OK\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: the persistent
+ * evaluation cache, the explored application suite, and the paper's
+ * qualification setup (Section 3.7).
+ *
+ * Every bench prints the rows/series of one paper table or figure;
+ * EXPERIMENTS.md records the measured output against the paper.
+ */
+
+#ifndef RAMP_BENCH_COMMON_HH
+#define RAMP_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+#include "drm/eval_cache.hh"
+#include "drm/oracle.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace bench {
+
+/** Cache file shared by all bench binaries (overridable by env). */
+inline std::string
+cachePath()
+{
+    if (const char *env = std::getenv("RAMP_EVAL_CACHE"))
+        return env;
+    return "ramp_eval_cache.txt";
+}
+
+/** Simulation controls used by every reproduction bench. */
+inline core::EvalParams
+benchEvalParams()
+{
+    return core::EvalParams{}; // defaults; keyed into the cache
+}
+
+/** The explored suite: apps, base operating points, alpha_qual. */
+struct Suite
+{
+    drm::EvaluationCache cache;
+    drm::OracleExplorer explorer;
+    std::vector<workload::AppProfile> apps;
+    std::vector<core::OperatingPoint> base_ops;
+    sim::PerStructure<double> alpha_qual{};
+
+    Suite()
+        : cache(cachePath()),
+          explorer(benchEvalParams(), &cache),
+          apps(workload::standardApps())
+    {
+        for (const auto &app : apps)
+            base_ops.push_back(explorer.evaluateBase(app));
+        alpha_qual = drm::alphaQualFromBaseline(base_ops);
+    }
+
+    /**
+     * Qualification at a given T_qual: target 4000 FIT, V/f at base,
+     * alpha_qual at the suite maximum (Section 3.7).
+     */
+    core::Qualification qualification(double t_qual_k) const
+    {
+        core::QualificationSpec spec;
+        spec.t_qual_k = t_qual_k;
+        spec.alpha_qual = alpha_qual;
+        return core::Qualification(spec);
+    }
+};
+
+} // namespace bench
+} // namespace ramp
+
+#endif // RAMP_BENCH_COMMON_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-structure activity-factor report on the base machine.
+ *
+ * Prints the alpha values the power and electromigration models
+ * consume, per application and structure -- the raw material for
+ * power-model calibration and for choosing alpha_qual (Section 3.7).
+ *
+ * Usage: activity_report [app ...]   (default: all apps)
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "sim/machine.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ramp;
+
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        for (const auto &app : workload::standardApps())
+            names.push_back(app.name);
+
+    const core::Evaluator evaluator;
+    const sim::MachineConfig base = sim::baseMachine();
+
+    std::vector<std::string> headers{"app"};
+    for (auto id : sim::allStructures())
+        headers.emplace_back(sim::structureName(id));
+    util::Table table(std::move(headers));
+    table.setTitle("Activity factors (alpha) on the base machine");
+
+    for (const auto &name : names) {
+        const auto op =
+            evaluator.evaluate(base, workload::findApp(name));
+        std::vector<std::string> row{name};
+        for (double a : op.activity.activity)
+            row.push_back(util::Table::num(a, 3));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scenario: the under-designed commodity processor (paper Section
+ * 1.3 / 7.1).
+ *
+ * A commodity part saves qualification and cooling cost by being
+ * qualified below worst case; DRM throttles the rare workloads that
+ * would exceed the target. This example sweeps the qualification
+ * temperature (the cost proxy) and prints, for each point, how many
+ * applications need throttling and what the worst and mean slowdowns
+ * are -- the designer's cost-performance menu from Section 7.1.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/evaluator.hh"
+#include "drm/eval_cache.hh"
+#include "drm/oracle.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace ramp;
+
+    // Share the benches' persistent timing cache when present.
+    drm::EvaluationCache cache("ramp_eval_cache.txt");
+    const drm::OracleExplorer explorer(core::EvalParams{}, &cache);
+
+    std::vector<core::OperatingPoint> base_ops;
+    std::vector<drm::ExploredApp> explored;
+    for (const auto &app : workload::standardApps()) {
+        explored.push_back(
+            explorer.explore(app, drm::AdaptationSpace::ArchDvs));
+        base_ops.push_back(explored.back().base);
+    }
+    const auto alpha = drm::alphaQualFromBaseline(base_ops);
+
+    util::Table t({"T_qual K", "apps throttled", "worst perf",
+                   "worst app", "mean perf"});
+    t.setTitle("Commodity under-design menu (ArchDVS DRM, "
+               "4000 FIT target)");
+
+    for (double tq : {400.0, 385.0, 370.0, 355.0, 345.0, 335.0,
+                      325.0}) {
+        core::QualificationSpec spec;
+        spec.t_qual_k = tq;
+        spec.alpha_qual = alpha;
+        const core::Qualification qual(spec);
+
+        int throttled = 0;
+        double worst = 1e9, mean = 0.0;
+        std::string worst_app;
+        for (std::size_t i = 0; i < explored.size(); ++i) {
+            const auto sel = drm::selectDrm(explored[i], qual);
+            throttled += sel.perf_rel < 1.0 - 1e-9;
+            mean += sel.perf_rel;
+            if (sel.perf_rel < worst) {
+                worst = sel.perf_rel;
+                worst_app = explored[i].app_name;
+            }
+        }
+        t.addRow({util::Table::num(tq, 0), std::to_string(throttled),
+                  util::Table::num(worst, 3), worst_app,
+                  util::Table::num(mean / 9.0, 3)});
+    }
+    t.print(std::cout);
+    std::printf("\nreading the menu: every row is a cheaper part "
+                "than the one above it;\nDRM guarantees the 4000 FIT "
+                "target on all of them, trading only performance.\n");
+    return 0;
+}

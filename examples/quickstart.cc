@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the RAMP library.
+ *
+ * 1. Pick an application profile and the base (Table 1) machine.
+ * 2. Run the timing/power/thermal evaluation to get an operating
+ *    point (IPC, per-structure activity, temperatures, power).
+ * 3. Qualify the processor for 4000 FIT (~30-year MTTF) at a chosen
+ *    qualification temperature.
+ * 4. Ask RAMP for the application's FIT and MTTF on that processor.
+ * 5. Let the DRM oracle pick the best DVS point that holds the
+ *    reliability target.
+ *
+ * Usage: quickstart [app] [T_qual_K]   (defaults: MP3dec 370)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/evaluator.hh"
+#include "drm/eval_cache.hh"
+#include "drm/oracle.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ramp;
+
+    const std::string app_name = argc > 1 ? argv[1] : "MP3dec";
+    const double t_qual = argc > 2 ? std::strtod(argv[2], nullptr)
+                                   : 370.0;
+
+    // --- 1. Application + machine ------------------------------------
+    const workload::AppProfile &app = workload::findApp(app_name);
+    const sim::MachineConfig machine = sim::baseMachine();
+    std::printf("application: %s (%s), machine: %s\n",
+                app.name.c_str(),
+                workload::appClassName(app.app_class),
+                machine.describe().c_str());
+
+    // --- 2. Operating point ------------------------------------------
+    const core::Evaluator evaluator;
+    const core::OperatingPoint op = evaluator.evaluate(machine, app);
+    std::printf("IPC %.2f | power %.1f W (%.1f dynamic + %.1f "
+                "leakage) | hottest block %.1f K\n",
+                op.ipc(), op.totalPower(), op.power.totalDynamic(),
+                op.power.totalLeakage(), op.maxTemp());
+
+    // --- 3. Qualification ---------------------------------------------
+    core::QualificationSpec spec;
+    spec.t_qual_k = t_qual; // the cost knob (Section 3.7)
+    spec.alpha_qual = op.activity.activity;
+    const core::Qualification qual(spec);
+    std::printf("qualified for %.0f FIT at T_qual = %.0f K\n",
+                spec.target_fit, spec.t_qual_k);
+
+    // --- 4. Application FIT / MTTF -------------------------------------
+    const core::FitReport report = core::steadyFit(
+        qual, power::poweredFractions(machine), op.temps_k,
+        op.activity.activity, machine.voltage_v,
+        machine.frequency_ghz);
+    std::printf("application FIT %.0f (MTTF %.1f years) -- %s the "
+                "4000 FIT target\n",
+                report.totalFit(), report.mttfYears(),
+                report.totalFit() <= 4000.0 ? "meets" : "exceeds");
+    for (auto m : core::allMechanisms())
+        std::printf("  %-4s %7.0f FIT\n",
+                    std::string(core::mechanismName(m)).c_str(),
+                    report.mechanismFit(m));
+
+    // --- 5. DRM oracle over the DVS ladder ------------------------------
+    // Share the benches' persistent timing cache when present.
+    drm::EvaluationCache cache("ramp_eval_cache.txt");
+    const drm::OracleExplorer explorer(core::EvalParams{}, &cache);
+    const auto explored =
+        explorer.explore(app, drm::AdaptationSpace::Dvs);
+    const auto sel = drm::selectDrm(explored, qual);
+    const auto &chosen = explored.points[sel.index].op.config;
+    std::printf("DRM picks %.2f GHz / %.3f V: performance %.3fx of "
+                "base at %.0f FIT%s\n",
+                chosen.frequency_ghz, chosen.voltage_v, sel.perf_rel,
+                sel.fit,
+                sel.feasible ? "" : " (target unreachable via DVS)");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bottleneck sensitivity analysis.
+ *
+ * For each application, re-evaluates the base machine with one
+ * limiter idealised at a time -- perfect branch prediction, an
+ * L1-resident working set, no register dependences -- and prints the
+ * IPC each idealisation unlocks. Useful both for understanding the
+ * synthetic workloads and for sanity-checking the core model.
+ *
+ * Usage: sensitivity [app ...]   (default: all apps)
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "sim/machine.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using namespace ramp;
+
+workload::AppProfile
+perfectBranches(workload::AppProfile p)
+{
+    p.branch.easy_frac = 1.0;
+    p.branch.easy_bias = 1.0;
+    for (auto &ph : p.phases)
+        ph.mix.call = 0.0;
+    return p;
+}
+
+workload::AppProfile
+perfectMemory(workload::AppProfile p)
+{
+    for (auto &ph : p.phases) {
+        ph.mem.working_set_bytes = 16 * 1024;
+        ph.mem.hot_bytes = 16 * 1024;
+        ph.mem.hot_frac = 1.0;
+        ph.mem.random_frac = 0.0;
+    }
+    return p;
+}
+
+workload::AppProfile
+noDependences(workload::AppProfile p)
+{
+    p.dep.p_src1 = 0.0;
+    p.dep.p_src2 = 0.0;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const core::Evaluator evaluator;
+    const sim::MachineConfig base = sim::baseMachine();
+
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        for (const auto &app : workload::standardApps())
+            names.push_back(app.name);
+
+    util::Table table({"app", "base IPC", "perfect-bpred",
+                       "perfect-mem", "no-deps", "all-three"});
+    table.setTitle("IPC with one limiter idealised at a time");
+
+    for (const auto &name : names) {
+        const auto &app = workload::findApp(name);
+        auto ipc = [&](const workload::AppProfile &p) {
+            return evaluator.evaluate(base, p).ipc();
+        };
+        table.addRow({
+            name,
+            util::Table::num(ipc(app), 2),
+            util::Table::num(ipc(perfectBranches(app)), 2),
+            util::Table::num(ipc(perfectMemory(app)), 2),
+            util::Table::num(ipc(noDependences(app)), 2),
+            util::Table::num(
+                ipc(perfectBranches(perfectMemory(noDependences(app)))),
+                2),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload characterisation report.
+ *
+ * Runs every standard application on the base (Table 1) machine and
+ * prints IPC, branch/cache behaviour, power, and temperatures next to
+ * the paper's Table 2 reference values. This is both a user-facing
+ * diagnostic and the tool used to calibrate the synthetic profiles.
+ *
+ * Usage: workload_report [measure_uops]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluator.hh"
+#include "sim/machine.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ramp;
+
+    core::EvalParams params;
+    if (argc > 1)
+        params.measure_uops = std::strtoull(argv[1], nullptr, 10);
+
+    const core::Evaluator evaluator(params);
+    const sim::MachineConfig base = sim::baseMachine();
+
+    util::Table table({"app", "class", "IPC", "IPC(T2)", "mispred%",
+                       "L1D miss%", "L2 miss%", "dyn W", "leak W",
+                       "P(W)", "P(T2)", "Tmax K", "Tavg K"});
+    table.setTitle("Base-machine workload characterisation "
+                   "(reference: paper Table 2)");
+
+    for (const auto &app : workload::standardApps()) {
+        const auto op = evaluator.evaluate(base, app);
+        const auto &st = op.stats;
+        table.addRow({
+            app.name,
+            workload::appClassName(app.app_class),
+            util::Table::num(op.ipc(), 2),
+            util::Table::num(app.table2_ipc, 1),
+            util::Table::num(100.0 * st.mispredictRate(), 1),
+            util::Table::num(100.0 * op.l1d_miss_ratio, 1),
+            util::Table::num(100.0 * op.l2_miss_ratio, 1),
+            util::Table::num(op.power.totalDynamic(), 1),
+            util::Table::num(op.power.totalLeakage(), 1),
+            util::Table::num(op.totalPower(), 1),
+            util::Table::num(app.table2_power_w, 1),
+            util::Table::num(op.maxTemp(), 1),
+            util::Table::num(op.avgTemp(), 1),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

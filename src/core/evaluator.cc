@@ -1,0 +1,155 @@
+#include "core/evaluator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "workload/trace_gen.hh"
+
+namespace ramp {
+namespace core {
+
+using sim::num_structures;
+using sim::PerStructure;
+
+double
+OperatingPoint::maxTemp() const
+{
+    double m = temps_k[0];
+    for (double t : temps_k)
+        m = std::max(m, t);
+    return m;
+}
+
+double
+OperatingPoint::avgTemp() const
+{
+    double sum = 0.0;
+    double area = 0.0;
+    for (auto id : sim::allStructures()) {
+        const double a = sim::structureArea(id);
+        sum += temps_k[sim::structureIndex(id)] * a;
+        area += a;
+    }
+    return sum / area;
+}
+
+Evaluator::Evaluator(EvalParams params) : params_(params)
+{
+    if (params_.measure_uops == 0)
+        util::fatal("evaluator needs a nonzero measurement length");
+    if (params_.max_iterations == 0)
+        util::fatal("evaluator needs at least one thermal iteration");
+    if (params_.tolerance_k <= 0.0)
+        util::fatal("thermal tolerance must be positive");
+}
+
+OperatingPoint
+Evaluator::convergeThermal(const sim::MachineConfig &cfg,
+                           const sim::ActivitySample &activity,
+                           const sim::CoreStats &stats) const
+{
+    const power::PowerModel pmodel(cfg, params_.power_params);
+    const thermal::ThermalModel tmodel(params_.thermal_params);
+
+    OperatingPoint op;
+    op.config = cfg;
+    op.activity = activity;
+    op.stats = stats;
+
+    // Start from a flat guess a little above ambient.
+    PerStructure<double> temps;
+    temps.fill(params_.thermal_params.ambient_k + 30.0);
+
+    // Leakage evaluation temperature is clamped: above ~450 K the
+    // exponential leakage-temperature loop has no stable fixed point
+    // (thermal runaway). The clamp keeps the solve finite; runaway
+    // operating points then report enormous (but finite) temperatures
+    // and FIT, and every selection policy rejects them.
+    constexpr double leak_temp_cap = 450.0;
+
+    const auto dyn = pmodel.dynamicPower(activity);
+    thermal::SteadyTemps steady{};
+    for (std::uint32_t it = 0; it < params_.max_iterations; ++it) {
+        PerStructure<double> leak_temps = temps;
+        for (auto &t : leak_temps)
+            t = std::min(t, leak_temp_cap);
+        if (!params_.leakage_feedback) {
+            // Ablation: leakage pinned at the reference density.
+            leak_temps.fill(params_.power_params.leakage_t_ref);
+        }
+        const auto leak = pmodel.leakagePower(leak_temps);
+
+        PerStructure<double> total{};
+        for (std::size_t i = 0; i < num_structures; ++i)
+            total[i] = dyn[i] + leak[i];
+        steady = tmodel.steadyState(total);
+
+        double worst = 0.0;
+        for (std::size_t i = 0; i < num_structures; ++i) {
+            worst = std::max(worst,
+                             std::fabs(steady.block_k[i] - temps[i]));
+            // Mild damping keeps the exponential leakage loop stable
+            // even at high power density.
+            temps[i] = 0.5 * temps[i] + 0.5 * steady.block_k[i];
+        }
+        if (worst < params_.tolerance_k)
+            break;
+        if (it + 1 == params_.max_iterations)
+            util::warn("thermal fixed point hit the iteration limit");
+    }
+
+    op.temps_k = temps;
+    op.sink_temp_k = steady.sink_k;
+    PerStructure<double> leak_temps = temps;
+    for (auto &t : leak_temps)
+        t = std::min(t, leak_temp_cap);
+    if (!params_.leakage_feedback)
+        leak_temps.fill(params_.power_params.leakage_t_ref);
+    op.power = pmodel.breakdown(activity, leak_temps);
+    for (double t : op.temps_k)
+        if (!std::isfinite(t))
+            util::panic("thermal fixed point produced non-finite "
+                        "temperatures");
+    return op;
+}
+
+OperatingPoint
+Evaluator::evaluate(const sim::MachineConfig &cfg,
+                    const workload::AppProfile &profile) const
+{
+    workload::TraceGenerator gen(profile, params_.seed);
+    sim::Core core(cfg, gen);
+
+    core.runUops(params_.warmup_uops);
+    core.takeInterval();
+    core.resetStats();
+
+    const auto &mem = core.memory();
+    const auto l1d_acc0 = mem.l1d().accesses();
+    const auto l1d_miss0 = mem.l1d().misses();
+    const auto l1i_acc0 = mem.l1i().accesses();
+    const auto l1i_miss0 = mem.l1i().misses();
+    const auto l2_acc0 = mem.l2().accesses();
+    const auto l2_miss0 = mem.l2().misses();
+
+    core.runUops(params_.measure_uops);
+    const sim::ActivitySample activity = core.takeInterval();
+
+    OperatingPoint op = convergeThermal(cfg, activity, core.stats());
+    auto ratio = [](std::uint64_t miss, std::uint64_t acc) {
+        return acc ? static_cast<double>(miss) /
+                         static_cast<double>(acc)
+                   : 0.0;
+    };
+    op.l1d_miss_ratio = ratio(mem.l1d().misses() - l1d_miss0,
+                              mem.l1d().accesses() - l1d_acc0);
+    op.l1i_miss_ratio = ratio(mem.l1i().misses() - l1i_miss0,
+                              mem.l1i().accesses() - l1i_acc0);
+    op.l2_miss_ratio = ratio(mem.l2().misses() - l2_miss0,
+                             mem.l2().accesses() - l2_acc0);
+    return op;
+}
+
+} // namespace core
+} // namespace ramp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Operating-point evaluation: timing simulation + power + thermal
+ * fixed point (the paper's Section 6.3 methodology).
+ *
+ * The paper runs every simulation twice: once to collect average
+ * per-structure power, then a steady-state solve to initialise the
+ * heat sink, then the measured run. We reproduce that as a fixed
+ * point: the timing simulator produces activity factors; dynamic
+ * power follows from activity, leakage from temperature; block
+ * temperatures follow from total power through the RC network; and
+ * leakage feeds back into power until the loop converges (a couple
+ * of iterations -- the leakage-temperature loop is a contraction at
+ * these operating points).
+ */
+
+#ifndef RAMP_CORE_EVALUATOR_HH
+#define RAMP_CORE_EVALUATOR_HH
+
+#include <cstdint>
+
+#include "power/power.hh"
+#include "sim/core.hh"
+#include "sim/machine.hh"
+#include "thermal/model.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace core {
+
+/** Everything known about one (application, configuration) pairing. */
+struct OperatingPoint
+{
+    sim::MachineConfig config;
+    sim::ActivitySample activity;        ///< Measured interval.
+    sim::CoreStats stats;                ///< Cumulative measured stats.
+    power::PowerBreakdown power;         ///< Converged power.
+    sim::PerStructure<double> temps_k{}; ///< Converged steady temps.
+    double sink_temp_k = 0.0;
+
+    /** Cache behaviour over the measured region (evaluate() only;
+     *  zero when the point came from convergeThermal()). */
+    double l1d_miss_ratio = 0.0;
+    double l1i_miss_ratio = 0.0;
+    double l2_miss_ratio = 0.0;
+
+    /** Retired micro-ops per cycle. */
+    double ipc() const { return activity.ipc(); }
+
+    /** Absolute performance: retired micro-ops per second. */
+    double uopsPerSecond() const
+    {
+        return ipc() * config.frequency_ghz * 1e9;
+    }
+
+    /** Hottest structure temperature (the DTM constraint). */
+    double maxTemp() const;
+
+    /** Area-weighted average temperature. */
+    double avgTemp() const;
+
+    /** Total chip power in watts. */
+    double totalPower() const { return power.total(); }
+};
+
+/** Evaluation controls. */
+struct EvalParams
+{
+    /** Micro-ops run before measurement starts. Sized so the L2 is
+     *  warm for every L2-resident working set in the suite (streaming
+     *  covers ~800KB of data in 600k uops at typical load mixes). */
+    std::uint64_t warmup_uops = 600'000;
+
+    /** Micro-ops measured. */
+    std::uint64_t measure_uops = 600'000;
+
+    /** Workload generator seed. */
+    std::uint64_t seed = 1;
+
+    /** Leakage/thermal fixed-point iteration limit and tolerance.
+     *  Near thermal runaway the damped loop contracts at only ~0.8x
+     *  per iteration, so the limit leaves headroom. */
+    std::uint32_t max_iterations = 100;
+    double tolerance_k = 0.01;
+
+    /** Disable the leakage-temperature feedback (ablation knob):
+     *  leakage is then evaluated at the reference 383 K density
+     *  regardless of the actual block temperature. */
+    bool leakage_feedback = true;
+
+    power::PowerParams power_params{};
+    thermal::ThermalParams thermal_params{};
+};
+
+/**
+ * Evaluates (application, machine) operating points. Stateless apart
+ * from its parameters; safe to reuse across calls.
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(EvalParams params = {});
+
+    /**
+     * Run the workload on the machine and converge the power/thermal
+     * loop. Deterministic in (profile, cfg, params).
+     */
+    OperatingPoint evaluate(const sim::MachineConfig &cfg,
+                            const workload::AppProfile &profile) const;
+
+    /**
+     * Power/thermal fixed point for an already-measured activity
+     * sample (used by the DRM oracle to re-derive temperatures and by
+     * ablations). Exposed for tests.
+     */
+    OperatingPoint
+    convergeThermal(const sim::MachineConfig &cfg,
+                    const sim::ActivitySample &activity,
+                    const sim::CoreStats &stats) const;
+
+    const EvalParams &params() const { return params_; }
+
+  private:
+    EvalParams params_;
+};
+
+} // namespace core
+} // namespace ramp
+
+#endif // RAMP_CORE_EVALUATOR_HH

@@ -1,0 +1,67 @@
+#include "core/hw_ramp.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace core {
+
+HwRampEngine::HwRampEngine(Qualification qual,
+                           sim::PerStructure<double> on_fractions,
+                           SensorParams sensors)
+    : engine_(std::move(qual), on_fractions), sensors_(sensors)
+{
+    if (sensors_.temp_quantum_k <= 0.0)
+        util::fatal("sensor temperature quantum must be positive");
+    if (sensors_.activity_levels == 0)
+        util::fatal("activity counters need at least one level");
+    if (sensors_.voltage_quantum_v <= 0.0)
+        util::fatal("voltage quantum must be positive");
+}
+
+double
+HwRampEngine::quantiseTemp(double temp_k) const
+{
+    const double biased = temp_k + sensors_.temp_offset_k;
+    return std::round(biased / sensors_.temp_quantum_k) *
+           sensors_.temp_quantum_k;
+}
+
+double
+HwRampEngine::quantiseActivity(double alpha) const
+{
+    const auto levels = static_cast<double>(sensors_.activity_levels);
+    double q = std::round(alpha * levels) / levels;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    return q;
+}
+
+double
+HwRampEngine::quantiseVoltage(double voltage_v) const
+{
+    return std::round(voltage_v / sensors_.voltage_quantum_v) *
+           sensors_.voltage_quantum_v;
+}
+
+void
+HwRampEngine::addInterval(const sim::PerStructure<double> &temps_k,
+                          const sim::PerStructure<double> &activity,
+                          double voltage_v, double frequency_ghz,
+                          double duration_s)
+{
+    sim::PerStructure<double> q_temps{};
+    sim::PerStructure<double> q_act{};
+    for (std::size_t i = 0; i < sim::num_structures; ++i) {
+        q_temps[i] = quantiseTemp(temps_k[i]);
+        q_act[i] = quantiseActivity(activity[i]);
+    }
+    engine_.addInterval(q_temps, q_act, quantiseVoltage(voltage_v),
+                        frequency_ghz, duration_s);
+}
+
+} // namespace core
+} // namespace ramp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware-implementable RAMP (paper Section 3: "In real hardware,
+ * RAMP would require sensors and counters that provide information on
+ * processor operating conditions").
+ *
+ * The simulator-side RampEngine consumes exact floating-point
+ * temperatures and activity factors. A hardware implementation reads
+ * quantised thermal sensors (on-die diodes have ~1 K resolution and a
+ * calibration offset) and coarse activity counters (a few bits per
+ * structure per sampling window). HwRampEngine models exactly that:
+ * it quantises its inputs before feeding the same FIT arithmetic, so
+ * the gap between it and the exact engine *is* the cost of a hardware
+ * implementation -- measured by tests and the ablation bench.
+ */
+
+#ifndef RAMP_CORE_HW_RAMP_HH
+#define RAMP_CORE_HW_RAMP_HH
+
+#include "core/engine.hh"
+
+namespace ramp {
+namespace core {
+
+/** Sensor and counter precision of the hardware implementation. */
+struct SensorParams
+{
+    /** Thermal sensor quantisation step (K). Typical diode-based
+     *  on-die sensors resolve ~1 K. */
+    double temp_quantum_k = 1.0;
+
+    /** Fixed calibration offset applied by every sensor (K);
+     *  positive reads hot (conservative). */
+    double temp_offset_k = 0.0;
+
+    /** Activity counter resolution: activity is reported in
+     *  1/activity_levels buckets (e.g. 16 -> 4-bit counters). */
+    std::uint32_t activity_levels = 16;
+
+    /** Supply-voltage telemetry quantisation (V). */
+    double voltage_quantum_v = 0.0125;
+};
+
+/**
+ * RAMP on quantised inputs. Mirrors RampEngine's interface; the
+ * quantisation is applied inside addInterval.
+ */
+class HwRampEngine
+{
+  public:
+    HwRampEngine(Qualification qual,
+                 sim::PerStructure<double> on_fractions,
+                 SensorParams sensors = {});
+
+    /** Record one interval through the modelled sensors. */
+    void addInterval(const sim::PerStructure<double> &temps_k,
+                     const sim::PerStructure<double> &activity,
+                     double voltage_v, double frequency_ghz,
+                     double duration_s);
+
+    /** Report accumulated FIT (same semantics as RampEngine). */
+    FitReport report() const { return engine_.report(); }
+
+    /** Discard accumulated state. */
+    void reset() { engine_.reset(); }
+
+    std::uint64_t intervals() const { return engine_.intervals(); }
+
+    const SensorParams &sensors() const { return sensors_; }
+
+    /** Quantise one temperature the way the sensors would. */
+    double quantiseTemp(double temp_k) const;
+
+    /** Quantise one activity factor the way the counters would. */
+    double quantiseActivity(double alpha) const;
+
+    /** Quantise the voltage telemetry. */
+    double quantiseVoltage(double voltage_v) const;
+
+  private:
+    RampEngine engine_;
+    SensorParams sensors_;
+};
+
+} // namespace core
+} // namespace ramp
+
+#endif // RAMP_CORE_HW_RAMP_HH

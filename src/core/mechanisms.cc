@@ -1,0 +1,113 @@
+#include "core/mechanisms.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace core {
+
+namespace {
+
+constexpr double k_ev = util::k_boltzmann_ev;
+
+/** Effective interconnect current-density factor. The clock network
+ *  keeps switching when a structure is gated, so current follows the
+ *  same 10% floor the power model charges to idle structures. */
+double
+effectiveCurrent(const OperatingConditions &c)
+{
+    const double alpha = std::clamp(c.activity, 0.0, 1.0);
+    return (0.1 + 0.9 * alpha) * c.voltage_v * c.frequency_ghz *
+           c.em_j_scale;
+}
+
+double
+logRateEm(const OperatingConditions &c)
+{
+    const double j = std::max(effectiveCurrent(c), 1e-12);
+    return MechanismConstants::em_n * std::log(j) -
+           MechanismConstants::em_ea_ev / (k_ev * c.temp_k);
+}
+
+double
+logRateSm(const OperatingConditions &c)
+{
+    const double dt =
+        std::max(std::fabs(MechanismConstants::sm_t0_k - c.temp_k), 0.1);
+    return MechanismConstants::sm_n * std::log(dt) -
+           MechanismConstants::sm_ea_ev / (k_ev * c.temp_k);
+}
+
+double
+logRateTddb(const OperatingConditions &c)
+{
+    const double v = std::max(c.voltage_v, 1e-6);
+    const double t = c.temp_k;
+    const double volt_exp =
+        MechanismConstants::tddb_a - MechanismConstants::tddb_b * t;
+    const double thermal =
+        (MechanismConstants::tddb_x + MechanismConstants::tddb_y / t +
+         MechanismConstants::tddb_z * t) /
+        (k_ev * t);
+    return volt_exp * std::log(v) - thermal;
+}
+
+double
+logRateTc(const OperatingConditions &c)
+{
+    const double dt = std::max(c.temp_k - c.ambient_k, 0.1);
+    return MechanismConstants::tc_q * std::log(dt);
+}
+
+} // namespace
+
+std::string_view
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::EM:
+        return "EM";
+      case Mechanism::SM:
+        return "SM";
+      case Mechanism::TDDB:
+        return "TDDB";
+      case Mechanism::TC:
+        return "TC";
+      case Mechanism::NumMechanisms:
+        break;
+    }
+    util::panic("mechanismName: bad mechanism");
+}
+
+double
+logRelativeRate(Mechanism m, const OperatingConditions &c)
+{
+    if (c.temp_k <= 0.0)
+        util::fatal("mechanism model needs a positive temperature");
+    switch (m) {
+      case Mechanism::EM:
+        return logRateEm(c);
+      case Mechanism::SM:
+        return logRateSm(c);
+      case Mechanism::TDDB:
+        return logRateTddb(c);
+      case Mechanism::TC:
+        return logRateTc(c);
+      case Mechanism::NumMechanisms:
+        break;
+    }
+    util::panic("logRelativeRate: bad mechanism");
+}
+
+double
+mttfRatio(Mechanism m, const OperatingConditions &c,
+          const OperatingConditions &ref)
+{
+    return std::exp(logRelativeRate(m, ref) - logRelativeRate(m, c));
+}
+
+} // namespace core
+} // namespace ramp

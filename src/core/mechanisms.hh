@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Device-level intrinsic failure mechanism models (paper Sections
+ * 3.1-3.4).
+ *
+ * Each mechanism is expressed as a *relative failure rate* r (the
+ * reciprocal of the mechanism's MTTF expression with the technology
+ * proportionality constant dropped). RAMP never needs the absolute
+ * proportionality constants: reliability qualification (Section 3.7)
+ * pins the FIT value at the qualification conditions, so
+ *
+ *   FIT(cond) = FIT_allocated * r(cond) / r(cond_qual).
+ *
+ * Rates are computed in log space: activation-energy terms make the
+ * raw magnitudes span hundreds of orders of magnitude, but the
+ * *ratios* are perfectly tame.
+ *
+ * Models and constants:
+ *  - Electromigration (Black's equation, copper): MTTF ~ J^-1.1
+ *    e^{0.9eV/kT}, with current density J proportional to the
+ *    effective switching activity (0.1 + 0.9*alpha, matching the
+ *    clock-gating floor), voltage, and frequency (Eq. 1-2).
+ *  - Stress migration (sputtered copper): MTTF ~ |T0-T|^-2.5
+ *    e^{0.9eV/kT}, T0 = 500 K (Eq. 3).
+ *  - TDDB (Wu et al.): MTTF ~ (1/V)^{a - bT} e^{(X + Y/T + ZT)/kT}
+ *    with a = 78, b = -0.081 K^-1, X = 0.759 eV, Y = -66.8 eV*K,
+ *    Z = -8.37e-4 eV/K (Eq. 4).
+ *  - Thermal cycling (Coffin-Manson, package): MTTF ~
+ *    (1/(T_avg - T_ambient))^{2.35} (Eq. 5-6).
+ */
+
+#ifndef RAMP_CORE_MECHANISMS_HH
+#define RAMP_CORE_MECHANISMS_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ramp {
+namespace core {
+
+/** The four critical intrinsic failure mechanisms (Section 3). */
+enum class Mechanism : std::size_t {
+    EM,    ///< Electromigration.
+    SM,    ///< Stress migration.
+    TDDB,  ///< Time-dependent dielectric breakdown.
+    TC,    ///< Thermal cycling.
+    NumMechanisms,
+};
+
+/** Number of modelled mechanisms. */
+constexpr std::size_t num_mechanisms =
+    static_cast<std::size_t>(Mechanism::NumMechanisms);
+
+/** Iterate all mechanisms. */
+constexpr std::array<Mechanism, num_mechanisms>
+allMechanisms()
+{
+    return {Mechanism::EM, Mechanism::SM, Mechanism::TDDB,
+            Mechanism::TC};
+}
+
+/** Dense index for per-mechanism arrays. */
+constexpr std::size_t
+mechanismIndex(Mechanism m)
+{
+    return static_cast<std::size_t>(m);
+}
+
+/** Human-readable mechanism name. */
+std::string_view mechanismName(Mechanism m);
+
+/** Model constants, exposed for tests and documentation. */
+struct MechanismConstants
+{
+    // Electromigration (copper, JEDEC/Black).
+    static constexpr double em_n = 1.1;
+    static constexpr double em_ea_ev = 0.9;
+
+    // Stress migration (sputtered copper).
+    static constexpr double sm_n = 2.5;
+    static constexpr double sm_ea_ev = 0.9;
+    static constexpr double sm_t0_k = 500.0;
+
+    // TDDB (Wu et al. / RAMP fitting parameters).
+    static constexpr double tddb_a = 78.0;
+    static constexpr double tddb_b = -0.081;     // 1/K
+    static constexpr double tddb_x = 0.759;      // eV
+    static constexpr double tddb_y = -66.8;      // eV*K
+    static constexpr double tddb_z = -8.37e-4;   // eV/K
+
+    // Thermal cycling (package solder, Coffin-Manson).
+    static constexpr double tc_q = 2.35;
+};
+
+/**
+ * Operating conditions a mechanism model is evaluated at. For EM, SM,
+ * and TDDB these are instantaneous per-interval values; for TC the
+ * temperature is the whole-run average (Section 3.6).
+ */
+struct OperatingConditions
+{
+    double temp_k = 345.0;       ///< Structure temperature.
+    double voltage_v = 1.0;      ///< Supply voltage.
+    double frequency_ghz = 4.0;  ///< Clock frequency.
+    double activity = 0.5;       ///< Structure activity factor [0,1].
+    double ambient_k = 300.0;    ///< Ambient (for thermal cycling).
+    /** Technology scaling multiplier on the EM current density
+     *  (J ~ V*f/feature relative to the reference node); 1.0 at the
+     *  65 nm reference. Used by the scaling study. */
+    double em_j_scale = 1.0;
+};
+
+/**
+ * Natural log of the relative failure rate of mechanism m at the
+ * given conditions. Differences of this quantity between two
+ * condition sets give the FIT ratio.
+ */
+double logRelativeRate(Mechanism m, const OperatingConditions &c);
+
+/**
+ * Relative MTTF between two condition sets:
+ * MTTF(c) / MTTF(ref) = r(ref) / r(c). Convenience for tests and
+ * examples exploring the raw device models.
+ */
+double mttfRatio(Mechanism m, const OperatingConditions &c,
+                 const OperatingConditions &ref);
+
+} // namespace core
+} // namespace ramp
+
+#endif // RAMP_CORE_MECHANISMS_HH

@@ -1,0 +1,80 @@
+#include "core/qualification.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace core {
+
+using sim::allStructures;
+using sim::StructureId;
+using sim::structureIndex;
+
+Qualification::Qualification(QualificationSpec spec) : spec_(spec)
+{
+    if (spec_.target_fit <= 0.0)
+        util::fatal("qualification target FIT must be positive");
+    if (spec_.t_qual_k <= spec_.ambient_k)
+        util::fatal(util::cat("T_qual (", spec_.t_qual_k,
+                              " K) must exceed ambient (",
+                              spec_.ambient_k, " K)"));
+    if (spec_.v_qual_v <= 0.0 || spec_.f_qual_ghz <= 0.0)
+        util::fatal("qualification voltage/frequency must be positive");
+
+    // Budget split: even across mechanisms, area-proportional across
+    // structures (Section 3.7).
+    const double per_mechanism =
+        spec_.target_fit / static_cast<double>(num_mechanisms);
+    const double total_area = sim::totalCoreArea();
+
+    for (auto s : allStructures()) {
+        const std::size_t si = structureIndex(s);
+        const double share = sim::structureArea(s) / total_area;
+        const OperatingConditions qc = qualConditions(s);
+        for (auto m : allMechanisms()) {
+            const std::size_t mi = mechanismIndex(m);
+            alloc_[si][mi] = per_mechanism * share;
+            log_rate_qual_[si][mi] = logRelativeRate(m, qc);
+        }
+    }
+}
+
+OperatingConditions
+Qualification::qualConditions(StructureId s) const
+{
+    OperatingConditions c;
+    c.temp_k = spec_.t_qual_k;
+    c.voltage_v = spec_.v_qual_v;
+    c.frequency_ghz = spec_.f_qual_ghz;
+    c.activity = spec_.alpha_qual[structureIndex(s)];
+    c.ambient_k = spec_.ambient_k;
+    c.em_j_scale = spec_.em_j_scale_qual;
+    return c;
+}
+
+double
+Qualification::allocation(StructureId s, Mechanism m) const
+{
+    return alloc_[structureIndex(s)][mechanismIndex(m)];
+}
+
+double
+Qualification::fit(StructureId s, Mechanism m,
+                   const OperatingConditions &actual,
+                   double on_fraction) const
+{
+    const std::size_t si = structureIndex(s);
+    const std::size_t mi = mechanismIndex(m);
+    const double log_ratio =
+        logRelativeRate(m, actual) - log_rate_qual_[si][mi];
+    double f = alloc_[si][mi] * std::exp(log_ratio);
+    // Power gating removes current and field from the gated area:
+    // EM and TDDB scale with the powered-on fraction (Section 6.1).
+    if (m == Mechanism::EM || m == Mechanism::TDDB)
+        f *= on_fraction;
+    return f;
+}
+
+} // namespace core
+} // namespace ramp

@@ -1,0 +1,91 @@
+#include "core/report_json.hh"
+
+#include <ostream>
+#include <string>
+
+#include "util/json.hh"
+
+namespace ramp {
+namespace core {
+
+using sim::allStructures;
+using sim::structureIndex;
+
+void
+writeJson(std::ostream &os, const OperatingPoint &op)
+{
+    util::JsonWriter w(os);
+    w.beginObject();
+
+    w.key("config").beginObject();
+    w.kv("describe", op.config.describe());
+    w.kv("frequency_ghz", op.config.frequency_ghz);
+    w.kv("voltage_v", op.config.voltage_v);
+    w.kv("window", std::uint64_t{op.config.window_size});
+    w.kv("int_alu", std::uint64_t{op.config.num_int_alu});
+    w.kv("fpu", std::uint64_t{op.config.num_fpu});
+    w.endObject();
+
+    w.kv("ipc", op.ipc());
+    w.kv("uops_per_second", op.uopsPerSecond());
+    w.kv("power_dynamic_w", op.power.totalDynamic());
+    w.kv("power_leakage_w", op.power.totalLeakage());
+    w.kv("power_total_w", op.totalPower());
+    w.kv("temp_max_k", op.maxTemp());
+    w.kv("temp_avg_k", op.avgTemp());
+    w.kv("temp_sink_k", op.sink_temp_k);
+    w.kv("l1d_miss_ratio", op.l1d_miss_ratio);
+    w.kv("l1i_miss_ratio", op.l1i_miss_ratio);
+    w.kv("l2_miss_ratio", op.l2_miss_ratio);
+    w.kv("mispredict_rate", op.stats.mispredictRate());
+
+    w.key("structures").beginObject();
+    for (auto s : allStructures()) {
+        const auto i = structureIndex(s);
+        w.key(std::string(sim::structureName(s))).beginObject();
+        w.kv("activity", op.activity.activity[i]);
+        w.kv("temp_k", op.temps_k[i]);
+        w.kv("power_w", op.power.dynamic_w[i] + op.power.leakage_w[i]);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeJson(std::ostream &os, const FitReport &report)
+{
+    util::JsonWriter w(os);
+    w.beginObject();
+    w.kv("total_fit", report.totalFit());
+    w.kv("mttf_years", report.mttfYears());
+    w.kv("total_time_s", report.total_time_s);
+
+    w.key("by_mechanism").beginObject();
+    for (auto m : allMechanisms())
+        w.kv(std::string(mechanismName(m)), report.mechanismFit(m));
+    w.endObject();
+
+    w.key("by_structure").beginObject();
+    for (auto s : allStructures()) {
+        const auto i = structureIndex(s);
+        w.key(std::string(sim::structureName(s))).beginObject();
+        w.kv("fit", report.structureFit(s));
+        w.kv("avg_temp_k", report.avg_temp_k[i]);
+        w.key("mechanisms").beginObject();
+        for (auto m : allMechanisms())
+            w.kv(std::string(mechanismName(m)),
+                 report.fit[i][mechanismIndex(m)]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace core
+} // namespace ramp

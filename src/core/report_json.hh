@@ -1,0 +1,28 @@
+/**
+ * @file
+ * JSON serialisation of the library's result types, for plotting
+ * scripts and CI diffing. Each function emits one complete JSON
+ * value to the stream.
+ */
+
+#ifndef RAMP_CORE_REPORT_JSON_HH
+#define RAMP_CORE_REPORT_JSON_HH
+
+#include <iosfwd>
+
+#include "core/engine.hh"
+#include "core/evaluator.hh"
+
+namespace ramp {
+namespace core {
+
+/** Emit an operating point (config, IPC, power, temps, misses). */
+void writeJson(std::ostream &os, const OperatingPoint &op);
+
+/** Emit a FIT report (per structure x mechanism, totals, MTTF). */
+void writeJson(std::ostream &os, const FitReport &report);
+
+} // namespace core
+} // namespace ramp
+
+#endif // RAMP_CORE_REPORT_JSON_HH

@@ -1,0 +1,127 @@
+#include "drm/adaptation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+
+double
+dvsVoltage(double frequency_ghz)
+{
+    // Linear extrapolation of the Pentium-M (Centrino) V-f table,
+    // re-anchored at the paper's 65 nm base point (4 GHz, 1.0 V):
+    // dV/df = 0.1 V/GHz below the base clock. Above the base clock
+    // the part is already at the process nominal supply and
+    // overclocked bins only add a small guard band (0.025 V/GHz):
+    // with the full slope, the TDDB factor (1/V)^{a-bT} ~ V^108 would
+    // make every overclocked point blow the FIT budget, contradicting
+    // the paper's DRM gains at T_qual = 400 K; with no increase at
+    // all, reliability would never bind before the thermal limit and
+    // Figure 4's crossovers would vanish.
+    if (frequency_ghz <= 4.0)
+        return 0.6 + 0.1 * frequency_ghz;
+    return 1.0 + 0.025 * (frequency_ghz - 4.0);
+}
+
+const std::vector<DvsLevel> &
+dvsLevels()
+{
+    static const std::vector<DvsLevel> levels = [] {
+        std::vector<DvsLevel> v;
+        for (double f = 2.5; f <= 5.0 + 1e-9; f += 0.25)
+            v.push_back(DvsLevel{f, dvsVoltage(f)});
+        return v;
+    }();
+    return levels;
+}
+
+const std::vector<sim::MachineConfig> &
+archConfigs()
+{
+    static const std::vector<sim::MachineConfig> configs = [] {
+        const std::uint32_t windows[] = {128, 96, 64, 48, 32, 16};
+        struct FuPool
+        {
+            std::uint32_t alus;
+            std::uint32_t fpus;
+        };
+        const FuPool pools[] = {{6, 4}, {4, 2}, {2, 1}};
+
+        std::vector<sim::MachineConfig> v;
+        for (auto w : windows) {
+            for (auto pool : pools) {
+                sim::MachineConfig cfg = sim::baseMachine();
+                cfg.window_size = w;
+                cfg.num_int_alu = pool.alus;
+                cfg.num_fpu = pool.fpus;
+                // The memory queue shrinks with the window so the
+                // smallest machines are proportionally narrow.
+                cfg.mem_queue = std::max<std::uint32_t>(8, w / 4);
+                cfg.validate();
+                v.push_back(cfg);
+            }
+        }
+        if (v.size() != 18)
+            util::panic("arch adaptation space must have 18 configs");
+        return v;
+    }();
+    return configs;
+}
+
+const char *
+adaptationSpaceName(AdaptationSpace s)
+{
+    switch (s) {
+      case AdaptationSpace::Arch:
+        return "Arch";
+      case AdaptationSpace::Dvs:
+        return "DVS";
+      case AdaptationSpace::ArchDvs:
+        return "ArchDVS";
+      case AdaptationSpace::FetchThrottle:
+        return "FetchThrottle";
+    }
+    util::panic("adaptationSpaceName: bad space");
+}
+
+std::vector<sim::MachineConfig>
+configSpace(AdaptationSpace space)
+{
+    std::vector<sim::MachineConfig> out;
+    switch (space) {
+      case AdaptationSpace::Arch:
+        out = archConfigs();
+        break;
+      case AdaptationSpace::Dvs:
+        for (const auto &lvl : dvsLevels()) {
+            sim::MachineConfig cfg = sim::baseMachine();
+            cfg.frequency_ghz = lvl.frequency_ghz;
+            cfg.voltage_v = lvl.voltage_v;
+            out.push_back(cfg);
+        }
+        break;
+      case AdaptationSpace::ArchDvs:
+        for (const auto &arch : archConfigs()) {
+            for (const auto &lvl : dvsLevels()) {
+                sim::MachineConfig cfg = arch;
+                cfg.frequency_ghz = lvl.frequency_ghz;
+                cfg.voltage_v = lvl.voltage_v;
+                out.push_back(cfg);
+            }
+        }
+        break;
+      case AdaptationSpace::FetchThrottle:
+        for (std::uint32_t duty = 8; duty >= 1; --duty) {
+            sim::MachineConfig cfg = sim::baseMachine();
+            cfg.fetch_duty_x8 = duty;
+            out.push_back(cfg);
+        }
+        break;
+    }
+    return out;
+}
+
+} // namespace drm
+} // namespace ramp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The DRM adaptation spaces (paper Sections 5 and 6.1).
+ *
+ * Three response repertoires are evaluated:
+ *  - Arch: 18 microarchitectural configurations (combinations of
+ *    instruction-window size and functional-unit counts) from the
+ *    full 128-entry/6-ALU/4-FPU machine down to 16-entry/2-ALU/1-FPU,
+ *    always at the base voltage and frequency. Issue width tracks the
+ *    active FU count; powered-down units take their selection logic,
+ *    result buses, and ports with them (modelled via powered-on
+ *    fractions).
+ *  - DVS: frequency from 2.5 to 5.0 GHz on the most aggressive
+ *    microarchitecture, with the voltage-frequency relation
+ *    extrapolated from the Pentium-M: V(f) = 0.6 + 0.1 * f(GHz),
+ *    giving 1.0 V at the 4 GHz base point.
+ *  - ArchDVS: the cross product.
+ */
+
+#ifndef RAMP_DRM_ADAPTATION_HH
+#define RAMP_DRM_ADAPTATION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ramp {
+namespace drm {
+
+/** One DVS operating point. */
+struct DvsLevel
+{
+    double frequency_ghz;
+    double voltage_v;
+};
+
+/** Pentium-M-extrapolated supply voltage for a frequency (GHz). */
+double dvsVoltage(double frequency_ghz);
+
+/**
+ * The DVS ladder: 2.5 to 5.0 GHz in 0.25 GHz steps (11 levels),
+ * sorted by ascending frequency. Index 6 is the 4.0 GHz base point.
+ */
+const std::vector<DvsLevel> &dvsLevels();
+
+/**
+ * The 18 microarchitectural configurations: window sizes
+ * {128, 96, 64, 48, 32, 16} crossed with functional-unit pools
+ * {6 ALU + 4 FPU, 4 ALU + 2 FPU, 2 ALU + 1 FPU}, at base V/f.
+ * The first entry is the base (most aggressive) machine.
+ */
+const std::vector<sim::MachineConfig> &archConfigs();
+
+/** Which repertoire a DRM run may draw from. */
+enum class AdaptationSpace {
+    Arch,          ///< Microarchitecture only, base V/f.
+    Dvs,           ///< Voltage/frequency only, base microarch.
+    ArchDvs,       ///< Cross product.
+    FetchThrottle, ///< Front-end duty cycling (classic DTM response).
+};
+
+/** Name for reports. */
+const char *adaptationSpaceName(AdaptationSpace s);
+
+/** All machine configurations in a space (base machine included). */
+std::vector<sim::MachineConfig> configSpace(AdaptationSpace space);
+
+} // namespace drm
+} // namespace ramp
+
+#endif // RAMP_DRM_ADAPTATION_HH

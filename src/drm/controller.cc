@@ -1,0 +1,75 @@
+#include "drm/controller.hh"
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+
+DrmController::DrmController(Params params, std::size_t num_levels,
+                             std::size_t start_level)
+    : params_(params), num_levels_(num_levels), level_(start_level)
+{
+    if (num_levels == 0)
+        util::fatal("DrmController needs at least one level");
+    if (start_level >= num_levels)
+        util::fatal("DrmController start level out of range");
+    if (params_.target_fit <= 0.0)
+        util::fatal("DrmController target FIT must be positive");
+}
+
+std::size_t
+DrmController::observe(double avg_fit_so_far)
+{
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return level_;
+    }
+    const double target = params_.target_fit;
+    if (avg_fit_so_far > target * (1.0 + params_.down_margin) &&
+        level_ > 0) {
+        --level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    } else if (avg_fit_so_far < target * (1.0 - params_.up_margin) &&
+               level_ + 1 < num_levels_) {
+        ++level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    }
+    return level_;
+}
+
+DtmController::DtmController(Params params, std::size_t num_levels,
+                             std::size_t start_level)
+    : params_(params), num_levels_(num_levels), level_(start_level)
+{
+    if (num_levels == 0)
+        util::fatal("DtmController needs at least one level");
+    if (start_level >= num_levels)
+        util::fatal("DtmController start level out of range");
+    if (params_.guard_k < 0.0)
+        util::fatal("DtmController guard band must be non-negative");
+}
+
+std::size_t
+DtmController::observe(double max_temp_k)
+{
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return level_;
+    }
+    if (max_temp_k > params_.t_design_k && level_ > 0) {
+        --level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    } else if (max_temp_k < params_.t_design_k - params_.guard_k &&
+               level_ + 1 < num_levels_) {
+        ++level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    }
+    return level_;
+}
+
+} // namespace drm
+} // namespace ramp

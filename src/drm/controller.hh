@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Closed-loop DRM and DTM controllers (the paper's Section 8 future
+ * work: "specific adaptive control algorithms").
+ *
+ * Reliability is a *budget over time* (Section 4): unlike
+ * temperature, which must be capped instantaneously, FIT can be
+ * banked during cool phases and spent during hot ones. The DRM
+ * controller therefore steers on the *lifetime-average* FIT:
+ *
+ *   error = avg_fit_so_far - target
+ *
+ * stepping the DVS ladder down when the budget is overspent and up
+ * when enough slack has accumulated. Hysteresis (distinct up/down
+ * thresholds) prevents level oscillation on the discrete ladder.
+ *
+ * The DTM controller is the paper's reference point: purely reactive
+ * on the current hottest-block temperature against the thermal
+ * design point, with a guard band.
+ */
+
+#ifndef RAMP_DRM_CONTROLLER_HH
+#define RAMP_DRM_CONTROLLER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ramp {
+namespace drm {
+
+/** DRM feedback controller over a discrete DVS ladder. */
+class DrmController
+{
+  public:
+    struct Params
+    {
+        /** Lifetime FIT target (the qualification target). */
+        double target_fit = 4000.0;
+        /** Fractional overshoot that triggers a step down. */
+        double down_margin = 0.02;
+        /** Fractional slack that allows a step up. */
+        double up_margin = 0.10;
+        /** Minimum intervals between level changes (settling). */
+        std::uint32_t settle_intervals = 3;
+    };
+
+    /**
+     * @param params Control constants.
+     * @param num_levels Size of the DVS ladder (> 0).
+     * @param start_level Initial ladder index (< num_levels).
+     */
+    DrmController(Params params, std::size_t num_levels,
+                  std::size_t start_level);
+
+    /**
+     * Feed one interval's lifetime-average FIT; returns the ladder
+     * level to run the next interval at.
+     */
+    std::size_t observe(double avg_fit_so_far);
+
+    /** Current ladder level. */
+    std::size_t level() const { return level_; }
+
+    /** Number of level changes so far. */
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    Params params_;
+    std::size_t num_levels_;
+    std::size_t level_;
+    std::uint32_t cooldown_ = 0;
+    std::uint64_t transitions_ = 0;
+};
+
+/** Reactive DTM controller: cap the current hottest temperature. */
+class DtmController
+{
+  public:
+    struct Params
+    {
+        /** Thermal design point (K). */
+        double t_design_k = 370.0;
+        /** Guard band below the limit before stepping back up (K). */
+        double guard_k = 3.0;
+        /** Minimum intervals between level changes. */
+        std::uint32_t settle_intervals = 2;
+    };
+
+    DtmController(Params params, std::size_t num_levels,
+                  std::size_t start_level);
+
+    /** Feed the current hottest block temperature (K). */
+    std::size_t observe(double max_temp_k);
+
+    std::size_t level() const { return level_; }
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    Params params_;
+    std::size_t num_levels_;
+    std::size_t level_;
+    std::uint32_t cooldown_ = 0;
+    std::uint64_t transitions_ = 0;
+};
+
+} // namespace drm
+} // namespace ramp
+
+#endif // RAMP_DRM_CONTROLLER_HH

@@ -1,0 +1,119 @@
+#include "drm/eval_cache.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+
+namespace {
+
+constexpr int record_version = 2;
+
+} // namespace
+
+EvaluationCache::EvaluationCache(std::string path)
+    : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    std::size_t loaded = 0;
+    while (std::getline(in, line)) {
+        std::istringstream is(line);
+        int version = 0;
+        std::string key;
+        CachedEvaluation v;
+        is >> version >> key;
+        if (version != record_version || key.empty())
+            continue;
+        is >> v.activity.cycles >> v.activity.retired;
+        for (auto &a : v.activity.activity)
+            is >> a;
+        is >> v.stats.cycles >> v.stats.fetched >> v.stats.retired >>
+            v.stats.dispatched >> v.stats.issued >> v.stats.branches >>
+            v.stats.mispredicts >> v.stats.ras_returns >>
+            v.stats.loads >> v.stats.stores;
+        is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >> v.l2_miss_ratio;
+        if (!is)
+            continue; // corrupt record: skip
+        entries_[key] = v;
+        ++loaded;
+    }
+    if (loaded)
+        util::inform(util::cat("evaluation cache: loaded ", loaded,
+                               " records from ", path_));
+}
+
+std::string
+EvaluationCache::key(const sim::MachineConfig &cfg,
+                     const workload::AppProfile &app,
+                     const core::EvalParams &params)
+{
+    // Everything that affects the *timing* simulation. Voltage is
+    // deliberately absent: it affects power and reliability, which
+    // are recomputed from the cached activity, but never the timing.
+    // With clock-scaled off-chip latencies, frequency is timing-
+    // irrelevant too (all latencies are fixed cycle counts), so all
+    // DVS rungs share one record.
+    std::ostringstream os;
+    os.precision(4);
+    os << app.name << "|w" << cfg.window_size << "a" << cfg.num_int_alu
+       << "f" << cfg.num_fpu << "g" << cfg.num_agen << "q"
+       << cfg.mem_queue << "d" << cfg.fetch_duty_x8 << "|";
+    if (cfg.offchip_scales_with_clock)
+        os << "cycN";
+    else
+        os << cfg.frequency_ghz << "GHz";
+    os << '|' << params.seed << '|' << params.warmup_uops << '|'
+       << params.measure_uops;
+    return os.str();
+}
+
+std::optional<CachedEvaluation>
+EvaluationCache::get(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+EvaluationCache::put(const std::string &key,
+                     const CachedEvaluation &value)
+{
+    entries_[key] = value;
+    if (!path_.empty())
+        appendToFile(key, value);
+}
+
+void
+EvaluationCache::appendToFile(const std::string &key,
+                              const CachedEvaluation &v) const
+{
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+        util::warn(util::cat("evaluation cache: cannot append to ",
+                             path_));
+        return;
+    }
+    out.precision(17);
+    out << record_version << ' ' << key << ' ' << v.activity.cycles
+        << ' ' << v.activity.retired;
+    for (double a : v.activity.activity)
+        out << ' ' << a;
+    out << ' ' << v.stats.cycles << ' ' << v.stats.fetched << ' '
+        << v.stats.retired << ' ' << v.stats.dispatched << ' '
+        << v.stats.issued << ' ' << v.stats.branches << ' '
+        << v.stats.mispredicts << ' ' << v.stats.ras_returns << ' '
+        << v.stats.loads << ' ' << v.stats.stores;
+    out << ' ' << v.l1d_miss_ratio << ' ' << v.l1i_miss_ratio << ' '
+        << v.l2_miss_ratio << '\n';
+}
+
+} // namespace drm
+} // namespace ramp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Persistent cache of timing-simulation results.
+ *
+ * Exploring an adaptation space costs one timing simulation per
+ * (application, configuration) pair; the power/thermal fixed point
+ * and FIT evaluation on top are cheap. The cache stores the expensive
+ * part -- the measured activity sample and core statistics -- keyed
+ * by everything that determines it, so reproduction benches sharing
+ * a space (e.g. Figure 2 and Figure 3 both explore ArchDVS) reuse
+ * each other's simulations across processes.
+ *
+ * The format is a plain text file, one record per line; unknown or
+ * corrupt lines are ignored (the cache is an optimisation, never a
+ * correctness dependency).
+ */
+
+#ifndef RAMP_DRM_EVAL_CACHE_HH
+#define RAMP_DRM_EVAL_CACHE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/evaluator.hh"
+#include "sim/machine.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace drm {
+
+/** The cached (expensive) part of an operating-point evaluation. */
+struct CachedEvaluation
+{
+    sim::ActivitySample activity;
+    sim::CoreStats stats;
+    double l1d_miss_ratio = 0.0;
+    double l1i_miss_ratio = 0.0;
+    double l2_miss_ratio = 0.0;
+};
+
+/** File-backed map from evaluation keys to measured samples. */
+class EvaluationCache
+{
+  public:
+    /** Create an empty cache (no file attached). */
+    EvaluationCache() = default;
+
+    /**
+     * Attach a backing file and load any existing records from it.
+     * Missing files are fine (cold cache).
+     */
+    explicit EvaluationCache(std::string path);
+
+    /** Key for one (application, configuration, params) evaluation. */
+    static std::string key(const sim::MachineConfig &cfg,
+                           const workload::AppProfile &app,
+                           const core::EvalParams &params);
+
+    /** Look up a record; nullopt on miss. */
+    std::optional<CachedEvaluation> get(const std::string &key) const;
+
+    /** Insert (or overwrite) a record and append it to the file. */
+    void put(const std::string &key, const CachedEvaluation &value);
+
+    /** Number of records held. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    void appendToFile(const std::string &key,
+                      const CachedEvaluation &value) const;
+
+    std::string path_;
+    std::map<std::string, CachedEvaluation> entries_;
+};
+
+} // namespace drm
+} // namespace ramp
+
+#endif // RAMP_DRM_EVAL_CACHE_HH

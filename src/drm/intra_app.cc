@@ -1,0 +1,186 @@
+#include "drm/intra_app.hh"
+
+#include <cmath>
+
+#include "power/power.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+
+namespace {
+
+/** A profile restricted to one phase of the parent application. */
+workload::AppProfile
+phaseProfile(const workload::AppProfile &app, std::size_t phase)
+{
+    workload::AppProfile p = app;
+    p.name = app.name + "#p" + std::to_string(phase);
+    p.phases = {app.phases[phase]};
+    return p;
+}
+
+} // namespace
+
+IntraAppExplorer::IntraAppExplorer(core::EvalParams eval_params,
+                                   EvaluationCache *cache)
+    : eval_params_(eval_params), cache_(cache)
+{
+}
+
+IntraAppResult
+IntraAppExplorer::explore(const workload::AppProfile &app,
+                          const core::Qualification &qual) const
+{
+    const auto &ladder = dvsLevels();
+    const std::size_t num_phases = app.phases.size();
+    if (num_phases > 4)
+        util::fatal("intra-app exploration enumerates rung "
+                    "assignments; more than 4 phases is intractable");
+
+    const OracleExplorer explorer(eval_params_, cache_);
+
+    // Per-phase, per-rung evaluation: ipc and FIT of each phase held
+    // at each rung.
+    struct PhaseRung
+    {
+        double ipc;
+        double fit;
+    };
+    std::vector<std::vector<PhaseRung>> table(num_phases);
+    for (std::size_t ph = 0; ph < num_phases; ++ph) {
+        const auto profile = phaseProfile(app, ph);
+        for (const auto &lvl : ladder) {
+            sim::MachineConfig cfg = sim::baseMachine();
+            cfg.frequency_ghz = lvl.frequency_ghz;
+            cfg.voltage_v = lvl.voltage_v;
+            const auto op = explorer.evaluate(cfg, profile);
+            table[ph].push_back(
+                {op.ipc(), operatingPointFit(qual, op)});
+        }
+    }
+
+    // Phase-composed performance and FIT of an assignment; weights
+    // are phase wall-times, which depend on the chosen frequencies.
+    auto evaluate_assignment =
+        [&](const std::vector<std::size_t> &assign, double &fit_out) {
+            double total_time = 0.0;
+            double total_uops = 0.0;
+            double fit_time = 0.0;
+            for (std::size_t ph = 0; ph < num_phases; ++ph) {
+                const auto &pr = table[ph][assign[ph]];
+                const double uops =
+                    static_cast<double>(app.phases[ph].length_uops);
+                const double rate =
+                    pr.ipc * ladder[assign[ph]].frequency_ghz * 1e9;
+                const double t = uops / rate;
+                total_time += t;
+                total_uops += uops;
+                fit_time += pr.fit * t;
+            }
+            fit_out = fit_time / total_time;
+            return total_uops / total_time;
+        };
+
+    // The normalisation point: every phase at the base 4 GHz rung.
+    std::size_t base_rung = 0;
+    for (std::size_t i = 0; i < ladder.size(); ++i)
+        if (ladder[i].frequency_ghz == 4.0)
+            base_rung = i;
+    double base_fit = 0.0;
+    const double base_perf = evaluate_assignment(
+        std::vector<std::size_t>(num_phases, base_rung), base_fit);
+
+    // Enumerate rung assignments.
+    const double target = qual.spec().target_fit;
+    std::vector<std::size_t> assign(num_phases, 0);
+    std::vector<std::size_t> best_assign(num_phases, 0);
+    std::vector<std::size_t> fallback_assign(num_phases, 0);
+    double best_perf = -1.0;
+    double best_fit = 0.0;
+    double fallback_fit = 1e300;
+    bool feasible = false;
+
+    // The per-application baseline: the best *uniform* assignment
+    // (one rung for the whole run -- the paper's Section 5 oracle),
+    // evaluated on the same phase-composed basis.
+    std::size_t uniform_best = 0;
+    double uniform_perf = -1.0;
+    double uniform_fit = 0.0;
+    std::size_t uniform_coolest = 0;
+    double uniform_coolest_fit = 1e300;
+    bool uniform_feasible = false;
+
+    const auto combos = static_cast<std::size_t>(
+        std::pow(static_cast<double>(ladder.size()),
+                 static_cast<double>(num_phases)));
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+        std::size_t rest = combo;
+        bool uniform = true;
+        for (std::size_t ph = 0; ph < num_phases; ++ph) {
+            assign[ph] = rest % ladder.size();
+            rest /= ladder.size();
+            uniform &= assign[ph] == assign[0];
+        }
+
+        double fit = 0.0;
+        const double perf = evaluate_assignment(assign, fit);
+
+        if (fit < fallback_fit) {
+            fallback_fit = fit;
+            fallback_assign = assign;
+        }
+        if (fit <= target && perf > best_perf) {
+            best_perf = perf;
+            best_fit = fit;
+            best_assign = assign;
+            feasible = true;
+        }
+        if (uniform) {
+            if (fit < uniform_coolest_fit) {
+                uniform_coolest_fit = fit;
+                uniform_coolest = assign[0];
+            }
+            if (fit <= target && perf > uniform_perf) {
+                uniform_perf = perf;
+                uniform_fit = fit;
+                uniform_best = assign[0];
+                uniform_feasible = true;
+            }
+        }
+    }
+
+    IntraAppResult out;
+    out.per_app.feasible = uniform_feasible;
+    if (uniform_feasible) {
+        out.per_app.index = uniform_best;
+        out.per_app.perf_rel = uniform_perf / base_perf;
+        out.per_app.fit = uniform_fit;
+    } else {
+        out.per_app.index = uniform_coolest;
+        double f = 0.0;
+        out.per_app.perf_rel =
+            evaluate_assignment(std::vector<std::size_t>(
+                                    num_phases, uniform_coolest),
+                                f) /
+            base_perf;
+        out.per_app.fit = f;
+    }
+
+    out.feasible = feasible;
+    if (feasible) {
+        out.rung_per_phase = best_assign;
+        out.fit = best_fit;
+        out.perf_rel = best_perf / base_perf;
+    } else {
+        out.rung_per_phase = fallback_assign;
+        out.fit = fallback_fit;
+        double f = 0.0;
+        out.perf_rel =
+            evaluate_assignment(fallback_assign, f) / base_perf;
+    }
+    return out;
+}
+
+} // namespace drm
+} // namespace ramp

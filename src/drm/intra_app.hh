@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Intra-application DRM (paper Sections 5 and 8).
+ *
+ * The paper's oracle adapts once per application run and explicitly
+ * notes it "does not exploit intra-application variability". This
+ * module does: for a phased application it picks a DVS rung *per
+ * phase*, maximising time-weighted performance subject to the
+ * time-weighted FIT staying within target. Reliability is a budget
+ * over time (Section 4), so a hot compute phase can be throttled
+ * while the cooler memory phase runs fast -- or vice versa -- as long
+ * as the lifetime average meets the target.
+ *
+ * Phase wall-times depend on the chosen frequencies, so the
+ * feasibility set is coupled; with a handful of phases and eleven
+ * rungs the assignment space is enumerated exactly.
+ */
+
+#ifndef RAMP_DRM_INTRA_APP_HH
+#define RAMP_DRM_INTRA_APP_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+#include "drm/adaptation.hh"
+#include "drm/eval_cache.hh"
+#include "drm/oracle.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace drm {
+
+/** Result of the per-phase oracle. */
+struct IntraAppResult
+{
+    /** Chosen DVS rung index per phase. */
+    std::vector<std::size_t> rung_per_phase;
+
+    /** Time-weighted FIT of the chosen assignment. */
+    double fit = 0.0;
+
+    /** Performance relative to the base machine. */
+    double perf_rel = 0.0;
+
+    /** The Section 5 per-application oracle -- the best *uniform*
+     *  rung -- evaluated on the same phase-composed basis, for
+     *  comparison. Its `index` is the chosen ladder rung. */
+    Selection per_app;
+
+    /** False when no assignment met the target (the least-violating
+     *  assignment is reported). */
+    bool feasible = false;
+
+    /** Intra-app gain over the per-application oracle. */
+    double gainOverPerApp() const
+    {
+        return per_app.perf_rel > 0.0 ? perf_rel / per_app.perf_rel
+                                      : 0.0;
+    }
+};
+
+/** Explores per-phase DVS assignments for phased applications. */
+class IntraAppExplorer
+{
+  public:
+    /**
+     * @param eval_params Simulation controls.
+     * @param cache Optional persistent timing cache (must outlive
+     *        the explorer).
+     */
+    explicit IntraAppExplorer(core::EvalParams eval_params = {},
+                              EvaluationCache *cache = nullptr);
+
+    /**
+     * Solve the per-phase assignment for one application under one
+     * qualification. Works for single-phase applications too (then
+     * it degenerates to the per-application oracle).
+     */
+    IntraAppResult explore(const workload::AppProfile &app,
+                           const core::Qualification &qual) const;
+
+  private:
+    core::EvalParams eval_params_;
+    EvaluationCache *cache_;
+};
+
+} // namespace drm
+} // namespace ramp
+
+#endif // RAMP_DRM_INTRA_APP_HH

@@ -1,0 +1,180 @@
+#include "drm/oracle.hh"
+
+#include <algorithm>
+
+#include "power/power.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+
+double
+operatingPointFit(const core::Qualification &qual,
+                  const core::OperatingPoint &op)
+{
+    const auto report = core::steadyFit(
+        qual, power::poweredFractions(op.config), op.temps_k,
+        op.activity.activity, op.config.voltage_v,
+        op.config.frequency_ghz);
+    return report.totalFit();
+}
+
+sim::PerStructure<double>
+alphaQualFromBaseline(const std::vector<core::OperatingPoint> &base_ops)
+{
+    if (base_ops.empty())
+        util::fatal("alphaQualFromBaseline needs at least one app");
+    // Section 3.7: alpha_qual is "the highest activity factor
+    // obtained across our application suite" -- a single worst-case
+    // number, applied to every structure. (Per-structure maxima
+    // would under-provision the qualification margin the paper's
+    // over-design results rely on.)
+    double alpha = 0.0;
+    for (const auto &op : base_ops)
+        for (double a : op.activity.activity)
+            alpha = std::max(alpha, a);
+    sim::PerStructure<double> out;
+    out.fill(alpha);
+    return out;
+}
+
+OracleExplorer::OracleExplorer(core::EvalParams eval_params,
+                               EvaluationCache *cache)
+    : evaluator_(eval_params), cache_(cache)
+{
+}
+
+core::OperatingPoint
+OracleExplorer::evaluate(const sim::MachineConfig &cfg,
+                         const workload::AppProfile &app) const
+{
+    if (!cache_)
+        return evaluator_.evaluate(cfg, app);
+
+    const std::string key =
+        EvaluationCache::key(cfg, app, evaluator_.params());
+    if (auto hit = cache_->get(key)) {
+        core::OperatingPoint op =
+            evaluator_.convergeThermal(cfg, hit->activity, hit->stats);
+        op.l1d_miss_ratio = hit->l1d_miss_ratio;
+        op.l1i_miss_ratio = hit->l1i_miss_ratio;
+        op.l2_miss_ratio = hit->l2_miss_ratio;
+        return op;
+    }
+
+    core::OperatingPoint op = evaluator_.evaluate(cfg, app);
+    CachedEvaluation rec;
+    rec.activity = op.activity;
+    rec.stats = op.stats;
+    rec.l1d_miss_ratio = op.l1d_miss_ratio;
+    rec.l1i_miss_ratio = op.l1i_miss_ratio;
+    rec.l2_miss_ratio = op.l2_miss_ratio;
+    cache_->put(key, rec);
+    return op;
+}
+
+core::OperatingPoint
+OracleExplorer::evaluateBase(const workload::AppProfile &app) const
+{
+    return evaluate(sim::baseMachine(), app);
+}
+
+ExploredApp
+OracleExplorer::explore(const workload::AppProfile &app,
+                        AdaptationSpace space) const
+{
+    ExploredApp out;
+    out.app_name = app.name;
+    out.base = evaluateBase(app);
+    const double base_perf = out.base.uopsPerSecond();
+
+    for (const auto &cfg : configSpace(space)) {
+        ExploredPoint pt;
+        pt.op = evaluate(cfg, app);
+        pt.perf_rel = pt.op.uopsPerSecond() / base_perf;
+        out.points.push_back(std::move(pt));
+    }
+    return out;
+}
+
+namespace {
+
+Selection
+makeSelection(const ExploredApp &app, const core::Qualification &qual,
+              std::size_t index, bool feasible)
+{
+    Selection sel;
+    sel.index = index;
+    sel.feasible = feasible;
+    sel.perf_rel = app.points[index].perf_rel;
+    sel.fit = operatingPointFit(qual, app.points[index].op);
+    sel.max_temp_k = app.points[index].op.maxTemp();
+    return sel;
+}
+
+} // namespace
+
+Selection
+selectDrm(const ExploredApp &app, const core::Qualification &qual)
+{
+    if (app.points.empty())
+        util::fatal("selectDrm: empty exploration");
+
+    const double target = qual.spec().target_fit;
+    std::size_t best = 0;
+    bool found = false;
+    double best_perf = -1.0;
+    std::size_t coolest = 0;
+    double coolest_fit = 1e300;
+
+    for (std::size_t i = 0; i < app.points.size(); ++i) {
+        const double fit = operatingPointFit(qual, app.points[i].op);
+        if (fit < coolest_fit) {
+            coolest_fit = fit;
+            coolest = i;
+        }
+        if (fit <= target && app.points[i].perf_rel > best_perf) {
+            best_perf = app.points[i].perf_rel;
+            best = i;
+            found = true;
+        }
+    }
+    return makeSelection(app, qual, found ? best : coolest, found);
+}
+
+Selection
+selectDtm(const ExploredApp &app, double t_design_k)
+{
+    if (app.points.empty())
+        util::fatal("selectDtm: empty exploration");
+
+    std::size_t best = 0;
+    bool found = false;
+    double best_perf = -1.0;
+    std::size_t coolest = 0;
+    double coolest_t = 1e300;
+
+    for (std::size_t i = 0; i < app.points.size(); ++i) {
+        const double t = app.points[i].op.maxTemp();
+        if (t < coolest_t) {
+            coolest_t = t;
+            coolest = i;
+        }
+        if (t <= t_design_k && app.points[i].perf_rel > best_perf) {
+            best_perf = app.points[i].perf_rel;
+            best = i;
+            found = true;
+        }
+    }
+
+    Selection sel;
+    sel.index = found ? best : coolest;
+    sel.feasible = found;
+    sel.perf_rel = app.points[sel.index].perf_rel;
+    sel.max_temp_k = app.points[sel.index].op.maxTemp();
+    sel.fit = 0.0; // DTM is reliability-oblivious; caller fills if needed
+    return sel;
+}
+
+} // namespace drm
+} // namespace ramp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Oracle DRM/DTM exploration (paper Section 5).
+ *
+ * The paper evaluates DRM's potential with an oracle that adapts once
+ * per application run: every configuration in the adaptation space is
+ * simulated, and the best-performing one that meets the constraint is
+ * selected. DRM's constraint is the application FIT value against
+ * FIT_target at a given qualification temperature T_qual; DTM's
+ * constraint is the hottest on-chip temperature against the thermal
+ * design point T_design.
+ *
+ * Exploration (expensive timing+thermal simulation) is decoupled from
+ * selection (cheap FIT evaluation), because the same explored space
+ * serves every T_qual / T_design value in a sweep.
+ */
+
+#ifndef RAMP_DRM_ORACLE_HH
+#define RAMP_DRM_ORACLE_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+#include "drm/adaptation.hh"
+#include "drm/eval_cache.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace drm {
+
+/** An explored configuration for one application. */
+struct ExploredPoint
+{
+    core::OperatingPoint op;
+    /** Performance relative to the base machine (1.0 = parity). */
+    double perf_rel = 0.0;
+};
+
+/** The full explored space for one application. */
+struct ExploredApp
+{
+    std::string app_name;
+    core::OperatingPoint base;         ///< Base-machine operating point.
+    std::vector<ExploredPoint> points; ///< One per configuration.
+};
+
+/** Result of a DRM or DTM oracle selection. */
+struct Selection
+{
+    /** Index into ExploredApp::points; the constrained optimum. */
+    std::size_t index = 0;
+    double perf_rel = 0.0;
+    double fit = 0.0;        ///< Application FIT at the chosen point.
+    double max_temp_k = 0.0; ///< Hottest structure at the choice.
+    /** False when no configuration met the constraint; the selection
+     *  then falls back to the least-violating configuration. */
+    bool feasible = false;
+};
+
+/** Application FIT of one operating point under a qualification. */
+double operatingPointFit(const core::Qualification &qual,
+                         const core::OperatingPoint &op);
+
+/**
+ * The per-structure maximum activity across a set of base operating
+ * points: the paper's alpha_qual (Section 3.7).
+ */
+sim::PerStructure<double>
+alphaQualFromBaseline(const std::vector<core::OperatingPoint> &base_ops);
+
+/** Explores adaptation spaces for applications. */
+class OracleExplorer
+{
+  public:
+    /**
+     * @param eval_params Simulation controls shared by every point.
+     * @param cache Optional persistent cache for the timing runs;
+     *        must outlive the explorer.
+     */
+    explicit OracleExplorer(core::EvalParams eval_params = {},
+                            EvaluationCache *cache = nullptr);
+
+    /** Evaluate one (configuration, application) point, via the
+     *  cache when one is attached. */
+    core::OperatingPoint evaluate(const sim::MachineConfig &cfg,
+                                  const workload::AppProfile &app) const;
+
+    /** Evaluate the base machine only. */
+    core::OperatingPoint
+    evaluateBase(const workload::AppProfile &app) const;
+
+    /** Evaluate every configuration in a space for one application. */
+    ExploredApp explore(const workload::AppProfile &app,
+                        AdaptationSpace space) const;
+
+    const core::Evaluator &evaluator() const { return evaluator_; }
+
+  private:
+    core::Evaluator evaluator_;
+    EvaluationCache *cache_;
+};
+
+/**
+ * DRM oracle: best perf_rel subject to FIT <= qual target. Falls back
+ * to the lowest-FIT point when nothing is feasible.
+ */
+Selection selectDrm(const ExploredApp &app,
+                    const core::Qualification &qual);
+
+/**
+ * DTM oracle: best perf_rel subject to maxTemp <= t_design. Falls
+ * back to the coolest point when nothing is feasible.
+ */
+Selection selectDtm(const ExploredApp &app, double t_design_k);
+
+} // namespace drm
+} // namespace ramp
+
+#endif // RAMP_DRM_ORACLE_HH

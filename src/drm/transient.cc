@@ -1,0 +1,136 @@
+#include "drm/transient.hh"
+
+#include <algorithm>
+
+#include "sim/core.hh"
+#include "util/logging.hh"
+#include "workload/trace_gen.hh"
+
+namespace ramp {
+namespace drm {
+
+std::uint32_t
+TransientResult::thermalViolations(double t_design_k) const
+{
+    std::uint32_t n = 0;
+    for (const auto &s : trace)
+        n += s.max_temp_k > t_design_k;
+    return n;
+}
+
+TransientRunner::TransientRunner(TransientParams params)
+    : params_(params)
+{
+    if (params_.interval_uops == 0 || params_.num_intervals == 0)
+        util::fatal("transient run needs nonzero intervals");
+    if (params_.represented_time_s <= 0.0)
+        util::fatal("represented_time_s must be positive");
+}
+
+TransientResult
+TransientRunner::run(const workload::AppProfile &app,
+                     const core::Qualification &qual,
+                     Policy policy) const
+{
+    const auto &ladder = dvsLevels();
+    // Index of the base (4 GHz) rung.
+    std::size_t base_level = 0;
+    for (std::size_t i = 0; i < ladder.size(); ++i)
+        if (ladder[i].frequency_ghz == 4.0)
+            base_level = i;
+
+    workload::TraceGenerator gen(app, params_.seed);
+    sim::MachineConfig cfg = sim::baseMachine();
+    sim::Core core(cfg, gen);
+    core.runUops(params_.warmup_uops);
+    core.takeInterval();
+    core.resetStats();
+
+    thermal::ThermalModel thermal_model(params_.thermal);
+    core::RampEngine engine(qual,
+                            power::poweredFractions(cfg));
+    DrmController drm_ctl(params_.drm, ladder.size(), base_level);
+    DtmController dtm_ctl(params_.dtm, ladder.size(), base_level);
+
+    TransientResult result;
+    result.trace.reserve(params_.num_intervals);
+
+    std::size_t level = base_level;
+    bool thermal_initialised = false;
+    double perf_sum = 0.0;
+
+    for (std::uint32_t i = 0; i < params_.num_intervals; ++i) {
+        const DvsLevel &lvl = ladder[level];
+        cfg.frequency_ghz = lvl.frequency_ghz;
+        cfg.voltage_v = lvl.voltage_v;
+        core.setOperatingPoint(lvl.frequency_ghz, lvl.voltage_v);
+
+        core.runUops(params_.interval_uops);
+        const auto sample = core.takeInterval();
+
+        const power::PowerModel pmodel(cfg, params_.power);
+        const auto dyn = pmodel.dynamicPower(sample);
+
+        // Leakage from the current thermal state (feedback), then
+        // advance the RC network holding this interval's power.
+        if (!thermal_initialised) {
+            sim::PerStructure<double> warm_leak =
+                pmodel.leakagePower(thermal_model.blockTemps());
+            sim::PerStructure<double> total{};
+            for (std::size_t s = 0; s < sim::num_structures; ++s)
+                total[s] = dyn[s] + warm_leak[s];
+            thermal_model.initialiseSteady(total);
+            thermal_initialised = true;
+        }
+        const auto leak =
+            pmodel.leakagePower(thermal_model.blockTemps());
+        sim::PerStructure<double> total{};
+        for (std::size_t s = 0; s < sim::num_structures; ++s)
+            total[s] = dyn[s] + leak[s];
+        thermal_model.step(total, params_.represented_time_s);
+        const auto temps = thermal_model.blockTemps();
+
+        engine.addInterval(temps, sample.activity, cfg.voltage_v,
+                           cfg.frequency_ghz,
+                           params_.represented_time_s);
+
+        TransientSample out;
+        out.level = level;
+        out.frequency_ghz = cfg.frequency_ghz;
+        out.voltage_v = cfg.voltage_v;
+        out.ipc = sample.ipc();
+        out.max_temp_k =
+            *std::max_element(temps.begin(), temps.end());
+        double power_total = 0.0;
+        for (std::size_t s = 0; s < sim::num_structures; ++s)
+            power_total += total[s];
+        out.total_power_w = power_total;
+        out.avg_fit = engine.report().totalFit();
+        result.trace.push_back(out);
+
+        result.max_temp_seen_k =
+            std::max(result.max_temp_seen_k, out.max_temp_k);
+        perf_sum += sample.ipc() * cfg.frequency_ghz * 1e9;
+
+        switch (policy) {
+          case Policy::None:
+            break;
+          case Policy::Drm:
+            level = drm_ctl.observe(out.avg_fit);
+            break;
+          case Policy::Dtm:
+            level = dtm_ctl.observe(out.max_temp_k);
+            break;
+        }
+    }
+
+    result.final_avg_fit = engine.report().totalFit();
+    result.level_transitions = policy == Policy::Drm
+                                   ? drm_ctl.transitions()
+                                   : dtm_ctl.transitions();
+    result.avg_uops_per_second = perf_sum / params_.num_intervals;
+    return result;
+}
+
+} // namespace drm
+} // namespace ramp

@@ -1,0 +1,115 @@
+#include "power/power.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace power {
+
+using sim::num_structures;
+using sim::PerStructure;
+using sim::StructureId;
+using sim::structureIndex;
+
+PerStructure<double>
+poweredFractions(const sim::MachineConfig &cfg)
+{
+    const sim::MachineConfig base = sim::baseMachine();
+    PerStructure<double> frac;
+    frac.fill(1.0);
+    auto set = [&](StructureId id, double v) {
+        frac[structureIndex(id)] = v > 1.0 ? 1.0 : v;
+    };
+    set(StructureId::IntAlu, static_cast<double>(cfg.num_int_alu) /
+                                 base.num_int_alu);
+    set(StructureId::Fpu,
+        static_cast<double>(cfg.num_fpu) / base.num_fpu);
+    set(StructureId::IWin, static_cast<double>(cfg.window_size) /
+                               base.window_size);
+    set(StructureId::Lsq,
+        static_cast<double>(cfg.mem_queue) / base.mem_queue);
+    return frac;
+}
+
+double
+PowerBreakdown::totalDynamic() const
+{
+    double t = 0.0;
+    for (double v : dynamic_w)
+        t += v;
+    return t;
+}
+
+double
+PowerBreakdown::totalLeakage() const
+{
+    double t = 0.0;
+    for (double v : leakage_w)
+        t += v;
+    return t;
+}
+
+PowerModel::PowerModel(const sim::MachineConfig &cfg, PowerParams params)
+    : cfg_(cfg), params_(params), on_frac_(poweredFractions(cfg))
+{
+    cfg_.validate();
+    for (double p : params_.max_dynamic_w)
+        if (p < 0.0)
+            util::fatal("max dynamic power must be non-negative");
+    if (params_.gating_floor < 0.0 || params_.gating_floor > 1.0)
+        util::fatal("gating floor must be in [0,1]");
+    if (params_.base_frequency_ghz <= 0.0 ||
+        params_.base_voltage_v <= 0.0)
+        util::fatal("base operating point must be positive");
+    if (params_.area_scale <= 0.0)
+        util::fatal("power area scale must be positive");
+}
+
+PerStructure<double>
+PowerModel::dynamicPower(const sim::ActivitySample &activity) const
+{
+    const double vscale = cfg_.voltage_v / params_.base_voltage_v;
+    const double fscale = cfg_.frequency_ghz / params_.base_frequency_ghz;
+    const double scale = vscale * vscale * fscale;
+    const double floor = params_.gating_floor;
+
+    PerStructure<double> p{};
+    for (std::size_t i = 0; i < num_structures; ++i) {
+        const double alpha = activity.activity[i];
+        p[i] = params_.max_dynamic_w[i] * on_frac_[i] *
+               (floor + (1.0 - floor) * alpha) * scale;
+    }
+    return p;
+}
+
+PerStructure<double>
+PowerModel::leakagePower(const PerStructure<double> &temps_k) const
+{
+    const double vscale = cfg_.voltage_v / params_.base_voltage_v;
+    PerStructure<double> p{};
+    for (std::size_t i = 0; i < num_structures; ++i) {
+        const double area =
+            sim::structureArea(static_cast<StructureId>(i));
+        const double density =
+            params_.leakage_density_383 *
+            std::exp(params_.leakage_beta *
+                     (temps_k[i] - params_.leakage_t_ref));
+        p[i] = density * area * params_.area_scale * on_frac_[i] *
+               vscale;
+    }
+    return p;
+}
+
+PowerBreakdown
+PowerModel::breakdown(const sim::ActivitySample &activity,
+                      const PerStructure<double> &temps_k) const
+{
+    PowerBreakdown b;
+    b.dynamic_w = dynamicPower(activity);
+    b.leakage_w = leakagePower(temps_k);
+    return b;
+}
+
+} // namespace power
+} // namespace ramp

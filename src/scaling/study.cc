@@ -1,0 +1,55 @@
+#include "scaling/study.hh"
+
+#include <algorithm>
+
+#include "power/power.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace scaling {
+
+std::vector<NodeResult>
+runScalingStudy(const workload::AppProfile &app, StudyParams params)
+{
+    const auto &nodes = technologyNodes();
+
+    // Evaluate the workload's operating point at every node.
+    std::vector<NodeResult> results;
+    for (const auto &node : nodes) {
+        core::EvalParams ep = params.eval;
+        ep.power_params = nodePowerParams(node);
+        ep.thermal_params = nodeThermalParams(node);
+        const core::Evaluator evaluator(ep);
+
+        NodeResult r;
+        r.node = node;
+        r.op = evaluator.evaluate(nodeMachine(node), app);
+        results.push_back(std::move(r));
+    }
+
+    // Qualify at the oldest node's worst case: its hottest observed
+    // block plus a margin, its activity, its EM current density.
+    const NodeResult &oldest = results.front();
+    core::QualificationSpec spec;
+    spec.target_fit = params.target_fit;
+    spec.t_qual_k = oldest.op.maxTemp() + params.t_qual_margin_k;
+    spec.v_qual_v = 1.0;  // nominal-relative (see study.hh)
+    spec.f_qual_ghz = 4.0; // neutral; EM carries em_j_scale instead
+    spec.alpha_qual = oldest.op.activity.activity;
+    spec.em_j_scale_qual = oldest.node.emCurrentScale();
+    const core::Qualification qual(spec);
+
+    // FIT of every node under the oldest node's qualification.
+    for (auto &r : results) {
+        sim::PerStructure<double> on;
+        on.fill(1.0);
+        r.fit = core::steadyFit(qual, on, r.op.temps_k,
+                                r.op.activity.activity,
+                                /*voltage=*/1.0, /*frequency=*/4.0,
+                                r.node.emCurrentScale());
+    }
+    return results;
+}
+
+} // namespace scaling
+} // namespace ramp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The scaling study: one design, one workload, four technology
+ * generations, one qualification.
+ *
+ * Methodology (mirroring the companion DSN 2004 paper): the part is
+ * qualified for 4000 FIT at the *oldest* node's worst-case observed
+ * conditions -- that is the reliability customers historically
+ * expected -- and the same design rules (the solved proportionality
+ * constants) are then carried to each newer node. Per node, the
+ * study evaluates the workload's operating point (timing is
+ * unchanged; power, leakage, die area, and therefore temperatures
+ * move with the node) and reports the FIT/MTTF the old qualification
+ * now yields.
+ *
+ * TDDB note: the Wu model's voltage acceleration is per oxide
+ * generation; each node's nominal field is a design constant, so the
+ * study evaluates TDDB at nominal-relative voltage (1.0) and the
+ * cross-node TDDB degradation enters through temperature only --
+ * conservative with respect to the DSN paper, which also charges
+ * oxide thinning itself.
+ */
+
+#ifndef RAMP_SCALING_STUDY_HH
+#define RAMP_SCALING_STUDY_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/evaluator.hh"
+#include "scaling/technology.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace scaling {
+
+/** Everything measured for one node. */
+struct NodeResult
+{
+    TechNode node;
+    core::OperatingPoint op;   ///< Workload at the node's V/f/tech.
+    core::FitReport fit;       ///< Under the 180 nm qualification.
+
+    double mttfYears() const { return fit.mttfYears(); }
+};
+
+/** Controls for the study. */
+struct StudyParams
+{
+    core::EvalParams eval{};
+    /** FIT target the oldest node is qualified to. */
+    double target_fit = 4000.0;
+    /** Margin added to the oldest node's hottest observed block to
+     *  form T_qual (worst-case qualification practice). */
+    double t_qual_margin_k = 5.0;
+};
+
+/**
+ * Run the study for one application across all technology nodes.
+ * Results are ordered oldest (180 nm) to newest (65 nm).
+ */
+std::vector<NodeResult> runScalingStudy(const workload::AppProfile &app,
+                                        StudyParams params = {});
+
+} // namespace scaling
+} // namespace ramp
+
+#endif // RAMP_SCALING_STUDY_HH

@@ -1,0 +1,82 @@
+#include "scaling/technology.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace scaling {
+
+double
+TechNode::emCurrentScale() const
+{
+    // J ~ C V f / (W H). Switched capacitance follows the drawn
+    // feature, but interconnect cross-sections historically shrank
+    // slower (aspect ratios grew to contain resistance), so the wire
+    // dimension is modelled as the square root of the feature scale:
+    // J ~ V f / sqrt(feature).
+    const double ref = 1.0 * 4.0 / std::sqrt(65.0); // 65 nm base
+    return (vdd_v * frequency_ghz / std::sqrt(feature_nm)) / ref;
+}
+
+const std::vector<TechNode> &
+technologyNodes()
+{
+    static const std::vector<TechNode> nodes = {
+        // name, feature, Vdd, f, leakage density @383K
+        {"180nm", 180.0, 1.8, 1.0, 0.02},
+        {"130nm", 130.0, 1.5, 1.8, 0.08},
+        {"90nm", 90.0, 1.2, 2.8, 0.25},
+        {"65nm", 65.0, 1.0, 4.0, 0.50},
+    };
+    return nodes;
+}
+
+const TechNode &
+findNode(const std::string &name)
+{
+    for (const auto &node : technologyNodes())
+        if (node.name == name)
+            return node;
+    util::fatal(util::cat("unknown technology node '", name, "'"));
+}
+
+sim::MachineConfig
+nodeMachine(const TechNode &node)
+{
+    sim::MachineConfig cfg = sim::baseMachine();
+    cfg.frequency_ghz = node.frequency_ghz;
+    cfg.voltage_v = node.vdd_v;
+    return cfg;
+}
+
+power::PowerParams
+nodePowerParams(const TechNode &node)
+{
+    power::PowerParams p;
+    // Switched capacitance per structure scales with the feature
+    // size; the V^2 f factors come from the machine configuration
+    // against the unchanged 65 nm anchors (C V^2 f overall).
+    for (auto &w : p.max_dynamic_w)
+        w *= node.capacitanceScale();
+    p.leakage_density_383 = node.leak_density_383;
+    p.area_scale = node.areaScale();
+    return p;
+}
+
+thermal::ThermalParams
+nodeThermalParams(const TechNode &node)
+{
+    thermal::ThermalParams t;
+    t.area_scale = node.areaScale();
+    // Package spreading and convection resistances follow the
+    // classic spreading-resistance law R ~ 1/sqrt(A): the big dies
+    // of older nodes couple into the package over a larger footprint.
+    const double linear = node.feature_nm / 65.0;
+    t.r_spreader /= linear;
+    t.r_convection /= linear;
+    return t;
+}
+
+} // namespace scaling
+} // namespace ramp

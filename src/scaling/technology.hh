@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Technology generations for the scaling study.
+ *
+ * The paper's Section 1.2 argues that scaling accelerates intrinsic
+ * failures (thinner dielectrics, higher interconnect current density,
+ * higher temperatures, more leakage); the authors quantify it in the
+ * companion DSN 2004 paper ("The Impact of Scaling on Processor
+ * Lifetime Reliability"). This module reproduces that study's shape:
+ * the same microarchitecture is carried through four ITRS-flavoured
+ * nodes (180 -> 130 -> 90 -> 65 nm) and evaluated under a single
+ * qualification solved at the oldest node.
+ *
+ * Node parameters are representative published values: supply voltage
+ * and clock follow the historical scaling trend; leakage density
+ * grows steeply in the deep-submicron nodes; die area shrinks with
+ * the square of the feature size; EM interconnect current density
+ * scales as V*f*C/(W*H) ~ V*f/feature.
+ */
+
+#ifndef RAMP_SCALING_TECHNOLOGY_HH
+#define RAMP_SCALING_TECHNOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "power/power.hh"
+#include "sim/machine.hh"
+#include "thermal/model.hh"
+
+namespace ramp {
+namespace scaling {
+
+/** One technology generation. */
+struct TechNode
+{
+    std::string name;          ///< e.g. "180nm".
+    double feature_nm;         ///< Drawn feature size.
+    double vdd_v;              ///< Nominal supply.
+    double frequency_ghz;      ///< Shipping clock for the design.
+    double leak_density_383;   ///< Leakage density at 383 K, W/mm^2.
+
+    /** Die area relative to the 65 nm reference layout. */
+    double areaScale() const
+    {
+        const double s = feature_nm / 65.0;
+        return s * s;
+    }
+
+    /** Switched capacitance per structure relative to 65 nm. */
+    double capacitanceScale() const { return feature_nm / 65.0; }
+
+    /**
+     * EM interconnect current-density multiplier relative to the
+     * 65 nm reference at its base operating point:
+     * J ~ C*V*f/(W*H) ~ V*f/feature.
+     */
+    double emCurrentScale() const;
+};
+
+/** The four modelled generations, oldest (180 nm) first. */
+const std::vector<TechNode> &technologyNodes();
+
+/** Look up a node by name; fatal if unknown. */
+const TechNode &findNode(const std::string &name);
+
+/** The Table 1 machine operated at this node's V/f. */
+sim::MachineConfig nodeMachine(const TechNode &node);
+
+/**
+ * Power-model constants for the node: switched capacitance scales
+ * the per-structure maxima, leakage density and die area follow the
+ * node, and the V^2 f scaling is re-anchored at the node's own
+ * operating point (so activity-to-power stays calibrated).
+ */
+power::PowerParams nodePowerParams(const TechNode &node);
+
+/** Thermal constants for the node (die area scale). */
+thermal::ThermalParams nodeThermalParams(const TechNode &node);
+
+} // namespace scaling
+} // namespace ramp
+
+#endif // RAMP_SCALING_TECHNOLOGY_HH

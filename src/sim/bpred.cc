@@ -1,0 +1,81 @@
+#include "sim/bpred.hh"
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace sim {
+
+BimodalAgree::BimodalAgree(std::uint32_t entries)
+    : entries_(entries), mask_(entries - 1),
+      counters_(entries, 2) // weakly agree
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        util::fatal("branch predictor entries must be a power of two");
+}
+
+std::uint32_t
+BimodalAgree::index(std::uint64_t pc) const
+{
+    // Branch PCs are word-aligned; drop the low bits before indexing.
+    return static_cast<std::uint32_t>((pc >> 2) & mask_);
+}
+
+bool
+BimodalAgree::predict(std::uint64_t pc)
+{
+    auto it = bias_.find(pc);
+    // Unseen branch: predict the conventional static not-taken.
+    const bool bias = it != bias_.end() ? it->second : false;
+    const bool agree = counters_[index(pc)] >= 2;
+    return agree ? bias : !bias;
+}
+
+void
+BimodalAgree::update(std::uint64_t pc, bool taken)
+{
+    auto it = bias_.find(pc);
+    if (it == bias_.end()) {
+        // First resolution sets the bias bit; the counter keeps its
+        // weakly-agree state, so the next prediction follows the bias.
+        bias_.emplace(pc, taken);
+        return;
+    }
+    const bool agrees = (taken == it->second);
+    auto &ctr = counters_[index(pc)];
+    if (agrees) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+ReturnAddressStack::ReturnAddressStack(std::uint32_t entries)
+    : stack_(entries, 0)
+{
+    if (entries == 0)
+        util::fatal("return-address stack needs at least one entry");
+}
+
+void
+ReturnAddressStack::push(std::uint64_t addr)
+{
+    stack_[top_] = addr;
+    top_ = (top_ + 1) % entries();
+    if (depth_ < entries())
+        ++depth_;
+}
+
+std::uint64_t
+ReturnAddressStack::pop()
+{
+    if (depth_ == 0)
+        return 0;
+    top_ = (top_ + entries() - 1) % entries();
+    --depth_;
+    return stack_[top_];
+}
+
+} // namespace sim
+} // namespace ramp

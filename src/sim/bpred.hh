@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Branch prediction: 2KB bimodal-agree predictor plus a 32-entry
+ * return-address stack (paper Table 1).
+ *
+ * The "agree" scheme stores, per static branch, a bias bit (set the
+ * first time the branch is seen, to its first direction) and predicts
+ * whether the dynamic outcome *agrees* with the bias. Counters
+ * saturate toward agreement, which converts negative interference
+ * between aliased branches into neutral interference.
+ */
+
+#ifndef RAMP_SIM_BPRED_HH
+#define RAMP_SIM_BPRED_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ramp {
+namespace sim {
+
+/** Bimodal-agree conditional branch predictor. */
+class BimodalAgree
+{
+  public:
+    /**
+     * @param entries Number of 2-bit counters; must be a power of two
+     *        (8192 counters = 2KB in the base machine).
+     */
+    explicit BimodalAgree(std::uint32_t entries);
+
+    /** Predict the direction of the branch at pc. */
+    bool predict(std::uint64_t pc);
+
+    /**
+     * Update with the resolved outcome.
+     * @return true iff the earlier prediction for this pc, recomputed
+     *         now, would have been correct (callers usually compare
+     *         their own saved prediction instead).
+     */
+    void update(std::uint64_t pc, bool taken);
+
+    /** Counter table size. */
+    std::uint32_t entries() const { return entries_; }
+
+  private:
+    std::uint32_t index(std::uint64_t pc) const;
+
+    std::uint32_t entries_;
+    std::uint32_t mask_;
+    std::vector<std::uint8_t> counters_;  ///< 2-bit agree counters.
+    /** Per-static-branch bias bit (first-seen direction). Keyed by pc;
+     *  models the compiler-provided static hint of the agree scheme. */
+    std::unordered_map<std::uint64_t, bool> bias_;
+};
+
+/** Fixed-depth return-address stack with wrap-around overwrite. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::uint32_t entries);
+
+    /** Push a return address (on call). */
+    void push(std::uint64_t addr);
+
+    /**
+     * Pop the predicted return address (on return).
+     * Returns 0 when the stack is empty (forced mispredict upstream).
+     */
+    std::uint64_t pop();
+
+    /** Current valid depth. */
+    std::uint32_t depth() const { return depth_; }
+
+    /** Capacity. */
+    std::uint32_t entries() const
+    {
+        return static_cast<std::uint32_t>(stack_.size());
+    }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::uint32_t top_ = 0;    ///< Next push slot.
+    std::uint32_t depth_ = 0;  ///< Valid entries (<= capacity).
+};
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_BPRED_HH

@@ -1,0 +1,115 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace sim {
+
+namespace {
+
+std::uint32_t
+computeSets(std::uint32_t size_kb, std::uint32_t assoc,
+            std::uint32_t line_bytes)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        util::fatal("cache line size must be a power of two");
+    if (assoc == 0)
+        util::fatal("cache associativity must be at least 1");
+    const std::uint32_t sets = size_kb * 1024 / (assoc * line_bytes);
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        util::fatal(util::cat("cache set count must be a power of two, "
+                              "got ", sets));
+    return sets;
+}
+
+} // namespace
+
+Cache::Cache(std::uint32_t size_kb, std::uint32_t assoc,
+             std::uint32_t line_bytes)
+    : sets_(computeSets(size_kb, assoc, line_bytes)), assoc_(assoc),
+      line_bytes_(line_bytes),
+      line_shift_(static_cast<std::uint32_t>(std::countr_zero(line_bytes))),
+      lines_(static_cast<std::size_t>(sets_) * assoc_)
+{
+}
+
+std::uint32_t
+Cache::set_index(std::uint64_t addr) const
+{
+    return static_cast<std::uint32_t>((addr >> line_shift_) & (sets_ - 1));
+}
+
+std::uint64_t
+Cache::tag_of(std::uint64_t addr) const
+{
+    return addr >> line_shift_;
+}
+
+CacheOutcome
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    ++accesses_;
+    ++tick_;
+    const std::uint64_t tag = tag_of(addr);
+    Line *set = &lines_[static_cast<std::size_t>(set_index(addr)) * assoc_];
+
+    Line *victim = &set[0];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty = line.dirty || is_write;
+            return CacheOutcome::Hit;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty)
+        ++writebacks_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = tick_;
+    return CacheOutcome::Miss;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t tag = tag_of(addr);
+    const Line *set =
+        &lines_[static_cast<std::size_t>(set_index(addr)) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    tick_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+double
+Cache::missRatio() const
+{
+    return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+}
+
+} // namespace sim
+} // namespace ramp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative cache with true LRU replacement and write-allocate,
+ * writeback semantics. Used for L1I, L1D, and the unified L2.
+ *
+ * The cache tracks *contents* exactly (tags per set, LRU order) so
+ * that hit/miss behaviour responds to the workload's real address
+ * stream; timing (ports, MSHRs, bank occupancy) is modelled by the
+ * MemorySystem that owns the caches.
+ */
+
+#ifndef RAMP_SIM_CACHE_HH
+#define RAMP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ramp {
+namespace sim {
+
+/** Outcome of a cache lookup. */
+enum class CacheOutcome : std::uint8_t {
+    Hit,
+    Miss,
+};
+
+/** Tag-exact set-associative LRU cache model. */
+class Cache
+{
+  public:
+    /**
+     * @param size_kb Capacity in KB.
+     * @param assoc Associativity (ways).
+     * @param line_bytes Line size; power of two.
+     */
+    Cache(std::uint32_t size_kb, std::uint32_t assoc,
+          std::uint32_t line_bytes);
+
+    /**
+     * Access the line containing addr; allocates on miss (LRU victim).
+     * @param is_write Marks the line dirty on hit/fill.
+     * @return Hit or Miss.
+     */
+    CacheOutcome access(std::uint64_t addr, bool is_write);
+
+    /**
+     * Probe without updating state (for tests and occupancy checks).
+     */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything (used between experiment runs). */
+    void reset();
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t lineBytes() const { return line_bytes_; }
+
+    /** Accesses since construction/reset. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Misses since construction/reset. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Dirty lines written back on eviction since reset. */
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Miss ratio; 0 when no accesses. */
+    double missRatio() const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;  ///< Higher = more recently used.
+    };
+
+    std::uint32_t set_index(std::uint64_t addr) const;
+    std::uint64_t tag_of(std::uint64_t addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t line_bytes_;
+    std::uint32_t line_shift_;
+    std::vector<Line> lines_;  ///< sets_ * assoc_, set-major.
+    std::uint64_t tick_ = 0;   ///< LRU clock.
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_CACHE_HH

@@ -1,0 +1,418 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace sim {
+
+Core::Core(const MachineConfig &cfg, UopSource &source)
+    : cfg_(cfg), source_(source), mem_(cfg), bpred_(cfg.bpred_entries),
+      ras_(cfg.ras_entries), window_(cfg.window_size),
+      int_fu_busy_(cfg.num_int_alu, 0), fp_fu_busy_(cfg.num_fpu, 0),
+      agen_busy_(cfg.num_agen, 0)
+{
+    cfg_.validate();
+    fetch_buffer_.reserve(cfg_.fetch_buffer);
+    // The rename pool: physical registers beyond the 64+64 architected
+    // state. The window can never hold more writers than this.
+    free_int_regs_ = cfg_.int_regs > 64 ? cfg_.int_regs - 64 : 1;
+    free_fp_regs_ = cfg_.fp_regs > 64 ? cfg_.fp_regs - 64 : 1;
+}
+
+const Core::WinEntry *
+Core::findEntry(std::uint64_t seq) const
+{
+    if (seq < head_seq_ || seq >= tail_seq_)
+        return nullptr;
+    return &slot(seq);
+}
+
+void
+Core::run(std::uint64_t cycles)
+{
+    for (std::uint64_t i = 0; i < cycles; ++i)
+        stepCycle();
+}
+
+void
+Core::runUops(std::uint64_t uops)
+{
+    const std::uint64_t target = stats_.retired + uops;
+    const std::uint64_t cycle_bound = cycle_ + uops * 1000 + 10000;
+    while (stats_.retired < target) {
+        if (cycle_ >= cycle_bound) {
+            util::warn(util::cat("runUops safety bound hit at cycle ",
+                                 cycle_, "; machine may be deadlocked"));
+            return;
+        }
+        stepCycle();
+    }
+}
+
+void
+Core::stepCycle()
+{
+    complete();
+    retire();
+    issue();
+    dispatch();
+    fetch();
+
+    ++interval_.cycles;
+    ++stats_.cycles;
+    ++cycle_;
+}
+
+void
+Core::complete()
+{
+    while (!completions_.empty() &&
+           completions_.top().first <= cycle_) {
+        const std::uint64_t s = completions_.top().second;
+        completions_.pop();
+        WinEntry &e = slot(s);
+        e.state = State::Done;
+
+        // Wake consumers whose last outstanding producer this was.
+        for (std::uint64_t c : e.consumers) {
+            WinEntry &ce = slot(c);
+            if (--ce.remaining == 0 && ce.state == State::Waiting)
+                ready_.insert(c);
+        }
+        e.consumers.clear();
+
+        if (isCtrlClass(e.uop.cls)) {
+            ++stats_.branches;
+            if (e.uop.cls == UopClass::Branch)
+                bpred_.update(e.uop.pc, e.uop.taken);
+            if (s == redirect_seq_) {
+                ++stats_.mispredicts;
+                redirect_seq_ = 0;
+                fetch_resume_cycle_ = std::max(
+                    fetch_resume_cycle_,
+                    e.done_cycle + cfg_.mispredict_penalty);
+            }
+        }
+    }
+}
+
+void
+Core::retire()
+{
+    std::uint32_t n = 0;
+    while (n < cfg_.retire_width && head_seq_ < tail_seq_) {
+        WinEntry &e = slot(head_seq_);
+        if (e.state != State::Done)
+            break;
+        if (e.in_lsq) {
+            --lsq_used_;
+            if (e.uop.cls == UopClass::Load)
+                ++stats_.loads;
+            else
+                ++stats_.stores;
+        }
+        if (e.uop.writes_int)
+            ++free_int_regs_;
+        if (e.uop.writes_fp)
+            ++free_fp_regs_;
+        ++head_seq_;
+        ++n;
+        ++stats_.retired;
+        ++interval_.retired;
+    }
+}
+
+void
+Core::issue()
+{
+    std::uint32_t issued = 0;
+    std::uint32_t dports_used = 0;
+    const std::uint32_t width = cfg_.issueWidth();
+
+    auto find_free = [&](std::vector<std::uint64_t> &pool)
+        -> std::uint64_t * {
+        for (auto &busy : pool)
+            if (busy <= cycle_)
+                return &busy;
+        return nullptr;
+    };
+
+    for (auto it = ready_.begin();
+         it != ready_.end() && issued < width;) {
+        const std::uint64_t s = *it;
+        WinEntry &e = slot(s);
+
+        const UopClass cls = e.uop.cls;
+        if (isMemClass(cls)) {
+            if (dports_used >= cfg_.l1d_ports ||
+                !mem_.mshrAvailable(cycle_)) {
+                ++it;
+                continue;
+            }
+            auto *agen = find_free(agen_busy_);
+            if (!agen) {
+                ++it;
+                continue;
+            }
+            *agen = cycle_ + 1;
+            ++dports_used;
+            ++interval_.l1d_acc;
+            const auto res = mem_.dataAccess(
+                e.uop.addr, cls == UopClass::Store, cycle_ + 1);
+            e.done_cycle = res.done_cycle;
+        } else if (isFpClass(cls)) {
+            auto *fu = find_free(fp_fu_busy_);
+            if (!fu) {
+                ++it;
+                continue;
+            }
+            if (cls == UopClass::FpDiv) {
+                // Not pipelined: the unit is held for the full op.
+                *fu = cycle_ + cfg_.lat_fp_div;
+                e.done_cycle = cycle_ + cfg_.lat_fp_div;
+                interval_.fp_fu_busy += cfg_.lat_fp_div;
+            } else {
+                *fu = cycle_ + 1;
+                e.done_cycle = cycle_ + cfg_.lat_fp;
+                interval_.fp_fu_busy += 1;
+            }
+        } else {
+            // Integer and control ops share the integer units.
+            auto *fu = find_free(int_fu_busy_);
+            if (!fu) {
+                ++it;
+                continue;
+            }
+            std::uint32_t lat = cfg_.lat_int_add;
+            bool pipelined = true;
+            if (cls == UopClass::IntMul) {
+                lat = cfg_.lat_int_mul;
+            } else if (cls == UopClass::IntDiv) {
+                lat = cfg_.lat_int_div;
+                pipelined = false;
+            }
+            *fu = pipelined ? cycle_ + 1 : cycle_ + lat;
+            e.done_cycle = cycle_ + lat;
+            interval_.int_fu_busy += pipelined ? 1 : lat;
+        }
+
+        e.state = State::Issued;
+        completions_.emplace(e.done_cycle, s);
+        it = ready_.erase(it);
+        ++issued;
+        ++stats_.issued;
+        ++interval_.iwin_ops;
+    }
+}
+
+void
+Core::dispatch()
+{
+    std::uint32_t n = 0;
+    std::size_t consumed = 0;
+    while (n < cfg_.fetch_width && consumed < fetch_buffer_.size()) {
+        if (tail_seq_ - head_seq_ >= cfg_.window_size)
+            break; // window full
+        const FetchedUop &f = fetch_buffer_[consumed];
+        const Uop &u = f.uop;
+
+        if (isMemClass(u.cls) && lsq_used_ >= cfg_.mem_queue)
+            break;
+        if (u.writes_int && free_int_regs_ == 0)
+            break;
+        if (u.writes_fp && free_fp_regs_ == 0)
+            break;
+
+        if (f.seq != tail_seq_)
+            util::panic("dispatch out of sequence");
+
+        WinEntry &e = slot(tail_seq_);
+        e.uop = u;
+        e.seq = tail_seq_;
+        e.state = State::Waiting;
+        e.done_cycle = 0;
+        e.in_lsq = false;
+        e.remaining = 0;
+        e.consumers.clear();
+
+        std::uint32_t reads = 0;
+        for (int i = 0; i < 2; ++i) {
+            const std::uint16_t d = u.src_dist[i];
+            if (d == 0 || d > f.seq)
+                continue; // no register operand
+            ++reads;
+            const std::uint64_t p = f.seq - d;
+            if (p < head_seq_)
+                continue; // producer already retired
+            WinEntry &pe = slot(p);
+            if (pe.state != State::Done) {
+                pe.consumers.push_back(f.seq);
+                ++e.remaining;
+            }
+        }
+        if (e.remaining == 0)
+            ready_.insert(f.seq);
+
+        if (isMemClass(u.cls)) {
+            e.in_lsq = true;
+            ++lsq_used_;
+        }
+        if (u.writes_int)
+            --free_int_regs_;
+        if (u.writes_fp)
+            --free_fp_regs_;
+
+        // Register-file activity: AGEN and integer/control ops read
+        // the integer file; FP ops read the FP file.
+        if (isFpClass(u.cls)) {
+            interval_.fp_reg_ops += reads + (u.writes_fp ? 1 : 0);
+            interval_.int_reg_ops += u.writes_int ? 1 : 0;
+        } else {
+            interval_.int_reg_ops += reads + (u.writes_int ? 1 : 0);
+            interval_.fp_reg_ops += u.writes_fp ? 1 : 0;
+        }
+
+        ++tail_seq_;
+        ++consumed;
+        ++n;
+        ++stats_.dispatched;
+        ++interval_.iwin_ops;
+    }
+    if (consumed)
+        fetch_buffer_.erase(fetch_buffer_.begin(),
+                            fetch_buffer_.begin() +
+                                static_cast<std::ptrdiff_t>(consumed));
+}
+
+void
+Core::fetch()
+{
+    if (redirect_seq_ != 0 || cycle_ < fetch_resume_cycle_)
+        return;
+    // DTM fetch toggling: the front end runs fetch_duty_x8 of every
+    // eight cycles.
+    if ((cycle_ & 7) >= cfg_.fetch_duty_x8)
+        return;
+
+    for (std::uint32_t n = 0; n < cfg_.fetch_width; ++n) {
+        if (fetch_buffer_.size() >= cfg_.fetch_buffer)
+            return;
+
+        Uop u;
+        if (have_pending_) {
+            u = pending_;
+            have_pending_ = false;
+        } else {
+            u = source_.next();
+        }
+
+        // Instruction-cache access, once per new fetch block.
+        const std::uint64_t block = u.pc / cfg_.line_bytes;
+        if (block != last_fetch_block_) {
+            ++interval_.l1i_acc;
+            last_fetch_block_ = block;
+            const auto res = mem_.fetchAccess(u.pc, cycle_);
+            if (res.done_cycle > cycle_) {
+                // I-miss: hold the uop and stall until the fill.
+                pending_ = u;
+                have_pending_ = true;
+                fetch_resume_cycle_ = res.done_cycle;
+                return;
+            }
+        }
+
+        const std::uint64_t seq = next_seq_++;
+        bool mispredicted = false;
+        if (isCtrlClass(u.cls)) {
+            ++interval_.bpred_acc;
+            if (u.cls == UopClass::Branch) {
+                mispredicted = bpred_.predict(u.pc) != u.taken;
+            } else if (u.cls == UopClass::Call) {
+                ras_.push(u.addr);
+            } else { // Return
+                ++stats_.ras_returns;
+                mispredicted = ras_.pop() != u.addr;
+            }
+        }
+
+        fetch_buffer_.push_back({u, seq});
+        ++stats_.fetched;
+        ++interval_.fetched;
+
+        if (mispredicted) {
+            // Trace-driven redirect model: stop fetching until the
+            // mispredicted op resolves, then pay the refill penalty.
+            redirect_seq_ = seq;
+            return;
+        }
+    }
+}
+
+ActivitySample
+Core::takeInterval()
+{
+    ActivitySample s;
+    s.cycles = interval_.cycles;
+    s.retired = interval_.retired;
+
+    const auto cyc = static_cast<double>(
+        interval_.cycles ? interval_.cycles : 1);
+    auto ratio = [&](double num, double denom_per_cycle) {
+        const double v = num / (denom_per_cycle * cyc);
+        return std::clamp(v, 0.0, 1.0);
+    };
+
+    using enum StructureId;
+    auto &a = s.activity;
+    a[structureIndex(IntAlu)] =
+        ratio(static_cast<double>(interval_.int_fu_busy), cfg_.num_int_alu);
+    a[structureIndex(Fpu)] =
+        ratio(static_cast<double>(interval_.fp_fu_busy), cfg_.num_fpu);
+    a[structureIndex(IntReg)] =
+        ratio(static_cast<double>(interval_.int_reg_ops),
+              3.0 * cfg_.fetch_width);
+    a[structureIndex(FpReg)] =
+        ratio(static_cast<double>(interval_.fp_reg_ops),
+              3.0 * cfg_.fetch_width);
+    a[structureIndex(Bpred)] =
+        ratio(static_cast<double>(interval_.bpred_acc), 2.0);
+    a[structureIndex(IWin)] =
+        ratio(static_cast<double>(interval_.iwin_ops),
+              2.0 * cfg_.issueWidth());
+    // LSQ power activity is access-based (insert/issue CAM traffic),
+    // not occupancy-based: a stalled full queue burns little dynamic
+    // power.
+    a[structureIndex(Lsq)] =
+        ratio(static_cast<double>(interval_.l1d_acc), cfg_.num_agen);
+    a[structureIndex(L1D)] =
+        ratio(static_cast<double>(interval_.l1d_acc), cfg_.l1d_ports);
+    a[structureIndex(L1I)] =
+        ratio(static_cast<double>(interval_.l1i_acc), 1.0);
+    a[structureIndex(FrontEnd)] =
+        ratio(static_cast<double>(interval_.fetched), cfg_.fetch_width);
+
+    interval_ = IntervalAccum{};
+    return s;
+}
+
+void
+Core::resetStats()
+{
+    stats_ = CoreStats{};
+    interval_ = IntervalAccum{};
+}
+
+void
+Core::setOperatingPoint(double frequency_ghz, double voltage_v)
+{
+    if (frequency_ghz <= 0.0 || voltage_v <= 0.0)
+        util::fatal("operating point must be positive");
+    cfg_.frequency_ghz = frequency_ghz;
+    cfg_.voltage_v = voltage_v;
+    mem_.setFrequency(frequency_ghz);
+}
+
+} // namespace sim
+} // namespace ramp

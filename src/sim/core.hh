@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model (the RSIM stand-in).
+ *
+ * The core is trace-driven by a UopSource but models machine state
+ * faithfully: a live bimodal-agree branch predictor and return-address
+ * stack, tag-exact caches with MSHR/port/bank contention, a unified
+ * instruction window / reorder buffer, physical register limits, a
+ * load-store queue, and per-class functional-unit pools with
+ * pipelined/unpipelined latencies (paper Table 1). Branch mispredicts
+ * are modelled as fetch-redirect bubbles (no wrong-path execution --
+ * the standard trace-driven approximation).
+ *
+ * Per-structure activity factors -- the alpha inputs of the paper's
+ * electromigration model and of the Wattch-style power model -- are
+ * accumulated per interval. Each activity factor is a utilisation in
+ * [0, 1], normalised to the structure's peak bandwidth:
+ *   IntALU, FPU  : busy unit-cycles / (units x cycles)
+ *   IntReg, FpReg: operand reads+writes / (3 x dispatch width x cycles)
+ *   Bpred        : predictor accesses / (2 x cycles)
+ *   IWin         : (dispatched + issued) / (2 x issue width x cycles)
+ *   LSQ          : memory ops issued / (AGEN units x cycles)
+ *   L1D          : accesses / (ports x cycles)
+ *   L1I          : block fetches / cycles
+ *   FrontEnd     : uops fetched / (fetch width x cycles)
+ */
+
+#ifndef RAMP_SIM_CORE_HH
+#define RAMP_SIM_CORE_HH
+
+#include <cstdint>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/bpred.hh"
+#include "sim/machine.hh"
+#include "sim/mem.hh"
+#include "sim/structures.hh"
+#include "sim/uop.hh"
+
+namespace ramp {
+namespace sim {
+
+/** Cumulative whole-run statistics. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+
+    std::uint64_t branches = 0;       ///< Resolved conditional branches.
+    std::uint64_t mispredicts = 0;    ///< Includes RAS mispredicts.
+    std::uint64_t ras_returns = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /** Retired micro-ops per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(retired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Mispredicts per resolved control op. */
+    double mispredictRate() const
+    {
+        return branches ? static_cast<double>(mispredicts) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+};
+
+/**
+ * One measurement interval: cycle count plus the per-structure
+ * activity factors the power and reliability models consume
+ * (paper Section 3.6 -- instantaneous values per interval).
+ */
+struct ActivitySample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    PerStructure<double> activity{};  ///< alpha per structure, [0,1].
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(retired) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param cfg Machine configuration (validated on construction).
+     * @param source Micro-op stream; must outlive the core.
+     */
+    Core(const MachineConfig &cfg, UopSource &source);
+
+    /** Advance the machine by `cycles` clock ticks. */
+    void run(std::uint64_t cycles);
+
+    /**
+     * Advance until `uops` more micro-ops retire (or a safety cycle
+     * bound of 1000 cycles per uop is hit, which trips a warning).
+     */
+    void runUops(std::uint64_t uops);
+
+    /** Whole-run statistics. */
+    const CoreStats &stats() const { return stats_; }
+
+    /**
+     * Close the current measurement interval: return activity factors
+     * accumulated since the previous call and start a new interval.
+     */
+    ActivitySample takeInterval();
+
+    /** Discard all statistics (machine state is kept). */
+    void resetStats();
+
+    /**
+     * Switch the DVS operating point at run time (used by the
+     * closed-loop DRM/DTM controllers). Microarchitectural knobs
+     * cannot change mid-run; only clock and supply can.
+     */
+    void setOperatingPoint(double frequency_ghz, double voltage_v);
+
+    const MachineConfig &config() const { return cfg_; }
+    const MemorySystem &memory() const { return mem_; }
+
+    /** Current cycle (for tests). */
+    std::uint64_t now() const { return cycle_; }
+
+  private:
+    enum class State : std::uint8_t {
+        Waiting,   ///< In the window, operands not ready.
+        Issued,    ///< Executing; done at done_cycle.
+        Done,      ///< Completed, awaiting in-order retire.
+    };
+
+    struct WinEntry
+    {
+        Uop uop;
+        std::uint64_t seq = 0;
+        std::uint64_t done_cycle = 0;
+        State state = State::Waiting;
+        bool in_lsq = false;
+        /** Outstanding (not yet completed) producers. */
+        std::uint8_t remaining = 0;
+        /** Seqs of in-flight consumers to wake on completion. */
+        std::vector<std::uint64_t> consumers;
+    };
+
+    void stepCycle();
+    void retire();
+    void complete();
+    void issue();
+    void dispatch();
+    void fetch();
+
+    const WinEntry *findEntry(std::uint64_t seq) const;
+
+    /** Ring-buffer slot for a window sequence number. */
+    WinEntry &slot(std::uint64_t seq)
+    {
+        return window_[seq % window_.size()];
+    }
+    const WinEntry &slot(std::uint64_t seq) const
+    {
+        return window_[seq % window_.size()];
+    }
+
+    MachineConfig cfg_;
+    UopSource &source_;
+    MemorySystem mem_;
+    BimodalAgree bpred_;
+    ReturnAddressStack ras_;
+
+    std::uint64_t cycle_ = 0;
+    std::uint64_t next_seq_ = 1;   ///< Seq of the next fetched uop.
+
+    // Window ring: [head_seq_, tail_seq_) are live entries.
+    std::vector<WinEntry> window_;
+    std::uint64_t head_seq_ = 1;
+    std::uint64_t tail_seq_ = 1;
+
+    // Fetch -> dispatch buffer (decoupled front end).
+    struct FetchedUop
+    {
+        Uop uop;
+        std::uint64_t seq;
+    };
+    std::vector<FetchedUop> fetch_buffer_;
+
+    // Fetch stall state.
+    std::uint64_t fetch_resume_cycle_ = 0;  ///< I-miss / redirect wait.
+    std::uint64_t redirect_seq_ = 0;  ///< Mispredicted ctrl op we wait on.
+    bool have_pending_ = false;
+    Uop pending_;                     ///< Uop stalled on an I-miss.
+    std::uint64_t last_fetch_block_ = ~std::uint64_t{0};
+
+    // Event-driven scheduling state: completions as a min-heap of
+    // (done_cycle, seq); operand-ready entries as an ordered set so
+    // issue selection stays oldest-first.
+    using Completion = std::pair<std::uint64_t, std::uint64_t>;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+    std::set<std::uint64_t> ready_;
+
+    // Resource state.
+    std::vector<std::uint64_t> int_fu_busy_;   ///< busy-until cycles.
+    std::vector<std::uint64_t> fp_fu_busy_;
+    std::vector<std::uint64_t> agen_busy_;
+    std::uint32_t lsq_used_ = 0;
+    std::uint32_t free_int_regs_ = 0;
+    std::uint32_t free_fp_regs_ = 0;
+
+    CoreStats stats_;
+
+    // Interval accumulators for activity factors.
+    struct IntervalAccum
+    {
+        std::uint64_t cycles = 0;
+        std::uint64_t retired = 0;
+        std::uint64_t int_fu_busy = 0;   ///< unit-cycles.
+        std::uint64_t fp_fu_busy = 0;
+        std::uint64_t int_reg_ops = 0;   ///< reads + writes.
+        std::uint64_t fp_reg_ops = 0;
+        std::uint64_t bpred_acc = 0;
+        std::uint64_t iwin_ops = 0;      ///< dispatched + issued.
+        std::uint64_t l1d_acc = 0;
+        std::uint64_t l1i_acc = 0;
+        std::uint64_t fetched = 0;
+    };
+    IntervalAccum interval_;
+};
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_CORE_HH

@@ -1,0 +1,111 @@
+#include "sim/machine.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace sim {
+
+namespace {
+
+std::uint32_t
+nsToCycles(double ns, double frequency_ghz)
+{
+    const double cycles = ns * frequency_ghz;
+    return cycles < 1.0 ? 1 : static_cast<std::uint32_t>(std::lround(cycles));
+}
+
+} // namespace
+
+namespace {
+
+/** The clock the Table 1 cycle counts are quoted at. */
+constexpr double base_clock_ghz = 4.0;
+
+} // namespace
+
+std::uint32_t
+MachineConfig::l2HitCycles() const
+{
+    return nsToCycles(l2_hit_ns, offchip_scales_with_clock
+                                     ? base_clock_ghz
+                                     : frequency_ghz);
+}
+
+std::uint32_t
+MachineConfig::memLatencyCycles() const
+{
+    return nsToCycles(mem_latency_ns, offchip_scales_with_clock
+                                          ? base_clock_ghz
+                                          : frequency_ghz);
+}
+
+std::uint32_t
+MachineConfig::memOccupancyCycles() const
+{
+    return nsToCycles(mem_occupancy_ns, offchip_scales_with_clock
+                                            ? base_clock_ghz
+                                            : frequency_ghz);
+}
+
+void
+MachineConfig::validate() const
+{
+    if (frequency_ghz <= 0.0)
+        util::fatal(util::cat("frequency must be positive, got ",
+                              frequency_ghz, " GHz"));
+    if (voltage_v <= 0.0)
+        util::fatal(util::cat("voltage must be positive, got ",
+                              voltage_v, " V"));
+    if (fetch_width == 0 || retire_width == 0)
+        util::fatal("fetch and retire width must be at least 1");
+    if (fetch_duty_x8 == 0 || fetch_duty_x8 > 8)
+        util::fatal("fetch duty cycle must be 1..8 eighths");
+    if (window_size == 0)
+        util::fatal("instruction window must have at least 1 entry");
+    if (mem_queue == 0)
+        util::fatal("memory queue must have at least 1 entry");
+    if (num_int_alu == 0)
+        util::fatal("machine needs at least one integer ALU");
+    if (num_fpu == 0)
+        util::fatal("machine needs at least one FPU");
+    if (num_agen == 0)
+        util::fatal("machine needs at least one address-generation unit");
+    if (l1d_mshrs == 0 || l2_mshrs == 0)
+        util::fatal("caches need at least one MSHR");
+    if ((line_bytes & (line_bytes - 1)) != 0 || line_bytes == 0)
+        util::fatal("cache line size must be a power of two");
+    auto pow2_sets = [&](std::uint32_t size_kb, std::uint32_t assoc) {
+        const std::uint32_t sets = size_kb * 1024 / (assoc * line_bytes);
+        return sets != 0 && (sets & (sets - 1)) == 0;
+    };
+    if (!pow2_sets(l1d_size_kb, l1d_assoc) ||
+        !pow2_sets(l1i_size_kb, l1i_assoc) ||
+        !pow2_sets(l2_size_kb, l2_assoc)) {
+        util::fatal("cache set counts must be powers of two");
+    }
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << "w" << window_size << "/" << num_int_alu << "ALU/" << num_fpu
+       << "FPU@";
+    os.precision(2);
+    os << std::fixed << frequency_ghz << "GHz," << voltage_v << "V";
+    if (fetch_duty_x8 < 8)
+        os << ",duty" << fetch_duty_x8 << "/8";
+    return os.str();
+}
+
+MachineConfig
+baseMachine()
+{
+    return MachineConfig{};
+}
+
+} // namespace sim
+} // namespace ramp

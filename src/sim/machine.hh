@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Machine configuration: the paper's Table 1 base processor plus the
+ * adaptation knobs used by DRM (instruction window size, functional
+ * unit counts, voltage, frequency).
+ */
+
+#ifndef RAMP_SIM_MACHINE_HH
+#define RAMP_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ramp {
+namespace sim {
+
+/**
+ * Full machine description. Defaults reproduce Table 1 of the paper:
+ * 65 nm, 1.0 V, 4.0 GHz, 8-wide fetch/retire, 6 INT + 4 FP + 2 AGEN
+ * units, 128-entry instruction window, 192+192 physical registers,
+ * 32-entry memory queue, 2KB bimodal-agree predictor with a 32-entry
+ * RAS, 64KB/2-way L1D (2 ports, 12 MSHRs), 32KB/2-way L1I, 1MB/4-way
+ * L2, and contentionless latencies of 2 / 20 / 102 cycles at 4 GHz.
+ *
+ * Off-chip latencies (L2, memory) are physical times: the cycle counts
+ * above hold at the base 4 GHz clock and are rescaled when DVS changes
+ * the frequency, which is why DVS performance is sub-linear in f.
+ */
+struct MachineConfig
+{
+    // --- Technology / operating point -------------------------------
+    double frequency_ghz = 4.0;  ///< Core clock.
+    double voltage_v = 1.0;      ///< Supply voltage.
+
+    // --- Front end ---------------------------------------------------
+    std::uint32_t fetch_width = 8;    ///< Micro-ops fetched per cycle.
+    std::uint32_t retire_width = 8;   ///< Micro-ops retired per cycle.
+    std::uint32_t fetch_buffer = 16;  ///< Fetch->dispatch buffer depth.
+    /** Pipeline refill penalty after a branch mispredict (cycles). */
+    std::uint32_t mispredict_penalty = 8;
+    /**
+     * Fetch duty cycle in eighths: fetch runs in x of every 8 cycles
+     * (8 = no throttling). The classic DTM fetch-toggling response
+     * (Skadron et al., cited by the paper): throttling the front end
+     * starves the machine, cutting activity and therefore power and
+     * temperature, without touching voltage or frequency.
+     */
+    std::uint32_t fetch_duty_x8 = 8;
+
+    // --- Window / registers / queues ---------------------------------
+    std::uint32_t window_size = 128;  ///< Unified issue queue + ROB.
+    std::uint32_t int_regs = 192;     ///< Physical integer registers.
+    std::uint32_t fp_regs = 192;      ///< Physical FP registers.
+    std::uint32_t mem_queue = 32;     ///< Load-store queue entries.
+
+    // --- Functional units (the DRM "Arch" knobs) ---------------------
+    std::uint32_t num_int_alu = 6;  ///< Integer units.
+    std::uint32_t num_fpu = 4;      ///< FP units.
+    std::uint32_t num_agen = 2;     ///< Address-generation units.
+
+    // --- Operation latencies (cycles, frequency-independent) ---------
+    std::uint32_t lat_int_add = 1;
+    std::uint32_t lat_int_mul = 7;
+    std::uint32_t lat_int_div = 12;  ///< Not pipelined.
+    std::uint32_t lat_fp = 4;
+    std::uint32_t lat_fp_div = 12;   ///< Not pipelined.
+
+    // --- Branch predictor ---------------------------------------------
+    std::uint32_t bpred_entries = 8192;  ///< 2KB of 2-bit counters.
+    std::uint32_t ras_entries = 32;      ///< Return-address stack.
+
+    // --- Memory hierarchy ---------------------------------------------
+    std::uint32_t l1d_size_kb = 64;
+    std::uint32_t l1d_assoc = 2;
+    std::uint32_t l1d_ports = 2;
+    std::uint32_t l1d_mshrs = 12;
+    std::uint32_t l1i_size_kb = 32;
+    std::uint32_t l1i_assoc = 2;
+    std::uint32_t l2_size_kb = 1024;
+    std::uint32_t l2_assoc = 4;
+    std::uint32_t l2_mshrs = 12;
+    std::uint32_t line_bytes = 64;
+
+    /** L1 hit time in cycles (on-chip: scales with the clock). */
+    std::uint32_t l1_hit_cycles = 2;
+    /** L2 hit time in ns (20 cycles at the 4 GHz base clock). */
+    double l2_hit_ns = 5.0;
+    /** Main memory latency in ns (102 cycles at 4 GHz). */
+    double mem_latency_ns = 25.5;
+    /** Memory channel occupancy per line in ns (16B/cycle, 4-way
+     *  interleaved at 4 GHz: a 64B line occupies one bank 1 ns). */
+    double mem_occupancy_ns = 1.0;
+    std::uint32_t mem_banks = 4;
+
+    /**
+     * When true (default), off-chip latencies keep their Table 1
+     * *cycle* counts at any clock -- i.e. the memory system speeds up
+     * and slows down with the core, as in the paper's RSIM setup
+     * (Figure 2's low-IPC apps gain ~19% from frequency alone, which
+     * is only possible if memory scales too). When false, off-chip
+     * latencies are the physical times above and their cycle counts
+     * change with frequency (realistic DVS; ablated in the benches).
+     */
+    bool offchip_scales_with_clock = true;
+
+    /** Issue width: the sum of all active functional units (paper
+     *  Section 6.1 -- issue width adapts with the FU count). */
+    std::uint32_t issueWidth() const
+    {
+        return num_int_alu + num_fpu + num_agen;
+    }
+
+    /** L2 hit latency in cycles at the configured frequency. */
+    std::uint32_t l2HitCycles() const;
+
+    /** Main memory latency in cycles at the configured frequency. */
+    std::uint32_t memLatencyCycles() const;
+
+    /** Memory bank occupancy in cycles at the configured frequency. */
+    std::uint32_t memOccupancyCycles() const;
+
+    /** Validate invariants; calls util::fatal on a bad configuration. */
+    void validate() const;
+
+    /** Short human-readable description, e.g. "w128/6ALU/4FPU@4.0GHz". */
+    std::string describe() const;
+};
+
+/** Base (Table 1) machine. */
+MachineConfig baseMachine();
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_MACHINE_HH

@@ -1,0 +1,115 @@
+#include "sim/mem.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace sim {
+
+MemorySystem::MemorySystem(const MachineConfig &cfg)
+    : cfg_(cfg),
+      l1d_(cfg.l1d_size_kb, cfg.l1d_assoc, cfg.line_bytes),
+      l1i_(cfg.l1i_size_kb, cfg.l1i_assoc, cfg.line_bytes),
+      l2_(cfg.l2_size_kb, cfg.l2_assoc, cfg.line_bytes),
+      bank_busy_until_(cfg.mem_banks, 0),
+      mshr_busy_until_(cfg.l1d_mshrs, 0)
+{
+}
+
+std::uint64_t
+MemorySystem::accessL2(std::uint64_t addr, bool is_write,
+                       std::uint64_t earliest, bool &l2_hit)
+{
+    // Single L2 port: serialize behind earlier requests.
+    const std::uint64_t start = std::max(earliest, l2_port_busy_until_);
+    // The port is occupied for one (core) cycle per request; the
+    // latency itself is pipelined.
+    l2_port_busy_until_ = start + 1;
+
+    const bool hit = l2_.access(addr, is_write) == CacheOutcome::Hit;
+    l2_hit = hit;
+    if (hit)
+        return start + cfg_.l2HitCycles();
+
+    // L2 miss: go to the interleaved main memory. The bank is chosen
+    // by line address; each line transfer occupies its bank.
+    ++mem_accesses_;
+    const std::uint64_t line = addr / cfg_.line_bytes;
+    auto &bank = bank_busy_until_[line % bank_busy_until_.size()];
+    const std::uint64_t mem_start =
+        std::max(start + cfg_.l2HitCycles(), bank);
+    bank = mem_start + cfg_.memOccupancyCycles();
+    return mem_start + cfg_.memLatencyCycles();
+}
+
+MemAccessResult
+MemorySystem::fetchAccess(std::uint64_t pc, std::uint64_t cycle)
+{
+    MemAccessResult res;
+    if (l1i_.access(pc, false) == CacheOutcome::Hit) {
+        res.done_cycle = cycle; // hit latency hidden by the pipeline
+        res.level = MemLevel::L1;
+        return res;
+    }
+    bool l2_hit = false;
+    res.done_cycle = accessL2(pc, false, cycle, l2_hit);
+    res.level = l2_hit ? MemLevel::L2 : MemLevel::Memory;
+    return res;
+}
+
+bool
+MemorySystem::mshrAvailable(std::uint64_t cycle) const
+{
+    for (auto busy : mshr_busy_until_)
+        if (busy <= cycle)
+            return true;
+    return false;
+}
+
+MemAccessResult
+MemorySystem::dataAccess(std::uint64_t addr, bool is_write,
+                         std::uint64_t cycle)
+{
+    MemAccessResult res;
+    if (l1d_.access(addr, is_write) == CacheOutcome::Hit) {
+        res.done_cycle = cycle + cfg_.l1_hit_cycles;
+        res.level = MemLevel::L1;
+        return res;
+    }
+
+    // Miss: occupy an MSHR until the fill returns.
+    bool l2_hit = false;
+    const std::uint64_t done =
+        accessL2(addr, is_write, cycle + cfg_.l1_hit_cycles, l2_hit);
+    res.done_cycle = done;
+    res.level = l2_hit ? MemLevel::L2 : MemLevel::Memory;
+
+    auto slot = std::min_element(mshr_busy_until_.begin(),
+                                 mshr_busy_until_.end());
+    if (*slot > cycle)
+        util::panic("dataAccess issued with no free MSHR");
+    *slot = done;
+    return res;
+}
+
+void
+MemorySystem::setFrequency(double frequency_ghz)
+{
+    cfg_.frequency_ghz = frequency_ghz;
+}
+
+void
+MemorySystem::reset()
+{
+    l1d_.reset();
+    l1i_.reset();
+    l2_.reset();
+    l2_port_busy_until_ = 0;
+    std::fill(bank_busy_until_.begin(), bank_busy_until_.end(), 0);
+    std::fill(mshr_busy_until_.begin(), mshr_busy_until_.end(), 0);
+    mem_accesses_ = 0;
+}
+
+} // namespace sim
+} // namespace ramp

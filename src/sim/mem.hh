@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory system timing model: L1I + L1D + unified L2 + main memory.
+ *
+ * Content behaviour (hits/misses) comes from the tag-exact Cache
+ * models; this class adds the paper's Table 1 timing: 2-cycle L1 hits,
+ * a single L2 port, 12 L1D MSHRs, and a 4-way interleaved main memory
+ * whose latency and occupancy are physical times (ns), so cycle counts
+ * scale with the configured core frequency under DVS.
+ */
+
+#ifndef RAMP_SIM_MEM_HH
+#define RAMP_SIM_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+
+namespace ramp {
+namespace sim {
+
+/** Where a data access was satisfied. */
+enum class MemLevel : std::uint8_t { L1, L2, Memory };
+
+/** Timing result of one access. */
+struct MemAccessResult
+{
+    std::uint64_t done_cycle = 0;  ///< Cycle the data is available.
+    MemLevel level = MemLevel::L1; ///< Serving level.
+};
+
+/** The full cache/memory hierarchy with contention timing. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineConfig &cfg);
+
+    /**
+     * Instruction fetch of the line containing pc, initiated at
+     * `cycle`. L1I hits are folded into the pipeline (no added
+     * latency); misses stall fetch until the returned cycle.
+     */
+    MemAccessResult fetchAccess(std::uint64_t pc, std::uint64_t cycle);
+
+    /**
+     * True if an L1D MSHR is free at `cycle`, i.e. a potentially
+     * missing data access may be issued.
+     */
+    bool mshrAvailable(std::uint64_t cycle) const;
+
+    /**
+     * Data access (load or store) initiated at `cycle`. The caller
+     * must have checked mshrAvailable() and respected the L1D port
+     * limit for this cycle. Latency includes the L1 hit time.
+     */
+    MemAccessResult dataAccess(std::uint64_t addr, bool is_write,
+                               std::uint64_t cycle);
+
+    /** Clear cache contents and all busy state. */
+    void reset();
+
+    /**
+     * Change the core clock (DVS). Off-chip latencies are physical
+     * times, so their cycle counts change with the clock; in-flight
+     * busy-until values keep their old cycle numbers, a one-shot
+     * approximation that washes out within a few hundred cycles.
+     */
+    void setFrequency(double frequency_ghz);
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+
+    /** Main-memory line transfers since reset. */
+    std::uint64_t memAccesses() const { return mem_accesses_; }
+
+  private:
+    /**
+     * Schedule an L2 access at or after `earliest`; accounts for the
+     * single L2 port and, on L2 miss, for main-memory bank occupancy.
+     * @return cycle the line is delivered.
+     */
+    std::uint64_t accessL2(std::uint64_t addr, bool is_write,
+                           std::uint64_t earliest, bool &l2_hit);
+
+    MachineConfig cfg_;
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+
+    std::uint64_t l2_port_busy_until_ = 0;
+    std::vector<std::uint64_t> bank_busy_until_;
+    std::vector<std::uint64_t> mshr_busy_until_;
+
+    std::uint64_t mem_accesses_ = 0;
+};
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_MEM_HH

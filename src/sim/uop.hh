@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The micro-op vocabulary consumed by the cycle-level core model.
+ *
+ * The core is trace-driven: a UopSource (in practice the synthetic
+ * workload generator, src/workload) supplies a stream of micro-ops
+ * carrying operation class, register dependence distances, memory
+ * addresses, and branch identity/outcome. The core applies real
+ * structural modelling on top -- a live branch predictor, live caches,
+ * finite window/queues/functional units -- so timing emerges from the
+ * machine, not from the trace.
+ */
+
+#ifndef RAMP_SIM_UOP_HH
+#define RAMP_SIM_UOP_HH
+
+#include <cstdint>
+
+namespace ramp {
+namespace sim {
+
+/** Operation classes with distinct latency/resource behaviour. */
+enum class UopClass : std::uint8_t {
+    IntAlu,  ///< 1-cycle integer op (add, logic, compare, shift).
+    IntMul,  ///< 7-cycle integer multiply (pipelined).
+    IntDiv,  ///< 12-cycle integer divide (not pipelined).
+    FpOp,    ///< 4-cycle FP op (add/mul/etc., pipelined).
+    FpDiv,   ///< 12-cycle FP divide (not pipelined).
+    Load,    ///< Data-cache load (address generation + access).
+    Store,   ///< Data-cache store (address generation + access).
+    Branch,  ///< Conditional branch.
+    Call,    ///< Call: pushes the return-address stack.
+    Return,  ///< Return: pops the return-address stack.
+    NumClasses,
+};
+
+/** Number of micro-op classes. */
+constexpr std::size_t num_uop_classes =
+    static_cast<std::size_t>(UopClass::NumClasses);
+
+/** True for classes executed on the integer units. */
+constexpr bool
+isIntClass(UopClass c)
+{
+    return c == UopClass::IntAlu || c == UopClass::IntMul ||
+           c == UopClass::IntDiv;
+}
+
+/** True for classes executed on the FP units. */
+constexpr bool
+isFpClass(UopClass c)
+{
+    return c == UopClass::FpOp || c == UopClass::FpDiv;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemClass(UopClass c)
+{
+    return c == UopClass::Load || c == UopClass::Store;
+}
+
+/** True for control transfers that consult the branch predictor. */
+constexpr bool
+isCtrlClass(UopClass c)
+{
+    return c == UopClass::Branch || c == UopClass::Call ||
+           c == UopClass::Return;
+}
+
+/**
+ * One micro-op as produced by a UopSource.
+ *
+ * Register dependences are expressed as *distances*: src_dist[i] = d
+ * means operand i is produced by the micro-op fetched d positions
+ * earlier (d == 0 means the operand is already available, e.g. an
+ * immediate or a long-dead value).
+ */
+struct Uop
+{
+    UopClass cls = UopClass::IntAlu;
+
+    /** Producer distances for up to two source operands; 0 = ready. */
+    std::uint16_t src_dist[2] = {0, 0};
+
+    /** Fetch program counter (drives I-cache and predictor indexing). */
+    std::uint64_t pc = 0;
+
+    /** Effective address for loads/stores (byte address). */
+    std::uint64_t addr = 0;
+
+    /** Actual direction for control ops (taken/not-taken). */
+    bool taken = false;
+
+    /** True if the op writes an FP register (for FP regfile activity). */
+    bool writes_fp = false;
+
+    /** True if the op writes an integer register. */
+    bool writes_int = false;
+};
+
+/**
+ * Producer of the micro-op stream. Implementations must be
+ * deterministic functions of their construction-time seed.
+ */
+class UopSource
+{
+  public:
+    virtual ~UopSource() = default;
+
+    /**
+     * Produce the next micro-op in program (fetch) order.
+     * The source is conceptually infinite; the core decides when to
+     * stop simulating.
+     */
+    virtual Uop next() = 0;
+};
+
+} // namespace sim
+} // namespace ramp
+
+#endif // RAMP_SIM_UOP_HH

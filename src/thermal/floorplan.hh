@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chip floorplan for the thermal model.
+ *
+ * The paper feeds HotSpot a MIPS R10000-like floorplan (without L2)
+ * scaled to 4.5 mm x 4.5 mm; we reproduce that: each reliability
+ * structure is a rectangle, the rectangles tile the die exactly, and
+ * block adjacency (shared border length) drives lateral thermal
+ * coupling.
+ */
+
+#ifndef RAMP_THERMAL_FLOORPLAN_HH
+#define RAMP_THERMAL_FLOORPLAN_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/structures.hh"
+
+namespace ramp {
+namespace thermal {
+
+/** Axis-aligned placement of one structure on the die (mm). */
+struct Block
+{
+    sim::StructureId id;
+    double x = 0.0;  ///< Left edge.
+    double y = 0.0;  ///< Bottom edge.
+    double w = 0.0;  ///< Width.
+    double h = 0.0;  ///< Height.
+
+    double area() const { return w * h; }
+    double cx() const { return x + w / 2.0; }
+    double cy() const { return y + h / 2.0; }
+};
+
+/** The fixed R10000-like core floorplan. */
+class Floorplan
+{
+  public:
+    /** Build the default 4.5 mm x 4.5 mm layout. */
+    Floorplan();
+
+    /** Block placement for a structure. */
+    const Block &block(sim::StructureId id) const;
+
+    /** All blocks, indexed by structureIndex. */
+    const std::array<Block, sim::num_structures> &blocks() const
+    {
+        return blocks_;
+    }
+
+    /** Die edge length (mm); the die is square. */
+    double dieSize() const { return die_mm_; }
+
+    /**
+     * Length (mm) of the border shared by two blocks; 0 when they are
+     * not adjacent. Symmetric.
+     */
+    double sharedBorder(sim::StructureId a, sim::StructureId b) const;
+
+    /** Distance between block centers (mm). */
+    double centerDistance(sim::StructureId a, sim::StructureId b) const;
+
+  private:
+    double die_mm_ = 4.5;
+    std::array<Block, sim::num_structures> blocks_;
+};
+
+} // namespace thermal
+} // namespace ramp
+
+#endif // RAMP_THERMAL_FLOORPLAN_HH

@@ -1,0 +1,212 @@
+#include "thermal/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace thermal {
+
+using sim::allStructures;
+using sim::num_structures;
+using sim::PerStructure;
+using sim::structureIndex;
+
+double
+SteadyTemps::maxBlock() const
+{
+    double m = block_k[0];
+    for (double t : block_k)
+        m = std::max(m, t);
+    return m;
+}
+
+double
+SteadyTemps::avgBlock() const
+{
+    double sum = 0.0;
+    double area = 0.0;
+    for (auto id : allStructures()) {
+        const double a = sim::structureArea(id);
+        sum += block_k[structureIndex(id)] * a;
+        area += a;
+    }
+    return sum / area;
+}
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), spreader_(num_structures),
+      sink_(num_structures + 1), g_(nodes(), nodes()),
+      g_amb_(nodes(), 0.0), cap_(nodes(), 0.0),
+      state_(nodes(), params.ambient_k)
+{
+    if (params_.ambient_k <= 0.0)
+        util::fatal("ambient temperature must be positive kelvin");
+    if (params_.r_vertical_mm2 <= 0.0 || params_.r_spreader <= 0.0 ||
+        params_.r_convection <= 0.0)
+        util::fatal("thermal resistances must be positive");
+    if (params_.c_sink <= 0.0 || params_.c_spreader <= 0.0 ||
+        params_.c_silicon <= 0.0)
+        util::fatal("thermal capacitances must be positive");
+    if (params_.area_scale <= 0.0)
+        util::fatal("thermal area scale must be positive");
+    buildNetwork();
+}
+
+void
+ThermalModel::buildNetwork()
+{
+    // Vertical block -> spreader conduction. Block areas carry the
+    // technology area scale; lateral conductances do not (border and
+    // distance shrink together).
+    for (auto id : allStructures()) {
+        const std::size_t i = structureIndex(id);
+        const double area =
+            floorplan_.block(id).area() * params_.area_scale;
+        const double g = area / params_.r_vertical_mm2;
+        g_.at(i, spreader_) += g;
+        g_.at(spreader_, i) += g;
+    }
+
+    // Lateral block <-> block conduction through the die.
+    const double kt = params_.k_silicon * params_.die_thickness;
+    for (auto a : allStructures()) {
+        for (auto b : allStructures()) {
+            if (structureIndex(b) <= structureIndex(a))
+                continue;
+            const double border = floorplan_.sharedBorder(a, b);
+            if (border <= 0.0)
+                continue;
+            const double dist = floorplan_.centerDistance(a, b);
+            const double g = kt * border / dist;
+            const std::size_t i = structureIndex(a);
+            const std::size_t j = structureIndex(b);
+            g_.at(i, j) += g;
+            g_.at(j, i) += g;
+        }
+    }
+
+    // Spreader -> sink, sink -> ambient.
+    g_.at(spreader_, sink_) += 1.0 / params_.r_spreader;
+    g_.at(sink_, spreader_) += 1.0 / params_.r_spreader;
+    g_amb_[sink_] = 1.0 / params_.r_convection;
+
+    // Capacitances.
+    for (auto id : allStructures()) {
+        const double vol = floorplan_.block(id).area() *
+                           params_.area_scale *
+                           params_.die_thickness;
+        cap_[structureIndex(id)] = params_.c_silicon * vol;
+    }
+    cap_[spreader_] = params_.c_spreader;
+    cap_[sink_] = params_.c_sink;
+
+    // Explicit-Euler stability: dt < min_i C_i / (sum_j g_ij + g_amb).
+    max_stable_dt_ = 1e30;
+    for (std::size_t i = 0; i < nodes(); ++i) {
+        double gsum = g_amb_[i];
+        for (std::size_t j = 0; j < nodes(); ++j)
+            gsum += g_.at(i, j);
+        if (gsum > 0.0)
+            max_stable_dt_ =
+                std::min(max_stable_dt_, cap_[i] / gsum);
+    }
+    max_stable_dt_ *= 0.5; // safety margin
+}
+
+SteadyTemps
+ThermalModel::steadyState(const PerStructure<double> &power_w) const
+{
+    // Solve A*T = b with A_ii = sum_j g_ij + g_amb_i, A_ij = -g_ij,
+    // b_i = P_i + g_amb_i * T_amb.
+    const std::size_t n = nodes();
+    util::Matrix a(n, n);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double diag = g_amb_[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            diag += g_.at(i, j);
+            if (i != j && g_.at(i, j) > 0.0)
+                a.at(i, j) = -g_.at(i, j);
+        }
+        a.at(i, i) = diag;
+        b[i] = g_amb_[i] * params_.ambient_k;
+        if (i < num_structures) {
+            if (power_w[i] < 0.0)
+                util::fatal("negative block power in thermal solve");
+            b[i] += power_w[i];
+        }
+    }
+    const auto t = util::solveLinear(a, b);
+
+    SteadyTemps out;
+    for (std::size_t i = 0; i < num_structures; ++i)
+        out.block_k[i] = t[i];
+    out.spreader_k = t[spreader_];
+    out.sink_k = t[sink_];
+    return out;
+}
+
+void
+ThermalModel::initialiseSteady(const PerStructure<double> &power_w)
+{
+    const SteadyTemps s = steadyState(power_w);
+    for (std::size_t i = 0; i < num_structures; ++i)
+        state_[i] = s.block_k[i];
+    state_[spreader_] = s.spreader_k;
+    state_[sink_] = s.sink_k;
+}
+
+void
+ThermalModel::initialiseFlat(double temp_k)
+{
+    std::fill(state_.begin(), state_.end(), temp_k);
+}
+
+std::vector<double>
+ThermalModel::derivative(const std::vector<double> &temps,
+                         const PerStructure<double> &p) const
+{
+    std::vector<double> d(nodes(), 0.0);
+    for (std::size_t i = 0; i < nodes(); ++i) {
+        double q = 0.0;
+        if (i < num_structures)
+            q += p[i];
+        for (std::size_t j = 0; j < nodes(); ++j) {
+            const double g = g_.at(i, j);
+            if (g > 0.0)
+                q += g * (temps[j] - temps[i]);
+        }
+        q += g_amb_[i] * (params_.ambient_k - temps[i]);
+        d[i] = q / cap_[i];
+    }
+    return d;
+}
+
+void
+ThermalModel::step(const PerStructure<double> &power_w, double dt_s)
+{
+    if (dt_s <= 0.0)
+        util::fatal("thermal step needs dt > 0");
+    double remaining = dt_s;
+    while (remaining > 0.0) {
+        const double h = std::min(remaining, max_stable_dt_);
+        const auto d = derivative(state_, power_w);
+        for (std::size_t i = 0; i < nodes(); ++i)
+            state_[i] += h * d[i];
+        remaining -= h;
+    }
+}
+
+PerStructure<double>
+ThermalModel::blockTemps() const
+{
+    PerStructure<double> t{};
+    for (std::size_t i = 0; i < num_structures; ++i)
+        t[i] = state_[i];
+    return t;
+}
+
+} // namespace thermal
+} // namespace ramp

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Block-level RC thermal model (the HotSpot stand-in).
+ *
+ * Nodes: one silicon node per floorplan block, a heat-spreader node,
+ * and a heat-sink node; the ambient is a fixed-temperature boundary.
+ * Each block conducts vertically (die + TIM) into the spreader and
+ * laterally into adjacent blocks; the spreader conducts into the
+ * sink, and the sink convects to ambient. Capacitances give the
+ * blocks millisecond time constants and the sink a time constant of
+ * minutes -- which is why, exactly as the paper describes in Section
+ * 6.3, transient simulations must be initialised with a steady-state
+ * heat-sink temperature obtained from a first averaging pass.
+ */
+
+#ifndef RAMP_THERMAL_MODEL_HH
+#define RAMP_THERMAL_MODEL_HH
+
+#include <vector>
+
+#include "sim/structures.hh"
+#include "thermal/floorplan.hh"
+#include "util/linalg.hh"
+
+namespace ramp {
+namespace thermal {
+
+/** Physical constants of the package model. */
+struct ThermalParams
+{
+    /** Ambient (chassis) temperature, K. */
+    double ambient_k = 300.0;
+
+    /** Vertical (die + TIM) specific resistance, K*mm^2/W. */
+    double r_vertical_mm2 = 21.0;
+
+    /** Spreader -> sink conduction resistance, K/W. */
+    double r_spreader = 0.12;
+
+    /** Sink -> ambient convection resistance, K/W. */
+    double r_convection = 0.90;
+
+    /** Silicon thermal conductivity, W/(mm*K). */
+    double k_silicon = 0.15;
+
+    /** Die thickness, mm (drives lateral conduction and block C). */
+    double die_thickness = 0.5;
+
+    /** Silicon volumetric heat capacity, J/(mm^3*K). */
+    double c_silicon = 1.63e-3;
+
+    /** Spreader lumped capacitance, J/K. */
+    double c_spreader = 3.0;
+
+    /** Sink lumped capacitance, J/K (sets the minutes-scale RC). */
+    double c_sink = 180.0;
+
+    /** Die area multiplier relative to the 65 nm reference floorplan
+     *  (technology-scaling studies shrink or grow the same layout;
+     *  1.0 = the paper's 20.25 mm^2 die). Linear dimensions scale by
+     *  its square root; lateral conductances are scale-invariant. */
+    double area_scale = 1.0;
+};
+
+/** Result of a steady-state solve. */
+struct SteadyTemps
+{
+    sim::PerStructure<double> block_k{};
+    double spreader_k = 0.0;
+    double sink_k = 0.0;
+
+    /** Hottest block temperature. */
+    double maxBlock() const;
+
+    /** Area-weighted average block temperature. */
+    double avgBlock() const;
+};
+
+/** The RC network with steady-state and transient solvers. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(ThermalParams params = {});
+
+    /**
+     * Steady-state temperatures for a fixed per-block power map (W).
+     * Does not modify transient state.
+     */
+    SteadyTemps steadyState(const sim::PerStructure<double> &power_w) const;
+
+    /**
+     * Initialise the transient state to the steady state of the given
+     * power map (the paper's two-pass heat-sink initialisation).
+     */
+    void initialiseSteady(const sim::PerStructure<double> &power_w);
+
+    /** Set every node (including spreader and sink) to a temperature. */
+    void initialiseFlat(double temp_k);
+
+    /**
+     * Advance the transient state by dt seconds with constant power.
+     * Internally sub-steps for stability.
+     */
+    void step(const sim::PerStructure<double> &power_w, double dt_s);
+
+    /** Current transient block temperatures. */
+    sim::PerStructure<double> blockTemps() const;
+
+    /** Current transient sink temperature. */
+    double sinkTemp() const { return state_[sink_]; }
+
+    /** Current transient spreader temperature. */
+    double spreaderTemp() const { return state_[spreader_]; }
+
+    const ThermalParams &params() const { return params_; }
+    const Floorplan &floorplan() const { return floorplan_; }
+
+  private:
+    std::size_t nodes() const { return sim::num_structures + 2; }
+    void buildNetwork();
+    std::vector<double> derivative(const std::vector<double> &temps,
+                                   const sim::PerStructure<double> &p)
+        const;
+
+    ThermalParams params_;
+    Floorplan floorplan_;
+
+    std::size_t spreader_;  ///< Node index of the spreader.
+    std::size_t sink_;      ///< Node index of the sink.
+
+    /** Conductance matrix G (W/K), nodes x nodes, ambient folded into
+     *  g_amb_. G is symmetric with zero diagonal (link conductances). */
+    util::Matrix g_;
+    std::vector<double> g_amb_;  ///< Node -> ambient conductance.
+    std::vector<double> cap_;    ///< Node capacitance, J/K.
+    std::vector<double> state_;  ///< Transient node temperatures, K.
+    double max_stable_dt_;       ///< Explicit-Euler stability bound.
+};
+
+} // namespace thermal
+} // namespace ramp
+
+#endif // RAMP_THERMAL_MODEL_HH

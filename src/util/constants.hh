@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Physical constants and unit helpers shared by the power, thermal, and
+ * reliability models. Quantities are plain doubles in SI-flavoured
+ * units; the convention for each is documented at the point of use:
+ * temperatures in kelvin, voltages in volts, frequencies in hertz,
+ * powers in watts, areas in square millimetres, time in seconds.
+ */
+
+#ifndef RAMP_UTIL_CONSTANTS_HH
+#define RAMP_UTIL_CONSTANTS_HH
+
+namespace ramp {
+namespace util {
+
+/** Boltzmann constant in eV/K (reliability models use eV activation). */
+constexpr double k_boltzmann_ev = 8.617333262e-5;
+
+/** Seconds per hour. */
+constexpr double seconds_per_hour = 3600.0;
+
+/** Hours per year (365.25 days). */
+constexpr double hours_per_year = 24.0 * 365.25;
+
+/** Device-hours per FIT unit: 1 FIT = 1 failure per 1e9 device-hours. */
+constexpr double fit_hours = 1e9;
+
+/** Convert degrees Celsius to kelvin. */
+constexpr double
+celsiusToKelvin(double c)
+{
+    return c + 273.15;
+}
+
+/** Convert kelvin to degrees Celsius. */
+constexpr double
+kelvinToCelsius(double k)
+{
+    return k - 273.15;
+}
+
+/**
+ * Convert an MTTF in years to a failure rate in FIT, assuming the
+ * exponential-lifetime (constant failure rate) model used throughout
+ * the paper: FIT = 1e9 / MTTF_hours.
+ */
+constexpr double
+mttfYearsToFit(double years)
+{
+    return fit_hours / (years * hours_per_year);
+}
+
+/** Inverse of mttfYearsToFit. */
+constexpr double
+fitToMttfYears(double fit)
+{
+    return fit_hours / (fit * hours_per_year);
+}
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_CONSTANTS_HH

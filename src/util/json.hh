@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable experiment
+ * output (plotting scripts, CI diffing). Handles nesting, commas,
+ * string escaping, and non-finite numbers (emitted as null, since
+ * JSON has no NaN/Inf).
+ */
+
+#ifndef RAMP_UTIL_JSON_HH
+#define RAMP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ramp {
+namespace util {
+
+/** Streaming JSON writer over an ostream. */
+class JsonWriter
+{
+  public:
+    /** Write to the stream; the stream must outlive the writer. */
+    explicit JsonWriter(std::ostream &os);
+
+    /** Start the root (or a nested) object. */
+    JsonWriter &beginObject();
+
+    /** Close the innermost object. */
+    JsonWriter &endObject();
+
+    /** Start an array (as a value or root). */
+    JsonWriter &beginArray();
+
+    /** Close the innermost array. */
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view name);
+
+    /** Emit a string value. */
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+
+    /** Emit a number (null when not finite). */
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+
+    /** Emit a boolean. */
+    JsonWriter &value(bool v);
+
+    /** Emit null. */
+    JsonWriter &null();
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** True once the root value is complete and balanced. */
+    bool complete() const;
+
+  private:
+    void separator();
+    void writeEscaped(std::string_view s);
+
+    std::ostream &os_;
+    /** Stack: 'O' in object (expecting key), 'V' in object
+     *  (expecting value), 'A' in array. */
+    std::vector<char> stack_;
+    bool need_comma_ = false;
+    bool root_done_ = false;
+};
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_JSON_HH

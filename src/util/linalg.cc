@@ -1,0 +1,101 @@
+#include "util/linalg.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::mul(const std::vector<double> &x) const
+{
+    if (x.size() != cols_)
+        panic(cat("Matrix::mul size mismatch: ", cols_, " vs ", x.size()));
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += at(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<double>
+solveLinear(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        panic("solveLinear needs a square system");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot: find the largest magnitude entry in the column.
+        std::size_t pivot = col;
+        double best = std::fabs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a.at(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            fatal("solveLinear: singular thermal/linear system");
+        if (pivot != col) {
+            for (std::size_t c = col; c < n; ++c)
+                std::swap(a.at(col, c), a.at(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        const double d = a.at(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a.at(r, col) / d;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a.at(r, c) -= factor * a.at(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= a.at(i, c) * x[c];
+        x[i] = acc / a.at(i, i);
+    }
+    return x;
+}
+
+} // namespace util
+} // namespace ramp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small dense linear algebra for the thermal RC network.
+ *
+ * Thermal networks here have O(10) nodes, so a dense row-major matrix
+ * with partial-pivot Gaussian elimination is both simpler and faster
+ * than any sparse machinery.
+ */
+
+#ifndef RAMP_UTIL_LINALG_HH
+#define RAMP_UTIL_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ramp {
+namespace util {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Create a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access (bounds-checked in debug builds). */
+    double &at(std::size_t r, std::size_t c);
+
+    /** Const element access. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Matrix-vector product; x.size() must equal cols(). */
+    std::vector<double> mul(const std::vector<double> &x) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b with partial-pivot Gaussian elimination.
+ * A must be square with A.rows() == b.size().
+ * Calls fatal() on a (numerically) singular system.
+ */
+std::vector<double> solveLinear(Matrix a, std::vector<double> b);
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_LINALG_HH

@@ -1,0 +1,62 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace ramp {
+namespace util {
+
+namespace {
+
+LogLevel global_level = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (global_level >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (global_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debug(const std::string &msg)
+{
+    if (global_level >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace util
+} // namespace ramp

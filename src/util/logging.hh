@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * fatal() is for user errors (bad configuration, impossible parameter
+ * combinations) and exits with status 1. panic() is for internal
+ * invariant violations (bugs in this library) and aborts. warn() and
+ * inform() report conditions without stopping.
+ */
+
+#ifndef RAMP_UTIL_LOGGING_HH
+#define RAMP_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ramp {
+namespace util {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel {
+    Silent = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Set the global log threshold; messages above it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Report a message the user should see but not worry about. */
+void inform(const std::string &msg);
+
+/** Report a condition that may indicate a modelling problem. */
+void warn(const std::string &msg);
+
+/** Report a debug-level trace message. */
+void debug(const std::string &msg);
+
+/**
+ * Terminate due to a user-caused error (invalid configuration or
+ * arguments). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate due to an internal bug (an invariant that should never be
+ * violated regardless of user input). Prints the message and aborts.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Build a message from stream-formattable pieces.
+ * Example: fatal(cat("bad frequency ", f, " GHz")).
+ */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (void)(os << ... << args);
+    return os.str();
+}
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_LOGGING_HH

@@ -1,0 +1,134 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace util {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+TimeWeightedStat::add(double value, double duration)
+{
+    if (duration <= 0.0)
+        panic(cat("TimeWeightedStat::add needs duration > 0, got ",
+                  duration));
+    weighted_sum_ += value * duration;
+    total_time_ += duration;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+TimeWeightedStat::reset()
+{
+    *this = TimeWeightedStat();
+}
+
+double
+TimeWeightedStat::mean() const
+{
+    return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (!(hi > lo))
+        fatal(cat("Histogram needs hi > lo, got [", lo, ", ", hi, ")"));
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto i = static_cast<std::size_t>((x - lo_) / width_);
+        if (i >= counts_.size()) // guard FP edge at hi_
+            i = counts_.size() - 1;
+        ++counts_[i];
+    }
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic(cat("Histogram bin ", i, " out of range"));
+    return counts_[i];
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0)
+        return lo_;
+    const double target = q * static_cast<double>(in_range);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto c = static_cast<double>(counts_[i]);
+        if (seen + c >= target && c > 0.0) {
+            const double frac = (target - seen) / c;
+            return binLo(i) + frac * width_;
+        }
+        seen += c;
+    }
+    return hi_;
+}
+
+} // namespace util
+} // namespace ramp

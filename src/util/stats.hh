@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the simulator and
+ * the RAMP engine: streaming moments, min/max tracking, time-weighted
+ * averages, and fixed-bin histograms.
+ */
+
+#ifndef RAMP_UTIL_STATS_HH
+#define RAMP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramp {
+namespace util {
+
+/**
+ * Streaming mean/variance/min/max using Welford's algorithm.
+ * Numerically stable for long runs.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Remove all samples. */
+    void reset();
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 1.0 / 0.0;
+    double max_ = -1.0 / 0.0;
+};
+
+/**
+ * Time-weighted average: samples carry a duration weight, so intervals
+ * of unequal length average correctly. Used for FIT-over-time and
+ * temperature-over-time accumulation (paper Section 3.6).
+ */
+class TimeWeightedStat
+{
+  public:
+    /** Add a value held for the given (positive) duration. */
+    void add(double value, double duration);
+
+    /** Remove all samples. */
+    void reset();
+
+    /** Total accumulated duration. */
+    double totalTime() const { return total_time_; }
+
+    /** Duration-weighted mean; 0 when no time accumulated. */
+    double mean() const;
+
+    /** Smallest sampled value; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sampled value; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    double weighted_sum_ = 0.0;
+    double total_time_ = 0.0;
+    double min_ = 1.0 / 0.0;
+    double max_ = -1.0 / 0.0;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi). Samples outside the range
+ * land in saturating underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the tracked range.
+     * @param hi Exclusive upper bound; must be > lo.
+     * @param bins Number of interior bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in interior bin i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of interior bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Exclusive upper edge of interior bin i. */
+    double binHi(std::size_t i) const;
+
+    /** Number of interior bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Samples below the range. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the upper bound. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Total samples including out-of-range ones. */
+    std::uint64_t total() const { return total_; }
+
+    /**
+     * Value below which the given fraction of in-range samples fall
+     * (linear interpolation within the bin). q in [0, 1].
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_STATS_HH

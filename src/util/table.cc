@@ -1,0 +1,89 @@
+#include "util/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table needs at least one column");
+}
+
+void
+Table::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal(cat("Table row has ", cells.size(), " cells, expected ",
+                  headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    if (!title_.empty())
+        os << title_ << '\n';
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace util
+} // namespace ramp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering for benchmark and example output.
+ *
+ * Every reproduction bench prints its table/figure series through this
+ * helper so all experiment output shares one format and can be diffed
+ * across runs.
+ */
+
+#ifndef RAMP_UTIL_TABLE_HH
+#define RAMP_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ramp {
+namespace util {
+
+/**
+ * Column-aligned text table with an optional title, rendered to a
+ * stream. Cells are strings; numeric helpers format with fixed
+ * precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title);
+
+    /** Append a full row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Render aligned text to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (title omitted). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_TABLE_HH

@@ -1,0 +1,304 @@
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace workload {
+
+const char *
+appClassName(AppClass c)
+{
+    switch (c) {
+      case AppClass::Multimedia:
+        return "Multimedia";
+      case AppClass::SpecInt:
+        return "SpecInt";
+      case AppClass::SpecFp:
+        return "SpecFP";
+    }
+    util::panic("appClassName: bad class");
+}
+
+double
+UopMix::intAlu() const
+{
+    return 1.0 - (int_mul + int_div + fp_op + fp_div + load + store +
+                  branch + call);
+}
+
+void
+UopMix::validate() const
+{
+    for (double f : {int_mul, int_div, fp_op, fp_div, load, store,
+                     branch, call}) {
+        if (f < 0.0 || f > 1.0)
+            util::fatal("UopMix fraction out of [0,1]");
+    }
+    if (intAlu() < 0.0)
+        util::fatal("UopMix fractions exceed 1.0");
+}
+
+void
+AppProfile::validate() const
+{
+    if (name.empty())
+        util::fatal("AppProfile needs a name");
+    if (phases.empty())
+        util::fatal(util::cat(name, ": profile needs at least one phase"));
+    for (const auto &ph : phases) {
+        ph.mix.validate();
+        if (ph.length_uops == 0)
+            util::fatal(util::cat(name, ": phase length must be > 0"));
+        if (ph.mem.working_set_bytes < 4096)
+            util::fatal(util::cat(name, ": working set too small"));
+        if (ph.mem.hot_bytes == 0 ||
+            ph.mem.hot_bytes > ph.mem.working_set_bytes)
+            util::fatal(util::cat(name, ": hot region must fit in the "
+                                        "working set"));
+        if (ph.mem.hot_frac < 0.0 || ph.mem.random_frac < 0.0 ||
+            ph.mem.hot_frac + ph.mem.random_frac > 1.0)
+            util::fatal(util::cat(name, ": memory fractions bad"));
+        if (ph.mem.stride_bytes == 0)
+            util::fatal(util::cat(name, ": stride must be > 0"));
+    }
+    if (branch.num_static == 0)
+        util::fatal(util::cat(name, ": needs static branches"));
+    if (dep.mean_dist < 1.0)
+        util::fatal(util::cat(name, ": mean dependence distance < 1"));
+    if (dep.p_src1 < 0.0 || dep.p_src1 > 1.0 || dep.p_src2 < 0.0 ||
+        dep.p_src2 > 1.0)
+        util::fatal(util::cat(name, ": dependence probability bad"));
+    if (code_bytes < 1024)
+        util::fatal(util::cat(name, ": code footprint too small"));
+}
+
+namespace {
+
+constexpr std::uint64_t kb = 1024;
+constexpr std::uint64_t mb = 1024 * 1024;
+
+/** Single-phase helper for the SPEC profiles. */
+AppProfile
+specApp(std::string name, AppClass cls, UopMix mix, MemBehavior mem,
+        BranchBehavior br, DepBehavior dep, std::uint64_t code,
+        double ipc, double power)
+{
+    AppProfile p;
+    p.name = std::move(name);
+    p.app_class = cls;
+    p.phases.push_back(Phase{mix, mem, 1'000'000});
+    p.branch = br;
+    p.dep = dep;
+    p.code_bytes = code;
+    p.table2_ipc = ipc;
+    p.table2_power_w = power;
+    return p;
+}
+
+std::vector<AppProfile>
+buildApps()
+{
+    std::vector<AppProfile> apps;
+
+    // ---------------- Multimedia ------------------------------------
+    // Frame-structured codecs: a dominant compute phase (high ILP,
+    // small hot loops, very predictable control) alternating with a
+    // shorter memory phase (frame buffer traffic).
+    {
+        AppProfile p;
+        p.name = "MPGdec";
+        p.app_class = AppClass::Multimedia;
+        UopMix compute;
+        compute.int_mul = 0.015;
+        compute.fp_op = 0.10;
+        compute.load = 0.19;
+        compute.store = 0.08;
+        compute.branch = 0.06;
+        compute.call = 0.004;
+        UopMix memph = compute;
+        memph.load = 0.30;
+        memph.store = 0.12;
+        memph.fp_op = 0.04;
+        p.phases = {
+            Phase{compute,
+                  MemBehavior{48 * kb, 16 * kb, 0.50, 0.01, 16},
+                  440'000},
+            Phase{memph, MemBehavior{1 * mb, 16 * kb, 0.25, 0.03, 16},
+                  40'000},
+        };
+        p.branch = BranchBehavior{192, 0.98, 0.99, 0.70, 16};
+        p.dep = DepBehavior{0.72, 0.29, 3.1};
+        p.code_bytes = 12 * kb;
+        p.table2_ipc = 3.2;
+        p.table2_power_w = 36.5;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p;
+        p.name = "MP3dec";
+        p.app_class = AppClass::Multimedia;
+        UopMix compute;
+        compute.int_mul = 0.01;
+        compute.fp_op = 0.16;
+        compute.load = 0.20;
+        compute.store = 0.07;
+        compute.branch = 0.07;
+        compute.call = 0.004;
+        UopMix memph = compute;
+        memph.load = 0.28;
+        memph.store = 0.10;
+        p.phases = {
+            Phase{compute,
+                  MemBehavior{56 * kb, 12 * kb, 0.55, 0.01, 8},
+                  320'000},
+            Phase{memph,
+                  MemBehavior{512 * kb, 12 * kb, 0.35, 0.04, 16},
+                  40'000},
+        };
+        p.branch = BranchBehavior{160, 0.97, 0.985, 0.65, 16};
+        p.dep = DepBehavior{0.70, 0.28, 4.0};
+        p.code_bytes = 10 * kb;
+        p.table2_ipc = 2.8;
+        p.table2_power_w = 34.7;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p;
+        p.name = "H263enc";
+        p.app_class = AppClass::Multimedia;
+        // Motion estimation: data-dependent branches, SAD loops.
+        UopMix compute;
+        compute.int_mul = 0.03;
+        compute.fp_op = 0.05;
+        compute.load = 0.27;
+        compute.store = 0.12;
+        compute.branch = 0.10;
+        compute.call = 0.004;
+        UopMix memph = compute;
+        memph.load = 0.30;
+        memph.store = 0.14;
+        p.phases = {
+            Phase{compute,
+                  MemBehavior{56 * kb, 12 * kb, 0.55, 0.02, 16},
+                  260'000},
+            Phase{memph, MemBehavior{1 * mb, 12 * kb, 0.35, 0.05, 32},
+                  50'000},
+        };
+        p.branch = BranchBehavior{224, 0.92, 0.97, 0.58, 16};
+        p.dep = DepBehavior{0.78, 0.31, 3.4};
+        p.code_bytes = 16 * kb;
+        p.table2_ipc = 1.9;
+        p.table2_power_w = 30.8;
+        apps.push_back(p);
+    }
+
+    // ---------------- SpecInt ----------------------------------------
+    {
+        UopMix mix;
+        mix.int_mul = 0.005;
+        mix.load = 0.26;
+        mix.store = 0.09;
+        mix.branch = 0.13;
+        mix.call = 0.006;
+        apps.push_back(specApp(
+            "bzip2", AppClass::SpecInt, mix,
+            MemBehavior{512 * kb, 16 * kb, 0.88, 0.02, 8},
+            BranchBehavior{384, 0.95, 0.975, 0.60, 24},
+            DepBehavior{0.60, 0.20, 9.0}, 48 * kb, 1.7, 23.9));
+    }
+    {
+        UopMix mix;
+        mix.int_mul = 0.004;
+        mix.load = 0.25;
+        mix.store = 0.08;
+        mix.branch = 0.14;
+        mix.call = 0.008;
+        apps.push_back(specApp(
+            "gzip", AppClass::SpecInt, mix,
+            MemBehavior{320 * kb, 16 * kb, 0.84, 0.04, 8},
+            BranchBehavior{320, 0.90, 0.96, 0.55, 24},
+            DepBehavior{0.83, 0.35, 2.7}, 40 * kb, 1.5, 23.4));
+    }
+    {
+        UopMix mix;
+        mix.int_mul = 0.003;
+        mix.load = 0.28;
+        mix.store = 0.07;
+        mix.branch = 0.14;
+        mix.call = 0.010;
+        apps.push_back(specApp(
+            "twolf", AppClass::SpecInt, mix,
+            MemBehavior{1 * mb, 16 * kb, 0.78, 0.06, 8},
+            BranchBehavior{512, 0.86, 0.95, 0.55, 24},
+            DepBehavior{0.82, 0.34, 4.2}, 96 * kb, 0.8, 15.6));
+    }
+
+    // ---------------- SpecFP -----------------------------------------
+    {
+        UopMix mix;
+        mix.fp_op = 0.30;
+        mix.fp_div = 0.004;
+        mix.load = 0.32;
+        mix.store = 0.05;
+        mix.branch = 0.05;
+        mix.call = 0.003;
+        apps.push_back(specApp(
+            "art", AppClass::SpecFp, mix,
+            MemBehavior{8 * mb, 16 * kb, 0.35, 0.05, 8},
+            BranchBehavior{128, 0.96, 0.985, 0.62, 16},
+            DepBehavior{0.67, 0.25, 6.5}, 16 * kb, 0.7, 17.0));
+    }
+    {
+        UopMix mix;
+        mix.fp_op = 0.26;
+        mix.fp_div = 0.003;
+        mix.load = 0.28;
+        mix.store = 0.06;
+        mix.branch = 0.07;
+        mix.call = 0.005;
+        apps.push_back(specApp(
+            "equake", AppClass::SpecFp, mix,
+            MemBehavior{896 * kb, 16 * kb, 0.62, 0.04, 8},
+            BranchBehavior{192, 0.95, 0.98, 0.62, 16},
+            DepBehavior{0.71, 0.27, 4.9}, 24 * kb, 1.4, 20.9));
+    }
+    {
+        UopMix mix;
+        mix.fp_op = 0.28;
+        mix.fp_div = 0.010;
+        mix.load = 0.27;
+        mix.store = 0.06;
+        mix.branch = 0.08;
+        mix.call = 0.006;
+        apps.push_back(specApp(
+            "ammp", AppClass::SpecFp, mix,
+            MemBehavior{1280 * kb, 16 * kb, 0.72, 0.06, 8},
+            BranchBehavior{256, 0.93, 0.97, 0.60, 24},
+            DepBehavior{0.72, 0.27, 5.8}, 32 * kb, 1.1, 19.7));
+    }
+
+    for (const auto &p : apps)
+        p.validate();
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+standardApps()
+{
+    static const std::vector<AppProfile> apps = buildApps();
+    return apps;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    for (const auto &p : standardApps())
+        if (p.name == name)
+            return p;
+    util::fatal(util::cat("unknown application '", name, "'"));
+}
+
+} // namespace workload
+} // namespace ramp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Statistical application profiles.
+ *
+ * The paper evaluates nine applications (Table 2): three multimedia
+ * (MPGdec, MP3dec, H263enc), three SpecInt (bzip2, gzip, twolf), and
+ * three SpecFP (art, equake, ammp). We cannot ship SPEC binaries, so
+ * each application is described by a statistical profile -- instruction
+ * mix, dependence distances, branch behaviour, memory footprint and
+ * access pattern, and (for the frame-oriented multimedia codecs) phase
+ * structure. The profiles are calibrated so that the base Table 1
+ * machine reproduces the paper's Table 2 IPC values; the calibration
+ * is locked in by tests.
+ */
+
+#ifndef RAMP_WORKLOAD_PROFILE_HH
+#define RAMP_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ramp {
+namespace workload {
+
+/** Application class, as grouped in the paper's Table 2. */
+enum class AppClass : std::uint8_t {
+    Multimedia,
+    SpecInt,
+    SpecFp,
+};
+
+/** Human-readable name for an application class. */
+const char *appClassName(AppClass c);
+
+/**
+ * Micro-op class mix as fractions of the dynamic stream. Fractions
+ * must be non-negative; anything left from 1.0 is attributed to plain
+ * integer ALU ops.
+ */
+struct UopMix
+{
+    double int_mul = 0.0;
+    double int_div = 0.0;
+    double fp_op = 0.0;
+    double fp_div = 0.0;
+    double load = 0.0;
+    double store = 0.0;
+    double branch = 0.0;
+    double call = 0.0;   ///< Call/return pair budget.
+
+    /** Fraction left over for 1-cycle integer ops. */
+    double intAlu() const;
+
+    /** Validate that fractions are sane; fatal otherwise. */
+    void validate() const;
+};
+
+/**
+ * Data-side memory behaviour of one phase. Accesses are a three-way
+ * mixture:
+ *  - hot_frac go to a small hot region (stack, loop-carried state) --
+ *    effectively always L1-resident;
+ *  - random_frac are uniform-random within the working set (pointer
+ *    chasing / hash tables);
+ *  - the remainder walk the working set sequentially with
+ *    `stride_bytes` (array streaming).
+ */
+struct MemBehavior
+{
+    /** Total data footprint in bytes (drives cache residency). */
+    std::uint64_t working_set_bytes = 64 * 1024;
+    /** Hot-region size in bytes. */
+    std::uint64_t hot_bytes = 8 * 1024;
+    /** Fraction of accesses landing in the hot region. */
+    double hot_frac = 0.6;
+    /** Fraction of accesses uniform-random in the working set. */
+    double random_frac = 0.1;
+    /** Sequential-walk stride in bytes. */
+    std::uint32_t stride_bytes = 8;
+};
+
+/** One execution phase (multimedia codecs alternate phases per frame). */
+struct Phase
+{
+    UopMix mix;
+    MemBehavior mem;
+    /** Phase length in micro-ops before moving to the next phase. */
+    std::uint64_t length_uops = 1'000'000;
+};
+
+/** Control-flow behaviour (shared across phases). */
+struct BranchBehavior
+{
+    /** Number of static branch sites. */
+    std::uint32_t num_static = 256;
+    /** Fraction of sites that are strongly biased (predictable). */
+    double easy_frac = 0.9;
+    /** Taken probability of a strongly biased site (or 1 - it). */
+    double easy_bias = 0.97;
+    /** Taken probability of a hard site (near 0.5 = unpredictable). */
+    double hard_bias = 0.6;
+    /** Maximum call nesting depth the generator produces. */
+    std::uint32_t max_call_depth = 24;
+};
+
+/** Register dependence behaviour (shared across phases). */
+struct DepBehavior
+{
+    /** Probability the first source operand names a recent producer. */
+    double p_src1 = 0.8;
+    /** Probability of a second register source. */
+    double p_src2 = 0.35;
+    /** Mean producer distance in micro-ops (geometric). */
+    double mean_dist = 5.0;
+    /**
+     * Scale applied to p_src1/p_src2 for control ops. Branch
+     * conditions are typically cheap recurrences (loop counters,
+     * flags), so they resolve faster than data ops; 0.5 by default.
+     */
+    double ctrl_dep_scale = 0.5;
+};
+
+/** Full description of one application. */
+struct AppProfile
+{
+    std::string name;
+    AppClass app_class = AppClass::SpecInt;
+
+    std::vector<Phase> phases;
+    BranchBehavior branch;
+    DepBehavior dep;
+
+    /** Static code footprint in bytes (drives L1I behaviour). */
+    std::uint64_t code_bytes = 32 * 1024;
+
+    /** Paper Table 2 reference values on the base machine. */
+    double table2_ipc = 0.0;
+    double table2_power_w = 0.0;
+
+    /** Validate all fields; fatal on an inconsistent profile. */
+    void validate() const;
+};
+
+/**
+ * The paper's nine-application suite, calibrated against Table 2.
+ * Order matches Table 2: MPGdec, MP3dec, H263enc, bzip2, gzip, twolf,
+ * art, equake, ammp.
+ */
+const std::vector<AppProfile> &standardApps();
+
+/** Look up a standard application by name; fatal if unknown. */
+const AppProfile &findApp(const std::string &name);
+
+} // namespace workload
+} // namespace ramp
+
+#endif // RAMP_WORKLOAD_PROFILE_HH

@@ -1,0 +1,153 @@
+#include "workload/trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace workload {
+
+namespace {
+
+constexpr std::uint32_t trace_magic = 0x52414D50; // "RAMP"
+constexpr std::uint32_t trace_version = 1;
+
+/** Fixed 24-byte on-disk record. */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t src_dist0;
+    std::uint16_t src_dist1;
+    std::uint8_t cls;
+    std::uint8_t flags; // bit0 taken, bit1 writes_int, bit2 writes_fp
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(TraceRecord) == 24, "trace record must be 24B");
+
+TraceRecord
+pack(const sim::Uop &u)
+{
+    TraceRecord r{};
+    r.pc = u.pc;
+    r.addr = u.addr;
+    r.src_dist0 = u.src_dist[0];
+    r.src_dist1 = u.src_dist[1];
+    r.cls = static_cast<std::uint8_t>(u.cls);
+    r.flags = static_cast<std::uint8_t>(
+        (u.taken ? 1 : 0) | (u.writes_int ? 2 : 0) |
+        (u.writes_fp ? 4 : 0));
+    return r;
+}
+
+sim::Uop
+unpack(const TraceRecord &r)
+{
+    sim::Uop u;
+    u.pc = r.pc;
+    u.addr = r.addr;
+    u.src_dist[0] = r.src_dist0;
+    u.src_dist[1] = r.src_dist1;
+    u.cls = static_cast<sim::UopClass>(r.cls);
+    u.taken = (r.flags & 1) != 0;
+    u.writes_int = (r.flags & 2) != 0;
+    u.writes_fp = (r.flags & 4) != 0;
+    return u;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        util::fatal(util::cat("cannot open trace file '", path,
+                              "' for writing"));
+    const std::uint32_t header[2] = {trace_magic, trace_version};
+    if (std::fwrite(header, sizeof(header), 1, file_) != 1)
+        util::fatal("cannot write trace header");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const sim::Uop &uop)
+{
+    if (!file_)
+        util::fatal("TraceWriter::write after close");
+    const TraceRecord r = pack(uop);
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        util::fatal("trace write failed (disk full?)");
+    ++written_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        util::fatal(util::cat("cannot open trace file '", path, "'"));
+    std::uint32_t header[2] = {0, 0};
+    if (std::fread(header, sizeof(header), 1, f) != 1 ||
+        header[0] != trace_magic) {
+        std::fclose(f);
+        util::fatal(util::cat("'", path, "' is not a RAMP trace"));
+    }
+    if (header[1] != trace_version) {
+        std::fclose(f);
+        util::fatal(util::cat("trace version ", header[1],
+                              " unsupported (expected ",
+                              trace_version, ")"));
+    }
+
+    TraceRecord r{};
+    while (std::fread(&r, sizeof(r), 1, f) == 1) {
+        if (r.cls >= static_cast<std::uint8_t>(
+                         sim::UopClass::NumClasses)) {
+            std::fclose(f);
+            util::fatal(util::cat("corrupt trace record in '", path,
+                                  "'"));
+        }
+        uops_.push_back(unpack(r));
+    }
+    std::fclose(f);
+    if (uops_.empty())
+        util::fatal(util::cat("trace '", path, "' holds no records"));
+}
+
+sim::Uop
+FileTraceSource::next()
+{
+    const sim::Uop u = uops_[pos_];
+    if (++pos_ == uops_.size()) {
+        pos_ = 0;
+        ++wraps_;
+    }
+    return u;
+}
+
+std::uint64_t
+captureTrace(sim::UopSource &source, const std::string &path,
+             std::uint64_t count)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.write(source.next());
+    writer.close();
+    return writer.written();
+}
+
+} // namespace workload
+} // namespace ramp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Micro-op trace recording and replay.
+ *
+ * The core consumes any UopSource; this module lets users capture a
+ * stream (synthetic or externally produced) into a compact binary
+ * file and replay it later, so real program traces can drive the
+ * simulator without the synthetic generator. Records are fixed-size
+ * little-endian structs behind a small header with a magic number and
+ * version; replay can loop the file to make finite captures
+ * effectively infinite (the trace-driven core never wants the stream
+ * to end).
+ */
+
+#ifndef RAMP_WORKLOAD_TRACE_FILE_HH
+#define RAMP_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/uop.hh"
+
+namespace ramp {
+namespace workload {
+
+/** Writes micro-ops to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open (truncate) the file and write the header; fatal on I/O
+     *  failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op. */
+    void write(const sim::Uop &uop);
+
+    /** Flush and close; called by the destructor if needed. */
+    void close();
+
+    /** Micro-ops written so far. */
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * Replays a trace file as a UopSource. The whole trace is loaded into
+ * memory (a record is 24 bytes; hundred-million-uop traces fit fine)
+ * and looped when the end is reached.
+ */
+class FileTraceSource : public sim::UopSource
+{
+  public:
+    /** Load a trace; fatal on missing/corrupt files. */
+    explicit FileTraceSource(const std::string &path);
+
+    /** Next micro-op, looping at the end of the capture. */
+    sim::Uop next() override;
+
+    /** Number of micro-ops in the capture. */
+    std::uint64_t size() const { return uops_.size(); }
+
+    /** Times the replay has wrapped. */
+    std::uint64_t wraps() const { return wraps_; }
+
+  private:
+    std::vector<sim::Uop> uops_;
+    std::size_t pos_ = 0;
+    std::uint64_t wraps_ = 0;
+};
+
+/**
+ * Convenience: capture `count` micro-ops from any source into a
+ * file. Returns the number written.
+ */
+std::uint64_t captureTrace(sim::UopSource &source,
+                           const std::string &path,
+                           std::uint64_t count);
+
+} // namespace workload
+} // namespace ramp
+
+#endif // RAMP_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the hardware-implementable RAMP (quantised sensors and
+ * counters) and for workload-level FIT combination.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/hw_ramp.hh"
+
+namespace ramp::core {
+namespace {
+
+using sim::PerStructure;
+
+Qualification
+makeQual(double t_qual = 380.0)
+{
+    QualificationSpec s;
+    s.t_qual_k = t_qual;
+    s.alpha_qual.fill(0.5);
+    return Qualification(s);
+}
+
+PerStructure<double>
+flat(double v)
+{
+    PerStructure<double> p;
+    p.fill(v);
+    return p;
+}
+
+TEST(HwRamp, QuantisesTemperatureToSensorStep)
+{
+    HwRampEngine hw(makeQual(), flat(1.0));
+    EXPECT_DOUBLE_EQ(hw.quantiseTemp(361.4), 361.0);
+    EXPECT_DOUBLE_EQ(hw.quantiseTemp(361.5), 362.0);
+    EXPECT_DOUBLE_EQ(hw.quantiseTemp(361.0), 361.0);
+}
+
+TEST(HwRamp, SensorOffsetShiftsReadings)
+{
+    SensorParams sp;
+    sp.temp_offset_k = 2.0;
+    HwRampEngine hw(makeQual(), flat(1.0), sp);
+    EXPECT_DOUBLE_EQ(hw.quantiseTemp(360.0), 362.0);
+}
+
+TEST(HwRamp, QuantisesActivityToCounterLevels)
+{
+    SensorParams sp;
+    sp.activity_levels = 4;
+    HwRampEngine hw(makeQual(), flat(1.0), sp);
+    EXPECT_DOUBLE_EQ(hw.quantiseActivity(0.30), 0.25);
+    EXPECT_DOUBLE_EQ(hw.quantiseActivity(0.40), 0.50);
+    EXPECT_DOUBLE_EQ(hw.quantiseActivity(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hw.quantiseActivity(1.0), 1.0);
+}
+
+TEST(HwRamp, QuantisesVoltage)
+{
+    HwRampEngine hw(makeQual(), flat(1.0));
+    EXPECT_NEAR(hw.quantiseVoltage(0.981), 0.975, 1e-12);
+    EXPECT_NEAR(hw.quantiseVoltage(0.982), 0.9875, 1e-12);
+    EXPECT_NEAR(hw.quantiseVoltage(1.0), 1.0, 1e-12);
+}
+
+TEST(HwRamp, TracksExactEngineClosely)
+{
+    // Typical sensors (1 K, 4-bit counters): the hardware estimate
+    // stays within a few percent of the exact engine.
+    const auto qual = makeQual();
+    RampEngine exact(qual, flat(1.0));
+    HwRampEngine hw(qual, flat(1.0));
+
+    for (int i = 0; i < 20; ++i) {
+        PerStructure<double> temps;
+        PerStructure<double> act;
+        for (std::size_t s = 0; s < sim::num_structures; ++s) {
+            temps[s] = 345.0 + 2.7 * static_cast<double>(s) +
+                       0.31 * i;
+            act[s] = 0.037 * static_cast<double>(s + 1) * 0.9;
+        }
+        exact.addInterval(temps, act, 1.0, 4.0, 1.0);
+        hw.addInterval(temps, act, 1.0, 4.0, 1.0);
+    }
+    const double exact_fit = exact.report().totalFit();
+    const double hw_fit = hw.report().totalFit();
+    EXPECT_NEAR(hw_fit, exact_fit, 0.05 * exact_fit);
+}
+
+TEST(HwRamp, ConservativeOffsetOverestimatesFit)
+{
+    const auto qual = makeQual();
+    SensorParams biased;
+    biased.temp_offset_k = 3.0; // reads hot on purpose
+    RampEngine exact(qual, flat(1.0));
+    HwRampEngine hw(qual, flat(1.0), biased);
+    exact.addInterval(flat(360.0), flat(0.4), 1.0, 4.0, 1.0);
+    hw.addInterval(flat(360.0), flat(0.4), 1.0, 4.0, 1.0);
+    EXPECT_GT(hw.report().totalFit(), exact.report().totalFit());
+}
+
+TEST(HwRamp, ResetAndCount)
+{
+    HwRampEngine hw(makeQual(), flat(1.0));
+    hw.addInterval(flat(360.0), flat(0.4), 1.0, 4.0, 1.0);
+    EXPECT_EQ(hw.intervals(), 1u);
+    hw.reset();
+    EXPECT_EQ(hw.intervals(), 0u);
+}
+
+TEST(HwRampDeath, RejectsBadSensors)
+{
+    SensorParams sp;
+    sp.temp_quantum_k = 0.0;
+    EXPECT_EXIT(HwRampEngine(makeQual(), flat(1.0), sp),
+                testing::ExitedWithCode(1), "quantum");
+    SensorParams sq;
+    sq.activity_levels = 0;
+    EXPECT_EXIT(HwRampEngine(makeQual(), flat(1.0), sq),
+                testing::ExitedWithCode(1), "level");
+}
+
+TEST(CombineReports, WeightedAverageOfFit)
+{
+    const auto qual = makeQual();
+    const auto cold =
+        steadyFit(qual, flat(1.0), flat(345.0), flat(0.4), 1.0, 4.0);
+    const auto hot =
+        steadyFit(qual, flat(1.0), flat(385.0), flat(0.4), 1.0, 4.0);
+
+    // 3:1 cold:hot workload.
+    const auto mix = combineReports({cold, hot}, {3.0, 1.0});
+    EXPECT_NEAR(mix.totalFit(),
+                0.75 * cold.totalFit() + 0.25 * hot.totalFit(),
+                1e-9);
+    EXPECT_NEAR(mix.avg_temp_k[0], 0.75 * 345.0 + 0.25 * 385.0,
+                1e-9);
+}
+
+TEST(CombineReports, WeightsAreNormalised)
+{
+    const auto qual = makeQual();
+    const auto r =
+        steadyFit(qual, flat(1.0), flat(360.0), flat(0.4), 1.0, 4.0);
+    const auto a = combineReports({r, r}, {1.0, 1.0});
+    const auto b = combineReports({r, r}, {10.0, 10.0});
+    EXPECT_NEAR(a.totalFit(), b.totalFit(), 1e-9);
+    EXPECT_NEAR(a.totalFit(), r.totalFit(), 1e-9);
+}
+
+TEST(CombineReportsDeath, RejectsBadInputs)
+{
+    const auto qual = makeQual();
+    const auto r =
+        steadyFit(qual, flat(1.0), flat(360.0), flat(0.4), 1.0, 4.0);
+    EXPECT_EXIT(combineReports({}, {}), testing::ExitedWithCode(1),
+                "nonempty");
+    EXPECT_EXIT(combineReports({r}, {1.0, 2.0}),
+                testing::ExitedWithCode(1), "matching");
+    EXPECT_EXIT(combineReports({r}, {0.0}), testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace ramp::core

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo lifetime simulator against closed-form
+ * results: exponential shapes must reproduce SOFR, wear-out shapes
+ * must beat it, and quantiles must be ordered.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lifetime.hh"
+#include "util/constants.hh"
+
+namespace ramp::core {
+namespace {
+
+using sim::allStructures;
+using sim::structureIndex;
+
+/** A report with a uniform FIT value in every cell. */
+FitReport
+uniformReport(double fit_per_cell)
+{
+    FitReport r;
+    for (auto s : allStructures())
+        for (auto m : allMechanisms())
+            r.fit[structureIndex(s)][mechanismIndex(m)] = fit_per_cell;
+    return r;
+}
+
+/** A report with one single live component. */
+FitReport
+singleComponentReport(double fit)
+{
+    FitReport r;
+    r.fit[0][0] = fit;
+    return r;
+}
+
+TEST(Lifetime, SingleExponentialComponentMatchesAnalyticMean)
+{
+    LifetimeParams p;
+    p.weibull_shape = {1.0, 1.0, 1.0, 1.0}; // exponential
+    p.samples = 100000;
+    const LifetimeSimulator sim(p);
+    const double fit = 4000.0;
+    const auto est = sim.estimate(singleComponentReport(fit));
+    const double expected = util::fitToMttfYears(fit);
+    EXPECT_NEAR(est.mttf_years, expected, 0.02 * expected);
+    // Exponential median = mean * ln 2.
+    EXPECT_NEAR(est.median_years, expected * std::log(2.0),
+                0.03 * expected);
+}
+
+TEST(Lifetime, ExponentialShapesReproduceSofr)
+{
+    // beta = 1 for every mechanism: the Monte-Carlo series-system
+    // MTTF must equal the SOFR closed form 1/sum(lambda).
+    LifetimeParams p;
+    p.weibull_shape = {1.0, 1.0, 1.0, 1.0};
+    p.samples = 100000;
+    const LifetimeSimulator sim(p);
+    const auto report = uniformReport(100.0); // 40 cells -> 4000 FIT
+    const auto est = sim.estimate(report);
+    EXPECT_NEAR(est.sofr_mttf_years, util::fitToMttfYears(4000.0),
+                1e-9);
+    EXPECT_NEAR(est.mttf_years, est.sofr_mttf_years,
+                0.02 * est.sofr_mttf_years);
+}
+
+TEST(Lifetime, WearOutShapesBeatSofr)
+{
+    // beta = 2 wear-out: failures cluster near their means, so the
+    // series minimum lives longer than the exponential prediction.
+    const LifetimeSimulator sim; // default shapes ~2
+    const auto report = uniformReport(100.0);
+    const auto est = sim.estimate(report);
+    EXPECT_GT(est.mttf_years, 1.5 * est.sofr_mttf_years);
+    // And the early-failure tail moves out even more strongly.
+    EXPECT_GT(est.p01_years, 0.1 * est.mttf_years);
+}
+
+TEST(Lifetime, QuantilesAreOrdered)
+{
+    const LifetimeSimulator sim;
+    const auto est = sim.estimate(uniformReport(250.0));
+    EXPECT_LT(est.p01_years, est.median_years);
+    EXPECT_LT(est.median_years, est.p99_years);
+    EXPECT_GT(est.stddev_years, 0.0);
+}
+
+TEST(Lifetime, MoreComponentsShortenLife)
+{
+    LifetimeParams p;
+    p.samples = 50000;
+    const LifetimeSimulator sim(p);
+    // A series system of forty identical components must die sooner
+    // than any one of them alone.
+    const auto one = sim.estimate(singleComponentReport(100.0));
+    const auto many = sim.estimate(uniformReport(100.0));
+    EXPECT_LT(many.mttf_years, one.mttf_years);
+    // But, unlike the exponential case, NOT forty times sooner:
+    // wear-out clustering keeps the minimum near the common mean.
+    EXPECT_GT(many.mttf_years, one.mttf_years / 40.0 * 3.0);
+}
+
+TEST(Lifetime, DeterministicInSeed)
+{
+    const LifetimeSimulator a, b;
+    const auto ea = a.estimate(uniformReport(100.0));
+    const auto eb = b.estimate(uniformReport(100.0));
+    EXPECT_DOUBLE_EQ(ea.mttf_years, eb.mttf_years);
+    EXPECT_DOUBLE_EQ(ea.p01_years, eb.p01_years);
+}
+
+TEST(Lifetime, EmptyReportIsImmortal)
+{
+    const LifetimeSimulator sim;
+    const auto est = sim.estimate(FitReport{});
+    EXPECT_GT(est.mttf_years, 1e20);
+}
+
+TEST(Lifetime, SparesExtendStructureLife)
+{
+    // One spare ALU (Shivakumar-style redundancy): the IntALU group
+    // survives its first unit failure, so a report dominated by
+    // IntALU FIT lives visibly longer.
+    FitReport r;
+    r.fit[sim::structureIndex(sim::StructureId::IntAlu)]
+        [mechanismIndex(Mechanism::EM)] = 4000.0;
+
+    LifetimeParams base_p;
+    base_p.samples = 40000;
+    const auto no_spare = LifetimeSimulator(base_p).estimate(r);
+
+    LifetimeParams spare_p = base_p;
+    spare_p.spares[sim::structureIndex(sim::StructureId::IntAlu)] = 1;
+    const auto one_spare = LifetimeSimulator(spare_p).estimate(r);
+
+    EXPECT_GT(one_spare.mttf_years, 1.05 * no_spare.mttf_years);
+    // The early-failure tail benefits the most from sparing.
+    EXPECT_GT(one_spare.p01_years, 1.3 * no_spare.p01_years);
+}
+
+TEST(Lifetime, SparesOnNonRedundantStructureAreClamped)
+{
+    // The LSQ has one unit; asking for spares must not break (they
+    // are clamped to units-1 = 0).
+    FitReport r;
+    r.fit[sim::structureIndex(sim::StructureId::Lsq)]
+        [mechanismIndex(Mechanism::EM)] = 4000.0;
+    LifetimeParams p;
+    p.samples = 20000;
+    const auto plain = LifetimeSimulator(p).estimate(r);
+    p.spares[sim::structureIndex(sim::StructureId::Lsq)] = 3;
+    const auto clamped = LifetimeSimulator(p).estimate(r);
+    EXPECT_NEAR(clamped.mttf_years, plain.mttf_years,
+                0.05 * plain.mttf_years);
+}
+
+TEST(LifetimeDeath, RejectsBadParams)
+{
+    LifetimeParams p;
+    p.samples = 0;
+    EXPECT_EXIT(LifetimeSimulator{p}, testing::ExitedWithCode(1),
+                "sample");
+    LifetimeParams q;
+    q.weibull_shape[1] = 0.0;
+    EXPECT_EXIT(LifetimeSimulator{q}, testing::ExitedWithCode(1),
+                "shape");
+}
+
+} // namespace
+} // namespace ramp::core

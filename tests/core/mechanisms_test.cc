@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the device-level failure-mechanism models (paper
+ * Sections 3.1-3.4): temperature/voltage/activity sensitivities and
+ * exact closed-form ratios.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mechanisms.hh"
+#include "util/constants.hh"
+
+namespace ramp::core {
+namespace {
+
+OperatingConditions
+at(double t, double v = 1.0, double f = 4.0, double a = 0.5)
+{
+    OperatingConditions c;
+    c.temp_k = t;
+    c.voltage_v = v;
+    c.frequency_ghz = f;
+    c.activity = a;
+    return c;
+}
+
+TEST(Mechanisms, EnumBasics)
+{
+    EXPECT_EQ(num_mechanisms, 4u);
+    EXPECT_EQ(mechanismName(Mechanism::EM), "EM");
+    EXPECT_EQ(mechanismName(Mechanism::SM), "SM");
+    EXPECT_EQ(mechanismName(Mechanism::TDDB), "TDDB");
+    EXPECT_EQ(mechanismName(Mechanism::TC), "TC");
+}
+
+TEST(Mechanisms, AllRatesIncreaseWithTemperature)
+{
+    // In the operating range 320-450 K every mechanism wears faster
+    // when hotter (for SM the Arrhenius term beats the |T0-T| term,
+    // exactly as Section 3.2 discusses).
+    for (auto m : allMechanisms()) {
+        double prev = logRelativeRate(m, at(320.0));
+        for (double t = 330.0; t <= 450.0; t += 10.0) {
+            const double cur = logRelativeRate(m, at(t));
+            EXPECT_GT(cur, prev)
+                << mechanismName(m) << " at " << t << " K";
+            prev = cur;
+        }
+    }
+}
+
+TEST(Mechanisms, EmFollowsBlacksEquation)
+{
+    // MTTF ratio between two temperatures at fixed J must equal
+    // exp(Ea/k (1/T1 - 1/T2)) with Ea = 0.9 eV.
+    const double t1 = 350.0, t2 = 380.0;
+    const double expected =
+        std::exp(0.9 / util::k_boltzmann_ev * (1.0 / t1 - 1.0 / t2));
+    EXPECT_NEAR(mttfRatio(Mechanism::EM, at(t2), at(t1)),
+                1.0 / expected, 1e-9);
+}
+
+TEST(Mechanisms, EmCurrentDensityExponent)
+{
+    // Doubling the effective current density costs 2^1.1 in MTTF.
+    const auto lo = at(360.0, 1.0, 2.0);
+    const auto hi = at(360.0, 1.0, 4.0);
+    EXPECT_NEAR(mttfRatio(Mechanism::EM, hi, lo),
+                std::pow(0.5, 1.1), 1e-9);
+}
+
+TEST(Mechanisms, EmActivityUsesGatingFloor)
+{
+    // alpha = 0 still leaves the 10% clock floor switching, so the
+    // rate is finite and the 0->1 swing is a factor 10^1.1 in J.
+    const auto idle = at(360.0, 1.0, 4.0, 0.0);
+    const auto busy = at(360.0, 1.0, 4.0, 1.0);
+    EXPECT_NEAR(mttfRatio(Mechanism::EM, busy, idle),
+                std::pow(0.1, 1.1), 1e-9);
+}
+
+TEST(Mechanisms, EmIgnoresNothingElse)
+{
+    // EM is insensitive to voltage only through J (linear), never
+    // through the exponential -- check the exact V exponent.
+    const auto v1 = at(360.0, 0.8);
+    const auto v2 = at(360.0, 1.0);
+    EXPECT_NEAR(mttfRatio(Mechanism::EM, v2, v1),
+                std::pow(0.8, 1.1), 1e-9);
+}
+
+TEST(Mechanisms, SmStressFreeTemperatureTerm)
+{
+    // At fixed Arrhenius temperature... impossible physically, so
+    // verify the exact closed form instead: the log-rate difference
+    // between T=400 and T=460 must equal
+    // 2.5 ln(|500-460|/|500-400|) - Ea/k (1/460 - 1/400).
+    const double expected =
+        2.5 * std::log(40.0 / 100.0) -
+        0.9 / util::k_boltzmann_ev * (1.0 / 460.0 - 1.0 / 400.0);
+    const double got = logRelativeRate(Mechanism::SM, at(460.0)) -
+                       logRelativeRate(Mechanism::SM, at(400.0));
+    EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(Mechanisms, SmInsensitiveToVoltageFrequencyActivity)
+{
+    const double r1 =
+        logRelativeRate(Mechanism::SM, at(370.0, 1.0, 4.0, 0.9));
+    const double r2 =
+        logRelativeRate(Mechanism::SM, at(370.0, 0.7, 2.5, 0.1));
+    EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(Mechanisms, TddbVoltageDependenceIsHuge)
+{
+    // Section 7.2: small voltage drops reduce the TDDB FIT value
+    // drastically. A 5% drop at 360 K gives (0.95)^(78+0.081*360).
+    const double exponent = 78.0 + 0.081 * 360.0;
+    const double expected = std::pow(0.95, exponent);
+    const double ratio = std::exp(
+        logRelativeRate(Mechanism::TDDB, at(360.0, 0.95)) -
+        logRelativeRate(Mechanism::TDDB, at(360.0, 1.00)));
+    EXPECT_NEAR(ratio, expected, expected * 1e-9);
+    EXPECT_LT(ratio, 0.02); // more than 50x FIT reduction
+}
+
+TEST(Mechanisms, TddbThermalTermMatchesWuModel)
+{
+    // At V = 1 the voltage term vanishes and the log-rate is
+    // -(X + Y/T + ZT)/kT with the published constants.
+    const double t = 345.0;
+    const double expected =
+        -(0.759 - 66.8 / t - 8.37e-4 * t) /
+        (util::k_boltzmann_ev * t);
+    EXPECT_NEAR(logRelativeRate(Mechanism::TDDB, at(t, 1.0)),
+                expected, 1e-9);
+}
+
+TEST(Mechanisms, TcFollowsCoffinManson)
+{
+    // MTTF ratio between cycle amplitudes is (dT1/dT2)^2.35.
+    const auto small = at(330.0); // 30 K above the 300 K ambient
+    const auto large = at(360.0); // 60 K above ambient
+    EXPECT_NEAR(mttfRatio(Mechanism::TC, large, small),
+                std::pow(0.5, 2.35), 1e-9);
+}
+
+TEST(Mechanisms, TcInsensitiveToVoltageAndFrequency)
+{
+    const double r1 =
+        logRelativeRate(Mechanism::TC, at(360.0, 1.0, 4.0));
+    const double r2 =
+        logRelativeRate(Mechanism::TC, at(360.0, 0.8, 2.5));
+    EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(Mechanisms, MttfRatioIdentity)
+{
+    for (auto m : allMechanisms())
+        EXPECT_DOUBLE_EQ(mttfRatio(m, at(365.0), at(365.0)), 1.0);
+}
+
+TEST(Mechanisms, RatesFiniteAtExtremes)
+{
+    for (auto m : allMechanisms()) {
+        EXPECT_TRUE(std::isfinite(
+            logRelativeRate(m, at(318.01, 0.5, 0.1, 0.0))));
+        EXPECT_TRUE(std::isfinite(
+            logRelativeRate(m, at(499.95, 1.2, 6.0, 1.0))));
+    }
+}
+
+TEST(MechanismsDeath, NonPositiveTemperatureIsFatal)
+{
+    EXPECT_EXIT(logRelativeRate(Mechanism::EM, at(0.0)),
+                testing::ExitedWithCode(1), "temperature");
+}
+
+} // namespace
+} // namespace ramp::core

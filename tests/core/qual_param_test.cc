@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parameterised qualification properties: the anchor invariant and
+ * budget conservation must hold at every qualification temperature,
+ * FIT target, and activity level -- not just the defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "core/qualification.hh"
+
+namespace ramp::core {
+namespace {
+
+using sim::allStructures;
+using sim::PerStructure;
+
+class TqualSweepTest : public testing::TestWithParam<double>
+{
+  protected:
+    Qualification qual(double target = 4000.0, double alpha = 0.5)
+    {
+        QualificationSpec s;
+        s.t_qual_k = GetParam();
+        s.target_fit = target;
+        s.alpha_qual.fill(alpha);
+        return Qualification(s);
+    }
+};
+
+TEST_P(TqualSweepTest, AnchorInvariantHolds)
+{
+    const Qualification q = qual();
+    for (auto s : allStructures())
+        for (auto m : allMechanisms())
+            EXPECT_NEAR(q.fit(s, m, q.qualConditions(s)),
+                        q.allocation(s, m), 1e-9);
+}
+
+TEST_P(TqualSweepTest, EngineReproducesTargetAtQualPoint)
+{
+    const Qualification q = qual();
+    PerStructure<double> ones;
+    ones.fill(1.0);
+    PerStructure<double> temps;
+    temps.fill(GetParam());
+    PerStructure<double> act;
+    act.fill(0.5);
+    const auto report = steadyFit(q, ones, temps, act, 1.0, 4.0);
+    EXPECT_NEAR(report.totalFit(), 4000.0, 1e-5);
+}
+
+TEST_P(TqualSweepTest, BudgetConservedForAnyTarget)
+{
+    for (double target : {500.0, 4000.0, 20000.0}) {
+        const Qualification q = qual(target);
+        double total = 0.0;
+        for (auto s : allStructures())
+            for (auto m : allMechanisms())
+                total += q.allocation(s, m);
+        EXPECT_NEAR(total, target, 1e-9);
+    }
+}
+
+TEST_P(TqualSweepTest, FitMonotoneInActualTemperature)
+{
+    const Qualification q = qual();
+    PerStructure<double> ones;
+    ones.fill(1.0);
+    PerStructure<double> act;
+    act.fill(0.5);
+    double prev = 0.0;
+    for (double t = 320.0; t <= 440.0; t += 10.0) {
+        PerStructure<double> temps;
+        temps.fill(t);
+        const double fit =
+            steadyFit(q, ones, temps, act, 1.0, 4.0).totalFit();
+        EXPECT_GT(fit, prev) << "T=" << t;
+        prev = fit;
+    }
+}
+
+TEST_P(TqualSweepTest, FitMonotoneInActivity)
+{
+    const Qualification q = qual(4000.0, 1.0);
+    PerStructure<double> ones;
+    ones.fill(1.0);
+    PerStructure<double> temps;
+    temps.fill(365.0);
+    double prev = -1.0;
+    for (double a = 0.0; a <= 1.0; a += 0.2) {
+        PerStructure<double> act;
+        act.fill(a);
+        const double fit =
+            steadyFit(q, ones, temps, act, 1.0, 4.0).totalFit();
+        EXPECT_GT(fit, prev) << "alpha=" << a;
+        prev = fit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(QualTemperatures, TqualSweepTest,
+                         testing::Values(325.0, 345.0, 360.0, 370.0,
+                                         385.0, 400.0, 420.0),
+                         [](const testing::TestParamInfo<double> &i) {
+                             return "T" + std::to_string(
+                                              static_cast<int>(i.param));
+                         });
+
+/** Per-mechanism parameterised properties. */
+class MechanismSweepTest : public testing::TestWithParam<Mechanism>
+{
+};
+
+TEST_P(MechanismSweepTest, RateMonotoneInOperatingRange)
+{
+    OperatingConditions c;
+    c.activity = 0.5;
+    double prev = -1e300;
+    for (double t = 310.0; t <= 450.0; t += 5.0) {
+        c.temp_k = t;
+        const double r = logRelativeRate(GetParam(), c);
+        EXPECT_GT(r, prev) << "T=" << t;
+        prev = r;
+    }
+}
+
+TEST_P(MechanismSweepTest, RatioSymmetry)
+{
+    OperatingConditions a, b;
+    a.temp_k = 350.0;
+    b.temp_k = 390.0;
+    const double ab = mttfRatio(GetParam(), a, b);
+    const double ba = mttfRatio(GetParam(), b, a);
+    EXPECT_NEAR(ab * ba, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismSweepTest,
+    testing::Values(Mechanism::EM, Mechanism::SM, Mechanism::TDDB,
+                    Mechanism::TC),
+    [](const testing::TestParamInfo<Mechanism> &i) {
+        return std::string(mechanismName(i.param));
+    });
+
+} // namespace
+} // namespace ramp::core

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for reliability qualification (paper Section 3.7): budget
+ * allocation, the anchor invariant (FIT at qualification conditions
+ * equals the allocation), and power-gating effects.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/qualification.hh"
+
+namespace ramp::core {
+namespace {
+
+using sim::allStructures;
+using sim::StructureId;
+using sim::structureIndex;
+
+QualificationSpec
+spec(double t_qual = 400.0)
+{
+    QualificationSpec s;
+    s.t_qual_k = t_qual;
+    s.alpha_qual.fill(0.5);
+    return s;
+}
+
+TEST(Qualification, BudgetSplitsEvenlyAcrossMechanisms)
+{
+    const Qualification q(spec());
+    for (auto m : allMechanisms()) {
+        double sum = 0.0;
+        for (auto s : allStructures())
+            sum += q.allocation(s, m);
+        EXPECT_NEAR(sum, 1000.0, 1e-9); // 4000 / 4 mechanisms
+    }
+}
+
+TEST(Qualification, BudgetSplitsByAreaAcrossStructures)
+{
+    const Qualification q(spec());
+    const double total_area = sim::totalCoreArea();
+    for (auto s : allStructures()) {
+        const double share = sim::structureArea(s) / total_area;
+        EXPECT_NEAR(q.allocation(s, Mechanism::EM), 1000.0 * share,
+                    1e-9);
+    }
+}
+
+TEST(Qualification, TotalAllocationIsTarget)
+{
+    const Qualification q(spec());
+    double total = 0.0;
+    for (auto s : allStructures())
+        for (auto m : allMechanisms())
+            total += q.allocation(s, m);
+    EXPECT_NEAR(total, 4000.0, 1e-9);
+}
+
+TEST(Qualification, FitAtQualConditionsEqualsAllocation)
+{
+    // The anchor invariant: running exactly at the qualification
+    // point consumes exactly the allocated budget.
+    const Qualification q(spec(385.0));
+    for (auto s : allStructures()) {
+        const auto qc = q.qualConditions(s);
+        for (auto m : allMechanisms())
+            EXPECT_NEAR(q.fit(s, m, qc), q.allocation(s, m), 1e-9)
+                << sim::structureName(s) << "/" << mechanismName(m);
+    }
+}
+
+TEST(Qualification, TotalFitAtQualPointIsTarget)
+{
+    const Qualification q(spec(370.0));
+    double total = 0.0;
+    for (auto s : allStructures())
+        for (auto m : allMechanisms())
+            total += q.fit(s, m, q.qualConditions(s));
+    EXPECT_NEAR(total, 4000.0, 1e-6);
+}
+
+TEST(Qualification, CoolerThanQualMeansUnderBudget)
+{
+    const Qualification q(spec(400.0));
+    for (auto s : allStructures()) {
+        OperatingConditions c = q.qualConditions(s);
+        c.temp_k = 360.0;
+        for (auto m : allMechanisms())
+            EXPECT_LT(q.fit(s, m, c), q.allocation(s, m));
+    }
+}
+
+TEST(Qualification, HotterThanQualMeansOverBudget)
+{
+    const Qualification q(spec(360.0));
+    for (auto s : allStructures()) {
+        OperatingConditions c = q.qualConditions(s);
+        c.temp_k = 395.0;
+        for (auto m : allMechanisms())
+            EXPECT_GT(q.fit(s, m, c), q.allocation(s, m));
+    }
+}
+
+TEST(Qualification, CheaperQualificationShrinksHeadroom)
+{
+    // The same actual conditions consume more of the budget on a
+    // processor qualified at a lower (cheaper) T_qual.
+    const Qualification expensive(spec(400.0));
+    const Qualification cheap(spec(345.0));
+    OperatingConditions c;
+    c.temp_k = 370.0;
+    c.activity = 0.5;
+    const auto s = StructureId::IntAlu;
+    for (auto m : allMechanisms())
+        EXPECT_GT(cheap.fit(s, m, c), expensive.fit(s, m, c));
+}
+
+TEST(Qualification, PowerGatingScalesEmAndTddbOnly)
+{
+    const Qualification q(spec());
+    OperatingConditions c;
+    c.temp_k = 370.0;
+    c.activity = 0.4;
+    const auto s = StructureId::Fpu;
+    EXPECT_NEAR(q.fit(s, Mechanism::EM, c, 0.25),
+                0.25 * q.fit(s, Mechanism::EM, c, 1.0), 1e-12);
+    EXPECT_NEAR(q.fit(s, Mechanism::TDDB, c, 0.25),
+                0.25 * q.fit(s, Mechanism::TDDB, c, 1.0), 1e-12);
+    EXPECT_NEAR(q.fit(s, Mechanism::SM, c, 0.25),
+                q.fit(s, Mechanism::SM, c, 1.0), 1e-12);
+    EXPECT_NEAR(q.fit(s, Mechanism::TC, c, 0.25),
+                q.fit(s, Mechanism::TC, c, 1.0), 1e-12);
+}
+
+TEST(Qualification, SpecIsPreserved)
+{
+    QualificationSpec s = spec(377.0);
+    s.target_fit = 2000.0;
+    const Qualification q(s);
+    EXPECT_DOUBLE_EQ(q.spec().t_qual_k, 377.0);
+    EXPECT_DOUBLE_EQ(q.spec().target_fit, 2000.0);
+    double total = 0.0;
+    for (auto st : allStructures())
+        for (auto m : allMechanisms())
+            total += q.allocation(st, m);
+    EXPECT_NEAR(total, 2000.0, 1e-9);
+}
+
+TEST(QualificationDeath, RejectsBadSpecs)
+{
+    QualificationSpec s = spec();
+    s.target_fit = 0.0;
+    EXPECT_EXIT(Qualification{s}, testing::ExitedWithCode(1),
+                "target FIT");
+
+    s = spec();
+    s.t_qual_k = 300.0; // below ambient
+    EXPECT_EXIT(Qualification{s}, testing::ExitedWithCode(1),
+                "ambient");
+
+    s = spec();
+    s.v_qual_v = 0.0;
+    EXPECT_EXIT(Qualification{s}, testing::ExitedWithCode(1),
+                "voltage");
+}
+
+} // namespace
+} // namespace ramp::core

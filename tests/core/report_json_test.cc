@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for JSON serialisation of operating points and FIT reports:
+ * the output must be well-formed and carry the right numbers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report_json.hh"
+
+namespace ramp::core {
+namespace {
+
+OperatingPoint
+syntheticOp()
+{
+    OperatingPoint op;
+    op.config = sim::baseMachine();
+    op.activity.cycles = 1000;
+    op.activity.retired = 1730;
+    op.activity.activity.fill(0.25);
+    op.temps_k.fill(360.0);
+    op.sink_temp_k = 330.0;
+    op.power.dynamic_w.fill(1.5);
+    op.power.leakage_w.fill(0.5);
+    op.l1d_miss_ratio = 0.03;
+    return op;
+}
+
+FitReport
+syntheticReport()
+{
+    QualificationSpec s;
+    s.t_qual_k = 380.0;
+    s.alpha_qual.fill(0.5);
+    sim::PerStructure<double> ones;
+    ones.fill(1.0);
+    sim::PerStructure<double> temps;
+    temps.fill(380.0);
+    sim::PerStructure<double> act;
+    act.fill(0.5);
+    return steadyFit(Qualification(s), ones, temps, act, 1.0, 4.0);
+}
+
+TEST(ReportJson, OperatingPointFieldsPresent)
+{
+    std::ostringstream os;
+    writeJson(os, syntheticOp());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"ipc\":1.73"), std::string::npos);
+    EXPECT_NE(out.find("\"power_total_w\":20"), std::string::npos);
+    EXPECT_NE(out.find("\"temp_max_k\":360"), std::string::npos);
+    EXPECT_NE(out.find("\"IntALU\""), std::string::npos);
+    EXPECT_NE(out.find("\"FPU\""), std::string::npos);
+    EXPECT_NE(out.find("\"l1d_miss_ratio\":0.03"),
+              std::string::npos);
+    // One complete root object per call, newline-terminated.
+    EXPECT_EQ(out.back(), '\n');
+    EXPECT_EQ(out.front(), '{');
+}
+
+TEST(ReportJson, FitReportAtQualPointCarriesTarget)
+{
+    std::ostringstream os;
+    writeJson(os, syntheticReport());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"total_fit\":4000"), std::string::npos);
+    for (const char *m : {"\"EM\"", "\"SM\"", "\"TDDB\"", "\"TC\""})
+        EXPECT_NE(out.find(m), std::string::npos) << m;
+    EXPECT_NE(out.find("\"by_structure\""), std::string::npos);
+    EXPECT_NE(out.find("\"mttf_years\""), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBraces)
+{
+    for (int which = 0; which < 2; ++which) {
+        std::ostringstream os;
+        if (which == 0)
+            writeJson(os, syntheticOp());
+        else
+            writeJson(os, syntheticReport());
+        int depth = 0;
+        bool in_string = false;
+        char prev = 0;
+        for (char c : os.str()) {
+            if (c == '"' && prev != '\\')
+                in_string = !in_string;
+            if (!in_string) {
+                depth += c == '{' || c == '[';
+                depth -= c == '}' || c == ']';
+            }
+            prev = c;
+            ASSERT_GE(depth, 0);
+        }
+        EXPECT_EQ(depth, 0);
+        EXPECT_FALSE(in_string);
+    }
+}
+
+} // namespace
+} // namespace ramp::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the DRM adaptation spaces (paper Section 6.1): the DVS
+ * ladder and V(f) relation, the 18 microarchitectural configurations,
+ * and the combined space.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "drm/adaptation.hh"
+
+namespace ramp::drm {
+namespace {
+
+TEST(Dvs, LadderCoversPaperRange)
+{
+    const auto &levels = dvsLevels();
+    ASSERT_EQ(levels.size(), 11u); // 2.5 to 5.0 GHz in 0.25 steps
+    EXPECT_DOUBLE_EQ(levels.front().frequency_ghz, 2.5);
+    EXPECT_DOUBLE_EQ(levels.back().frequency_ghz, 5.0);
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_GT(levels[i].frequency_ghz,
+                  levels[i - 1].frequency_ghz);
+}
+
+TEST(Dvs, VoltageAnchoredAtBasePoint)
+{
+    EXPECT_DOUBLE_EQ(dvsVoltage(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(dvsVoltage(2.5), 0.85);
+}
+
+TEST(Dvs, VoltageMonotonicNonDecreasing)
+{
+    double prev = 0.0;
+    for (const auto &lvl : dvsLevels()) {
+        EXPECT_GE(lvl.voltage_v, prev);
+        prev = lvl.voltage_v;
+    }
+}
+
+TEST(Dvs, OverclockGuardBandIsShallow)
+{
+    // Below base: full Pentium-M slope. Above base: the small
+    // binning guard band (see adaptation.cc for why).
+    const double below = dvsVoltage(4.0) - dvsVoltage(3.0);
+    const double above = dvsVoltage(5.0) - dvsVoltage(4.0);
+    EXPECT_NEAR(below, 0.10, 1e-12);
+    EXPECT_GT(above, 0.0);
+    EXPECT_LT(above, below / 2.0);
+}
+
+TEST(Arch, EighteenConfigurations)
+{
+    const auto &configs = archConfigs();
+    ASSERT_EQ(configs.size(), 18u);
+    // First is the base machine; last is the minimal machine.
+    EXPECT_EQ(configs.front().window_size, 128u);
+    EXPECT_EQ(configs.front().num_int_alu, 6u);
+    EXPECT_EQ(configs.front().num_fpu, 4u);
+    EXPECT_EQ(configs.back().window_size, 16u);
+    EXPECT_EQ(configs.back().num_int_alu, 2u);
+    EXPECT_EQ(configs.back().num_fpu, 1u);
+}
+
+TEST(Arch, AllAtBaseVoltageAndFrequency)
+{
+    for (const auto &cfg : archConfigs()) {
+        EXPECT_DOUBLE_EQ(cfg.frequency_ghz, 4.0);
+        EXPECT_DOUBLE_EQ(cfg.voltage_v, 1.0);
+    }
+}
+
+TEST(Arch, ConfigurationsAreUnique)
+{
+    std::set<std::string> seen;
+    for (const auto &cfg : archConfigs())
+        EXPECT_TRUE(seen.insert(cfg.describe()).second);
+}
+
+TEST(Arch, AllValidate)
+{
+    for (const auto &cfg : archConfigs())
+        cfg.validate(); // must not exit
+}
+
+TEST(Arch, IssueWidthTracksUnits)
+{
+    for (const auto &cfg : archConfigs())
+        EXPECT_EQ(cfg.issueWidth(),
+                  cfg.num_int_alu + cfg.num_fpu + cfg.num_agen);
+}
+
+TEST(Space, SizesMatchPaper)
+{
+    EXPECT_EQ(configSpace(AdaptationSpace::Arch).size(), 18u);
+    EXPECT_EQ(configSpace(AdaptationSpace::Dvs).size(), 11u);
+    EXPECT_EQ(configSpace(AdaptationSpace::ArchDvs).size(), 198u);
+}
+
+TEST(Space, DvsUsesMostAggressiveMicroarchitecture)
+{
+    for (const auto &cfg : configSpace(AdaptationSpace::Dvs)) {
+        EXPECT_EQ(cfg.window_size, 128u);
+        EXPECT_EQ(cfg.num_int_alu, 6u);
+        EXPECT_EQ(cfg.num_fpu, 4u);
+    }
+}
+
+TEST(Space, ArchDvsIsCrossProduct)
+{
+    std::set<std::string> seen;
+    for (const auto &cfg : configSpace(AdaptationSpace::ArchDvs))
+        EXPECT_TRUE(seen.insert(cfg.describe()).second);
+    EXPECT_EQ(seen.size(), 198u);
+}
+
+TEST(Space, FetchThrottleLadder)
+{
+    const auto space = configSpace(AdaptationSpace::FetchThrottle);
+    ASSERT_EQ(space.size(), 8u);
+    // First rung is the un-throttled base machine.
+    EXPECT_EQ(space.front().fetch_duty_x8, 8u);
+    EXPECT_EQ(space.back().fetch_duty_x8, 1u);
+    for (const auto &cfg : space) {
+        EXPECT_DOUBLE_EQ(cfg.frequency_ghz, 4.0);
+        EXPECT_DOUBLE_EQ(cfg.voltage_v, 1.0);
+        cfg.validate();
+    }
+}
+
+TEST(Space, Names)
+{
+    EXPECT_STREQ(adaptationSpaceName(AdaptationSpace::Arch), "Arch");
+    EXPECT_STREQ(adaptationSpaceName(AdaptationSpace::Dvs), "DVS");
+    EXPECT_STREQ(adaptationSpaceName(AdaptationSpace::ArchDvs),
+                 "ArchDVS");
+    EXPECT_STREQ(adaptationSpaceName(AdaptationSpace::FetchThrottle),
+                 "FetchThrottle");
+}
+
+} // namespace
+} // namespace ramp::drm

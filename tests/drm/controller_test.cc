@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the closed-loop DRM/DTM controllers: stepping logic,
+ * hysteresis, settling, and bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drm/controller.hh"
+
+namespace ramp::drm {
+namespace {
+
+DrmController::Params
+drmParams()
+{
+    DrmController::Params p;
+    p.target_fit = 4000.0;
+    p.down_margin = 0.02;
+    p.up_margin = 0.10;
+    p.settle_intervals = 0; // most tests want immediate reaction
+    return p;
+}
+
+TEST(DrmController, StepsDownWhenOverBudget)
+{
+    DrmController ctl(drmParams(), 11, 6);
+    EXPECT_EQ(ctl.observe(5000.0), 5u);
+    EXPECT_EQ(ctl.observe(5000.0), 4u);
+}
+
+TEST(DrmController, StepsUpWhenUnderBudget)
+{
+    DrmController ctl(drmParams(), 11, 6);
+    EXPECT_EQ(ctl.observe(3000.0), 7u);
+    EXPECT_EQ(ctl.observe(3000.0), 8u);
+}
+
+TEST(DrmController, HoldsInsideHysteresisBand)
+{
+    DrmController ctl(drmParams(), 11, 6);
+    // Between (1-0.10)*4000 = 3600 and (1+0.02)*4000 = 4080: hold.
+    EXPECT_EQ(ctl.observe(3900.0), 6u);
+    EXPECT_EQ(ctl.observe(4050.0), 6u);
+    EXPECT_EQ(ctl.observe(3650.0), 6u);
+}
+
+TEST(DrmController, SaturatesAtLadderEnds)
+{
+    DrmController ctl(drmParams(), 3, 0);
+    EXPECT_EQ(ctl.observe(9000.0), 0u); // already at the bottom
+    DrmController top(drmParams(), 3, 2);
+    EXPECT_EQ(top.observe(100.0), 2u); // already at the top
+}
+
+TEST(DrmController, SettlingSuppressesChatter)
+{
+    auto p = drmParams();
+    p.settle_intervals = 2;
+    DrmController ctl(p, 11, 6);
+    EXPECT_EQ(ctl.observe(5000.0), 5u); // reacts
+    EXPECT_EQ(ctl.observe(5000.0), 5u); // cooling down
+    EXPECT_EQ(ctl.observe(5000.0), 5u); // cooling down
+    EXPECT_EQ(ctl.observe(5000.0), 4u); // reacts again
+    EXPECT_EQ(ctl.transitions(), 2u);
+}
+
+TEST(DrmController, ConvergesOntoTarget)
+{
+    // A toy plant: FIT grows quadratically with the level. The
+    // controller must settle at the highest level meeting 4000.
+    DrmController ctl(drmParams(), 11, 0);
+    double level_fit[11];
+    for (int i = 0; i < 11; ++i)
+        level_fit[i] = 500.0 * (i + 1) * (i + 1) / 10.0;
+    std::size_t level = 0;
+    for (int step = 0; step < 100; ++step)
+        level = ctl.observe(level_fit[level]);
+    // 500*(l+1)^2/10 <= 4080 -> l+1 <= 9.03 -> level 8.
+    EXPECT_EQ(level, 8u);
+    // And it stays there.
+    for (int step = 0; step < 10; ++step)
+        EXPECT_EQ(ctl.observe(level_fit[level]), 8u);
+}
+
+TEST(DrmControllerDeath, RejectsBadConstruction)
+{
+    EXPECT_EXIT(DrmController(drmParams(), 0, 0),
+                testing::ExitedWithCode(1), "level");
+    EXPECT_EXIT(DrmController(drmParams(), 4, 4),
+                testing::ExitedWithCode(1), "range");
+    auto p = drmParams();
+    p.target_fit = 0.0;
+    EXPECT_EXIT(DrmController(p, 4, 0), testing::ExitedWithCode(1),
+                "target");
+}
+
+DtmController::Params
+dtmParams()
+{
+    DtmController::Params p;
+    p.t_design_k = 370.0;
+    p.guard_k = 3.0;
+    p.settle_intervals = 0;
+    return p;
+}
+
+TEST(DtmController, ThrottlesAboveLimit)
+{
+    DtmController ctl(dtmParams(), 11, 6);
+    EXPECT_EQ(ctl.observe(375.0), 5u);
+    EXPECT_EQ(ctl.observe(371.0), 4u);
+}
+
+TEST(DtmController, RecoversBelowGuardBand)
+{
+    DtmController ctl(dtmParams(), 11, 4);
+    EXPECT_EQ(ctl.observe(360.0), 5u); // < 367
+    EXPECT_EQ(ctl.observe(366.9), 6u);
+}
+
+TEST(DtmController, HoldsInsideGuardBand)
+{
+    DtmController ctl(dtmParams(), 11, 6);
+    EXPECT_EQ(ctl.observe(368.0), 6u);
+    EXPECT_EQ(ctl.observe(369.5), 6u);
+}
+
+TEST(DtmController, SettlingWorks)
+{
+    auto p = dtmParams();
+    p.settle_intervals = 1;
+    DtmController ctl(p, 11, 6);
+    EXPECT_EQ(ctl.observe(380.0), 5u);
+    EXPECT_EQ(ctl.observe(380.0), 5u); // cooldown
+    EXPECT_EQ(ctl.observe(380.0), 4u);
+}
+
+TEST(DtmControllerDeath, RejectsBadConstruction)
+{
+    EXPECT_EXIT(DtmController(dtmParams(), 0, 0),
+                testing::ExitedWithCode(1), "level");
+    auto p = dtmParams();
+    p.guard_k = -1.0;
+    EXPECT_EXIT(DtmController(p, 4, 0), testing::ExitedWithCode(1),
+                "guard");
+}
+
+} // namespace
+} // namespace ramp::drm

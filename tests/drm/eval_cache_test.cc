@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the persistent evaluation cache: round trips, file
+ * persistence across instances, key discrimination, and tolerance of
+ * corrupt data.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "drm/eval_cache.hh"
+
+namespace ramp::drm {
+namespace {
+
+/** Temp file path unique to this test binary run. */
+std::string
+tmpPath(const char *tag)
+{
+    return testing::TempDir() + "ramp_cache_test_" + tag + ".txt";
+}
+
+CachedEvaluation
+sample(double ipc_scale = 1.0)
+{
+    CachedEvaluation v;
+    v.activity.cycles = 1000;
+    v.activity.retired = static_cast<std::uint64_t>(800 * ipc_scale);
+    for (std::size_t i = 0; i < sim::num_structures; ++i)
+        v.activity.activity[i] = 0.05 * static_cast<double>(i + 1);
+    v.stats.cycles = 1000;
+    v.stats.retired = v.activity.retired;
+    v.stats.branches = 77;
+    v.stats.mispredicts = 7;
+    v.l1d_miss_ratio = 0.031;
+    v.l2_miss_ratio = 0.25;
+    return v;
+}
+
+TEST(EvalCache, MissOnEmpty)
+{
+    EvaluationCache cache;
+    EXPECT_FALSE(cache.get("nope").has_value());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCache, PutGetRoundTrip)
+{
+    EvaluationCache cache;
+    cache.put("k1", sample());
+    const auto hit = cache.get("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->activity.retired, 800u);
+    EXPECT_EQ(hit->stats.branches, 77u);
+    EXPECT_DOUBLE_EQ(hit->l1d_miss_ratio, 0.031);
+    EXPECT_DOUBLE_EQ(hit->activity.activity[3], 0.2);
+}
+
+TEST(EvalCache, PersistsAcrossInstances)
+{
+    const auto path = tmpPath("persist");
+    std::remove(path.c_str());
+    {
+        EvaluationCache cache(path);
+        cache.put("a", sample(1.0));
+        cache.put("b", sample(0.5));
+    }
+    EvaluationCache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    const auto a = reloaded.get("a");
+    const auto b = reloaded.get("b");
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->activity.retired, 800u);
+    EXPECT_EQ(b->activity.retired, 400u);
+    EXPECT_DOUBLE_EQ(a->l2_miss_ratio, 0.25);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, OverwriteKeepsLatest)
+{
+    const auto path = tmpPath("overwrite");
+    std::remove(path.c_str());
+    {
+        EvaluationCache cache(path);
+        cache.put("k", sample(1.0));
+        cache.put("k", sample(0.5));
+        EXPECT_EQ(cache.get("k")->activity.retired, 400u);
+    }
+    // The file holds both records; reload must keep the latest.
+    EvaluationCache reloaded(path);
+    EXPECT_EQ(reloaded.get("k")->activity.retired, 400u);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, IgnoresCorruptLines)
+{
+    const auto path = tmpPath("corrupt");
+    {
+        std::ofstream out(path);
+        out << "garbage line\n";
+        out << "999 badversion 1 2 3\n";
+        out << "2 truncated_record 12\n";
+    }
+    EvaluationCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);
+    // And it still accepts new records.
+    cache.put("fresh", sample());
+    EXPECT_TRUE(cache.get("fresh").has_value());
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, MissingFileIsColdCache)
+{
+    EvaluationCache cache(tmpPath("never_created_xyz"));
+    EXPECT_EQ(cache.size(), 0u);
+    std::remove(tmpPath("never_created_xyz").c_str());
+}
+
+TEST(EvalCacheKey, DiscriminatesTimingInputs)
+{
+    const auto &app = workload::findApp("bzip2");
+    const auto &other = workload::findApp("gzip");
+    const core::EvalParams params;
+    const auto base = sim::baseMachine();
+
+    const auto k0 = EvaluationCache::key(base, app, params);
+
+    // Paper-mode (clock-scaled memory): frequency is timing-neutral
+    // and every DVS rung shares one record.
+    sim::MachineConfig cfg = base;
+    cfg.frequency_ghz = 3.0;
+    EXPECT_EQ(EvaluationCache::key(cfg, app, params), k0);
+
+    // Physical-time mode: frequency changes the cycle counts.
+    sim::MachineConfig ns_base = base;
+    ns_base.offchip_scales_with_clock = false;
+    sim::MachineConfig ns_slow = ns_base;
+    ns_slow.frequency_ghz = 3.0;
+    EXPECT_NE(EvaluationCache::key(ns_slow, app, params),
+              EvaluationCache::key(ns_base, app, params));
+
+    cfg = base;
+    cfg.window_size = 64;
+    EXPECT_NE(EvaluationCache::key(cfg, app, params), k0);
+
+    cfg = base;
+    cfg.num_int_alu = 2;
+    EXPECT_NE(EvaluationCache::key(cfg, app, params), k0);
+
+    EXPECT_NE(EvaluationCache::key(base, other, params), k0);
+
+    core::EvalParams p2 = params;
+    p2.seed = 99;
+    EXPECT_NE(EvaluationCache::key(base, app, p2), k0);
+
+    p2 = params;
+    p2.measure_uops += 1;
+    EXPECT_NE(EvaluationCache::key(base, app, p2), k0);
+}
+
+TEST(EvalCacheKey, VoltageDoesNotAffectTiming)
+{
+    // Voltage changes power and reliability but never timing, so two
+    // configs differing only in V share one timing record.
+    const auto &app = workload::findApp("bzip2");
+    const core::EvalParams params;
+    sim::MachineConfig a = sim::baseMachine();
+    sim::MachineConfig b = sim::baseMachine();
+    b.voltage_v = 1.05;
+    EXPECT_EQ(EvaluationCache::key(a, app, params),
+              EvaluationCache::key(b, app, params));
+}
+
+} // namespace
+} // namespace ramp::drm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for intra-application (per-phase) DRM: the per-phase oracle
+ * must dominate the per-application oracle, respect the budget, and
+ * degenerate gracefully for single-phase applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drm/intra_app.hh"
+
+namespace ramp::drm {
+namespace {
+
+core::Qualification
+makeQual(double t_qual)
+{
+    core::QualificationSpec s;
+    s.t_qual_k = t_qual;
+    s.alpha_qual.fill(0.6);
+    return core::Qualification(s);
+}
+
+core::EvalParams
+fastParams()
+{
+    core::EvalParams p;
+    p.warmup_uops = 150'000;
+    p.measure_uops = 250'000;
+    return p;
+}
+
+TEST(IntraApp, DominatesPerAppOracleOnPhasedApp)
+{
+    const IntraAppExplorer explorer(fastParams());
+    const auto &app = workload::findApp("MPGdec"); // two phases
+    const auto qual = makeQual(358.0);             // binding
+
+    const auto res = explorer.explore(app, qual);
+    ASSERT_EQ(res.rung_per_phase.size(), 2u);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LE(res.fit, qual.spec().target_fit * (1.0 + 1e-9));
+    // The per-phase assignment can always replicate the best uniform
+    // assignment, so it never loses.
+    EXPECT_GE(res.gainOverPerApp(), 1.0 - 1e-9);
+}
+
+TEST(IntraApp, ExploitsPhaseVariability)
+{
+    // At a binding qualification the two phases have different
+    // temperatures, so the optimum usually splits rungs. At minimum
+    // the result must match per-app; flag the gain for visibility.
+    const IntraAppExplorer explorer(fastParams());
+    const auto &app = workload::findApp("MPGdec");
+    const auto qual = makeQual(352.0);
+    const auto res = explorer.explore(app, qual);
+    if (res.feasible && res.rung_per_phase[0] != res.rung_per_phase[1])
+        EXPECT_GE(res.gainOverPerApp(), 1.0 - 1e-9);
+}
+
+TEST(IntraApp, SinglePhaseDegeneratesToPerApp)
+{
+    const IntraAppExplorer explorer(fastParams());
+    const auto &app = workload::findApp("gzip"); // one phase
+    const auto qual = makeQual(360.0);
+    const auto res = explorer.explore(app, qual);
+    ASSERT_EQ(res.rung_per_phase.size(), 1u);
+    EXPECT_TRUE(res.feasible);
+    // One phase: every assignment is uniform, so the two oracles are
+    // the same optimisation and must agree exactly.
+    EXPECT_DOUBLE_EQ(res.perf_rel, res.per_app.perf_rel);
+}
+
+TEST(IntraApp, InfeasibleFallsBackToCoolest)
+{
+    const IntraAppExplorer explorer(fastParams());
+    const auto &app = workload::findApp("MP3dec");
+    const auto qual = makeQual(322.0); // hopeless
+    const auto res = explorer.explore(app, qual);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_GT(res.fit, qual.spec().target_fit);
+    // Fallback throttles hard.
+    EXPECT_LT(res.perf_rel, 0.8);
+}
+
+TEST(IntraApp, DeterministicAcrossCalls)
+{
+    const IntraAppExplorer explorer(fastParams());
+    const auto &app = workload::findApp("H263enc");
+    const auto qual = makeQual(355.0);
+    const auto a = explorer.explore(app, qual);
+    const auto b = explorer.explore(app, qual);
+    EXPECT_EQ(a.rung_per_phase, b.rung_per_phase);
+    EXPECT_DOUBLE_EQ(a.perf_rel, b.perf_rel);
+}
+
+} // namespace
+} // namespace ramp::drm

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the oracle DRM/DTM selection logic using synthetic
+ * operating points with controlled temperatures, plus one small real
+ * exploration end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drm/oracle.hh"
+#include "power/power.hh"
+
+namespace ramp::drm {
+namespace {
+
+core::Qualification
+makeQual(double t_qual = 380.0)
+{
+    core::QualificationSpec s;
+    s.t_qual_k = t_qual;
+    s.alpha_qual.fill(0.5);
+    return core::Qualification(s);
+}
+
+/** Synthetic operating point at uniform temperature/activity. */
+core::OperatingPoint
+syntheticOp(double temp_k, double freq_ghz, double voltage_v = 1.0)
+{
+    core::OperatingPoint op;
+    op.config = sim::baseMachine();
+    op.config.frequency_ghz = freq_ghz;
+    op.config.voltage_v = voltage_v;
+    op.temps_k.fill(temp_k);
+    op.activity.activity.fill(0.5);
+    op.activity.cycles = 1000;
+    op.activity.retired = 1000;
+    return op;
+}
+
+ExploredApp
+syntheticApp()
+{
+    // Three points: cool/slow, warm/medium, hot/fast.
+    ExploredApp app;
+    app.app_name = "synthetic";
+    app.base = syntheticOp(370.0, 4.0);
+    for (auto [t, f, perf] :
+         {std::tuple{345.0, 3.0, 0.8}, std::tuple{370.0, 4.0, 1.0},
+          std::tuple{395.0, 4.75, 1.15}}) {
+        ExploredPoint pt;
+        pt.op = syntheticOp(t, f);
+        pt.perf_rel = perf;
+        app.points.push_back(pt);
+    }
+    return app;
+}
+
+TEST(OperatingPointFit, AtQualPointEqualsTarget)
+{
+    const auto qual = makeQual(380.0);
+    const auto op = syntheticOp(380.0, 4.0);
+    EXPECT_NEAR(operatingPointFit(qual, op), 4000.0, 1e-6);
+}
+
+TEST(OperatingPointFit, HotterIsWorse)
+{
+    const auto qual = makeQual();
+    EXPECT_GT(operatingPointFit(qual, syntheticOp(395.0, 4.0)),
+              operatingPointFit(qual, syntheticOp(350.0, 4.0)));
+}
+
+TEST(OperatingPointFit, LowerVoltageCollapsesTddb)
+{
+    // Section 7.2: small voltage drops reduce the TDDB FIT value
+    // drastically. The *total* drops by roughly the TDDB share (the
+    // mechanical mechanisms are voltage-blind).
+    const auto qual = makeQual();
+    const auto op_full = syntheticOp(370.0, 4.0, 1.0);
+    const auto op_drop = syntheticOp(370.0, 4.0, 0.9);
+
+    auto report = [&](const core::OperatingPoint &op) {
+        return core::steadyFit(qual, power::poweredFractions(op.config),
+                               op.temps_k, op.activity.activity,
+                               op.config.voltage_v,
+                               op.config.frequency_ghz);
+    };
+    const auto full = report(op_full);
+    const auto dropped = report(op_drop);
+    // TDDB itself collapses by orders of magnitude...
+    EXPECT_LT(dropped.mechanismFit(core::Mechanism::TDDB),
+              0.01 * full.mechanismFit(core::Mechanism::TDDB));
+    // ...SM and TC are untouched...
+    EXPECT_NEAR(dropped.mechanismFit(core::Mechanism::SM),
+                full.mechanismFit(core::Mechanism::SM), 1e-9);
+    EXPECT_NEAR(dropped.mechanismFit(core::Mechanism::TC),
+                full.mechanismFit(core::Mechanism::TC), 1e-9);
+    // ...and the total falls by most of the TDDB share.
+    EXPECT_LT(dropped.totalFit(), operatingPointFit(qual, op_full));
+}
+
+TEST(AlphaQual, TakesSuiteWideMaximum)
+{
+    // Section 3.7: a single worst-case activity factor for the whole
+    // suite, applied uniformly.
+    core::OperatingPoint a = syntheticOp(370.0, 4.0);
+    core::OperatingPoint b = syntheticOp(370.0, 4.0);
+    a.activity.activity[0] = 0.9;
+    b.activity.activity[1] = 0.7;
+    const auto alpha = alphaQualFromBaseline({a, b});
+    for (double v : alpha)
+        EXPECT_DOUBLE_EQ(v, 0.9);
+}
+
+TEST(AlphaQualDeath, EmptyBaselineIsFatal)
+{
+    EXPECT_EXIT(alphaQualFromBaseline({}), testing::ExitedWithCode(1),
+                "at least one");
+}
+
+TEST(SelectDrm, PicksFastestFeasiblePoint)
+{
+    const auto app = syntheticApp();
+    // Qualified at 400 K: even the hot point is under budget.
+    const auto sel = selectDrm(app, makeQual(400.0));
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.index, 2u);
+    EXPECT_DOUBLE_EQ(sel.perf_rel, 1.15);
+    EXPECT_LE(sel.fit, 4000.0);
+}
+
+TEST(SelectDrm, ThrottlesWhenUnderDesigned)
+{
+    const auto app = syntheticApp();
+    // Qualified at 371 K: the 395 K point blows the budget, the
+    // 370 K point just fits.
+    const auto sel = selectDrm(app, makeQual(371.0));
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.index, 1u);
+}
+
+TEST(SelectDrm, FallsBackToCoolestWhenNothingFits)
+{
+    const auto app = syntheticApp();
+    // Qualified at 330 K: every point is over budget.
+    const auto sel = selectDrm(app, makeQual(330.0));
+    EXPECT_FALSE(sel.feasible);
+    EXPECT_EQ(sel.index, 0u); // lowest-FIT point
+}
+
+TEST(SelectDtm, RespectsThermalDesignPoint)
+{
+    const auto app = syntheticApp();
+    const auto sel = selectDtm(app, 380.0);
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.index, 1u); // 395 K point excluded
+    EXPECT_LE(sel.max_temp_k, 380.0);
+}
+
+TEST(SelectDtm, AcceptsEverythingWithHighLimit)
+{
+    const auto app = syntheticApp();
+    const auto sel = selectDtm(app, 400.0);
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.index, 2u);
+}
+
+TEST(SelectDtm, FallsBackToCoolest)
+{
+    const auto app = syntheticApp();
+    const auto sel = selectDtm(app, 320.0);
+    EXPECT_FALSE(sel.feasible);
+    EXPECT_EQ(sel.index, 0u);
+}
+
+TEST(SelectDeath, EmptyExplorationIsFatal)
+{
+    ExploredApp empty;
+    EXPECT_EXIT(selectDrm(empty, makeQual()),
+                testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(selectDtm(empty, 370.0), testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST(Explorer, SmallRealExplorationEndToEnd)
+{
+    core::EvalParams params;
+    params.warmup_uops = 40'000;
+    params.measure_uops = 60'000;
+    const OracleExplorer explorer(params);
+    const auto explored = explorer.explore(
+        workload::findApp("twolf"), AdaptationSpace::Dvs);
+
+    ASSERT_EQ(explored.points.size(), 11u);
+    // Base machine sits in the ladder: its perf_rel must be ~1.
+    bool saw_base = false;
+    for (const auto &pt : explored.points) {
+        EXPECT_GT(pt.perf_rel, 0.0);
+        if (pt.op.config.frequency_ghz == 4.0) {
+            EXPECT_NEAR(pt.perf_rel, 1.0, 1e-9);
+            saw_base = true;
+        }
+    }
+    EXPECT_TRUE(saw_base);
+
+    // Higher frequency never loses absolute performance.
+    for (std::size_t i = 1; i < explored.points.size(); ++i)
+        EXPECT_GE(explored.points[i].op.uopsPerSecond(),
+                  explored.points[i - 1].op.uopsPerSecond() * 0.98);
+
+    // DRM at a generous T_qual picks at least base performance.
+    const auto sel = selectDrm(explored, makeQual(400.0));
+    EXPECT_GE(sel.perf_rel, 1.0 - 1e-9);
+}
+
+} // namespace
+} // namespace ramp::drm

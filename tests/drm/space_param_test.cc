@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parameterised checks over every configuration in the Arch
+ * adaptation space: validation, powered-fraction bounds, and
+ * monotonicity of the knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drm/adaptation.hh"
+#include "power/power.hh"
+
+namespace ramp::drm {
+namespace {
+
+class ArchSpaceTest : public testing::TestWithParam<int>
+{
+  protected:
+    const sim::MachineConfig &cfg() const
+    {
+        return archConfigs()[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(ArchSpaceTest, Validates)
+{
+    cfg().validate();
+}
+
+TEST_P(ArchSpaceTest, PoweredFractionsAreProper)
+{
+    const auto frac = power::poweredFractions(cfg());
+    for (double f : frac) {
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    }
+    // Adaptive structures scale exactly with their knob.
+    EXPECT_DOUBLE_EQ(
+        frac[sim::structureIndex(sim::StructureId::IntAlu)],
+        cfg().num_int_alu / 6.0);
+    EXPECT_DOUBLE_EQ(frac[sim::structureIndex(sim::StructureId::Fpu)],
+                     cfg().num_fpu / 4.0);
+    EXPECT_DOUBLE_EQ(frac[sim::structureIndex(sim::StructureId::IWin)],
+                     cfg().window_size / 128.0);
+}
+
+TEST_P(ArchSpaceTest, NeverExceedsBaseResources)
+{
+    const auto base = sim::baseMachine();
+    EXPECT_LE(cfg().window_size, base.window_size);
+    EXPECT_LE(cfg().num_int_alu, base.num_int_alu);
+    EXPECT_LE(cfg().num_fpu, base.num_fpu);
+    EXPECT_LE(cfg().mem_queue, base.mem_queue);
+    EXPECT_LE(cfg().issueWidth(), base.issueWidth());
+}
+
+TEST_P(ArchSpaceTest, MemQueueTracksWindow)
+{
+    EXPECT_GE(cfg().mem_queue, 8u);
+    EXPECT_LE(cfg().mem_queue * 4, std::max(cfg().window_size, 32u));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchConfigs, ArchSpaceTest,
+                         testing::Range(0, 18));
+
+} // namespace
+} // namespace ramp::drm

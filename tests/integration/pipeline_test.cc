@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Integration tests across the full stack: workload -> core ->
+ * power -> thermal -> RAMP -> DRM. These lock in the calibration
+ * (Table 2) and the qualitative behaviours the paper's evaluation
+ * rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hh"
+#include "drm/oracle.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace {
+
+core::Qualification
+makeQual(double t_qual, const sim::PerStructure<double> &alpha)
+{
+    core::QualificationSpec s;
+    s.t_qual_k = t_qual;
+    s.alpha_qual = alpha;
+    return core::Qualification(s);
+}
+
+/** Default-length evaluations, shared across tests in this file. */
+class PipelineTest : public testing::Test
+{
+  protected:
+    static const core::OperatingPoint &op(const std::string &name)
+    {
+        static std::map<std::string, core::OperatingPoint> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            static const core::Evaluator evaluator;
+            it = cache
+                     .emplace(name,
+                              evaluator.evaluate(
+                                  sim::baseMachine(),
+                                  workload::findApp(name)))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_F(PipelineTest, CalibrationIpcWithinTolerance)
+{
+    // The profiles are calibrated against Table 2; a 15% band guards
+    // against silent drift of the simulator or the profiles.
+    for (const auto &app : workload::standardApps()) {
+        const double ipc = op(app.name).ipc();
+        EXPECT_NEAR(ipc, app.table2_ipc, 0.15 * app.table2_ipc)
+            << app.name;
+    }
+}
+
+TEST_F(PipelineTest, CalibrationPowerWithinTolerance)
+{
+    for (const auto &app : workload::standardApps()) {
+        const double p = op(app.name).totalPower();
+        EXPECT_NEAR(p, app.table2_power_w, 0.25 * app.table2_power_w)
+            << app.name;
+    }
+}
+
+TEST_F(PipelineTest, HottestAppApproaches400K)
+{
+    // The paper reports the hottest temperature reached on chip as
+    // "near 400K" -- a peak; our steady-state (sustained) hottest
+    // block sits somewhat below it. EXPERIMENTS.md discusses the
+    // offset.
+    double hottest = 0.0;
+    for (const auto &app : workload::standardApps())
+        hottest = std::max(hottest, op(app.name).maxTemp());
+    EXPECT_GT(hottest, 375.0);
+    EXPECT_LT(hottest, 400.0);
+}
+
+TEST_F(PipelineTest, MultimediaIsHottestClass)
+{
+    EXPECT_GT(op("MPGdec").maxTemp(), op("twolf").maxTemp());
+    EXPECT_GT(op("MP3dec").maxTemp(), op("art").maxTemp());
+}
+
+TEST_F(PipelineTest, HotAppsHaveHigherFit)
+{
+    // Section 7.1: multimedia apps have the highest FIT on the base
+    // processor; that is what makes them the binding apps for DRM.
+    std::vector<core::OperatingPoint> base_ops;
+    for (const auto &app : workload::standardApps())
+        base_ops.push_back(op(app.name));
+    const auto alpha = drm::alphaQualFromBaseline(base_ops);
+    const auto qual = makeQual(370.0, alpha);
+
+    const double fit_mp3 = drm::operatingPointFit(qual, op("MP3dec"));
+    const double fit_mpg = drm::operatingPointFit(qual, op("MPGdec"));
+    const double fit_twolf =
+        drm::operatingPointFit(qual, op("twolf"));
+    const double fit_art = drm::operatingPointFit(qual, op("art"));
+    EXPECT_GT(fit_mp3, fit_twolf);
+    EXPECT_GT(fit_mpg, fit_art);
+}
+
+TEST_F(PipelineTest, WorstCaseQualificationLeavesHeadroom)
+{
+    // Section 7.1: qualified at the worst observed temperature
+    // (400 K), every application runs below the FIT target on the
+    // base machine -- the over-design DRM exploits.
+    std::vector<core::OperatingPoint> base_ops;
+    for (const auto &app : workload::standardApps())
+        base_ops.push_back(op(app.name));
+    const auto alpha = drm::alphaQualFromBaseline(base_ops);
+    const auto qual = makeQual(400.0, alpha);
+    for (const auto &app : workload::standardApps())
+        EXPECT_LT(drm::operatingPointFit(qual, op(app.name)), 4000.0)
+            << app.name;
+}
+
+TEST_F(PipelineTest, AggressiveUnderDesignExceedsTarget)
+{
+    // At a drastically cheap qualification the hot majority of the
+    // suite blows the budget (the coolest SpecFP apps may just
+    // squeak by, as in the paper's Figure 2 at 325 K where art and
+    // ammp hold their performance).
+    std::vector<core::OperatingPoint> base_ops;
+    for (const auto &app : workload::standardApps())
+        base_ops.push_back(op(app.name));
+    const auto alpha = drm::alphaQualFromBaseline(base_ops);
+    const auto qual = makeQual(330.0, alpha);
+    int over = 0;
+    for (const auto &app : workload::standardApps())
+        over += drm::operatingPointFit(qual, op(app.name)) > 4000.0;
+    EXPECT_GE(over, 7);
+    EXPECT_GT(drm::operatingPointFit(qual, op("MPGdec")), 8000.0);
+}
+
+TEST(DrmEndToEnd, DvsOracleThrottlesAndBoosts)
+{
+    core::EvalParams params;
+    params.warmup_uops = 200'000;
+    params.measure_uops = 200'000;
+    const drm::OracleExplorer explorer(params);
+    // Single-phase app, warm quickly, binds in both directions.
+    const auto &app = workload::findApp("gzip");
+    const auto explored =
+        explorer.explore(app, drm::AdaptationSpace::Dvs);
+
+    sim::PerStructure<double> alpha;
+    alpha.fill(0.6);
+
+    // Generous qualification: the oracle overclocks.
+    const auto boost =
+        drm::selectDrm(explored, makeQual(400.0, alpha));
+    EXPECT_TRUE(boost.feasible);
+    EXPECT_GT(boost.perf_rel, 1.0);
+
+    // Harsh qualification: the oracle throttles below base.
+    const auto throttle =
+        drm::selectDrm(explored, makeQual(330.0, alpha));
+    EXPECT_LT(throttle.perf_rel, 1.0);
+}
+
+} // namespace
+} // namespace ramp

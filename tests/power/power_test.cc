@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the Wattch-style power model: gating floor, V/f scaling,
+ * leakage temperature dependence, and powered-on fractions.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/power.hh"
+
+namespace ramp::power {
+namespace {
+
+using sim::ActivitySample;
+using sim::baseMachine;
+using sim::MachineConfig;
+using sim::num_structures;
+using sim::PerStructure;
+using sim::StructureId;
+using sim::structureIndex;
+
+ActivitySample
+flatActivity(double alpha)
+{
+    ActivitySample s;
+    s.cycles = 1000;
+    s.retired = 1000;
+    s.activity.fill(alpha);
+    return s;
+}
+
+TEST(PoweredFractions, BaseMachineIsFullyOn)
+{
+    const auto frac = poweredFractions(baseMachine());
+    for (double f : frac)
+        EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(PoweredFractions, DownsizedStructuresScale)
+{
+    MachineConfig cfg = baseMachine();
+    cfg.num_int_alu = 3;  // half of 6
+    cfg.num_fpu = 1;      // quarter of 4
+    cfg.window_size = 32; // quarter of 128
+    cfg.mem_queue = 8;    // quarter of 32
+    const auto frac = poweredFractions(cfg);
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::IntAlu)], 0.5);
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::Fpu)], 0.25);
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::IWin)], 0.25);
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::Lsq)], 0.25);
+    // Non-adaptive structures stay fully on.
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::L1D)], 1.0);
+    EXPECT_DOUBLE_EQ(frac[structureIndex(StructureId::Bpred)], 1.0);
+}
+
+TEST(PowerModel, IdlePowerIsGatingFloor)
+{
+    const PowerModel model(baseMachine());
+    const auto p = model.dynamicPower(flatActivity(0.0));
+    const auto &params = model.params();
+    for (std::size_t i = 0; i < num_structures; ++i)
+        EXPECT_NEAR(p[i], 0.1 * params.max_dynamic_w[i], 1e-12);
+}
+
+TEST(PowerModel, FullActivityIsMaxPower)
+{
+    const PowerModel model(baseMachine());
+    const auto p = model.dynamicPower(flatActivity(1.0));
+    for (std::size_t i = 0; i < num_structures; ++i)
+        EXPECT_NEAR(p[i], model.params().max_dynamic_w[i], 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesQuadraticallyWithVoltage)
+{
+    MachineConfig half = baseMachine();
+    half.voltage_v = 0.5;
+    const PowerModel base_model(baseMachine());
+    const PowerModel half_model(half);
+    const auto p1 = base_model.dynamicPower(flatActivity(0.5));
+    const auto p2 = half_model.dynamicPower(flatActivity(0.5));
+    for (std::size_t i = 0; i < num_structures; ++i)
+        EXPECT_NEAR(p2[i], 0.25 * p1[i], 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesLinearlyWithFrequency)
+{
+    MachineConfig slow = baseMachine();
+    slow.frequency_ghz = 2.0;
+    const PowerModel base_model(baseMachine());
+    const PowerModel slow_model(slow);
+    const auto p1 = base_model.dynamicPower(flatActivity(0.7));
+    const auto p2 = slow_model.dynamicPower(flatActivity(0.7));
+    for (std::size_t i = 0; i < num_structures; ++i)
+        EXPECT_NEAR(p2[i], 0.5 * p1[i], 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesWithPoweredFraction)
+{
+    MachineConfig small = baseMachine();
+    small.num_int_alu = 3;
+    const PowerModel base_model(baseMachine());
+    const PowerModel small_model(small);
+    const auto p1 = base_model.dynamicPower(flatActivity(1.0));
+    const auto p2 = small_model.dynamicPower(flatActivity(1.0));
+    const auto ia = structureIndex(StructureId::IntAlu);
+    EXPECT_NEAR(p2[ia], 0.5 * p1[ia], 1e-12);
+}
+
+TEST(PowerModel, LeakageAtReferenceTemperature)
+{
+    const PowerModel model(baseMachine());
+    PerStructure<double> temps;
+    temps.fill(383.0);
+    const auto leak = model.leakagePower(temps);
+    double total = 0.0;
+    for (double v : leak)
+        total += v;
+    // 0.5 W/mm^2 x 20.25 mm^2 at the reference temperature.
+    EXPECT_NEAR(total, 0.5 * sim::totalCoreArea(), 1e-9);
+}
+
+TEST(PowerModel, LeakageGrowsExponentiallyWithTemperature)
+{
+    const PowerModel model(baseMachine());
+    PerStructure<double> cold, hot;
+    cold.fill(350.0);
+    hot.fill(390.0);
+    const auto leak_cold = model.leakagePower(cold);
+    const auto leak_hot = model.leakagePower(hot);
+    const double expected = std::exp(0.017 * 40.0);
+    for (std::size_t i = 0; i < num_structures; ++i)
+        EXPECT_NEAR(leak_hot[i] / leak_cold[i], expected, 1e-9);
+}
+
+TEST(PowerModel, LeakageScalesWithVoltageAndGating)
+{
+    MachineConfig cfg = baseMachine();
+    cfg.voltage_v = 0.8;
+    cfg.num_fpu = 2; // half the FPU area gated off
+    const PowerModel model(cfg);
+    PerStructure<double> temps;
+    temps.fill(383.0);
+    const auto leak = model.leakagePower(temps);
+    const auto fpu = structureIndex(StructureId::Fpu);
+    EXPECT_NEAR(leak[fpu],
+                0.5 * sim::structureArea(StructureId::Fpu) * 0.5 * 0.8,
+                1e-9);
+}
+
+TEST(PowerBreakdown, TotalsAreSums)
+{
+    const PowerModel model(baseMachine());
+    PerStructure<double> temps;
+    temps.fill(360.0);
+    const auto b = model.breakdown(flatActivity(0.4), temps);
+    double dyn = 0.0, leak = 0.0;
+    for (std::size_t i = 0; i < num_structures; ++i) {
+        dyn += b.dynamic_w[i];
+        leak += b.leakage_w[i];
+    }
+    EXPECT_NEAR(b.totalDynamic(), dyn, 1e-12);
+    EXPECT_NEAR(b.totalLeakage(), leak, 1e-12);
+    EXPECT_NEAR(b.total(), dyn + leak, 1e-12);
+    EXPECT_NEAR(b.structureTotal(StructureId::Fpu),
+                b.dynamic_w[structureIndex(StructureId::Fpu)] +
+                    b.leakage_w[structureIndex(StructureId::Fpu)],
+                1e-12);
+}
+
+TEST(PowerModel, CalibratedTotalsAreReasonable)
+{
+    // At moderate activity and temperature the core must land in the
+    // paper's 15-37 W window.
+    const PowerModel model(baseMachine());
+    PerStructure<double> temps;
+    temps.fill(370.0);
+    const auto b = model.breakdown(flatActivity(0.25), temps);
+    EXPECT_GT(b.total(), 15.0);
+    EXPECT_LT(b.total(), 40.0);
+}
+
+TEST(PowerModelDeath, RejectsBadParams)
+{
+    PowerParams p;
+    p.gating_floor = 1.5;
+    EXPECT_EXIT(PowerModel(baseMachine(), p),
+                testing::ExitedWithCode(1), "gating");
+
+    PowerParams q;
+    q.max_dynamic_w[0] = -1.0;
+    EXPECT_EXIT(PowerModel(baseMachine(), q),
+                testing::ExitedWithCode(1), "dynamic power");
+
+    PowerParams r;
+    r.base_frequency_ghz = 0.0;
+    EXPECT_EXIT(PowerModel(baseMachine(), r),
+                testing::ExitedWithCode(1), "operating point");
+}
+
+} // namespace
+} // namespace ramp::power

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the technology-scaling module: node parameters, derived
+ * scales, and the end-to-end study shape (reliability degrades with
+ * scaling under a fixed qualification).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scaling/study.hh"
+
+namespace ramp::scaling {
+namespace {
+
+TEST(Technology, FourNodesOldestFirst)
+{
+    const auto &nodes = technologyNodes();
+    ASSERT_EQ(nodes.size(), 4u);
+    EXPECT_EQ(nodes.front().name, "180nm");
+    EXPECT_EQ(nodes.back().name, "65nm");
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+        EXPECT_LT(nodes[i].feature_nm, nodes[i - 1].feature_nm);
+}
+
+TEST(Technology, HistoricalTrends)
+{
+    const auto &nodes = technologyNodes();
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_LT(nodes[i].vdd_v, nodes[i - 1].vdd_v);
+        EXPECT_GT(nodes[i].frequency_ghz, nodes[i - 1].frequency_ghz);
+        EXPECT_GT(nodes[i].leak_density_383,
+                  nodes[i - 1].leak_density_383);
+    }
+}
+
+TEST(Technology, SixtyFiveNmIsTheReference)
+{
+    const auto &node = findNode("65nm");
+    EXPECT_DOUBLE_EQ(node.areaScale(), 1.0);
+    EXPECT_DOUBLE_EQ(node.capacitanceScale(), 1.0);
+    EXPECT_DOUBLE_EQ(node.emCurrentScale(), 1.0);
+    EXPECT_DOUBLE_EQ(node.vdd_v, 1.0);
+    EXPECT_DOUBLE_EQ(node.frequency_ghz, 4.0);
+    EXPECT_DOUBLE_EQ(node.leak_density_383, 0.5);
+}
+
+TEST(Technology, EmCurrentDensityClimbsWithScaling)
+{
+    // J ~ V*f/feature rises monotonically toward newer nodes: the
+    // paper's "increasing current density in interconnects".
+    double prev = 0.0;
+    for (const auto &node : technologyNodes()) {
+        EXPECT_GT(node.emCurrentScale(), prev) << node.name;
+        prev = node.emCurrentScale();
+    }
+    // V f / sqrt(feature): about 3.7x growth over the four nodes.
+    EXPECT_GT(findNode("65nm").emCurrentScale() /
+                  findNode("180nm").emCurrentScale(),
+              3.0);
+}
+
+TEST(Technology, DieAreaShrinksQuadratically)
+{
+    EXPECT_NEAR(findNode("130nm").areaScale(), 4.0, 0.01);
+    EXPECT_NEAR(findNode("180nm").areaScale(), 7.67, 0.01);
+}
+
+TEST(Technology, NodeMachineCarriesOperatingPoint)
+{
+    const auto cfg = nodeMachine(findNode("130nm"));
+    EXPECT_DOUBLE_EQ(cfg.frequency_ghz, 1.8);
+    EXPECT_DOUBLE_EQ(cfg.voltage_v, 1.5);
+    EXPECT_EQ(cfg.window_size, 128u); // same design
+}
+
+TEST(Technology, NodeParamsScaleModels)
+{
+    const auto &node = findNode("90nm");
+    const auto pp = nodePowerParams(node);
+    const power::PowerParams base;
+    EXPECT_NEAR(pp.max_dynamic_w[0],
+                base.max_dynamic_w[0] * node.capacitanceScale(),
+                1e-12);
+    EXPECT_DOUBLE_EQ(pp.leakage_density_383, 0.25);
+    EXPECT_NEAR(pp.area_scale, node.areaScale(), 1e-12);
+    const auto tp = nodeThermalParams(node);
+    EXPECT_NEAR(tp.area_scale, node.areaScale(), 1e-12);
+}
+
+TEST(TechnologyDeath, UnknownNodeIsFatal)
+{
+    EXPECT_EXIT(findNode("45nm"), testing::ExitedWithCode(1),
+                "unknown technology node");
+}
+
+TEST(Study, ReliabilityDegradesWithScaling)
+{
+    StudyParams params;
+    params.eval.warmup_uops = 150'000;
+    params.eval.measure_uops = 200'000;
+    const auto results =
+        runScalingStudy(workload::findApp("gzip"), params);
+    ASSERT_EQ(results.size(), 4u);
+
+    // The oldest node is qualified just above its own worst case, so
+    // it must be comfortably within target.
+    EXPECT_LT(results.front().fit.totalFit(), params.target_fit);
+
+    // Power density and temperature climb toward newer nodes...
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const double die_prev = sim::totalCoreArea() *
+                                results[i - 1].node.areaScale();
+        const double die = sim::totalCoreArea() *
+                           results[i].node.areaScale();
+        EXPECT_GT(results[i].op.totalPower() / die,
+                  results[i - 1].op.totalPower() / die_prev);
+        EXPECT_GT(results[i].op.maxTemp(),
+                  results[i - 1].op.maxTemp());
+    }
+
+    // ...and the FIT under the fixed qualification grows, i.e. MTTF
+    // shrinks severalfold by 65 nm (the DSN'04 companion result).
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_GT(results[i].fit.totalFit(),
+                  results[i - 1].fit.totalFit());
+    EXPECT_GT(results.front().mttfYears() /
+                  results.back().mttfYears(),
+              2.0);
+}
+
+TEST(Study, DeterministicAcrossRuns)
+{
+    StudyParams params;
+    params.eval.warmup_uops = 100'000;
+    params.eval.measure_uops = 100'000;
+    const auto a = runScalingStudy(workload::findApp("art"), params);
+    const auto b = runScalingStudy(workload::findApp("art"), params);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].fit.totalFit(), b[i].fit.totalFit());
+}
+
+} // namespace
+} // namespace ramp::scaling

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace ramp::sim {
+namespace {
+
+TEST(Cache, GeometryFromParameters)
+{
+    Cache c(64, 2, 64); // 64KB, 2-way, 64B lines
+    EXPECT_EQ(c.sets(), 512u);
+    EXPECT_EQ(c.assoc(), 2u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(4, 2, 64);
+    EXPECT_EQ(c.access(0x1000, false), CacheOutcome::Miss);
+    EXPECT_EQ(c.access(0x1000, false), CacheOutcome::Hit);
+    EXPECT_EQ(c.access(0x103f, false), CacheOutcome::Hit); // same line
+    EXPECT_EQ(c.access(0x1040, false), CacheOutcome::Miss); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(4, 2, 64); // 32 sets... 4KB/2way/64B = 32 sets
+    // Three lines mapping to the same set: set stride = 32*64 = 2048.
+    const std::uint64_t a = 0x0000, b = a + 2048, d = a + 4096;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);      // a is now MRU
+    c.access(d, false);      // evicts b (LRU)
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, WritebackCountsDirtyEvictions)
+{
+    Cache c(4, 1, 64); // direct-mapped: 64 sets
+    const std::uint64_t a = 0x0000, b = a + 64 * 64;
+    c.access(a, true);   // dirty fill
+    EXPECT_EQ(c.writebacks(), 0u);
+    c.access(b, false);  // evicts dirty a
+    EXPECT_EQ(c.writebacks(), 1u);
+    c.access(a, false);  // evicts clean b
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, ContainsDoesNotPerturbState)
+{
+    Cache c(4, 2, 64);
+    c.access(0x0, false);
+    c.access(0x800, false); // same set (2048 stride)
+    // Probing repeatedly must not refresh LRU.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(c.contains(0x0));
+    c.access(0x1000, false); // third line in the set evicts true LRU 0x0
+    EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c(4, 2, 64);
+    c.access(0x0, true);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(Cache, MissRatioOfSequentialStream)
+{
+    Cache c(64, 2, 64);
+    // Walk 256KB sequentially in 8B steps: one miss per 64B line.
+    for (std::uint64_t a = 0; a < 256 * 1024; a += 8)
+        c.access(a, false);
+    EXPECT_NEAR(c.missRatio(), 1.0 / 8.0, 1e-9);
+}
+
+TEST(Cache, WorkingSetSmallerThanCapacityHasNoSteadyMisses)
+{
+    Cache c(64, 2, 64); // 64KB
+    // 32KB working set, two passes: second pass must be all hits.
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.access(a, false);
+    const auto misses_after_warm = c.misses();
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.access(a, false);
+    EXPECT_EQ(c.misses(), misses_after_warm);
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes)
+{
+    Cache c(4, 1, 64); // 4KB direct-mapped
+    // 8KB round-robin walk: every access misses in steady state.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t a = 0; a < 8 * 1024; a += 64)
+            c.access(a, false);
+    EXPECT_GT(c.missRatio(), 0.95);
+}
+
+TEST(Cache, MissRatioZeroWhenNoAccesses)
+{
+    Cache c(4, 2, 64);
+    EXPECT_EQ(c.missRatio(), 0.0);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache(3, 2, 64), testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(Cache(4, 2, 48), testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(Cache(4, 0, 64), testing::ExitedWithCode(1),
+                "associativity");
+}
+
+} // namespace
+} // namespace ramp::sim

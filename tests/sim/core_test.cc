@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the out-of-order core: steady-state throughput limits per
+ * resource class, dependence serialisation, branch/RAS redirect
+ * behaviour, memory-level parallelism limits, activity factors, and
+ * determinism.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "sim/core.hh"
+
+namespace ramp::sim {
+namespace {
+
+/** UopSource driven by a lambda over the fetch index. */
+class FnSource : public UopSource
+{
+  public:
+    explicit FnSource(std::function<Uop(std::uint64_t)> fn)
+        : fn_(std::move(fn))
+    {
+    }
+
+    Uop next() override { return fn_(i_++); }
+
+  private:
+    std::function<Uop(std::uint64_t)> fn_;
+    std::uint64_t i_ = 0;
+};
+
+/** Sequential 8KB code loop: always L1I-resident after warmup. */
+std::uint64_t
+loopPc(std::uint64_t i)
+{
+    return 0x1000 + (i % 2048) * 4;
+}
+
+Uop
+makeUop(UopClass cls, std::uint64_t i, std::uint16_t dep = 0)
+{
+    Uop u;
+    u.cls = cls;
+    u.pc = loopPc(i);
+    u.src_dist[0] = dep;
+    u.writes_int = isIntClass(cls) || cls == UopClass::Load;
+    u.writes_fp = isFpClass(cls);
+    return u;
+}
+
+/** Run warmup + measurement, returning measured IPC. */
+double
+measureIpc(Core &core, std::uint64_t warm = 20000,
+           std::uint64_t measure = 20000)
+{
+    core.run(warm);
+    core.resetStats();
+    core.run(measure);
+    return core.stats().ipc();
+}
+
+TEST(Core, IndependentIntStreamSaturatesAlus)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    // 6 integer ALUs bound throughput below the 8-wide front end.
+    EXPECT_NEAR(measureIpc(core), 6.0, 0.1);
+}
+
+TEST(Core, DependentChainSerialises)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntAlu, i, 1);
+    });
+    Core core(baseMachine(), src);
+    EXPECT_NEAR(measureIpc(core), 1.0, 0.05);
+}
+
+TEST(Core, FpStreamSaturatesFpus)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::FpOp, i);
+    });
+    Core core(baseMachine(), src);
+    EXPECT_NEAR(measureIpc(core), 4.0, 0.1);
+}
+
+TEST(Core, UnpipelinedFpDivThroughput)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::FpDiv, i);
+    });
+    Core core(baseMachine(), src);
+    // 4 FPUs, each held 12 cycles per divide.
+    EXPECT_NEAR(measureIpc(core), 4.0 / 12.0, 0.03);
+}
+
+TEST(Core, UnpipelinedIntDivThroughput)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntDiv, i);
+    });
+    Core core(baseMachine(), src);
+    EXPECT_NEAR(measureIpc(core), 6.0 / 12.0, 0.05);
+}
+
+TEST(Core, PipelinedMulKeepsFullThroughput)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntMul, i);
+    });
+    Core core(baseMachine(), src);
+    // Latency 7 but pipelined: independent stream still runs 6/cycle.
+    EXPECT_NEAR(measureIpc(core), 6.0, 0.1);
+}
+
+TEST(Core, L1LoadStreamBoundByPorts)
+{
+    FnSource src([](std::uint64_t i) {
+        Uop u = makeUop(UopClass::Load, i);
+        u.addr = 0x100000 + (i % 256) * 64; // 16KB set, L1-resident
+        return u;
+    });
+    Core core(baseMachine(), src);
+    // 2 D-cache ports / 2 AGEN units bound loads at 2 per cycle.
+    EXPECT_NEAR(measureIpc(core), 2.0, 0.1);
+}
+
+TEST(Core, MemoryMissStreamIsSlow)
+{
+    FnSource src([](std::uint64_t i) {
+        Uop u = makeUop(UopClass::Load, i);
+        // 16MB stride-64B walk: misses everywhere, every level.
+        u.addr = (i * 64) % (16 * 1024 * 1024);
+        return u;
+    });
+    Core core(baseMachine(), src);
+    const double ipc = measureIpc(core, 30000, 30000);
+    EXPECT_LT(ipc, 1.0);
+    EXPECT_GT(ipc, 0.05); // MLP through 12 MSHRs keeps it above serial
+    EXPECT_GT(core.memory().memAccesses(), 0u);
+}
+
+TEST(Core, PredictableBranchesBarelyCost)
+{
+    FnSource src([](std::uint64_t i) {
+        if (i % 8 == 7) {
+            Uop u = makeUop(UopClass::Branch, i);
+            u.taken = true; // same pc pattern learns perfectly
+            return u;
+        }
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    const double ipc = measureIpc(core);
+    EXPECT_GT(ipc, 5.0);
+    EXPECT_LT(core.stats().mispredictRate(), 0.02);
+}
+
+TEST(Core, RandomBranchesCauseRedirectBubbles)
+{
+    FnSource src([](std::uint64_t i) {
+        if (i % 8 == 7) {
+            Uop u = makeUop(UopClass::Branch, i);
+            // Aperiodic direction on one pc: ~50% mispredicts.
+            u.pc = 0x1000;
+            u.taken = (i / 8) % 3 == 0;
+            return u;
+        }
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    const double ipc = measureIpc(core);
+    EXPECT_GT(core.stats().mispredictRate(), 0.2);
+    EXPECT_LT(ipc, 4.0);
+}
+
+TEST(Core, MatchedCallsAndReturnsPredictViaRas)
+{
+    // call ... return pairs, nesting depth 4 (well within the RAS).
+    FnSource src([](std::uint64_t i) {
+        const std::uint64_t phase = i % 16;
+        if (phase < 4) {
+            Uop u = makeUop(UopClass::Call, i);
+            u.addr = 0x9000 + phase; // return address
+            return u;
+        }
+        if (phase >= 12) {
+            Uop u = makeUop(UopClass::Return, i);
+            u.addr = 0x9000 + (15 - phase); // LIFO match
+            return u;
+        }
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    measureIpc(core);
+    EXPECT_GT(core.stats().ras_returns, 0u);
+    EXPECT_LT(core.stats().mispredictRate(), 0.01);
+}
+
+TEST(Core, RasOverflowMispredicts)
+{
+    // Nesting depth 48 > 32 RAS entries: outer returns mispredict.
+    FnSource src([](std::uint64_t i) {
+        const std::uint64_t phase = i % 96;
+        if (phase < 48) {
+            Uop u = makeUop(UopClass::Call, i);
+            u.addr = 0xA000 + phase;
+            return u;
+        }
+        Uop u = makeUop(UopClass::Return, i);
+        u.addr = 0xA000 + (95 - phase);
+        return u;
+    });
+    Core core(baseMachine(), src);
+    measureIpc(core);
+    EXPECT_GT(core.stats().mispredictRate(), 0.05);
+}
+
+TEST(Core, StoresRetireAndFreeLsq)
+{
+    FnSource src([](std::uint64_t i) {
+        Uop u = makeUop(UopClass::Store, i);
+        u.addr = 0x200000 + (i % 128) * 64;
+        u.writes_int = false;
+        return u;
+    });
+    Core core(baseMachine(), src);
+    core.run(20000);
+    EXPECT_GT(core.stats().stores, 1000u);
+}
+
+TEST(Core, RunUopsRetiresRequestedCount)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    core.runUops(5000);
+    EXPECT_GE(core.stats().retired, 5000u);
+    EXPECT_LT(core.stats().retired, 5100u); // no huge overshoot
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    auto make = [](std::uint64_t i) {
+        if (i % 13 == 0) {
+            Uop u = makeUop(UopClass::Load, i);
+            u.addr = (i * 8209) % (1 << 22);
+            return u;
+        }
+        if (i % 7 == 0) {
+            Uop u = makeUop(UopClass::Branch, i);
+            u.taken = (i % 3) == 0;
+            return u;
+        }
+        return makeUop(i % 5 == 0 ? UopClass::FpOp : UopClass::IntAlu, i);
+    };
+    FnSource src_a(make), src_b(make);
+    Core a(baseMachine(), src_a), b(baseMachine(), src_b);
+    a.run(30000);
+    b.run(30000);
+    EXPECT_EQ(a.stats().retired, b.stats().retired);
+    EXPECT_EQ(a.stats().mispredicts, b.stats().mispredicts);
+    EXPECT_EQ(a.stats().issued, b.stats().issued);
+}
+
+TEST(Core, ActivityFactorsAreBounded)
+{
+    FnSource src([](std::uint64_t i) {
+        if (i % 4 == 3) {
+            Uop u = makeUop(UopClass::Load, i);
+            u.addr = (i * 64) % (1 << 20);
+            return u;
+        }
+        return makeUop(i % 4 == 2 ? UopClass::FpOp : UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    core.run(10000);
+    core.takeInterval();
+    core.run(10000);
+    const ActivitySample s = core.takeInterval();
+    EXPECT_EQ(s.cycles, 10000u);
+    for (double a : s.activity) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+    EXPECT_GT(s.ipc(), 0.0);
+}
+
+TEST(Core, SaturatedAluShowsFullActivity)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    core.run(20000);
+    core.takeInterval();
+    core.run(20000);
+    const ActivitySample s = core.takeInterval();
+    EXPECT_NEAR(s.activity[structureIndex(StructureId::IntAlu)], 1.0,
+                0.02);
+    EXPECT_NEAR(s.activity[structureIndex(StructureId::Fpu)], 0.0, 1e-9);
+}
+
+TEST(Core, DownsizedMachineStillRuns)
+{
+    MachineConfig small = baseMachine();
+    small.window_size = 16;
+    small.num_int_alu = 2;
+    small.num_fpu = 1;
+    small.mem_queue = 8;
+    FnSource src([](std::uint64_t i) {
+        if (i % 6 == 5) {
+            Uop u = makeUop(UopClass::Load, i);
+            u.addr = 0x100000 + (i % 512) * 64;
+            return u;
+        }
+        return makeUop(i % 6 == 4 ? UopClass::FpOp : UopClass::IntAlu, i);
+    });
+    Core core(small, src);
+    const double ipc = measureIpc(core);
+    EXPECT_GT(ipc, 0.5);
+    // 4-of-6 ops are integer through 2 ALUs => 2 cycles per group of 6.
+    EXPECT_LE(ipc, 3.0 + 0.1);
+}
+
+TEST(Core, SmallerWindowNeverBeatsBase)
+{
+    auto make = [](std::uint64_t i) {
+        if (i % 3 == 2) {
+            Uop u = makeUop(UopClass::Load, i);
+            u.addr = (i * 64) % (1 << 21); // 2MB: L2-resident misses
+            return u;
+        }
+        return makeUop(UopClass::IntAlu, i, i % 3 == 1 ? 1 : 0);
+    };
+    FnSource src_big(make), src_small(make);
+    Core big(baseMachine(), src_big);
+    MachineConfig small_cfg = baseMachine();
+    small_cfg.window_size = 16;
+    Core small(small_cfg, src_small);
+    EXPECT_GE(measureIpc(big), measureIpc(small) - 0.01);
+}
+
+TEST(Core, FetchThrottleBoundsThroughput)
+{
+    // Duty x/8 with an 8-wide front end caps sustained fetch at x
+    // uops per cycle; an ALU-saturating stream tracks that cap until
+    // the 6-ALU limit takes over.
+    for (std::uint32_t duty : {2u, 4u}) {
+        MachineConfig cfg = baseMachine();
+        cfg.fetch_duty_x8 = duty;
+        FnSource src([](std::uint64_t i) {
+            return makeUop(UopClass::IntAlu, i);
+        });
+        Core core(cfg, src);
+        EXPECT_NEAR(measureIpc(core), static_cast<double>(duty), 0.1)
+            << "duty " << duty;
+    }
+}
+
+TEST(Core, FetchThrottleMonotone)
+{
+    double prev = 0.0;
+    for (std::uint32_t duty = 1; duty <= 8; ++duty) {
+        MachineConfig cfg = baseMachine();
+        cfg.fetch_duty_x8 = duty;
+        FnSource src([](std::uint64_t i) {
+            return makeUop(UopClass::IntAlu, i);
+        });
+        Core core(cfg, src);
+        const double ipc = measureIpc(core, 10000, 10000);
+        EXPECT_GE(ipc, prev - 0.05) << "duty " << duty;
+        prev = ipc;
+    }
+}
+
+TEST(Core, IntervalResetsBetweenTakes)
+{
+    FnSource src([](std::uint64_t i) {
+        return makeUop(UopClass::IntAlu, i);
+    });
+    Core core(baseMachine(), src);
+    core.run(1000);
+    const auto s1 = core.takeInterval();
+    EXPECT_EQ(s1.cycles, 1000u);
+    const auto s2 = core.takeInterval();
+    EXPECT_EQ(s2.cycles, 0u);
+    EXPECT_EQ(s2.retired, 0u);
+}
+
+} // namespace
+} // namespace ramp::sim

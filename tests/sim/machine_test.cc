@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for MachineConfig: Table 1 defaults, frequency-dependent
+ * latency scaling, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace ramp::sim {
+namespace {
+
+TEST(Machine, Table1Defaults)
+{
+    const MachineConfig m = baseMachine();
+    EXPECT_DOUBLE_EQ(m.frequency_ghz, 4.0);
+    EXPECT_DOUBLE_EQ(m.voltage_v, 1.0);
+    EXPECT_EQ(m.fetch_width, 8u);
+    EXPECT_EQ(m.retire_width, 8u);
+    EXPECT_EQ(m.window_size, 128u);
+    EXPECT_EQ(m.int_regs, 192u);
+    EXPECT_EQ(m.fp_regs, 192u);
+    EXPECT_EQ(m.mem_queue, 32u);
+    EXPECT_EQ(m.num_int_alu, 6u);
+    EXPECT_EQ(m.num_fpu, 4u);
+    EXPECT_EQ(m.num_agen, 2u);
+    EXPECT_EQ(m.lat_int_add, 1u);
+    EXPECT_EQ(m.lat_int_mul, 7u);
+    EXPECT_EQ(m.lat_int_div, 12u);
+    EXPECT_EQ(m.lat_fp, 4u);
+    EXPECT_EQ(m.lat_fp_div, 12u);
+    EXPECT_EQ(m.l1d_size_kb, 64u);
+    EXPECT_EQ(m.l1d_assoc, 2u);
+    EXPECT_EQ(m.l1d_ports, 2u);
+    EXPECT_EQ(m.l1d_mshrs, 12u);
+    EXPECT_EQ(m.l1i_size_kb, 32u);
+    EXPECT_EQ(m.l2_size_kb, 1024u);
+    EXPECT_EQ(m.l2_assoc, 4u);
+    EXPECT_EQ(m.line_bytes, 64u);
+    EXPECT_EQ(m.bpred_entries, 8192u); // 2KB of 2-bit counters
+    EXPECT_EQ(m.ras_entries, 32u);
+}
+
+TEST(Machine, IssueWidthIsSumOfUnits)
+{
+    MachineConfig m = baseMachine();
+    EXPECT_EQ(m.issueWidth(), 12u); // 6 + 4 + 2
+    m.num_int_alu = 2;
+    m.num_fpu = 1;
+    EXPECT_EQ(m.issueWidth(), 5u);
+}
+
+TEST(Machine, OffChipLatenciesMatchTable1AtBaseClock)
+{
+    const MachineConfig m = baseMachine();
+    EXPECT_EQ(m.l2HitCycles(), 20u);       // 5 ns at 4 GHz
+    EXPECT_EQ(m.memLatencyCycles(), 102u); // 25.5 ns at 4 GHz
+    EXPECT_EQ(m.memOccupancyCycles(), 4u); // 64B at 16B/cycle
+}
+
+TEST(Machine, DefaultOffChipLatenciesAreClockScaled)
+{
+    // Paper-mode default: the Table 1 cycle counts hold at any clock
+    // (the memory system scales with the core).
+    MachineConfig m = baseMachine();
+    m.frequency_ghz = 2.0;
+    EXPECT_EQ(m.l2HitCycles(), 20u);
+    EXPECT_EQ(m.memLatencyCycles(), 102u);
+    m.frequency_ghz = 5.0;
+    EXPECT_EQ(m.l2HitCycles(), 20u);
+    EXPECT_EQ(m.memLatencyCycles(), 102u);
+}
+
+TEST(Machine, PhysicalOffChipLatenciesScaleWithFrequency)
+{
+    MachineConfig m = baseMachine();
+    m.offchip_scales_with_clock = false;
+    m.frequency_ghz = 2.0;
+    EXPECT_EQ(m.l2HitCycles(), 10u);
+    EXPECT_EQ(m.memLatencyCycles(), 51u);
+    m.frequency_ghz = 5.0;
+    EXPECT_EQ(m.l2HitCycles(), 25u);
+    EXPECT_EQ(m.memLatencyCycles(), 128u); // rounded 127.5
+}
+
+TEST(Machine, LatencyNeverBelowOneCycle)
+{
+    MachineConfig m = baseMachine();
+    m.offchip_scales_with_clock = false;
+    m.frequency_ghz = 0.01;
+    EXPECT_GE(m.l2HitCycles(), 1u);
+    EXPECT_GE(m.memOccupancyCycles(), 1u);
+}
+
+TEST(Machine, DescribeMentionsKnobs)
+{
+    const MachineConfig m = baseMachine();
+    const std::string d = m.describe();
+    EXPECT_NE(d.find("w128"), std::string::npos);
+    EXPECT_NE(d.find("6ALU"), std::string::npos);
+    EXPECT_NE(d.find("4.00GHz"), std::string::npos);
+}
+
+TEST(Machine, ValidateAcceptsBase)
+{
+    baseMachine().validate(); // must not exit
+}
+
+TEST(MachineDeath, ValidateRejectsBadConfigs)
+{
+    MachineConfig m = baseMachine();
+    m.frequency_ghz = -1.0;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "frequency");
+
+    m = baseMachine();
+    m.voltage_v = 0.0;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "voltage");
+
+    m = baseMachine();
+    m.num_int_alu = 0;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "ALU");
+
+    m = baseMachine();
+    m.window_size = 0;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "window");
+
+    m = baseMachine();
+    m.line_bytes = 48;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1),
+                "power of two");
+
+    m = baseMachine();
+    m.fetch_duty_x8 = 0;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "duty");
+    m.fetch_duty_x8 = 9;
+    EXPECT_EXIT(m.validate(), testing::ExitedWithCode(1), "duty");
+}
+
+} // namespace
+} // namespace ramp::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the structure enumeration and area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/structures.hh"
+
+namespace ramp::sim {
+namespace {
+
+TEST(Structures, CountMatchesEnum)
+{
+    EXPECT_EQ(num_structures, 10u);
+    EXPECT_EQ(allStructures().size(), num_structures);
+}
+
+TEST(Structures, NamesAreUniqueAndNonEmpty)
+{
+    for (auto id : allStructures()) {
+        EXPECT_FALSE(structureName(id).empty());
+        for (auto other : allStructures()) {
+            if (other != id) {
+                EXPECT_NE(structureName(id), structureName(other));
+            }
+        }
+    }
+}
+
+TEST(Structures, AreasPositive)
+{
+    for (auto id : allStructures())
+        EXPECT_GT(structureArea(id), 0.0);
+}
+
+TEST(Structures, TotalAreaMatchesPaperCore)
+{
+    // Paper Table 1: core size 20.2 mm^2 (4.5 mm x 4.5 mm = 20.25).
+    EXPECT_NEAR(totalCoreArea(), 20.25, 0.01);
+}
+
+TEST(Structures, IndexIsDense)
+{
+    std::size_t i = 0;
+    for (auto id : allStructures())
+        EXPECT_EQ(structureIndex(id), i++);
+}
+
+TEST(Structures, CachesAreLargestBlocks)
+{
+    // Sanity on relative sizing: FPU and L1D dominate the floorplan.
+    EXPECT_GT(structureArea(StructureId::Fpu),
+              structureArea(StructureId::IntReg));
+    EXPECT_GT(structureArea(StructureId::L1D),
+              structureArea(StructureId::Lsq));
+}
+
+} // namespace
+} // namespace ramp::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the floorplan: exact tiling, area consistency, adjacency.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "thermal/floorplan.hh"
+
+namespace ramp::thermal {
+namespace {
+
+using sim::allStructures;
+using sim::StructureId;
+
+TEST(Floorplan, BlockAreasMatchCanonicalAreas)
+{
+    const Floorplan fp;
+    for (auto id : allStructures())
+        EXPECT_NEAR(fp.block(id).area(), sim::structureArea(id), 1e-9);
+}
+
+TEST(Floorplan, TilesTheDieExactly)
+{
+    const Floorplan fp;
+    double total = 0.0;
+    for (auto id : allStructures()) {
+        const Block &b = fp.block(id);
+        EXPECT_GE(b.x, -1e-9);
+        EXPECT_GE(b.y, -1e-9);
+        EXPECT_LE(b.x + b.w, fp.dieSize() + 1e-9);
+        EXPECT_LE(b.y + b.h, fp.dieSize() + 1e-9);
+        total += b.area();
+    }
+    EXPECT_NEAR(total, fp.dieSize() * fp.dieSize(), 1e-9);
+}
+
+TEST(Floorplan, NoBlocksOverlap)
+{
+    const Floorplan fp;
+    for (auto a : allStructures()) {
+        for (auto b : allStructures()) {
+            if (a == b)
+                continue;
+            const Block &p = fp.block(a);
+            const Block &q = fp.block(b);
+            const double ox =
+                std::min(p.x + p.w, q.x + q.w) - std::max(p.x, q.x);
+            const double oy =
+                std::min(p.y + p.h, q.y + q.h) - std::max(p.y, q.y);
+            const double overlap =
+                std::max(0.0, ox) * std::max(0.0, oy);
+            EXPECT_NEAR(overlap, 0.0, 1e-9)
+                << sim::structureName(a) << " overlaps "
+                << sim::structureName(b);
+        }
+    }
+}
+
+TEST(Floorplan, SharedBorderIsSymmetric)
+{
+    const Floorplan fp;
+    for (auto a : allStructures())
+        for (auto b : allStructures())
+            EXPECT_NEAR(fp.sharedBorder(a, b), fp.sharedBorder(b, a),
+                        1e-12);
+}
+
+TEST(Floorplan, KnownAdjacencies)
+{
+    const Floorplan fp;
+    // Row 1 neighbours: IntReg | IntALU | IWin.
+    EXPECT_GT(fp.sharedBorder(StructureId::IntReg,
+                              StructureId::IntAlu), 0.0);
+    EXPECT_GT(fp.sharedBorder(StructureId::IntAlu, StructureId::IWin),
+              0.0);
+    // Row 1 and row 2 touch: IntALU below FPU region.
+    EXPECT_GT(fp.sharedBorder(StructureId::IntAlu, StructureId::Fpu),
+              0.0);
+    // L1D spans the top row and touches the whole FP row.
+    EXPECT_GT(fp.sharedBorder(StructureId::L1D, StructureId::Fpu),
+              0.0);
+    // Opposite corners never touch.
+    EXPECT_EQ(fp.sharedBorder(StructureId::L1I, StructureId::L1D),
+              0.0);
+    EXPECT_EQ(fp.sharedBorder(StructureId::FrontEnd,
+                              StructureId::FpReg), 0.0);
+}
+
+TEST(Floorplan, SelfBorderIsZero)
+{
+    const Floorplan fp;
+    for (auto id : allStructures())
+        EXPECT_EQ(fp.sharedBorder(id, id), 0.0);
+}
+
+TEST(Floorplan, CenterDistancesPositiveAndSymmetric)
+{
+    const Floorplan fp;
+    for (auto a : allStructures()) {
+        for (auto b : allStructures()) {
+            if (a == b)
+                continue;
+            const double d = fp.centerDistance(a, b);
+            EXPECT_GT(d, 0.0);
+            EXPECT_NEAR(d, fp.centerDistance(b, a), 1e-12);
+            EXPECT_LT(d, fp.dieSize() * std::sqrt(2.0));
+        }
+    }
+}
+
+} // namespace
+} // namespace ramp::thermal

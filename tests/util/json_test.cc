@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the streaming JSON writer: structure, escaping, numeric
+ * edge cases, and misuse detection.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace ramp::util {
+namespace {
+
+TEST(Json, EmptyObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().endObject();
+    EXPECT_EQ(os.str(), "{}");
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, FlatObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject()
+        .kv("name", "bzip2")
+        .kv("ipc", 1.73)
+        .kv("count", std::uint64_t{42})
+        .kv("ok", true)
+        .endObject();
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"bzip2\",\"ipc\":1.73,\"count\":42,"
+              "\"ok\":true}");
+}
+
+TEST(Json, NestedStructures)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("arr").beginArray();
+    w.value(std::int64_t{1});
+    w.value(std::int64_t{2});
+    w.beginObject().kv("x", 3.5).endObject();
+    w.endArray();
+    w.key("obj").beginObject().kv("y", false).endObject();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"arr\":[1,2,{\"x\":3.5}],\"obj\":{\"y\":false}}");
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, ArrayAsRoot)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray().value("a").value("b").endArray();
+    EXPECT_EQ(os.str(), "[\"a\",\"b\"]");
+}
+
+TEST(Json, EscapesStrings)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().kv("k", "a\"b\\c\nd\te").endObject();
+    EXPECT_EQ(os.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharactersEscapedAsUnicode)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().kv("k", std::string_view("\x01", 1)).endObject();
+    EXPECT_EQ(os.str(), "{\"k\":\"\\u0001\"}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject()
+        .kv("nan", std::nan(""))
+        .kv("inf", INFINITY)
+        .endObject();
+    EXPECT_EQ(os.str(), "{\"nan\":null,\"inf\":null}");
+}
+
+TEST(Json, ExplicitNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray().null().endArray();
+    EXPECT_EQ(os.str(), "[null]");
+}
+
+TEST(Json, CompleteOnlyWhenBalanced)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    EXPECT_FALSE(w.complete());
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonDeath, KeyOutsideObjectPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    EXPECT_DEATH(w.key("k"), "key outside");
+}
+
+TEST(JsonDeath, ValueWhereKeyExpectedPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    EXPECT_DEATH(w.value(1.0), "key is expected");
+}
+
+TEST(JsonDeath, UnbalancedEndPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    EXPECT_DEATH(w.endObject(), "outside an object");
+}
+
+TEST(JsonDeath, WritingPastRootPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().endObject();
+    EXPECT_DEATH(w.beginObject(), "complete root");
+}
+
+} // namespace
+} // namespace ramp::util

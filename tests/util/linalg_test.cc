@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the dense matrix and the Gaussian-elimination solver.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/linalg.hh"
+#include "util/random.hh"
+
+namespace ramp::util {
+namespace {
+
+TEST(Matrix, ZeroInitialised)
+{
+    Matrix m(3, 2);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_EQ(m.at(r, c), 0.0);
+}
+
+TEST(Matrix, IdentityTimesVector)
+{
+    const Matrix id = Matrix::identity(4);
+    const std::vector<double> x{1.0, -2.0, 3.0, 0.5};
+    EXPECT_EQ(id.mul(x), x);
+}
+
+TEST(Matrix, MulComputesProduct)
+{
+    Matrix m(2, 3);
+    m.at(0, 0) = 1.0; m.at(0, 1) = 2.0; m.at(0, 2) = 3.0;
+    m.at(1, 0) = 4.0; m.at(1, 1) = 5.0; m.at(1, 2) = 6.0;
+    const auto y = m.mul({1.0, 1.0, 1.0});
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+    EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(SolveLinear, SolvesKnownSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0; a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0; a.at(1, 1) = 3.0;
+    const auto x = solveLinear(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting)
+{
+    // Leading zero forces a row swap.
+    Matrix a(2, 2);
+    a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+    const auto x = solveLinear(a, {2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomSystemsRoundTrip)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.below(12);
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                a.at(r, c) = rng.uniform(-1.0, 1.0);
+            a.at(r, r) += 4.0; // diagonally dominant => nonsingular
+        }
+        std::vector<double> x_true(n);
+        for (auto &v : x_true)
+            v = rng.uniform(-10.0, 10.0);
+        const auto b = a.mul(x_true);
+        const auto x = solveLinear(a, b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+TEST(SolveLinear, ThermalShapedSystem)
+{
+    // Conductance-matrix shape: diagonal = sum of link conductances,
+    // off-diagonal = -g. Solution temperatures must exceed ambient
+    // injected via the RHS when power is positive.
+    Matrix g(3, 3);
+    const double g01 = 0.5, g12 = 0.25, g0a = 1.0, g2a = 0.1;
+    g.at(0, 0) = g01 + g0a; g.at(0, 1) = -g01;
+    g.at(1, 0) = -g01; g.at(1, 1) = g01 + g12; g.at(1, 2) = -g12;
+    g.at(2, 1) = -g12; g.at(2, 2) = g12 + g2a;
+    const double ambient = 318.0;
+    const auto t = solveLinear(
+        g, {10.0 + g0a * ambient, 5.0, 1.0 + g2a * ambient});
+    for (double ti : t)
+        EXPECT_GT(ti, ambient);
+}
+
+TEST(SolveLinearDeath, SingularSystemIsFatal)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0; a.at(1, 1) = 4.0;
+    EXPECT_EXIT(solveLinear(a, {1.0, 2.0}), testing::ExitedWithCode(1),
+                "singular");
+}
+
+TEST(SolveLinearDeath, NonSquarePanics)
+{
+    Matrix a(2, 3);
+    EXPECT_DEATH(solveLinear(a, {1.0, 2.0}), "square");
+}
+
+} // namespace
+} // namespace ramp::util

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for RunningStat, TimeWeightedStat, and Histogram.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace ramp::util {
+namespace {
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic population example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, StableForShiftedData)
+{
+    // Welford must keep precision with a large common offset.
+    RunningStat s;
+    const double offset = 1e9;
+    for (double x : {1.0, 2.0, 3.0})
+        s.add(offset + x);
+    EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(TimeWeightedStat, WeightsByDuration)
+{
+    TimeWeightedStat s;
+    s.add(10.0, 1.0);
+    s.add(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.totalTime(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), (10.0 + 60.0) / 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(TimeWeightedStat, EmptyMeanIsZero)
+{
+    TimeWeightedStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.totalTime(), 0.0);
+}
+
+TEST(TimeWeightedStatDeath, RejectsNonPositiveDuration)
+{
+    TimeWeightedStat s;
+    EXPECT_DEATH(s.add(1.0, 0.0), "duration");
+    EXPECT_DEATH(s.add(1.0, -1.0), "duration");
+}
+
+TEST(TimeWeightedStat, ResetClears)
+{
+    TimeWeightedStat s;
+    s.add(5.0, 2.0);
+    s.reset();
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.totalTime(), 0.0);
+}
+
+TEST(Histogram, BinEdgesAndCounts)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.binHi(4), 10.0);
+
+    h.add(1.0);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0);  // hi is exclusive
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformSamples)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo)
+{
+    Histogram h(2.0, 3.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(HistogramDeath, RejectsBadConstruction)
+{
+    EXPECT_EXIT(Histogram(1.0, 1.0, 4), testing::ExitedWithCode(1),
+                "hi > lo");
+    EXPECT_EXIT(Histogram(0.0, 1.0, 0), testing::ExitedWithCode(1),
+                "at least one bin");
+}
+
+} // namespace
+} // namespace ramp::util

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for text-table and CSV rendering plus the constants header.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hh"
+#include "util/table.hh"
+
+namespace ramp::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"app", "ipc"});
+    t.addRow({"bzip2", "1.7"});
+    t.addRow({"mpeg", "3.2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("bzip2"), std::string::npos);
+    EXPECT_NE(out.find("3.2"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, TitlePrintedWhenSet)
+{
+    Table t({"col"});
+    t.setTitle("Table 2: workloads");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().rfind("Table 2: workloads", 0), 0u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableDeath, MismatchedRowIsFatal)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only one"}), testing::ExitedWithCode(1),
+                "cells");
+}
+
+TEST(TableDeath, EmptyHeaderIsFatal)
+{
+    EXPECT_EXIT(Table({}), testing::ExitedWithCode(1), "column");
+}
+
+TEST(Constants, TemperatureConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(celsiusToKelvin(0.0), 273.15);
+    EXPECT_DOUBLE_EQ(kelvinToCelsius(celsiusToKelvin(85.0)), 85.0);
+}
+
+TEST(Constants, ThirtyYearMttfIsAbout4000Fit)
+{
+    // The paper: 30-year MTTF ~ 4000 FIT qualification target.
+    const double fit = mttfYearsToFit(30.0);
+    EXPECT_NEAR(fit, 3802.0, 5.0);
+    EXPECT_NEAR(fitToMttfYears(fit), 30.0, 1e-9);
+}
+
+TEST(Constants, BoltzmannValue)
+{
+    EXPECT_NEAR(k_boltzmann_ev, 8.617e-5, 1e-8);
+}
+
+} // namespace
+} // namespace ramp::util

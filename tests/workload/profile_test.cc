@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the application profiles: suite composition, Table 2
+ * reference values, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+namespace ramp::workload {
+namespace {
+
+TEST(Profiles, SuiteHasNineAppsInTable2Order)
+{
+    const auto &apps = standardApps();
+    ASSERT_EQ(apps.size(), 9u);
+    const char *expected[] = {"MPGdec", "MP3dec", "H263enc",
+                              "bzip2", "gzip", "twolf",
+                              "art", "equake", "ammp"};
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(apps[i].name, expected[i]);
+}
+
+TEST(Profiles, ThreeAppsPerClass)
+{
+    int counts[3] = {0, 0, 0};
+    for (const auto &app : standardApps())
+        ++counts[static_cast<int>(app.app_class)];
+    EXPECT_EQ(counts[static_cast<int>(AppClass::Multimedia)], 3);
+    EXPECT_EQ(counts[static_cast<int>(AppClass::SpecInt)], 3);
+    EXPECT_EQ(counts[static_cast<int>(AppClass::SpecFp)], 3);
+}
+
+TEST(Profiles, Table2ReferenceValuesMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(findApp("MPGdec").table2_ipc, 3.2);
+    EXPECT_DOUBLE_EQ(findApp("MPGdec").table2_power_w, 36.5);
+    EXPECT_DOUBLE_EQ(findApp("MP3dec").table2_ipc, 2.8);
+    EXPECT_DOUBLE_EQ(findApp("H263enc").table2_ipc, 1.9);
+    EXPECT_DOUBLE_EQ(findApp("bzip2").table2_ipc, 1.7);
+    EXPECT_DOUBLE_EQ(findApp("gzip").table2_ipc, 1.5);
+    EXPECT_DOUBLE_EQ(findApp("twolf").table2_ipc, 0.8);
+    EXPECT_DOUBLE_EQ(findApp("twolf").table2_power_w, 15.6);
+    EXPECT_DOUBLE_EQ(findApp("art").table2_ipc, 0.7);
+    EXPECT_DOUBLE_EQ(findApp("equake").table2_ipc, 1.4);
+    EXPECT_DOUBLE_EQ(findApp("ammp").table2_ipc, 1.1);
+}
+
+TEST(Profiles, AllProfilesValidate)
+{
+    for (const auto &app : standardApps())
+        app.validate(); // must not exit
+}
+
+TEST(Profiles, MultimediaAppsArePhased)
+{
+    for (const auto &app : standardApps()) {
+        if (app.app_class == AppClass::Multimedia)
+            EXPECT_GE(app.phases.size(), 2u) << app.name;
+        else
+            EXPECT_EQ(app.phases.size(), 1u) << app.name;
+    }
+}
+
+TEST(Profiles, MixFractionsLeaveRoomForIntAlu)
+{
+    for (const auto &app : standardApps())
+        for (const auto &ph : app.phases)
+            EXPECT_GT(ph.mix.intAlu(), 0.0) << app.name;
+}
+
+TEST(Profiles, FpAppsHaveFpWork)
+{
+    for (const auto &app : standardApps()) {
+        if (app.app_class == AppClass::SpecFp) {
+            EXPECT_GT(app.phases[0].mix.fp_op, 0.1) << app.name;
+        }
+        if (app.app_class == AppClass::SpecInt) {
+            EXPECT_EQ(app.phases[0].mix.fp_op, 0.0) << app.name;
+        }
+    }
+}
+
+TEST(ProfilesDeath, FindUnknownAppIsFatal)
+{
+    EXPECT_EXIT(findApp("doom3"), testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(ProfilesDeath, ValidateRejectsBadProfiles)
+{
+    AppProfile p = findApp("bzip2");
+    p.name.clear();
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "name");
+
+    p = findApp("bzip2");
+    p.phases.clear();
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "phase");
+
+    p = findApp("bzip2");
+    p.phases[0].mix.load = 1.5;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "fraction");
+
+    p = findApp("bzip2");
+    p.phases[0].mix.load = 0.7;
+    p.phases[0].mix.store = 0.7;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "exceed");
+
+    p = findApp("bzip2");
+    p.phases[0].mem.hot_bytes =
+        p.phases[0].mem.working_set_bytes + 1;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "hot region");
+
+    p = findApp("bzip2");
+    p.dep.mean_dist = 0.5;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "distance");
+
+    p = findApp("bzip2");
+    p.code_bytes = 100;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "code");
+}
+
+TEST(Profiles, ClassNames)
+{
+    EXPECT_STREQ(appClassName(AppClass::Multimedia), "Multimedia");
+    EXPECT_STREQ(appClassName(AppClass::SpecInt), "SpecInt");
+    EXPECT_STREQ(appClassName(AppClass::SpecFp), "SpecFP");
+}
+
+} // namespace
+} // namespace ramp::workload

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Parameterised per-application property tests: every profile in the
+ * suite must satisfy the generator contracts (mix fidelity, address
+ * bounds, stack discipline, determinism), not just the apps spot-
+ * checked in trace_gen_test.cc.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_gen.hh"
+
+namespace ramp::workload {
+namespace {
+
+using sim::Uop;
+using sim::UopClass;
+
+class AppSuiteTest : public testing::TestWithParam<const char *>
+{
+  protected:
+    const AppProfile &app() const { return findApp(GetParam()); }
+};
+
+TEST_P(AppSuiteTest, MixFidelityAcrossPhases)
+{
+    const AppProfile &p = app();
+    // Phase-length-weighted expected fractions.
+    double total_len = 0.0, exp_load = 0.0, exp_branch = 0.0,
+           exp_fp = 0.0;
+    for (const auto &ph : p.phases) {
+        const auto len = static_cast<double>(ph.length_uops);
+        total_len += len;
+        exp_load += len * ph.mix.load;
+        exp_branch += len * ph.mix.branch;
+        exp_fp += len * (ph.mix.fp_op + ph.mix.fp_div);
+    }
+    exp_load /= total_len;
+    exp_branch /= total_len;
+    exp_fp /= total_len;
+
+    TraceGenerator gen(p, 41);
+    // Sample a whole number of phase cycles where possible.
+    const auto n = static_cast<std::uint64_t>(total_len);
+    std::map<UopClass, std::uint64_t> counts;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    const auto frac = [&](UopClass c) {
+        return static_cast<double>(counts[c]) / static_cast<double>(n);
+    };
+    EXPECT_NEAR(frac(UopClass::Load), exp_load, 0.015) << p.name;
+    EXPECT_NEAR(frac(UopClass::Branch), exp_branch, 0.01) << p.name;
+    EXPECT_NEAR(frac(UopClass::FpOp) + frac(UopClass::FpDiv), exp_fp,
+                0.01)
+        << p.name;
+}
+
+TEST_P(AppSuiteTest, AddressesBoundedByLargestWorkingSet)
+{
+    const AppProfile &p = app();
+    std::uint64_t max_ws = 0;
+    for (const auto &ph : p.phases)
+        max_ws = std::max(max_ws, ph.mem.working_set_bytes);
+
+    TraceGenerator gen(p, 43);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Uop u = gen.next();
+        if (!sim::isMemClass(u.cls))
+            continue;
+        lo = std::min(lo, u.addr);
+        hi = std::max(hi, u.addr);
+    }
+    ASSERT_LT(lo, hi);
+    EXPECT_LE(hi - lo, max_ws + 64) << p.name;
+}
+
+TEST_P(AppSuiteTest, PcsBoundedByCodeFootprint)
+{
+    const AppProfile &p = app();
+    TraceGenerator gen(p, 47);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Uop u = gen.next();
+        lo = std::min(lo, u.pc);
+        hi = std::max(hi, u.pc);
+    }
+    EXPECT_LE(hi - lo, p.code_bytes) << p.name;
+}
+
+TEST_P(AppSuiteTest, CallReturnStackDiscipline)
+{
+    TraceGenerator gen(app(), 53);
+    std::vector<std::uint64_t> stack;
+    for (int i = 0; i < 200000; ++i) {
+        const Uop u = gen.next();
+        if (u.cls == UopClass::Call) {
+            stack.push_back(u.addr);
+        } else if (u.cls == UopClass::Return) {
+            ASSERT_FALSE(stack.empty()) << app().name;
+            EXPECT_EQ(u.addr, stack.back()) << app().name;
+            stack.pop_back();
+        }
+    }
+}
+
+TEST_P(AppSuiteTest, DeterministicStream)
+{
+    TraceGenerator a(app(), 59), b(app(), 59);
+    for (int i = 0; i < 5000; ++i) {
+        const Uop ua = a.next();
+        const Uop ub = b.next();
+        ASSERT_EQ(ua.pc, ub.pc);
+        ASSERT_EQ(ua.addr, ub.addr);
+        ASSERT_EQ(static_cast<int>(ua.cls), static_cast<int>(ub.cls));
+    }
+}
+
+TEST_P(AppSuiteTest, DependenceDistancesPositiveAndCapped)
+{
+    TraceGenerator gen(app(), 61);
+    for (int i = 0; i < 50000; ++i) {
+        const Uop u = gen.next();
+        EXPECT_LE(u.src_dist[0], 500);
+        EXPECT_LE(u.src_dist[1], 500);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppSuiteTest,
+    testing::Values("MPGdec", "MP3dec", "H263enc", "bzip2", "gzip",
+                    "twolf", "art", "equake", "ammp"),
+    [](const testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+} // namespace
+} // namespace ramp::workload

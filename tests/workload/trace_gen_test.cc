@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, mix fidelity,
+ * dependence distances, address bounds, call/return matching, and
+ * phase structure.
+ */
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_gen.hh"
+
+namespace ramp::workload {
+namespace {
+
+using sim::Uop;
+using sim::UopClass;
+
+TEST(TraceGen, DeterministicForSameSeed)
+{
+    TraceGenerator a(findApp("bzip2"), 7);
+    TraceGenerator b(findApp("bzip2"), 7);
+    for (int i = 0; i < 10000; ++i) {
+        const Uop ua = a.next();
+        const Uop ub = b.next();
+        ASSERT_EQ(ua.pc, ub.pc);
+        ASSERT_EQ(static_cast<int>(ua.cls), static_cast<int>(ub.cls));
+        ASSERT_EQ(ua.addr, ub.addr);
+        ASSERT_EQ(ua.taken, ub.taken);
+        ASSERT_EQ(ua.src_dist[0], ub.src_dist[0]);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiverge)
+{
+    TraceGenerator a(findApp("bzip2"), 1);
+    TraceGenerator b(findApp("bzip2"), 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().pc == b.next().pc;
+    EXPECT_LT(same, 900);
+}
+
+TEST(TraceGen, AppsAreDecorrelatedUnderSharedSeed)
+{
+    TraceGenerator a(findApp("bzip2"), 1);
+    TraceGenerator b(findApp("gzip"), 1);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().addr == b.next().addr;
+    EXPECT_LT(same, 900);
+}
+
+TEST(TraceGen, MixFractionsAreHonoured)
+{
+    const auto &app = findApp("bzip2"); // single phase
+    const auto &mix = app.phases[0].mix;
+    TraceGenerator gen(app, 3);
+    std::map<UopClass, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+
+    auto frac = [&](UopClass c) {
+        return static_cast<double>(counts[c]) / n;
+    };
+    EXPECT_NEAR(frac(UopClass::Load), mix.load, 0.01);
+    EXPECT_NEAR(frac(UopClass::Store), mix.store, 0.01);
+    EXPECT_NEAR(frac(UopClass::Branch), mix.branch, 0.01);
+    // Calls and returns together consume the call budget.
+    EXPECT_NEAR(frac(UopClass::Call) + frac(UopClass::Return),
+                mix.call, 0.005);
+    EXPECT_NEAR(frac(UopClass::IntAlu), mix.intAlu(), 0.02);
+}
+
+TEST(TraceGen, DependenceDistancesMatchProfile)
+{
+    const auto &app = findApp("art");
+    TraceGenerator gen(app, 5);
+    double sum = 0.0;
+    int nonzero = 0, total = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Uop u = gen.next();
+        if (sim::isCtrlClass(u.cls))
+            continue; // ctrl deps are deliberately damped
+        ++total;
+        if (u.src_dist[0]) {
+            sum += u.src_dist[0];
+            ++nonzero;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(nonzero) / total, app.dep.p_src1,
+                0.02);
+    EXPECT_NEAR(sum / nonzero, app.dep.mean_dist,
+                0.15 * app.dep.mean_dist);
+}
+
+TEST(TraceGen, CtrlDependencesAreDamped)
+{
+    const auto &app = findApp("twolf");
+    TraceGenerator gen(app, 5);
+    int ctrl = 0, ctrl_dep = 0, data = 0, data_dep = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const Uop u = gen.next();
+        if (sim::isCtrlClass(u.cls)) {
+            ++ctrl;
+            ctrl_dep += u.src_dist[0] != 0;
+        } else {
+            ++data;
+            data_dep += u.src_dist[0] != 0;
+        }
+    }
+    const double ctrl_rate = static_cast<double>(ctrl_dep) / ctrl;
+    const double data_rate = static_cast<double>(data_dep) / data;
+    EXPECT_NEAR(ctrl_rate,
+                app.dep.p_src1 * app.dep.ctrl_dep_scale, 0.03);
+    EXPECT_GT(data_rate, ctrl_rate);
+}
+
+TEST(TraceGen, DataAddressesStayInWorkingSet)
+{
+    const auto &app = findApp("gzip");
+    const auto ws = app.phases[0].mem.working_set_bytes;
+    TraceGenerator gen(app, 9);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Uop u = gen.next();
+        if (!sim::isMemClass(u.cls))
+            continue;
+        lo = std::min(lo, u.addr);
+        hi = std::max(hi, u.addr);
+    }
+    EXPECT_GE(hi - lo, ws / 2);  // footprint actually used
+    EXPECT_LE(hi - lo, ws + 64); // and bounded by the working set
+}
+
+TEST(TraceGen, PcsStayInCodeRegion)
+{
+    const auto &app = findApp("bzip2");
+    TraceGenerator gen(app, 11);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const Uop u = gen.next();
+        lo = std::min(lo, u.pc);
+        hi = std::max(hi, u.pc);
+    }
+    EXPECT_LE(hi - lo, app.code_bytes);
+}
+
+TEST(TraceGen, CallsAndReturnsMatchLikeAStack)
+{
+    // Replaying calls/returns against a shadow stack must always pop
+    // the address the generator claims -- this is what makes the RAS
+    // effective on these traces.
+    TraceGenerator gen(findApp("gzip"), 13);
+    std::vector<std::uint64_t> stack;
+    int returns = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const Uop u = gen.next();
+        if (u.cls == UopClass::Call) {
+            stack.push_back(u.addr);
+        } else if (u.cls == UopClass::Return) {
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(u.addr, stack.back());
+            stack.pop_back();
+            ++returns;
+        }
+    }
+    EXPECT_GT(returns, 100);
+}
+
+TEST(TraceGen, CallDepthIsBounded)
+{
+    const auto &app = findApp("twolf");
+    TraceGenerator gen(app, 17);
+    int depth = 0, max_depth = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const Uop u = gen.next();
+        if (u.cls == UopClass::Call)
+            max_depth = std::max(max_depth, ++depth);
+        else if (u.cls == UopClass::Return)
+            --depth;
+    }
+    EXPECT_LE(max_depth,
+              static_cast<int>(app.branch.max_call_depth));
+}
+
+TEST(TraceGen, PhasesCycle)
+{
+    const auto &app = findApp("MPGdec"); // two phases
+    TraceGenerator gen(app, 19);
+    const auto phase_len = app.phases[0].length_uops;
+    for (std::uint64_t i = 0; i < phase_len; ++i)
+        gen.next();
+    EXPECT_EQ(gen.currentPhase(), 0u);
+    gen.next();
+    EXPECT_EQ(gen.currentPhase(), 1u);
+    // After the second phase it wraps back.
+    for (std::uint64_t i = 0; i < app.phases[1].length_uops; ++i)
+        gen.next();
+    EXPECT_EQ(gen.currentPhase(), 0u);
+}
+
+TEST(TraceGen, MemoryPhaseIsLoadHeavier)
+{
+    const auto &app = findApp("MPGdec");
+    TraceGenerator gen(app, 23);
+    const auto p0 = app.phases[0].length_uops;
+    int loads_compute = 0;
+    for (std::uint64_t i = 0; i < p0; ++i)
+        loads_compute += gen.next().cls == UopClass::Load;
+    int loads_mem = 0;
+    const auto p1 = app.phases[1].length_uops;
+    for (std::uint64_t i = 0; i < p1; ++i)
+        loads_mem += gen.next().cls == UopClass::Load;
+    EXPECT_GT(static_cast<double>(loads_mem) / p1,
+              static_cast<double>(loads_compute) / p0);
+}
+
+TEST(TraceGen, BranchOutcomesAreBiasedButNotConstant)
+{
+    TraceGenerator gen(findApp("twolf"), 29);
+    int branches = 0, taken = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Uop u = gen.next();
+        if (u.cls == UopClass::Branch) {
+            ++branches;
+            taken += u.taken;
+        }
+    }
+    const double rate = static_cast<double>(taken) / branches;
+    EXPECT_GT(rate, 0.2);
+    EXPECT_LT(rate, 0.95);
+}
+
+TEST(TraceGen, ProducedCounts)
+{
+    TraceGenerator gen(findApp("art"), 31);
+    for (int i = 0; i < 1234; ++i)
+        gen.next();
+    EXPECT_EQ(gen.produced(), 1234u);
+}
+
+} // namespace
+} // namespace ramp::workload
