@@ -314,10 +314,10 @@ ablationFetchThrottle(bench::Suite &suite)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
     ablationLeakageFeedback(suite);
     ablationSofr(suite);
     ablationVfSlope(suite);

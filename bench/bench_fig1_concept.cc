@@ -18,10 +18,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
 
     const auto &hot = workload::findApp("MP3dec");   // application A
     const auto &cool = workload::findApp("twolf");   // application B

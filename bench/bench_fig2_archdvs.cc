@@ -24,10 +24,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
 
     const double t_quals[] = {400.0, 370.0, 345.0, 325.0};
 

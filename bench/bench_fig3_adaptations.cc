@@ -18,10 +18,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
 
     const auto &bzip2 = workload::findApp("bzip2");
     const double t_quals[] = {325.0, 335.0, 345.0, 360.0, 370.0,

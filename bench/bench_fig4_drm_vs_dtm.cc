@@ -22,10 +22,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
 
     const std::vector<double> temps = {325.0, 335.0, 345.0,
                                        360.0, 370.0, 400.0};
@@ -50,7 +50,10 @@ main()
         for (double temp : temps) {
             const auto qual = suite.qualification(temp);
             const auto drm_sel = drm::selectDrm(explored, qual);
-            const auto dtm_sel = drm::selectDtm(explored, temp);
+            // The Qualification overload fills the DTM choice's real
+            // FIT; the two-argument form reports the 0.0 sentinel and
+            // would make every DTM choice look failure-free below.
+            const auto dtm_sel = drm::selectDtm(explored, temp, qual);
 
             const auto &drm_op = explored.points[drm_sel.index].op;
             const auto &dtm_op = explored.points[dtm_sel.index].op;
@@ -59,9 +62,8 @@ main()
             f_drm_series.push_back(f_drm);
             f_dtm_series.push_back(f_dtm);
 
-            const double dtm_fit =
-                drm::operatingPointFit(qual, dtm_op);
-            const double drm_tmax = drm_op.maxTemp();
+            const double dtm_fit = dtm_sel.fit;
+            const double drm_tmax = drm_sel.max_temp_k;
 
             if (drm_tmax > temp + 1e-9)
                 ++drm_thermal_violations;

@@ -18,10 +18,10 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite;
+    bench::Suite suite(bench::threadCount(argc, argv));
 
     util::Table t({"app", "type", "IPC", "IPC paper", "power W",
                    "power paper", "Tmax K"});

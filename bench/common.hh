@@ -1,16 +1,22 @@
 /**
  * @file
  * Shared plumbing for the reproduction benches: the persistent
- * evaluation cache, the explored application suite, and the paper's
- * qualification setup (Section 3.7).
+ * evaluation cache, the worker pool, the explored application suite,
+ * and the paper's qualification setup (Section 3.7).
  *
  * Every bench prints the rows/series of one paper table or figure;
  * EXPERIMENTS.md records the measured output against the paper.
+ *
+ * Parallelism: every bench accepts `--threads N` (or the RAMP_THREADS
+ * environment variable; the flag wins), defaulting to the hardware
+ * concurrency. The oracle sweeps fan exploration points out across
+ * one shared pool; output is bit-identical at any thread count.
  */
 
 #ifndef RAMP_BENCH_COMMON_HH
 #define RAMP_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -19,6 +25,8 @@
 #include "core/qualification.hh"
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
 namespace ramp {
@@ -33,6 +41,35 @@ cachePath()
     return "ramp_eval_cache.txt";
 }
 
+/**
+ * Worker count for this run: `--threads N` if present on the command
+ * line, else RAMP_THREADS, else the hardware concurrency. Exits with
+ * a usage message on a malformed flag.
+ */
+inline unsigned
+threadCount(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--threads" && i + 1 < argc)
+            value = argv[i + 1];
+        else if (arg == "--threads")
+            util::fatal("--threads needs a positive integer value");
+        else if (arg.rfind("--threads=", 0) == 0)
+            value = arg.substr(10);
+        else
+            continue;
+        const long n = std::strtol(value.c_str(), nullptr, 10);
+        if (n < 1)
+            util::fatal(util::cat("--threads needs a positive "
+                                  "integer, got '",
+                                  value, "'"));
+        return static_cast<unsigned>(n);
+    }
+    return util::defaultThreadCount();
+}
+
 /** Simulation controls used by every reproduction bench. */
 inline core::EvalParams
 benchEvalParams()
@@ -44,19 +81,36 @@ benchEvalParams()
 struct Suite
 {
     drm::EvaluationCache cache;
+    util::ThreadPool pool;
     drm::OracleExplorer explorer;
     std::vector<workload::AppProfile> apps;
     std::vector<core::OperatingPoint> base_ops;
     sim::PerStructure<double> alpha_qual{};
 
-    Suite()
+    /** @param threads Pool size; 0 means RAMP_THREADS/hardware. */
+    explicit Suite(unsigned threads = 0)
         : cache(cachePath()),
-          explorer(benchEvalParams(), &cache),
+          pool(threads),
+          explorer(benchEvalParams(), &cache, &pool),
           apps(workload::standardApps())
     {
-        for (const auto &app : apps)
-            base_ops.push_back(explorer.evaluateBase(app));
+        std::fprintf(stderr, "  suite: %u thread%s\n", pool.threads(),
+                     pool.threads() == 1 ? "" : "s");
+        base_ops.resize(apps.size());
+        pool.parallelFor(apps.size(), [&](std::size_t i) {
+            base_ops[i] = explorer.evaluateBase(apps[i]);
+        });
         alpha_qual = drm::alphaQualFromBaseline(base_ops);
+    }
+
+    ~Suite()
+    {
+        const auto s = cache.stats();
+        std::fprintf(stderr,
+                     "  evaluation cache: %zu hits, %zu misses, "
+                     "%zu appended (loaded %zu, compacted %zu)\n",
+                     s.hits, s.misses, s.appended, s.loaded,
+                     s.compacted);
     }
 
     /**

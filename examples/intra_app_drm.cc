@@ -17,6 +17,7 @@
 
 #include "drm/intra_app.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 int
 main(int argc, char **argv)
@@ -32,7 +33,9 @@ main(int argc, char **argv)
     const core::Qualification qual(spec);
 
     drm::EvaluationCache cache("ramp_eval_cache.txt");
-    const drm::IntraAppExplorer explorer(core::EvalParams{}, &cache);
+    util::ThreadPool pool; // RAMP_THREADS overrides the default
+    const drm::IntraAppExplorer explorer(core::EvalParams{}, &cache,
+                                         &pool);
 
     util::Table t({"app", "per-app rung (GHz)", "per-app perf",
                    "per-phase rungs (GHz)", "per-phase perf", "gain",

@@ -20,6 +20,7 @@
 #include "core/evaluator.hh"
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
+#include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
 int
@@ -72,7 +73,10 @@ main(int argc, char **argv)
     // --- 5. DRM oracle over the DVS ladder ------------------------------
     // Share the benches' persistent timing cache when present.
     drm::EvaluationCache cache("ramp_eval_cache.txt");
-    const drm::OracleExplorer explorer(core::EvalParams{}, &cache);
+    // Fan the ladder out across the machine (RAMP_THREADS overrides).
+    util::ThreadPool pool;
+    const drm::OracleExplorer explorer(core::EvalParams{}, &cache,
+                                       &pool);
     const auto explored =
         explorer.explore(app, drm::AdaptationSpace::Dvs);
     const auto sel = drm::selectDrm(explored, qual);

@@ -18,6 +18,7 @@
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
 int
@@ -27,7 +28,9 @@ main()
 
     // Share the benches' persistent timing cache when present.
     drm::EvaluationCache cache("ramp_eval_cache.txt");
-    const drm::OracleExplorer explorer(core::EvalParams{}, &cache);
+    util::ThreadPool pool; // RAMP_THREADS overrides the default
+    const drm::OracleExplorer explorer(core::EvalParams{}, &cache,
+                                       &pool);
 
     // alpha_qual needs the whole suite's base behaviour first.
     std::vector<core::OperatingPoint> base_ops;

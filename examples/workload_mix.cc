@@ -21,6 +21,7 @@
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
 int
@@ -32,7 +33,9 @@ main(int argc, char **argv)
                                    : 360.0;
 
     drm::EvaluationCache cache("ramp_eval_cache.txt");
-    const drm::OracleExplorer explorer(core::EvalParams{}, &cache);
+    util::ThreadPool pool; // RAMP_THREADS overrides the default
+    const drm::OracleExplorer explorer(core::EvalParams{}, &cache,
+                                       &pool);
 
     // A desktop-flavoured mix: mostly light integer work, bursts of
     // media decoding.

@@ -1,6 +1,7 @@
 #include "drm/eval_cache.hh"
 
-#include <fstream>
+#include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -10,42 +11,82 @@ namespace drm {
 
 namespace {
 
-constexpr int record_version = 2;
+// v3: frequency serialized at full precision in the key (v2 collided
+// fine-grained DVS rungs past 4 significant digits). The version
+// check drops every stale key at load.
+constexpr int record_version = 3;
 
 } // namespace
 
 EvaluationCache::EvaluationCache(std::string path)
     : path_(std::move(path))
 {
-    std::ifstream in(path_);
-    if (!in)
-        return;
-    std::string line;
-    std::size_t loaded = 0;
-    while (std::getline(in, line)) {
-        std::istringstream is(line);
-        int version = 0;
-        std::string key;
-        CachedEvaluation v;
-        is >> version >> key;
-        if (version != record_version || key.empty())
-            continue;
-        is >> v.activity.cycles >> v.activity.retired;
-        for (auto &a : v.activity.activity)
-            is >> a;
-        is >> v.stats.cycles >> v.stats.fetched >> v.stats.retired >>
-            v.stats.dispatched >> v.stats.issued >> v.stats.branches >>
-            v.stats.mispredicts >> v.stats.ras_returns >>
-            v.stats.loads >> v.stats.stores;
-        is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >> v.l2_miss_ratio;
-        if (!is)
-            continue; // corrupt record: skip
-        entries_[key] = v;
-        ++loaded;
+    std::size_t lines = 0;
+    {
+        std::ifstream in(path_);
+        std::string line;
+        while (in && std::getline(in, line)) {
+            ++lines;
+            std::istringstream is(line);
+            int version = 0;
+            std::string key;
+            CachedEvaluation v;
+            is >> version >> key;
+            if (version != record_version || key.empty())
+                continue;
+            is >> v.activity.cycles >> v.activity.retired;
+            for (auto &a : v.activity.activity)
+                is >> a;
+            is >> v.stats.cycles >> v.stats.fetched >>
+                v.stats.retired >> v.stats.dispatched >>
+                v.stats.issued >> v.stats.branches >>
+                v.stats.mispredicts >> v.stats.ras_returns >>
+                v.stats.loads >> v.stats.stores;
+            is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >>
+                v.l2_miss_ratio;
+            if (!is)
+                continue; // corrupt record: skip
+            entries_[key] = v;
+        }
     }
-    if (loaded)
-        util::inform(util::cat("evaluation cache: loaded ", loaded,
-                               " records from ", path_));
+    loaded_ = entries_.size();
+
+    // Compact: rewrite the append-log as exactly one line per live
+    // record, dropping corrupt lines, stale versions, and superseded
+    // duplicates. Skipped when the log is already compact (the
+    // common warm-start case) so clean loads touch nothing.
+    if (lines > entries_.size()) {
+        compacted_ = lines - entries_.size();
+        const std::string tmp = path_ + ".compact.tmp";
+        std::ofstream out(tmp, std::ios::trunc);
+        if (out) {
+            for (const auto &[key, value] : entries_)
+                writeRecord(out, key, value);
+            out.close();
+            if (!out || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+                util::warn(util::cat("evaluation cache: compaction of ",
+                                     path_, " failed; log left as-is"));
+                std::remove(tmp.c_str());
+                compacted_ = 0;
+            }
+        }
+    }
+
+    // One appender for the cache's lifetime: put() no longer pays an
+    // open/close per record, and every append is a single line-
+    // granular write behind file_mutex_.
+    appender_.open(path_, std::ios::app);
+    if (!appender_)
+        util::warn(
+            util::cat("evaluation cache: cannot append to ", path_));
+
+    if (loaded_)
+        util::inform(util::cat("evaluation cache: loaded ", loaded_,
+                               " records from ", path_,
+                               compacted_ ? util::cat(" (compacted ",
+                                                      compacted_,
+                                                      " stale lines)")
+                                          : ""));
 }
 
 std::string
@@ -60,7 +101,10 @@ EvaluationCache::key(const sim::MachineConfig &cfg,
     // irrelevant too (all latencies are fixed cycle counts), so all
     // DVS rungs share one record.
     std::ostringstream os;
-    os.precision(4);
+    // Full round-trip precision: at the default (6) or any truncated
+    // precision, DVS rungs closer than the printed digits would
+    // collide into one record and silently share timing results.
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << app.name << "|w" << cfg.window_size << "a" << cfg.num_int_alu
        << "f" << cfg.num_fpu << "g" << cfg.num_agen << "q"
        << cfg.mem_queue << "d" << cfg.fetch_duty_x8 << "|";
@@ -76,9 +120,13 @@ EvaluationCache::key(const sim::MachineConfig &cfg,
 std::optional<CachedEvaluation>
 EvaluationCache::get(const std::string &key) const
 {
+    std::shared_lock lock(mutex_);
     auto it = entries_.find(key);
-    if (it == entries_.end())
+    if (it == entries_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
 }
 
@@ -86,21 +134,48 @@ void
 EvaluationCache::put(const std::string &key,
                      const CachedEvaluation &value)
 {
-    entries_[key] = value;
-    if (!path_.empty())
-        appendToFile(key, value);
+    {
+        std::unique_lock lock(mutex_);
+        entries_[key] = value;
+    }
+    if (path_.empty())
+        return;
+    // Format outside the lock, write the complete line in one go:
+    // concurrent putters serialize on file_mutex_ and each line lands
+    // whole (load-time parsing tolerates anything else anyway).
+    std::ostringstream line;
+    writeRecord(line, key, value);
+    std::lock_guard lock(file_mutex_);
+    if (!appender_)
+        return; // warned at construction
+    appender_ << line.str();
+    appender_.flush();
+    appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+EvaluationCache::size() const
+{
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+}
+
+EvaluationCache::Stats
+EvaluationCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.appended = appended_.load(std::memory_order_relaxed);
+    s.loaded = loaded_;
+    s.compacted = compacted_;
+    return s;
 }
 
 void
-EvaluationCache::appendToFile(const std::string &key,
-                              const CachedEvaluation &v) const
+EvaluationCache::writeRecord(std::ostream &out, const std::string &key,
+                             const CachedEvaluation &v) const
 {
-    std::ofstream out(path_, std::ios::app);
-    if (!out) {
-        util::warn(util::cat("evaluation cache: cannot append to ",
-                             path_));
-        return;
-    }
     out.precision(17);
     out << record_version << ' ' << key << ' ' << v.activity.cycles
         << ' ' << v.activity.retired;

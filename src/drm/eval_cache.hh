@@ -10,16 +10,32 @@
  * a space (e.g. Figure 2 and Figure 3 both explore ArchDVS) reuse
  * each other's simulations across processes.
  *
- * The format is a plain text file, one record per line; unknown or
- * corrupt lines are ignored (the cache is an optimisation, never a
- * correctness dependency).
+ * The format is a plain text append-log, one record per line; unknown
+ * or corrupt lines are ignored (the cache is an optimisation, never a
+ * correctness dependency). Loading compacts the log in place: stale
+ * versions, corrupt lines, and superseded duplicates are dropped and
+ * the file rewritten, so it stops growing unboundedly across runs.
+ *
+ * The in-memory map is concurrency-safe (shared_mutex: concurrent
+ * get(), exclusive put()) and file appends go through one serialized
+ * appender opened once, so parallel exploration workers can share a
+ * cache without torn or lost lines. Cross-*process* concurrency is
+ * not coordinated beyond the append granularity: two processes
+ * appending simultaneously interleave whole lines safely, but a
+ * process that compacts while another appends can drop the other's
+ * fresh records (they are re-simulated on the next cold run -- an
+ * optimisation loss, never a correctness one).
  */
 
 #ifndef RAMP_DRM_EVAL_CACHE_HH
 #define RAMP_DRM_EVAL_CACHE_HH
 
+#include <atomic>
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "core/evaluator.hh"
@@ -43,35 +59,66 @@ struct CachedEvaluation
 class EvaluationCache
 {
   public:
+    /** Usage counters, cheap enough to keep always-on. */
+    struct Stats
+    {
+        std::size_t hits = 0;     ///< get() found a record.
+        std::size_t misses = 0;   ///< get() found nothing.
+        std::size_t appended = 0; ///< put() records written to file.
+        std::size_t loaded = 0;   ///< Records read at construction.
+        /** Lines the load-time compaction dropped (corrupt, stale
+         *  version, or superseded duplicates). */
+        std::size_t compacted = 0;
+    };
+
     /** Create an empty cache (no file attached). */
     EvaluationCache() = default;
 
     /**
-     * Attach a backing file and load any existing records from it.
-     * Missing files are fine (cold cache).
+     * Attach a backing file, load any existing records from it, and
+     * compact it (drop corrupt/stale/duplicate lines) if the log
+     * holds anything but one line per live record. Missing files are
+     * fine (cold cache).
      */
     explicit EvaluationCache(std::string path);
+
+    EvaluationCache(const EvaluationCache &) = delete;
+    EvaluationCache &operator=(const EvaluationCache &) = delete;
 
     /** Key for one (application, configuration, params) evaluation. */
     static std::string key(const sim::MachineConfig &cfg,
                            const workload::AppProfile &app,
                            const core::EvalParams &params);
 
-    /** Look up a record; nullopt on miss. */
+    /** Look up a record; nullopt on miss. Thread-safe. */
     std::optional<CachedEvaluation> get(const std::string &key) const;
 
-    /** Insert (or overwrite) a record and append it to the file. */
+    /** Insert (or overwrite) a record and append it to the file.
+     *  Thread-safe; appends are serialized and line-atomic. */
     void put(const std::string &key, const CachedEvaluation &value);
 
     /** Number of records held. */
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const;
+
+    /** Usage counters since construction. */
+    Stats stats() const;
 
   private:
-    void appendToFile(const std::string &key,
-                      const CachedEvaluation &value) const;
+    void writeRecord(std::ostream &os, const std::string &key,
+                     const CachedEvaluation &v) const;
 
     std::string path_;
     std::map<std::string, CachedEvaluation> entries_;
+    mutable std::shared_mutex mutex_; ///< Guards entries_.
+
+    std::mutex file_mutex_; ///< Serializes every file append.
+    std::ofstream appender_;
+
+    mutable std::atomic<std::size_t> hits_{0};
+    mutable std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> appended_{0};
+    std::size_t loaded_ = 0;
+    std::size_t compacted_ = 0;
 };
 
 } // namespace drm

@@ -1,6 +1,7 @@
 #include "drm/intra_app.hh"
 
 #include <cmath>
+#include <unordered_set>
 
 #include "power/power.hh"
 #include "util/logging.hh"
@@ -23,8 +24,9 @@ phaseProfile(const workload::AppProfile &app, std::size_t phase)
 } // namespace
 
 IntraAppExplorer::IntraAppExplorer(core::EvalParams eval_params,
-                                   EvaluationCache *cache)
-    : eval_params_(eval_params), cache_(cache)
+                                   EvaluationCache *cache,
+                                   util::ThreadPool *pool)
+    : eval_params_(eval_params), cache_(cache), pool_(pool)
 {
 }
 
@@ -41,24 +43,66 @@ IntraAppExplorer::explore(const workload::AppProfile &app,
     const OracleExplorer explorer(eval_params_, cache_);
 
     // Per-phase, per-rung evaluation: ipc and FIT of each phase held
-    // at each rung.
+    // at each rung. The grid cells are independent, so they fan out
+    // across the pool; results land by (phase, rung) index and, as in
+    // OracleExplorer::explore, one representative per unique timing
+    // key runs first so a cold cache performs exactly the serial
+    // sweep's simulations (bit-identical output, no duplicated work).
     struct PhaseRung
     {
         double ipc;
         double fit;
     };
-    std::vector<std::vector<PhaseRung>> table(num_phases);
+    std::vector<std::vector<PhaseRung>> table(
+        num_phases, std::vector<PhaseRung>(ladder.size()));
+    std::vector<workload::AppProfile> profiles;
+    profiles.reserve(num_phases);
+    for (std::size_t ph = 0; ph < num_phases; ++ph)
+        profiles.push_back(phaseProfile(app, ph));
+
+    auto rungConfig = [&](std::size_t rung) {
+        sim::MachineConfig cfg = sim::baseMachine();
+        cfg.frequency_ghz = ladder[rung].frequency_ghz;
+        cfg.voltage_v = ladder[rung].voltage_v;
+        return cfg;
+    };
+
+    struct Job
+    {
+        std::size_t ph, rung;
+    };
+    std::vector<Job> reps, rest;
+    std::unordered_set<std::string> seen_keys;
     for (std::size_t ph = 0; ph < num_phases; ++ph) {
-        const auto profile = phaseProfile(app, ph);
-        for (const auto &lvl : ladder) {
-            sim::MachineConfig cfg = sim::baseMachine();
-            cfg.frequency_ghz = lvl.frequency_ghz;
-            cfg.voltage_v = lvl.voltage_v;
-            const auto op = explorer.evaluate(cfg, profile);
-            table[ph].push_back(
-                {op.ipc(), operatingPointFit(qual, op)});
+        for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
+            bool first = true;
+            if (cache_)
+                first = seen_keys
+                            .insert(EvaluationCache::key(
+                                rungConfig(rung), profiles[ph],
+                                eval_params_))
+                            .second;
+            (first ? reps : rest).push_back({ph, rung});
         }
     }
+
+    auto evalJob = [&](const Job &j) {
+        const auto op =
+            explorer.evaluate(rungConfig(j.rung), profiles[j.ph]);
+        table[j.ph][j.rung] = {op.ipc(), operatingPointFit(qual, op)};
+    };
+    auto runJobs = [&](const std::vector<Job> &jobs) {
+        if (pool_) {
+            pool_->parallelFor(jobs.size(), [&](std::size_t n) {
+                evalJob(jobs[n]);
+            });
+        } else {
+            for (const auto &j : jobs)
+                evalJob(j);
+        }
+    };
+    runJobs(reps);
+    runJobs(rest);
 
     // Phase-composed performance and FIT of an assignment; weights
     // are phase wall-times, which depend on the chosen frequencies.

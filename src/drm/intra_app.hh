@@ -69,9 +69,12 @@ class IntraAppExplorer
      * @param eval_params Simulation controls.
      * @param cache Optional persistent timing cache (must outlive
      *        the explorer).
+     * @param pool Optional thread pool the (phase, rung) table fill
+     *        fans out across (must outlive the explorer).
      */
     explicit IntraAppExplorer(core::EvalParams eval_params = {},
-                              EvaluationCache *cache = nullptr);
+                              EvaluationCache *cache = nullptr,
+                              util::ThreadPool *pool = nullptr);
 
     /**
      * Solve the per-phase assignment for one application under one
@@ -84,6 +87,7 @@ class IntraAppExplorer
   private:
     core::EvalParams eval_params_;
     EvaluationCache *cache_;
+    util::ThreadPool *pool_;
 };
 
 } // namespace drm

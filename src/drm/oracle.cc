@@ -1,6 +1,7 @@
 #include "drm/oracle.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "power/power.hh"
 #include "util/logging.hh"
@@ -39,9 +40,22 @@ alphaQualFromBaseline(const std::vector<core::OperatingPoint> &base_ops)
 }
 
 OracleExplorer::OracleExplorer(core::EvalParams eval_params,
-                               EvaluationCache *cache)
-    : evaluator_(eval_params), cache_(cache)
+                               EvaluationCache *cache,
+                               util::ThreadPool *pool)
+    : evaluator_(eval_params), cache_(cache), pool_(pool)
 {
+}
+
+void
+OracleExplorer::forEach(std::size_t count,
+                        const std::function<void(std::size_t)> &fn) const
+{
+    if (pool_) {
+        pool_->parallelFor(count, fn);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        fn(i);
 }
 
 core::OperatingPoint
@@ -88,26 +102,54 @@ OracleExplorer::explore(const workload::AppProfile &app,
     out.base = evaluateBase(app);
     const double base_perf = out.base.uopsPerSecond();
 
-    for (const auto &cfg : configSpace(space)) {
+    const auto cfgs = configSpace(space);
+    out.points.resize(cfgs.size());
+    auto eval_point = [&](std::size_t i) {
         ExploredPoint pt;
-        pt.op = evaluate(cfg, app);
+        pt.op = evaluate(cfgs[i], app);
         pt.perf_rel = pt.op.uopsPerSecond() / base_perf;
-        out.points.push_back(std::move(pt));
+        out.points[i] = std::move(pt);
+    };
+
+    // Pass 1: one representative (the first occurrence) per unique
+    // timing key. On a cold cache this is where every simulation
+    // happens -- exactly one per key, the same work a serial sweep
+    // does -- rather than racing duplicate-key points into redundant
+    // simulations. Without a cache every point is its own
+    // representative.
+    std::vector<std::size_t> reps;
+    std::vector<std::size_t> rest;
+    if (cache_) {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            const auto key = EvaluationCache::key(cfgs[i], app,
+                                                 evaluator_.params());
+            (seen.insert(key).second ? reps : rest).push_back(i);
+        }
+    } else {
+        for (std::size_t i = 0; i < cfgs.size(); ++i)
+            reps.push_back(i);
     }
+    forEach(reps.size(), [&](std::size_t n) { eval_point(reps[n]); });
+
+    // Pass 2: the duplicate-key points, all cache hits now (cheap
+    // power/thermal re-convergence only), exactly as they would be
+    // in a serial sweep that had already passed their key once.
+    forEach(rest.size(), [&](std::size_t n) { eval_point(rest[n]); });
     return out;
 }
 
 namespace {
 
 Selection
-makeSelection(const ExploredApp &app, const core::Qualification &qual,
-              std::size_t index, bool feasible)
+makeSelection(const ExploredApp &app, std::size_t index,
+              bool feasible, double fit)
 {
     Selection sel;
     sel.index = index;
     sel.feasible = feasible;
     sel.perf_rel = app.points[index].perf_rel;
-    sel.fit = operatingPointFit(qual, app.points[index].op);
+    sel.fit = fit;
     sel.max_temp_k = app.points[index].op.maxTemp();
     return sel;
 }
@@ -124,9 +166,12 @@ selectDrm(const ExploredApp &app, const core::Qualification &qual)
     std::size_t best = 0;
     bool found = false;
     double best_perf = -1.0;
+    double best_fit = 0.0;
     std::size_t coolest = 0;
     double coolest_fit = 1e300;
 
+    // One steadyFit per point: the winner's FIT is carried into the
+    // selection instead of being recomputed.
     for (std::size_t i = 0; i < app.points.size(); ++i) {
         const double fit = operatingPointFit(qual, app.points[i].op);
         if (fit < coolest_fit) {
@@ -136,10 +181,12 @@ selectDrm(const ExploredApp &app, const core::Qualification &qual)
         if (fit <= target && app.points[i].perf_rel > best_perf) {
             best_perf = app.points[i].perf_rel;
             best = i;
+            best_fit = fit;
             found = true;
         }
     }
-    return makeSelection(app, qual, found ? best : coolest, found);
+    return makeSelection(app, found ? best : coolest, found,
+                         found ? best_fit : coolest_fit);
 }
 
 Selection
@@ -172,7 +219,19 @@ selectDtm(const ExploredApp &app, double t_design_k)
     sel.feasible = found;
     sel.perf_rel = app.points[sel.index].perf_rel;
     sel.max_temp_k = app.points[sel.index].op.maxTemp();
-    sel.fit = 0.0; // DTM is reliability-oblivious; caller fills if needed
+    // DTM is reliability-oblivious: without a qualification there is
+    // no FIT to report. 0.0 is a sentinel, NOT a real failure rate --
+    // comparisons needing one must use the Qualification overload.
+    sel.fit = 0.0;
+    return sel;
+}
+
+Selection
+selectDtm(const ExploredApp &app, double t_design_k,
+          const core::Qualification &qual)
+{
+    Selection sel = selectDtm(app, t_design_k);
+    sel.fit = operatingPointFit(qual, app.points[sel.index].op);
     return sel;
 }
 

@@ -25,6 +25,7 @@
 #include "core/qualification.hh"
 #include "drm/adaptation.hh"
 #include "drm/eval_cache.hh"
+#include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
 namespace ramp {
@@ -78,9 +79,12 @@ class OracleExplorer
      * @param eval_params Simulation controls shared by every point.
      * @param cache Optional persistent cache for the timing runs;
      *        must outlive the explorer.
+     * @param pool Optional thread pool explore() fans points out
+     *        across; must outlive the explorer. Null means serial.
      */
     explicit OracleExplorer(core::EvalParams eval_params = {},
-                            EvaluationCache *cache = nullptr);
+                            EvaluationCache *cache = nullptr,
+                            util::ThreadPool *pool = nullptr);
 
     /** Evaluate one (configuration, application) point, via the
      *  cache when one is attached. */
@@ -91,15 +95,33 @@ class OracleExplorer
     core::OperatingPoint
     evaluateBase(const workload::AppProfile &app) const;
 
-    /** Evaluate every configuration in a space for one application. */
+    /**
+     * Evaluate every configuration in a space for one application.
+     *
+     * With a pool attached the points are evaluated concurrently, but
+     * the output is deterministic: results land by configuration
+     * index, every evaluation is independently seeded through
+     * EvalParams::seed, and cold-cache runs first evaluate one
+     * representative per unique timing key (so the work done -- and
+     * the record each key caches -- is identical to a serial sweep).
+     * Parallel output is bit-identical to serial output.
+     */
     ExploredApp explore(const workload::AppProfile &app,
                         AdaptationSpace space) const;
 
     const core::Evaluator &evaluator() const { return evaluator_; }
 
+    /** Attach/detach a pool after construction (null = serial). */
+    void setPool(util::ThreadPool *pool) { pool_ = pool; }
+
   private:
+    /** parallelFor via the pool, or a plain loop without one. */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const;
+
     core::Evaluator evaluator_;
     EvaluationCache *cache_;
+    util::ThreadPool *pool_;
 };
 
 /**
@@ -112,8 +134,22 @@ Selection selectDrm(const ExploredApp &app,
 /**
  * DTM oracle: best perf_rel subject to maxTemp <= t_design. Falls
  * back to the coolest point when nothing is feasible.
+ *
+ * DTM is reliability-oblivious, so this overload reports
+ * Selection::fit = 0.0 -- a sentinel that silently reads as "no
+ * failures" if compared against a FIT budget. Use the Qualification
+ * overload whenever the selection will meet a FIT value.
  */
 Selection selectDtm(const ExploredApp &app, double t_design_k);
+
+/**
+ * DTM oracle selection with the chosen point's real FIT filled in
+ * under @p qual (the policy itself remains reliability-oblivious:
+ * @p qual never influences which point is chosen, only the reported
+ * fit). This is the overload DRM-vs-DTM comparisons must use.
+ */
+Selection selectDtm(const ExploredApp &app, double t_design_k,
+                    const core::Qualification &qual);
 
 } // namespace drm
 } // namespace ramp

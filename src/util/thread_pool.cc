@@ -1,0 +1,134 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace ramp {
+namespace util {
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("RAMP_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::size_t
+ThreadPool::drainBatch(const std::function<void(std::size_t)> &fn,
+                       std::size_t count, std::exception_ptr &error)
+{
+    std::size_t executed = 0;
+    for (;;) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return executed;
+        try {
+            fn(i);
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+        ++executed;
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        work_cv_.wait(
+            lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const auto *fn = fn_;
+        const std::size_t count = count_;
+        if (!fn)
+            continue; // batch already drained and retired
+        lock.unlock();
+
+        std::exception_ptr error;
+        const std::size_t executed = drainBatch(*fn, count, error);
+
+        lock.lock();
+        // A worker that executed nothing may be reporting late, after
+        // the batch (or even a successor) retired; adding zero and
+        // holding no exception keeps that harmless.
+        completed_ += executed;
+        if (error && !error_)
+            error_ = error;
+        if (completed_ >= count_)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    error_ = nullptr;
+    ++generation_;
+    lock.unlock();
+    work_cv_.notify_all();
+
+    std::exception_ptr error;
+    const std::size_t executed = drainBatch(fn, count, error);
+
+    lock.lock();
+    completed_ += executed;
+    if (error && !error_)
+        error_ = error;
+    done_cv_.wait(lock, [&] { return completed_ >= count_; });
+    // Retire the batch so late-waking workers see no work.
+    fn_ = nullptr;
+    count_ = 0;
+    const std::exception_ptr first = error_;
+    error_ = nullptr;
+    lock.unlock();
+
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace util
+} // namespace ramp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small work-queue thread pool for embarrassingly-parallel index
+ * ranges (oracle exploration points, per-app sweeps).
+ *
+ * The design is deliberately minimal: one blocking primitive,
+ * parallelFor(count, fn), which runs fn(0) .. fn(count-1) across the
+ * pool with the *calling thread participating* as one worker. A pool
+ * of n threads therefore spawns n-1 OS threads and delivers n-way
+ * concurrency; ThreadPool(1) spawns nothing and degenerates to a
+ * plain serial loop, which keeps `--threads 1` an honest baseline.
+ *
+ * Work items are claimed from a shared atomic index, so scheduling
+ * order is nondeterministic -- callers must write results by index
+ * (never push_back) and keep fn free of order-dependent state.
+ * Exceptions thrown by fn are captured and the first one is rethrown
+ * on the calling thread after the batch drains.
+ */
+
+#ifndef RAMP_UTIL_THREAD_POOL_HH
+#define RAMP_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ramp {
+namespace util {
+
+/**
+ * Threads to use when the caller expressed no preference: the
+ * RAMP_THREADS environment variable if set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (minimum 1).
+ */
+unsigned defaultThreadCount();
+
+/** Fixed-size pool of worker threads executing indexed batches. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total concurrency including the calling thread;
+     *        0 means defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; outstanding batches must have drained. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the participating caller). */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count) across the pool and block
+     * until all calls return. The caller participates, so this is
+     * safe (and serial) on a 1-thread pool. Not reentrant: fn must
+     * not itself call parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    /** Claim and run indices of the current batch; returns how many
+     *  this thread executed, recording the first exception seen. */
+    std::size_t drainBatch(const std::function<void(std::size_t)> &fn,
+                           std::size_t count,
+                           std::exception_ptr &error);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_; ///< New batch or shutdown.
+    std::condition_variable done_cv_; ///< Batch fully executed.
+
+    // Current batch, guarded by mutex_ except the claim counter.
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t count_ = 0;
+    std::atomic<std::size_t> next_{0}; ///< Next unclaimed index.
+    std::size_t completed_ = 0;        ///< Indices fully executed.
+    std::uint64_t generation_ = 0;     ///< Batch sequence number.
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+} // namespace util
+} // namespace ramp
+
+#endif // RAMP_UTIL_THREAD_POOL_HH

@@ -5,6 +5,7 @@
  * corrupt data.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -159,6 +160,83 @@ TEST(EvalCacheKey, DiscriminatesTimingInputs)
     p2 = params;
     p2.measure_uops += 1;
     EXPECT_NE(EvaluationCache::key(base, app, p2), k0);
+}
+
+TEST(EvalCache, CompactsLogOnLoad)
+{
+    const auto path = tmpPath("compact");
+    std::remove(path.c_str());
+    {
+        EvaluationCache cache(path);
+        cache.put("k", sample(1.0));
+        cache.put("k", sample(0.5)); // supersedes the first line
+        cache.put("other", sample(1.0));
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "garbage line\n";
+        out << "1 stale_version 1 2 3\n";
+    }
+    // Load drops the superseded duplicate, the corrupt line, and the
+    // stale version -- and rewrites the log as one line per record.
+    EvaluationCache cache(path);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().loaded, 2u);
+    EXPECT_EQ(cache.stats().compacted, 3u);
+    EXPECT_EQ(cache.get("k")->activity.retired, 400u);
+
+    std::size_t lines = 0;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 2u);
+
+    // A clean reload compacts nothing further.
+    EvaluationCache again(path);
+    EXPECT_EQ(again.stats().compacted, 0u);
+    EXPECT_EQ(again.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCache, CountsHitsMissesAppends)
+{
+    const auto path = tmpPath("stats");
+    std::remove(path.c_str());
+    EvaluationCache cache(path);
+    EXPECT_FALSE(cache.get("absent").has_value());
+    cache.put("present", sample());
+    EXPECT_TRUE(cache.get("present").has_value());
+    EXPECT_TRUE(cache.get("present").has_value());
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.appended, 1u);
+    EXPECT_EQ(s.loaded, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(EvalCacheKey, FineGrainedDvsRungsDoNotCollide)
+{
+    // In physical-time mode the frequency is part of the key; rungs
+    // differing past 4 significant digits must still get distinct
+    // records (the old 4-digit serialization collided them).
+    const auto &app = workload::findApp("bzip2");
+    const core::EvalParams params;
+    sim::MachineConfig a = sim::baseMachine();
+    a.offchip_scales_with_clock = false;
+    a.frequency_ghz = 4.000;
+    sim::MachineConfig b = a;
+    b.frequency_ghz = 4.0001;
+    EXPECT_NE(EvaluationCache::key(a, app, params),
+              EvaluationCache::key(b, app, params));
+
+    // Full round-trip precision: any representable difference keys.
+    sim::MachineConfig c = a;
+    c.frequency_ghz = std::nextafter(4.0, 5.0);
+    EXPECT_NE(EvaluationCache::key(a, app, params),
+              EvaluationCache::key(c, app, params));
 }
 
 TEST(EvalCacheKey, VoltageDoesNotAffectTiming)

@@ -164,6 +164,49 @@ TEST(SelectDtm, AcceptsEverythingWithHighLimit)
     EXPECT_EQ(sel.index, 2u);
 }
 
+TEST(SelectDrm, ReportsTheWinnersFit)
+{
+    // The selection's fit is the chosen point's FIT, both when a
+    // feasible point exists and on the coolest-point fallback.
+    const auto app = syntheticApp();
+    for (double tq : {400.0, 371.0, 330.0}) {
+        const auto qual = makeQual(tq);
+        const auto sel = selectDrm(app, qual);
+        EXPECT_DOUBLE_EQ(
+            sel.fit, operatingPointFit(qual, app.points[sel.index].op))
+            << "T_qual=" << tq;
+    }
+}
+
+TEST(SelectDtm, QualOverloadFillsRealFit)
+{
+    const auto app = syntheticApp();
+    const auto qual = makeQual(380.0);
+
+    const auto bare = selectDtm(app, 380.0);
+    EXPECT_DOUBLE_EQ(bare.fit, 0.0); // sentinel, not a failure rate
+
+    const auto sel = selectDtm(app, 380.0, qual);
+    // Same reliability-oblivious choice...
+    EXPECT_EQ(sel.index, bare.index);
+    EXPECT_EQ(sel.feasible, bare.feasible);
+    EXPECT_DOUBLE_EQ(sel.perf_rel, bare.perf_rel);
+    // ...but the chosen point's true FIT is reported.
+    EXPECT_GT(sel.fit, 0.0);
+    EXPECT_DOUBLE_EQ(
+        sel.fit, operatingPointFit(qual, app.points[sel.index].op));
+}
+
+TEST(SelectDtm, QualOverloadOnFallbackSelection)
+{
+    const auto app = syntheticApp();
+    const auto qual = makeQual(380.0);
+    const auto sel = selectDtm(app, 320.0, qual); // nothing feasible
+    EXPECT_FALSE(sel.feasible);
+    EXPECT_DOUBLE_EQ(
+        sel.fit, operatingPointFit(qual, app.points[sel.index].op));
+}
+
 TEST(SelectDtm, FallsBackToCoolest)
 {
     const auto app = syntheticApp();

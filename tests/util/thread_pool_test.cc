@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the work-queue thread pool: full index coverage, serial
+ * degeneration, reuse across batches, and exception propagation.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+
+namespace ramp::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+
+    // With no workers the loop runs on the caller, in index order.
+    std::vector<std::size_t> order;
+    pool.parallelFor(64, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, EmptyAndSingletonBatches)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int batch = 0; batch < 50; ++batch)
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+    EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa)
+{
+    ThreadPool pool(8);
+    std::atomic<int> n{0};
+    pool.parallelFor(3, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 3);
+    pool.parallelFor(555, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 3 + 555);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                      executed.fetch_add(1);
+                                      if (i == 42)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The batch still drains fully; the error surfaces afterwards.
+    EXPECT_EQ(executed.load(), 100);
+    // And the pool stays usable.
+    std::atomic<int> ok{0};
+    pool.parallelFor(10, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnv)
+{
+    ::setenv("RAMP_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ::setenv("RAMP_THREADS", "not_a_number", 1);
+    EXPECT_GE(defaultThreadCount(), 1u); // falls back to hardware
+    ::unsetenv("RAMP_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ZeroMeansDefault)
+{
+    ::setenv("RAMP_THREADS", "2", 1);
+    ThreadPool pool;
+    EXPECT_EQ(pool.threads(), 2u);
+    ::unsetenv("RAMP_THREADS");
+}
+
+TEST(ThreadPool, ResultsLandByIndex)
+{
+    ThreadPool pool(4);
+    std::vector<double> out(200, -1.0);
+    pool.parallelFor(out.size(), [&](std::size_t i) {
+        out[i] = static_cast<double>(i) * 0.5;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+}
+
+} // namespace
+} // namespace ramp::util
