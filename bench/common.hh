@@ -60,8 +60,9 @@ threadCount(int argc, char **argv)
             value = arg.substr(10);
         else
             continue;
-        const long n = std::strtol(value.c_str(), nullptr, 10);
-        if (n < 1)
+        char *end = nullptr;
+        const long n = std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || n < 1)
             util::fatal(util::cat("--threads needs a positive "
                                   "integer, got '",
                                   value, "'"));

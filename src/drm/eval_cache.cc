@@ -4,6 +4,13 @@
 #include <limits>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define RAMP_HAVE_FLOCK 1
+#endif
+
 #include "util/logging.hh"
 
 namespace ramp {
@@ -21,6 +28,19 @@ constexpr int record_version = 3;
 EvaluationCache::EvaluationCache(std::string path)
     : path_(std::move(path))
 {
+#ifdef RAMP_HAVE_FLOCK
+    // Advisory cross-process coordination: hold a shared lock on a
+    // sidecar for as long as this cache (and its appender) lives.
+    // Compaction below upgrades to exclusive, so it can never rename
+    // the log out from under another process's open appender.
+    lock_fd_ = ::open((path_ + ".lock").c_str(),
+                      O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_SH) != 0) {
+        ::close(lock_fd_);
+        lock_fd_ = -1;
+    }
+#endif
+
     std::size_t lines = 0;
     {
         std::ifstream in(path_);
@@ -54,8 +74,24 @@ EvaluationCache::EvaluationCache(std::string path)
     // Compact: rewrite the append-log as exactly one line per live
     // record, dropping corrupt lines, stale versions, and superseded
     // duplicates. Skipped when the log is already compact (the
-    // common warm-start case) so clean loads touch nothing.
-    if (lines > entries_.size()) {
+    // common warm-start case) so clean loads touch nothing, and
+    // skipped when another process holds the cache open (its shared
+    // lock blocks our exclusive upgrade): renaming over the log would
+    // detach that process's appender onto an unlinked inode and lose
+    // every record it writes for the rest of its run.
+    bool may_compact = lines > entries_.size();
+#ifdef RAMP_HAVE_FLOCK
+    if (may_compact) {
+        // flock conversions are not atomic: on a failed non-blocking
+        // upgrade the shared lock may already be gone, so re-acquire
+        // it (briefly blocking on at most one compacting holder).
+        may_compact = lock_fd_ >= 0 &&
+                      ::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0;
+        if (!may_compact && lock_fd_ >= 0)
+            ::flock(lock_fd_, LOCK_SH);
+    }
+#endif
+    if (may_compact) {
         compacted_ = lines - entries_.size();
         const std::string tmp = path_ + ".compact.tmp";
         std::ofstream out(tmp, std::ios::trunc);
@@ -70,6 +106,10 @@ EvaluationCache::EvaluationCache(std::string path)
                 compacted_ = 0;
             }
         }
+#ifdef RAMP_HAVE_FLOCK
+        if (lock_fd_ >= 0)
+            ::flock(lock_fd_, LOCK_SH); // downgrade for our lifetime
+#endif
     }
 
     // One appender for the cache's lifetime: put() no longer pays an
@@ -87,6 +127,14 @@ EvaluationCache::EvaluationCache(std::string path)
                                                       compacted_,
                                                       " stale lines)")
                                           : ""));
+}
+
+EvaluationCache::~EvaluationCache()
+{
+#ifdef RAMP_HAVE_FLOCK
+    if (lock_fd_ >= 0)
+        ::close(lock_fd_); // releases the advisory lock
+#endif
 }
 
 std::string

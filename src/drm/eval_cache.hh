@@ -19,12 +19,17 @@
  * The in-memory map is concurrency-safe (shared_mutex: concurrent
  * get(), exclusive put()) and file appends go through one serialized
  * appender opened once, so parallel exploration workers can share a
- * cache without torn or lost lines. Cross-*process* concurrency is
- * not coordinated beyond the append granularity: two processes
- * appending simultaneously interleave whole lines safely, but a
- * process that compacts while another appends can drop the other's
- * fresh records (they are re-simulated on the next cold run -- an
- * optimisation loss, never a correctness one).
+ * cache without torn or lost lines. Cross-*process* concurrency:
+ * simultaneous appenders interleave whole lines safely, and an
+ * advisory flock (held shared on a <path>.lock sidecar for each
+ * cache's lifetime, taken exclusive to compact) keeps one process
+ * from compacting while another holds the log open -- without it the
+ * compactor's rename would leave the other process appending to an
+ * unlinked inode, silently losing *every* record it writes for the
+ * rest of its run, not just in-flight lines. On platforms without
+ * flock (or against uncooperative writers) that whole-run loss is
+ * still possible; it costs re-simulation on the next cold run -- an
+ * optimisation loss, never a correctness one.
  */
 
 #ifndef RAMP_DRM_EVAL_CACHE_HH
@@ -82,6 +87,9 @@ class EvaluationCache
      */
     explicit EvaluationCache(std::string path);
 
+    /** Releases the advisory cross-process lock, if one is held. */
+    ~EvaluationCache();
+
     EvaluationCache(const EvaluationCache &) = delete;
     EvaluationCache &operator=(const EvaluationCache &) = delete;
 
@@ -113,6 +121,9 @@ class EvaluationCache
 
     std::mutex file_mutex_; ///< Serializes every file append.
     std::ofstream appender_;
+    /** fd of the <path>.lock sidecar, flock'd shared for the cache's
+     *  lifetime (exclusive during compaction); -1 when unavailable. */
+    int lock_fd_ = -1;
 
     mutable std::atomic<std::size_t> hits_{0};
     mutable std::atomic<std::size_t> misses_{0};

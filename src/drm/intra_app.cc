@@ -159,11 +159,11 @@ IntraAppExplorer::explore(const workload::AppProfile &app,
         std::pow(static_cast<double>(ladder.size()),
                  static_cast<double>(num_phases)));
     for (std::size_t combo = 0; combo < combos; ++combo) {
-        std::size_t rest = combo;
+        std::size_t digits = combo;
         bool uniform = true;
         for (std::size_t ph = 0; ph < num_phases; ++ph) {
-            assign[ph] = rest % ladder.size();
-            rest /= ladder.size();
+            assign[ph] = digits % ladder.size();
+            digits /= ladder.size();
             uniform &= assign[ph] == assign[0];
         }
 

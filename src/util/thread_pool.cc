@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/logging.hh"
+
 namespace ramp {
 namespace util {
 
@@ -9,9 +11,13 @@ unsigned
 defaultThreadCount()
 {
     if (const char *env = std::getenv("RAMP_THREADS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
             return static_cast<unsigned>(n);
+        warn(cat("RAMP_THREADS='", env,
+                 "' is not a positive integer; falling back to "
+                 "hardware concurrency"));
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
@@ -38,17 +44,16 @@ ThreadPool::~ThreadPool()
 }
 
 std::size_t
-ThreadPool::drainBatch(const std::function<void(std::size_t)> &fn,
-                       std::size_t count, std::exception_ptr &error)
+ThreadPool::drainBatch(Batch &batch, std::exception_ptr &error)
 {
     std::size_t executed = 0;
     for (;;) {
         const std::size_t i =
-            next_.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count)
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.count)
             return executed;
         try {
-            fn(i);
+            batch.fn(i);
         } catch (...) {
             if (!error)
                 error = std::current_exception();
@@ -60,31 +65,30 @@ ThreadPool::drainBatch(const std::function<void(std::size_t)> &fn,
 void
 ThreadPool::workerLoop()
 {
-    std::uint64_t seen = 0;
+    // Holding the shared_ptr across the whole drain keeps the batch
+    // (claim counter included) alive even if parallelFor returns and
+    // a successor batch starts while this worker is still making its
+    // first claim: that claim lands on the old, exhausted counter and
+    // executes nothing.
+    std::shared_ptr<Batch> last;
     std::unique_lock lock(mutex_);
     for (;;) {
-        work_cv_.wait(
-            lock, [&] { return stop_ || generation_ != seen; });
+        work_cv_.wait(lock, [&] { return stop_ || batch_ != last; });
         if (stop_)
             return;
-        seen = generation_;
-        const auto *fn = fn_;
-        const std::size_t count = count_;
-        if (!fn)
-            continue; // batch already drained and retired
+        last = batch_;
+        if (!last)
+            continue; // batch drained and retired before we woke
         lock.unlock();
 
         std::exception_ptr error;
-        const std::size_t executed = drainBatch(*fn, count, error);
+        const std::size_t executed = drainBatch(*last, error);
 
         lock.lock();
-        // A worker that executed nothing may be reporting late, after
-        // the batch (or even a successor) retired; adding zero and
-        // holding no exception keeps that harmless.
-        completed_ += executed;
-        if (error && !error_)
-            error_ = error;
-        if (completed_ >= count_)
+        last->completed += executed;
+        if (error && !last->error)
+            last->error = error;
+        if (last->completed >= last->count)
             done_cv_.notify_all();
     }
 }
@@ -101,29 +105,29 @@ ThreadPool::parallelFor(std::size_t count,
         return;
     }
 
+    auto batch = std::make_shared<Batch>();
+    batch->fn = fn;
+    batch->count = count;
+
     std::unique_lock lock(mutex_);
-    fn_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    completed_ = 0;
-    error_ = nullptr;
-    ++generation_;
+    batch_ = batch;
     lock.unlock();
     work_cv_.notify_all();
 
     std::exception_ptr error;
-    const std::size_t executed = drainBatch(fn, count, error);
+    const std::size_t executed = drainBatch(*batch, error);
 
     lock.lock();
-    completed_ += executed;
-    if (error && !error_)
-        error_ = error;
-    done_cv_.wait(lock, [&] { return completed_ >= count_; });
-    // Retire the batch so late-waking workers see no work.
-    fn_ = nullptr;
-    count_ = 0;
-    const std::exception_ptr first = error_;
-    error_ = nullptr;
+    batch->completed += executed;
+    if (error && !batch->error)
+        batch->error = error;
+    done_cv_.wait(lock,
+                  [&] { return batch->completed >= batch->count; });
+    // Retire the batch so late-waking workers see no work. (Workers
+    // still holding a reference add zero to its counters, harmless.)
+    if (batch_ == batch)
+        batch_ = nullptr;
+    const std::exception_ptr first = batch->error;
     lock.unlock();
 
     if (first)

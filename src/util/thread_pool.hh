@@ -22,9 +22,9 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -71,12 +71,29 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
   private:
+    /**
+     * One parallelFor invocation. The claim counter, completion count,
+     * and the function itself live here, reference-counted: a worker
+     * that wakes late (or stalls between copying the batch pointer and
+     * its first claim) can only ever touch *this* batch's state. Its
+     * claims hit an exhausted counter and execute nothing -- it can
+     * never consume an index of a successor batch, nor run a function
+     * whose captures have been destroyed.
+     */
+    struct Batch
+    {
+        std::function<void(std::size_t)> fn;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0}; ///< Next unclaimed index.
+        std::size_t completed = 0; ///< Executed; guarded by mutex_.
+        std::exception_ptr error;  ///< First thrown; guarded by mutex_.
+    };
+
     void workerLoop();
-    /** Claim and run indices of the current batch; returns how many
-     *  this thread executed, recording the first exception seen. */
-    std::size_t drainBatch(const std::function<void(std::size_t)> &fn,
-                           std::size_t count,
-                           std::exception_ptr &error);
+    /** Claim and run indices of @p batch; returns how many this
+     *  thread executed, recording the first exception seen. */
+    static std::size_t drainBatch(Batch &batch,
+                                  std::exception_ptr &error);
 
     std::vector<std::thread> workers_;
 
@@ -84,13 +101,8 @@ class ThreadPool
     std::condition_variable work_cv_; ///< New batch or shutdown.
     std::condition_variable done_cv_; ///< Batch fully executed.
 
-    // Current batch, guarded by mutex_ except the claim counter.
-    const std::function<void(std::size_t)> *fn_ = nullptr;
-    std::size_t count_ = 0;
-    std::atomic<std::size_t> next_{0}; ///< Next unclaimed index.
-    std::size_t completed_ = 0;        ///< Indices fully executed.
-    std::uint64_t generation_ = 0;     ///< Batch sequence number.
-    std::exception_ptr error_;
+    std::shared_ptr<Batch> batch_; ///< Current batch; guarded by
+                                   ///< mutex_, null when retired.
     bool stop_ = false;
 };
 

@@ -64,6 +64,28 @@ TEST(ThreadPool, ReusableAcrossManyBatches)
     EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2L));
 }
 
+TEST(ThreadPool, BackToBackBatchesNeverBleedIntoEachOther)
+{
+    // Regression test: claims must be batch-scoped. A worker waking
+    // late between two batches used to capture the old function, then
+    // claim from a counter the next batch had already reset -- so it
+    // consumed an index of the NEW batch (lost work) while executing
+    // the OLD function, whose captured frame (here: `hits`) was
+    // already destroyed. Tiny batches in a tight loop maximise the
+    // retire/relaunch window; the old code trips this (and TSan)
+    // within a few thousand rounds.
+    ThreadPool pool(4);
+    for (int round = 0; round < 5000; ++round) {
+        std::vector<std::atomic<int>> hits(2);
+        pool.parallelFor(hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "round " << round << " index " << i;
+    }
+}
+
 TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa)
 {
     ThreadPool pool(8);
@@ -101,7 +123,12 @@ TEST(ThreadPool, DefaultThreadCountHonoursEnv)
     ::setenv("RAMP_THREADS", "not_a_number", 1);
     EXPECT_GE(defaultThreadCount(), 1u); // falls back to hardware
     ::unsetenv("RAMP_THREADS");
-    EXPECT_GE(defaultThreadCount(), 1u);
+    const unsigned fallback = defaultThreadCount();
+    EXPECT_GE(fallback, 1u);
+    // Trailing garbage is rejected, not silently parsed as 4.
+    ::setenv("RAMP_THREADS", "4x", 1);
+    EXPECT_EQ(defaultThreadCount(), fallback);
+    ::unsetenv("RAMP_THREADS");
 }
 
 TEST(ThreadPool, ZeroMeansDefault)
