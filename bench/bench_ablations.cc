@@ -292,8 +292,8 @@ ablationFetchThrottle(bench::Suite &suite)
                       100.0 * (d.perf_rel / f.perf_rel - 1.0), 0) +
                       "%"});
         // As a DTM response.
-        const auto dd = drm::selectDtm(dvs, temp);
-        const auto fd = drm::selectDtm(throttle, temp);
+        const auto dd = drm::selectDtm(dvs, temp, qual);
+        const auto fd = drm::selectDtm(throttle, temp, qual);
         t.addRow({"DTM@" + util::Table::num(temp, 0) + "K",
                   util::Table::num(dd.perf_rel, 3) +
                       (dd.feasible ? "" : "*"),
@@ -317,7 +317,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
     ablationLeakageFeedback(suite);
     ablationSofr(suite);
     ablationVfSlope(suite);

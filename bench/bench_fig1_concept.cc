@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
 
     const auto &hot = workload::findApp("MP3dec");   // application A
     const auto &cool = workload::findApp("twolf");   // application B

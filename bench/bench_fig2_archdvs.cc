@@ -27,7 +27,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
 
     const double t_quals[] = {400.0, 370.0, 345.0, 325.0};
 

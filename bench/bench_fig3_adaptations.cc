@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
 
     const auto &bzip2 = workload::findApp("bzip2");
     const double t_quals[] = {325.0, 335.0, 345.0, 360.0, 370.0,

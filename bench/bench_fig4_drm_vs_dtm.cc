@@ -25,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
 
     const std::vector<double> temps = {325.0, 335.0, 345.0,
                                        360.0, 370.0, 400.0};
@@ -50,15 +50,10 @@ main(int argc, char **argv)
         for (double temp : temps) {
             const auto qual = suite.qualification(temp);
             const auto drm_sel = drm::selectDrm(explored, qual);
-            // The Qualification overload fills the DTM choice's real
-            // FIT; the two-argument form reports the 0.0 sentinel and
-            // would make every DTM choice look failure-free below.
             const auto dtm_sel = drm::selectDtm(explored, temp, qual);
 
-            const auto &drm_op = explored.points[drm_sel.index].op;
-            const auto &dtm_op = explored.points[dtm_sel.index].op;
-            const double f_drm = drm_op.config.frequency_ghz;
-            const double f_dtm = dtm_op.config.frequency_ghz;
+            const double f_drm = drm_sel.config.frequency_ghz;
+            const double f_dtm = dtm_sel.config.frequency_ghz;
             f_drm_series.push_back(f_drm);
             f_dtm_series.push_back(f_dtm);
 

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "core/engine.hh"
 #include "core/mechanisms.hh"
 #include "core/qualification.hh"
@@ -153,4 +154,17 @@ BENCHMARK(BM_CoreCycles)->DenseRange(0, 1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The unified bench flags are stripped first; everything left
+    // over belongs to google-benchmark, which rejects what it does
+    // not recognize either.
+    ramp::bench::Options::parseStripping(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

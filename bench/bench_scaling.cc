@@ -14,14 +14,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hh"
 #include "scaling/study.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
+    bench::Options::parse(argc, argv);
 
     int monotone_apps = 0;
     double worst_degradation = 1e9;

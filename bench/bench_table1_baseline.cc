@@ -11,14 +11,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hh"
 #include "sim/machine.hh"
 #include "sim/structures.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ramp;
+    bench::Options::parse(argc, argv);
     const sim::MachineConfig m = sim::baseMachine();
 
     util::Table t({"parameter", "value", "paper (Table 1)"});

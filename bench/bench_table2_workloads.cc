@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     using namespace ramp;
-    bench::Suite suite(bench::threadCount(argc, argv));
+    bench::Suite suite(bench::Options::parse(argc, argv));
 
     util::Table t({"app", "type", "IPC", "IPC paper", "power W",
                    "power paper", "Tmax K"});

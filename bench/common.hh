@@ -1,15 +1,22 @@
 /**
  * @file
- * Shared plumbing for the reproduction benches: the persistent
- * evaluation cache, the worker pool, the explored application suite,
- * and the paper's qualification setup (Section 3.7).
+ * Shared plumbing for the reproduction benches: the unified command
+ * line (bench::Options), the persistent evaluation cache, the worker
+ * pool, the explored application suite, and the paper's qualification
+ * setup (Section 3.7).
  *
  * Every bench prints the rows/series of one paper table or figure;
  * EXPERIMENTS.md records the measured output against the paper.
  *
- * Parallelism: every bench accepts `--threads N` (or the RAMP_THREADS
- * environment variable; the flag wins), defaulting to the hardware
- * concurrency. The oracle sweeps fan exploration points out across
+ * All benches accept the same flags (see Options::usage):
+ * `--threads N`, `--seed N`, `--apps N`, `--metrics PATH` and
+ * `--trace PATH`, plus `--help`. Unknown flags are rejected, except
+ * in the stripping mode bench_kernels uses to coexist with
+ * google-benchmark's own flags. The RAMP_THREADS and RAMP_EVAL_CACHE
+ * environment variables provide defaults for the worker count and
+ * the cache path.
+ *
+ * Parallelism: the oracle sweeps fan exploration points out across
  * one shared pool; output is bit-identical at any thread count.
  */
 
@@ -26,6 +33,7 @@
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "util/thread_pool.hh"
 #include "workload/profile.hh"
 
@@ -41,41 +49,171 @@ cachePath()
     return "ramp_eval_cache.txt";
 }
 
-/**
- * Worker count for this run: `--threads N` if present on the command
- * line, else RAMP_THREADS, else the hardware concurrency. Exits with
- * a usage message on a malformed flag.
- */
-inline unsigned
-threadCount(int argc, char **argv)
+/** The unified bench command line. */
+struct Options
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        std::string value;
-        if (arg == "--threads" && i + 1 < argc)
-            value = argv[i + 1];
-        else if (arg == "--threads")
-            util::fatal("--threads needs a positive integer value");
-        else if (arg.rfind("--threads=", 0) == 0)
-            value = arg.substr(10);
-        else
-            continue;
-        char *end = nullptr;
-        const long n = std::strtol(value.c_str(), &end, 10);
-        if (value.empty() || *end != '\0' || n < 1)
-            util::fatal(util::cat("--threads needs a positive "
-                                  "integer, got '",
-                                  value, "'"));
-        return static_cast<unsigned>(n);
+    /** Worker threads; 0 = RAMP_THREADS, else hardware concurrency. */
+    unsigned threads = 0;
+    /** Workload generator seed. Part of the evaluation-cache key, so
+     *  non-default seeds populate their own cache records. */
+    std::uint64_t seed = 1;
+    /** Truncate the suite to its first N applications; 0 = all. */
+    std::size_t max_apps = 0;
+    /** Telemetry snapshot written at process exit ("" = none). */
+    std::string metrics_path;
+    /** Chrome trace-event timeline written at exit ("" = none;
+     *  setting it enables span collection). */
+    std::string trace_path;
+
+    static void
+    usage(const char *prog, std::FILE *out)
+    {
+        std::fprintf(
+            out,
+            "usage: %s [options]\n"
+            "  --threads N     worker threads (default: RAMP_THREADS, "
+            "else hardware)\n"
+            "  --seed N        workload generator seed (default 1; "
+            "keyed into the\n"
+            "                  evaluation cache, so non-default seeds "
+            "re-simulate)\n"
+            "  --apps N        run only the first N suite "
+            "applications\n"
+            "  --metrics PATH  write a telemetry metrics snapshot "
+            "(JSON) at exit\n"
+            "  --trace PATH    write a Chrome trace-event timeline at "
+            "exit\n"
+            "  --help          show this message and exit\n"
+            "environment:\n"
+            "  RAMP_THREADS    default worker count\n"
+            "  RAMP_EVAL_CACHE evaluation cache path (default "
+            "ramp_eval_cache.txt)\n",
+            prog);
     }
-    return util::defaultThreadCount();
-}
+
+    /**
+     * Parse the full command line; any unrecognized argument is
+     * fatal. Registers the --metrics/--trace paths with the
+     * telemetry layer, so simply parsing arms the exit-time writers.
+     */
+    static Options
+    parse(int argc, char **argv)
+    {
+        return parseImpl(argc, argv, /*strip=*/false);
+    }
+
+    /**
+     * Parse and REMOVE the flags above from argv (compacting it and
+     * updating argc), leaving unrecognized arguments in place for a
+     * second-stage parser -- bench_kernels hands the remainder to
+     * google-benchmark.
+     */
+    static Options
+    parseStripping(int &argc, char **argv)
+    {
+        return parseImpl(argc, argv, /*strip=*/true);
+    }
+
+  private:
+    static std::uint64_t
+    parsePositive(const char *flag, const std::string &value)
+    {
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || n < 1)
+            util::fatal(util::cat(flag,
+                                  " needs a positive integer, got '",
+                                  value, "'"));
+        return n;
+    }
+
+    static Options
+    parseImpl(int &argc, char **argv, bool strip)
+    {
+        Options opts;
+        const char *prog = argc > 0 ? argv[0] : "bench";
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+
+            if (arg == "--help" || arg == "-h") {
+                usage(prog, stdout);
+                std::exit(0);
+            }
+
+            // Flags taking a value, as "--flag V" or "--flag=V".
+            const char *flag = nullptr;
+            std::string *str_out = nullptr;
+            for (const auto &[name, dest] :
+                 {std::pair<const char *, std::string *>{"--metrics",
+                                                         &opts
+                                                              .metrics_path},
+                  {"--trace", &opts.trace_path},
+                  {"--threads", nullptr},
+                  {"--seed", nullptr},
+                  {"--apps", nullptr}}) {
+                if (arg == name ||
+                    arg.rfind(std::string(name) + "=", 0) == 0) {
+                    flag = name;
+                    str_out = dest;
+                    break;
+                }
+            }
+            if (!flag) {
+                if (strip) {
+                    argv[out++] = argv[i];
+                    continue;
+                }
+                usage(prog, stderr);
+                util::fatal(util::cat("unknown argument '", arg,
+                                      "' (see --help)"));
+            }
+
+            std::string value;
+            const std::size_t flag_len = std::string(flag).size();
+            if (arg.size() > flag_len) {
+                value = arg.substr(flag_len + 1); // past the '='
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                util::fatal(util::cat(flag, " needs a value"));
+            }
+
+            if (str_out) {
+                if (value.empty())
+                    util::fatal(
+                        util::cat(flag, " needs a non-empty path"));
+                *str_out = value;
+            } else if (std::string(flag) == "--threads") {
+                opts.threads = static_cast<unsigned>(
+                    parsePositive(flag, value));
+            } else if (std::string(flag) == "--seed") {
+                opts.seed = parsePositive(flag, value);
+            } else { // --apps
+                opts.max_apps = static_cast<std::size_t>(
+                    parsePositive(flag, value));
+            }
+        }
+        if (strip) {
+            argc = out;
+            argv[out] = nullptr;
+        }
+
+        if (!opts.metrics_path.empty() || !opts.trace_path.empty())
+            telemetry::writeFilesAtExit(opts.metrics_path,
+                                        opts.trace_path);
+        return opts;
+    }
+};
 
 /** Simulation controls used by every reproduction bench. */
 inline core::EvalParams
-benchEvalParams()
+benchEvalParams(const Options &opts = {})
 {
-    return core::EvalParams{}; // defaults; keyed into the cache
+    core::EvalParams params; // defaults; keyed into the cache
+    params.seed = opts.seed;
+    return params;
 }
 
 /** The explored suite: apps, base operating points, alpha_qual. */
@@ -88,13 +226,14 @@ struct Suite
     std::vector<core::OperatingPoint> base_ops;
     sim::PerStructure<double> alpha_qual{};
 
-    /** @param threads Pool size; 0 means RAMP_THREADS/hardware. */
-    explicit Suite(unsigned threads = 0)
+    explicit Suite(const Options &opts = {})
         : cache(cachePath()),
-          pool(threads),
-          explorer(benchEvalParams(), &cache, &pool),
+          pool(opts.threads),
+          explorer(benchEvalParams(opts), &cache, &pool),
           apps(workload::standardApps())
     {
+        if (opts.max_apps && opts.max_apps < apps.size())
+            apps.resize(opts.max_apps);
         std::fprintf(stderr, "  suite: %u thread%s\n", pool.threads(),
                      pool.threads() == 1 ? "" : "s");
         base_ops.resize(apps.size());
@@ -106,12 +245,20 @@ struct Suite
 
     ~Suite()
     {
-        const auto s = cache.stats();
-        std::fprintf(stderr,
-                     "  evaluation cache: %zu hits, %zu misses, "
-                     "%zu appended (loaded %zu, compacted %zu)\n",
-                     s.hits, s.misses, s.appended, s.loaded,
-                     s.compacted);
+        // Rendered from the telemetry registry (the cache mirrors its
+        // per-instance counters there); one cache per bench process,
+        // so the process-wide counts are this cache's counts.
+        const auto snap = telemetry::Registry::instance().snapshot();
+        std::fprintf(
+            stderr,
+            "  evaluation cache: %zu hits, %zu misses, "
+            "%zu appended (loaded %zu, compacted %zu)\n",
+            static_cast<std::size_t>(snap.counter("cache.hits")),
+            static_cast<std::size_t>(snap.counter("cache.misses")),
+            static_cast<std::size_t>(snap.counter("cache.appends")),
+            static_cast<std::size_t>(snap.counter("cache.loaded")),
+            static_cast<std::size_t>(
+                snap.counter("cache.compacted_lines")));
     }
 
     /**

@@ -17,10 +17,12 @@
 #include "sim/machine.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
+#include "util/telemetry.hh"
 
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     std::vector<std::string> names;

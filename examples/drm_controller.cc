@@ -19,10 +19,12 @@
 
 #include "drm/transient.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     const std::string app_name = argc > 1 ? argv[1] : "MP3dec";

@@ -22,10 +22,12 @@
 #include "drm/oracle.hh"
 #include "util/thread_pool.hh"
 #include "workload/profile.hh"
+#include "util/telemetry.hh"
 
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     const std::string app_name = argc > 1 ? argv[1] : "MP3dec";

@@ -19,6 +19,7 @@
 #include "sim/machine.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
+#include "util/telemetry.hh"
 
 namespace {
 
@@ -59,6 +60,7 @@ noDependences(workload::AppProfile p)
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     const core::Evaluator evaluator;
     const sim::MachineConfig base = sim::baseMachine();
 

@@ -20,10 +20,12 @@
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 #include "workload/profile.hh"
+#include "util/telemetry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     // Share the benches' persistent timing cache when present.

@@ -17,10 +17,12 @@
 #include "sim/core.hh"
 #include "workload/trace_file.hh"
 #include "workload/trace_gen.hh"
+#include "util/telemetry.hh"
 
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     const std::string app_name = argc > 1 ? argv[1] : "bzip2";

@@ -23,10 +23,12 @@
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 #include "workload/profile.hh"
+#include "util/telemetry.hh"
 
 int
 main(int argc, char **argv)
 {
+    argc = ramp::telemetry::consumeOutputFlags(argc, argv);
     using namespace ramp;
 
     const double t_qual = argc > 1 ? std::strtod(argv[1], nullptr)

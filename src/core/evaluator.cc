@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 #include "workload/trace_gen.hh"
 
 namespace ramp {
@@ -11,6 +12,36 @@ namespace core {
 
 using sim::num_structures;
 using sim::PerStructure;
+
+namespace {
+
+/** Telemetry handles, registered once (Section 6.3 hot loop). */
+struct EvalMetrics
+{
+    telemetry::Counter evaluate_calls =
+        telemetry::counter("evaluator.evaluate_calls");
+    telemetry::Counter converge_calls =
+        telemetry::counter("evaluator.converge_calls");
+    /** Fixed-point iterations per convergeThermal() call. */
+    telemetry::Histogram iterations =
+        telemetry::histogram("evaluator.iterations", 0.0, 32.0, 32);
+    /** Worst per-block residual (K) when the loop stopped; overflow
+     *  bin = hit the iteration limit far from convergence. */
+    telemetry::Histogram residual_k =
+        telemetry::histogram("evaluator.residual_k", 0.0, 0.02, 20);
+    /** Wall time of a full evaluate() (sim + fixed point). */
+    telemetry::Histogram evaluate_s =
+        telemetry::histogram("evaluator.evaluate_s", 0.0, 2.0, 40);
+};
+
+EvalMetrics &
+evalMetrics()
+{
+    static EvalMetrics m;
+    return m;
+}
+
+} // namespace
 
 double
 OperatingPoint::maxTemp() const
@@ -68,6 +99,11 @@ Evaluator::convergeThermal(const sim::MachineConfig &cfg,
     // and FIT, and every selection policy rejects them.
     constexpr double leak_temp_cap = 450.0;
 
+    auto &metrics = evalMetrics();
+    metrics.converge_calls.add();
+    std::uint32_t iterations = 0;
+    double final_residual_k = 0.0;
+
     const auto dyn = pmodel.dynamicPower(activity);
     thermal::SteadyTemps steady{};
     for (std::uint32_t it = 0; it < params_.max_iterations; ++it) {
@@ -93,11 +129,15 @@ Evaluator::convergeThermal(const sim::MachineConfig &cfg,
             // even at high power density.
             temps[i] = 0.5 * temps[i] + 0.5 * steady.block_k[i];
         }
+        ++iterations;
+        final_residual_k = worst;
         if (worst < params_.tolerance_k)
             break;
         if (it + 1 == params_.max_iterations)
             util::warn("thermal fixed point hit the iteration limit");
     }
+    metrics.iterations.add(static_cast<double>(iterations));
+    metrics.residual_k.add(final_residual_k);
 
     op.temps_k = temps;
     op.sink_temp_k = steady.sink_k;
@@ -118,6 +158,11 @@ OperatingPoint
 Evaluator::evaluate(const sim::MachineConfig &cfg,
                     const workload::AppProfile &profile) const
 {
+    auto &metrics = evalMetrics();
+    metrics.evaluate_calls.add();
+    telemetry::ScopedTimer timer(metrics.evaluate_s, "evaluate",
+                                 "evaluator");
+
     workload::TraceGenerator gen(profile, params_.seed);
     sim::Core core(cfg, gen);
 

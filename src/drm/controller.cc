@@ -1,9 +1,42 @@
 #include "drm/controller.hh"
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace drm {
+
+namespace {
+
+/** Emit a level-change trace instant and bump the shared counter. */
+void
+recordLevelChange(const telemetry::Counter &counter, const char *name,
+                  const char *cat, std::size_t from, std::size_t to,
+                  double signal)
+{
+    counter.add();
+    telemetry::instant(name, cat,
+                       {{"from", static_cast<double>(from)},
+                        {"to", static_cast<double>(to)},
+                        {"signal", signal}});
+}
+
+struct ControllerMetrics
+{
+    telemetry::Counter drm_changes =
+        telemetry::counter("drm.level_changes");
+    telemetry::Counter dtm_changes =
+        telemetry::counter("dtm.level_changes");
+};
+
+ControllerMetrics &
+controllerMetrics()
+{
+    static ControllerMetrics m;
+    return m;
+}
+
+} // namespace
 
 DrmController::DrmController(Params params, std::size_t num_levels,
                              std::size_t start_level)
@@ -25,6 +58,7 @@ DrmController::observe(double avg_fit_so_far)
         return level_;
     }
     const double target = params_.target_fit;
+    const std::size_t from = level_;
     if (avg_fit_so_far > target * (1.0 + params_.down_margin) &&
         level_ > 0) {
         --level_;
@@ -36,6 +70,10 @@ DrmController::observe(double avg_fit_so_far)
         ++transitions_;
         cooldown_ = params_.settle_intervals;
     }
+    if (level_ != from)
+        recordLevelChange(controllerMetrics().drm_changes,
+                          "drm.level_change", "drm", from, level_,
+                          avg_fit_so_far);
     return level_;
 }
 
@@ -58,6 +96,7 @@ DtmController::observe(double max_temp_k)
         --cooldown_;
         return level_;
     }
+    const std::size_t from = level_;
     if (max_temp_k > params_.t_design_k && level_ > 0) {
         --level_;
         ++transitions_;
@@ -68,6 +107,10 @@ DtmController::observe(double max_temp_k)
         ++transitions_;
         cooldown_ = params_.settle_intervals;
     }
+    if (level_ != from)
+        recordLevelChange(controllerMetrics().dtm_changes,
+                          "dtm.level_change", "dtm", from, level_,
+                          max_temp_k);
     return level_;
 }
 

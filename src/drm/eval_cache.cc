@@ -12,6 +12,7 @@
 #endif
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace drm {
@@ -22,6 +23,28 @@ namespace {
 // fine-grained DVS rungs past 4 significant digits). The version
 // check drops every stale key at load.
 constexpr int record_version = 3;
+
+/** Process-wide mirror of the per-instance Stats counters, so cache
+ *  behaviour shows up in `--metrics` snapshots alongside everything
+ *  else. The per-instance atomics stay authoritative for stats(). */
+struct CacheMetrics
+{
+    telemetry::Counter hits = telemetry::counter("cache.hits");
+    telemetry::Counter misses = telemetry::counter("cache.misses");
+    telemetry::Counter appends = telemetry::counter("cache.appends");
+    telemetry::Counter loaded = telemetry::counter("cache.loaded");
+    telemetry::Counter compactions =
+        telemetry::counter("cache.compactions");
+    telemetry::Counter compacted_lines =
+        telemetry::counter("cache.compacted_lines");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
 
 } // namespace
 
@@ -120,6 +143,12 @@ EvaluationCache::EvaluationCache(std::string path)
         util::warn(
             util::cat("evaluation cache: cannot append to ", path_));
 
+    auto &metrics = cacheMetrics();
+    metrics.loaded.add(loaded_);
+    if (compacted_) {
+        metrics.compactions.add();
+        metrics.compacted_lines.add(compacted_);
+    }
     if (loaded_)
         util::inform(util::cat("evaluation cache: loaded ", loaded_,
                                " records from ", path_,
@@ -172,9 +201,11 @@ EvaluationCache::get(const std::string &key) const
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().misses.add();
         return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    cacheMetrics().hits.add();
     return it->second;
 }
 
@@ -199,6 +230,7 @@ EvaluationCache::put(const std::string &key,
     appender_ << line.str();
     appender_.flush();
     appended_.fetch_add(1, std::memory_order_relaxed);
+    cacheMetrics().appends.add();
 }
 
 std::size_t

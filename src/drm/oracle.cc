@@ -5,9 +5,31 @@
 
 #include "power/power.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace drm {
+
+namespace {
+
+struct OracleMetrics
+{
+    telemetry::Counter explores =
+        telemetry::counter("oracle.explores");
+    telemetry::Counter points = telemetry::counter("oracle.points");
+    /** Wall time of one explore() (all points, both passes). */
+    telemetry::Histogram explore_s =
+        telemetry::histogram("oracle.explore_s", 0.0, 60.0, 60);
+};
+
+OracleMetrics &
+oracleMetrics()
+{
+    static OracleMetrics m;
+    return m;
+}
+
+} // namespace
 
 double
 operatingPointFit(const core::Qualification &qual,
@@ -97,12 +119,19 @@ ExploredApp
 OracleExplorer::explore(const workload::AppProfile &app,
                         AdaptationSpace space) const
 {
+    auto &metrics = oracleMetrics();
+    metrics.explores.add();
+    telemetry::ScopedTimer timer(metrics.explore_s, "explore",
+                                 "oracle");
+
     ExploredApp out;
     out.app_name = app.name;
     out.base = evaluateBase(app);
     const double base_perf = out.base.uopsPerSecond();
 
     const auto cfgs = configSpace(space);
+    metrics.points.add(cfgs.size());
+    timer.arg("points", static_cast<double>(cfgs.size()));
     out.points.resize(cfgs.size());
     auto eval_point = [&](std::size_t i) {
         ExploredPoint pt;
@@ -141,16 +170,52 @@ OracleExplorer::explore(const workload::AppProfile &app,
 
 namespace {
 
+/**
+ * Evaluate every point's constraint row under @p qual, then pick the
+ * best-performing feasible one. When nothing is feasible, fall back
+ * to the least-violating point per @p violation (lower = closer to
+ * feasible). One steadyFit per point: winner values are carried from
+ * the table instead of being recomputed.
+ */
+template <typename FeasibleFn, typename ViolationFn>
 Selection
-makeSelection(const ExploredApp &app, std::size_t index,
-              bool feasible, double fit)
+selectByConstraint(const ExploredApp &app,
+                   const core::Qualification &qual,
+                   FeasibleFn feasible, ViolationFn violation)
 {
     Selection sel;
-    sel.index = index;
-    sel.feasible = feasible;
-    sel.perf_rel = app.points[index].perf_rel;
-    sel.fit = fit;
-    sel.max_temp_k = app.points[index].op.maxTemp();
+    sel.table.reserve(app.points.size());
+
+    std::size_t best = 0;
+    bool found = false;
+    double best_perf = -1.0;
+    std::size_t fallback = 0;
+    double least_violation = 1e300;
+
+    for (std::size_t i = 0; i < app.points.size(); ++i) {
+        SelectionPoint pt;
+        pt.perf_rel = app.points[i].perf_rel;
+        pt.fit = operatingPointFit(qual, app.points[i].op);
+        pt.max_temp_k = app.points[i].op.maxTemp();
+        pt.feasible = feasible(pt);
+        if (violation(pt) < least_violation) {
+            least_violation = violation(pt);
+            fallback = i;
+        }
+        if (pt.feasible && pt.perf_rel > best_perf) {
+            best_perf = pt.perf_rel;
+            best = i;
+            found = true;
+        }
+        sel.table.push_back(pt);
+    }
+
+    sel.index = found ? best : fallback;
+    sel.feasible = found;
+    sel.config = app.points[sel.index].op.config;
+    sel.perf_rel = sel.table[sel.index].perf_rel;
+    sel.fit = sel.table[sel.index].fit;
+    sel.max_temp_k = sel.table[sel.index].max_temp_k;
     return sel;
 }
 
@@ -163,76 +228,27 @@ selectDrm(const ExploredApp &app, const core::Qualification &qual)
         util::fatal("selectDrm: empty exploration");
 
     const double target = qual.spec().target_fit;
-    std::size_t best = 0;
-    bool found = false;
-    double best_perf = -1.0;
-    double best_fit = 0.0;
-    std::size_t coolest = 0;
-    double coolest_fit = 1e300;
-
-    // One steadyFit per point: the winner's FIT is carried into the
-    // selection instead of being recomputed.
-    for (std::size_t i = 0; i < app.points.size(); ++i) {
-        const double fit = operatingPointFit(qual, app.points[i].op);
-        if (fit < coolest_fit) {
-            coolest_fit = fit;
-            coolest = i;
-        }
-        if (fit <= target && app.points[i].perf_rel > best_perf) {
-            best_perf = app.points[i].perf_rel;
-            best = i;
-            best_fit = fit;
-            found = true;
-        }
-    }
-    return makeSelection(app, found ? best : coolest, found,
-                         found ? best_fit : coolest_fit);
-}
-
-Selection
-selectDtm(const ExploredApp &app, double t_design_k)
-{
-    if (app.points.empty())
-        util::fatal("selectDtm: empty exploration");
-
-    std::size_t best = 0;
-    bool found = false;
-    double best_perf = -1.0;
-    std::size_t coolest = 0;
-    double coolest_t = 1e300;
-
-    for (std::size_t i = 0; i < app.points.size(); ++i) {
-        const double t = app.points[i].op.maxTemp();
-        if (t < coolest_t) {
-            coolest_t = t;
-            coolest = i;
-        }
-        if (t <= t_design_k && app.points[i].perf_rel > best_perf) {
-            best_perf = app.points[i].perf_rel;
-            best = i;
-            found = true;
-        }
-    }
-
-    Selection sel;
-    sel.index = found ? best : coolest;
-    sel.feasible = found;
-    sel.perf_rel = app.points[sel.index].perf_rel;
-    sel.max_temp_k = app.points[sel.index].op.maxTemp();
-    // DTM is reliability-oblivious: without a qualification there is
-    // no FIT to report. 0.0 is a sentinel, NOT a real failure rate --
-    // comparisons needing one must use the Qualification overload.
-    sel.fit = 0.0;
-    return sel;
+    return selectByConstraint(
+        app, qual,
+        [&](const SelectionPoint &pt) { return pt.fit <= target; },
+        [](const SelectionPoint &pt) { return pt.fit; });
 }
 
 Selection
 selectDtm(const ExploredApp &app, double t_design_k,
           const core::Qualification &qual)
 {
-    Selection sel = selectDtm(app, t_design_k);
-    sel.fit = operatingPointFit(qual, app.points[sel.index].op);
-    return sel;
+    if (app.points.empty())
+        util::fatal("selectDtm: empty exploration");
+
+    // The DTM policy is reliability-oblivious: @p qual only feeds the
+    // reported per-point and winner FIT values, never the choice.
+    return selectByConstraint(
+        app, qual,
+        [&](const SelectionPoint &pt) {
+            return pt.max_temp_k <= t_design_k;
+        },
+        [](const SelectionPoint &pt) { return pt.max_temp_k; });
 }
 
 } // namespace drm

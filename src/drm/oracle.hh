@@ -47,17 +47,38 @@ struct ExploredApp
     std::vector<ExploredPoint> points; ///< One per configuration.
 };
 
-/** Result of a DRM or DTM oracle selection. */
+/** Constraint evaluation of one explored point, recorded in
+ *  Selection::table in ExploredApp::points order. */
+struct SelectionPoint
+{
+    double perf_rel = 0.0;
+    double fit = 0.0;        ///< Application FIT under the qualification.
+    double max_temp_k = 0.0; ///< Hottest structure at this point.
+    bool feasible = false;   ///< Met the policy's constraint.
+};
+
+/**
+ * Result of a DRM or DTM oracle selection.
+ *
+ * Every selection carries the winner's real application FIT under the
+ * qualification it was given -- there is no reliability-oblivious
+ * "0.0 FIT" sentinel -- plus the full per-point constraint table, so
+ * callers can render sweeps without re-running the policy.
+ */
 struct Selection
 {
     /** Index into ExploredApp::points; the constrained optimum. */
     std::size_t index = 0;
+    /** The winning configuration (copy of the chosen point's). */
+    sim::MachineConfig config;
     double perf_rel = 0.0;
     double fit = 0.0;        ///< Application FIT at the chosen point.
     double max_temp_k = 0.0; ///< Hottest structure at the choice.
     /** False when no configuration met the constraint; the selection
      *  then falls back to the least-violating configuration. */
     bool feasible = false;
+    /** Per-point constraint evaluations, one per explored point. */
+    std::vector<SelectionPoint> table;
 };
 
 /** Application FIT of one operating point under a qualification. */
@@ -135,18 +156,10 @@ Selection selectDrm(const ExploredApp &app,
  * DTM oracle: best perf_rel subject to maxTemp <= t_design. Falls
  * back to the coolest point when nothing is feasible.
  *
- * DTM is reliability-oblivious, so this overload reports
- * Selection::fit = 0.0 -- a sentinel that silently reads as "no
- * failures" if compared against a FIT budget. Use the Qualification
- * overload whenever the selection will meet a FIT value.
- */
-Selection selectDtm(const ExploredApp &app, double t_design_k);
-
-/**
- * DTM oracle selection with the chosen point's real FIT filled in
- * under @p qual (the policy itself remains reliability-oblivious:
- * @p qual never influences which point is chosen, only the reported
- * fit). This is the overload DRM-vs-DTM comparisons must use.
+ * The policy itself is reliability-oblivious -- @p qual never
+ * influences which point is chosen -- but every point's real FIT is
+ * still evaluated under @p qual and reported in the result, so DTM
+ * selections compare against FIT budgets without sentinels.
  */
 Selection selectDtm(const ExploredApp &app, double t_design_k,
                     const core::Qualification &qual);

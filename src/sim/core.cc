@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace sim {
@@ -29,26 +30,80 @@ Core::findEntry(std::uint64_t seq) const
     return &slot(seq);
 }
 
+namespace {
+
+/** Per-run-call throughput counters, fed from CoreStats deltas so
+ *  the per-cycle loop itself stays untouched. */
+struct CoreMetrics
+{
+    telemetry::Counter run_calls = telemetry::counter("sim.run_calls");
+    telemetry::Counter cycles = telemetry::counter("sim.cycles");
+    telemetry::Counter fetched =
+        telemetry::counter("sim.uops_fetched");
+    telemetry::Counter issued = telemetry::counter("sim.uops_issued");
+    telemetry::Counter retired =
+        telemetry::counter("sim.uops_retired");
+    telemetry::Counter branches = telemetry::counter("sim.branches");
+    telemetry::Counter mispredicts =
+        telemetry::counter("sim.mispredicts");
+    telemetry::Counter intervals = telemetry::counter("sim.intervals");
+    /** Retired IPC of each closed measurement interval. */
+    telemetry::Histogram interval_ipc =
+        telemetry::histogram("sim.interval_ipc", 0.0, 8.0, 32);
+    /** L1D MSHR occupancy sampled when an interval closes. */
+    telemetry::Histogram mshr_occupancy =
+        telemetry::histogram("sim.mshr_occupancy", 0.0, 16.0, 16);
+};
+
+CoreMetrics &
+coreMetrics()
+{
+    static CoreMetrics m;
+    return m;
+}
+
+} // namespace
+
 void
 Core::run(std::uint64_t cycles)
 {
+    auto &metrics = coreMetrics();
+    metrics.run_calls.add();
+    const CoreStats before = stats_;
     for (std::uint64_t i = 0; i < cycles; ++i)
         stepCycle();
+    metrics.cycles.add(stats_.cycles - before.cycles);
+    metrics.fetched.add(stats_.fetched - before.fetched);
+    metrics.issued.add(stats_.issued - before.issued);
+    metrics.retired.add(stats_.retired - before.retired);
+    metrics.branches.add(stats_.branches - before.branches);
+    metrics.mispredicts.add(stats_.mispredicts - before.mispredicts);
 }
 
 void
 Core::runUops(std::uint64_t uops)
 {
+    auto &metrics = coreMetrics();
+    metrics.run_calls.add();
+    const CoreStats before = stats_;
+
     const std::uint64_t target = stats_.retired + uops;
     const std::uint64_t cycle_bound = cycle_ + uops * 1000 + 10000;
     while (stats_.retired < target) {
         if (cycle_ >= cycle_bound) {
             util::warn(util::cat("runUops safety bound hit at cycle ",
                                  cycle_, "; machine may be deadlocked"));
-            return;
+            break;
         }
         stepCycle();
     }
+
+    metrics.cycles.add(stats_.cycles - before.cycles);
+    metrics.fetched.add(stats_.fetched - before.fetched);
+    metrics.issued.add(stats_.issued - before.issued);
+    metrics.retired.add(stats_.retired - before.retired);
+    metrics.branches.add(stats_.branches - before.branches);
+    metrics.mispredicts.add(stats_.mispredicts - before.mispredicts);
 }
 
 void
@@ -356,6 +411,12 @@ Core::takeInterval()
     ActivitySample s;
     s.cycles = interval_.cycles;
     s.retired = interval_.retired;
+
+    auto &metrics = coreMetrics();
+    metrics.intervals.add();
+    metrics.interval_ipc.add(s.ipc());
+    metrics.mshr_occupancy.add(
+        static_cast<double>(mem_.mshrInUse(cycle_)));
 
     const auto cyc = static_cast<double>(
         interval_.cycles ? interval_.cycles : 1);

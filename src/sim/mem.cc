@@ -67,6 +67,15 @@ MemorySystem::mshrAvailable(std::uint64_t cycle) const
     return false;
 }
 
+unsigned
+MemorySystem::mshrInUse(std::uint64_t cycle) const
+{
+    unsigned used = 0;
+    for (auto busy : mshr_busy_until_)
+        used += busy > cycle;
+    return used;
+}
+
 MemAccessResult
 MemorySystem::dataAccess(std::uint64_t addr, bool is_write,
                          std::uint64_t cycle)

@@ -76,6 +76,9 @@ class MemorySystem
     /** Main-memory line transfers since reset. */
     std::uint64_t memAccesses() const { return mem_accesses_; }
 
+    /** L1D MSHRs still occupied by in-flight misses at `cycle`. */
+    unsigned mshrInUse(std::uint64_t cycle) const;
+
   private:
     /**
      * Schedule an L2 access at or after `earliest`; accounts for the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace thermal {
@@ -118,6 +119,10 @@ ThermalModel::buildNetwork()
 SteadyTemps
 ThermalModel::steadyState(const PerStructure<double> &power_w) const
 {
+    static const telemetry::Counter solves =
+        telemetry::counter("thermal.steady_solves");
+    solves.add();
+
     // Solve A*T = b with A_ii = sum_j g_ij + g_amb_i, A_ij = -g_ij,
     // b_i = P_i + g_amb_i * T_amb.
     const std::size_t n = nodes();
@@ -189,6 +194,12 @@ ThermalModel::step(const PerStructure<double> &power_w, double dt_s)
 {
     if (dt_s <= 0.0)
         util::fatal("thermal step needs dt > 0");
+    static const telemetry::Counter steps =
+        telemetry::counter("thermal.transient_steps");
+    static const telemetry::Counter substeps =
+        telemetry::counter("thermal.transient_substeps");
+    steps.add();
+    std::uint64_t subs = 0;
     double remaining = dt_s;
     while (remaining > 0.0) {
         const double h = std::min(remaining, max_stable_dt_);
@@ -196,7 +207,9 @@ ThermalModel::step(const PerStructure<double> &power_w, double dt_s)
         for (std::size_t i = 0; i < nodes(); ++i)
             state_[i] += h * d[i];
         remaining -= h;
+        ++subs;
     }
+    substeps.add(subs);
 }
 
 PerStructure<double>

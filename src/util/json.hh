@@ -1,9 +1,11 @@
 /**
  * @file
  * Minimal streaming JSON writer for machine-readable experiment
- * output (plotting scripts, CI diffing). Handles nesting, commas,
- * string escaping, and non-finite numbers (emitted as null, since
- * JSON has no NaN/Inf).
+ * output (plotting scripts, CI diffing) plus a small recursive-
+ * descent parser used to validate emitted files (telemetry metrics
+ * and trace-event output) in tests and tooling. The writer handles
+ * nesting, commas, string escaping, and non-finite numbers (emitted
+ * as null, since JSON has no NaN/Inf).
  */
 
 #ifndef RAMP_UTIL_JSON_HH
@@ -11,8 +13,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ramp {
@@ -78,6 +82,53 @@ class JsonWriter
     bool need_comma_ = false;
     bool root_done_ = false;
 };
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Type {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; duplicate keys are kept as parsed. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** find() that dies (panic) when the key is missing. */
+    const JsonValue &at(std::string_view key) const;
+};
+
+/**
+ * Parse a complete JSON document. Strict: one root value, no trailing
+ * garbage, no comments, no trailing commas. \uXXXX escapes are
+ * decoded to UTF-8 (surrogate pairs included).
+ *
+ * @param text The document.
+ * @param error When non-null, receives a message with the byte
+ *        offset on failure.
+ * @return The root value, or nullopt on malformed input.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
 
 } // namespace util
 } // namespace ramp

@@ -3,9 +3,43 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace util {
+
+namespace {
+
+/** Batch-granularity pool metrics; the per-item claim loop in
+ *  drainBatch stays untouched. */
+struct PoolMetrics
+{
+    telemetry::Counter batches = telemetry::counter("pool.batches");
+    telemetry::Counter items = telemetry::counter("pool.items");
+    telemetry::Counter caller_items =
+        telemetry::counter("pool.caller_items");
+    telemetry::Counter worker_items =
+        telemetry::counter("pool.worker_items");
+    telemetry::Gauge threads = telemetry::gauge("pool.threads");
+    telemetry::Gauge queue_depth =
+        telemetry::gauge("pool.queue_depth");
+    /** Wall time of one parallelFor batch. */
+    telemetry::Histogram batch_s =
+        telemetry::histogram("pool.batch_s", 0.0, 10.0, 40);
+    /** Fraction of a batch's items executed by pool workers (as
+     *  opposed to the submitting caller); 0 on the serial path. */
+    telemetry::Histogram worker_share =
+        telemetry::histogram("pool.worker_share", 0.0, 1.0, 20);
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
 
 unsigned
 defaultThreadCount()
@@ -99,9 +133,20 @@ ThreadPool::parallelFor(std::size_t count,
 {
     if (count == 0)
         return;
+
+    auto &metrics = poolMetrics();
+    metrics.batches.add();
+    metrics.items.add(count);
+    metrics.threads.set(static_cast<double>(workers_.size() + 1));
+    telemetry::ScopedTimer timer(metrics.batch_s, "parallelFor",
+                                 "pool");
+    timer.arg("count", static_cast<double>(count));
+
     if (workers_.empty() || count == 1) {
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
+        metrics.caller_items.add(count);
+        metrics.worker_share.add(0.0);
         return;
     }
 
@@ -113,6 +158,7 @@ ThreadPool::parallelFor(std::size_t count,
     batch_ = batch;
     lock.unlock();
     work_cv_.notify_all();
+    metrics.queue_depth.set(static_cast<double>(count));
 
     std::exception_ptr error;
     const std::size_t executed = drainBatch(*batch, error);
@@ -129,6 +175,12 @@ ThreadPool::parallelFor(std::size_t count,
         batch_ = nullptr;
     const std::exception_ptr first = batch->error;
     lock.unlock();
+
+    metrics.queue_depth.set(0.0);
+    metrics.caller_items.add(executed);
+    metrics.worker_items.add(count - executed);
+    metrics.worker_share.add(static_cast<double>(count - executed) /
+                             static_cast<double>(count));
 
     if (first)
         std::rethrow_exception(first);

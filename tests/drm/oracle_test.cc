@@ -150,7 +150,7 @@ TEST(SelectDrm, FallsBackToCoolestWhenNothingFits)
 TEST(SelectDtm, RespectsThermalDesignPoint)
 {
     const auto app = syntheticApp();
-    const auto sel = selectDtm(app, 380.0);
+    const auto sel = selectDtm(app, 380.0, makeQual());
     EXPECT_TRUE(sel.feasible);
     EXPECT_EQ(sel.index, 1u); // 395 K point excluded
     EXPECT_LE(sel.max_temp_k, 380.0);
@@ -159,7 +159,7 @@ TEST(SelectDtm, RespectsThermalDesignPoint)
 TEST(SelectDtm, AcceptsEverythingWithHighLimit)
 {
     const auto app = syntheticApp();
-    const auto sel = selectDtm(app, 400.0);
+    const auto sel = selectDtm(app, 400.0, makeQual());
     EXPECT_TRUE(sel.feasible);
     EXPECT_EQ(sel.index, 2u);
 }
@@ -178,26 +178,30 @@ TEST(SelectDrm, ReportsTheWinnersFit)
     }
 }
 
-TEST(SelectDtm, QualOverloadFillsRealFit)
+TEST(SelectDtm, ReportsRealFitNeverSentinel)
 {
+    // The DTM policy is reliability-oblivious -- the qualification
+    // never changes the choice -- but every selection reports the
+    // chosen point's true FIT, not a 0.0 sentinel.
     const auto app = syntheticApp();
     const auto qual = makeQual(380.0);
 
-    const auto bare = selectDtm(app, 380.0);
-    EXPECT_DOUBLE_EQ(bare.fit, 0.0); // sentinel, not a failure rate
-
     const auto sel = selectDtm(app, 380.0, qual);
-    // Same reliability-oblivious choice...
-    EXPECT_EQ(sel.index, bare.index);
-    EXPECT_EQ(sel.feasible, bare.feasible);
-    EXPECT_DOUBLE_EQ(sel.perf_rel, bare.perf_rel);
-    // ...but the chosen point's true FIT is reported.
     EXPECT_GT(sel.fit, 0.0);
     EXPECT_DOUBLE_EQ(
         sel.fit, operatingPointFit(qual, app.points[sel.index].op));
+
+    // A different qualification changes the reported FIT, never the
+    // selection itself.
+    const auto other = selectDtm(app, 380.0, makeQual(360.0));
+    EXPECT_EQ(other.index, sel.index);
+    EXPECT_EQ(other.feasible, sel.feasible);
+    EXPECT_DOUBLE_EQ(other.perf_rel, sel.perf_rel);
+    EXPECT_NE(other.fit, sel.fit);
+    EXPECT_GT(other.fit, 0.0);
 }
 
-TEST(SelectDtm, QualOverloadOnFallbackSelection)
+TEST(SelectDtm, ReportsFitOnFallbackSelection)
 {
     const auto app = syntheticApp();
     const auto qual = makeQual(380.0);
@@ -210,9 +214,38 @@ TEST(SelectDtm, QualOverloadOnFallbackSelection)
 TEST(SelectDtm, FallsBackToCoolest)
 {
     const auto app = syntheticApp();
-    const auto sel = selectDtm(app, 320.0);
+    const auto sel = selectDtm(app, 320.0, makeQual());
     EXPECT_FALSE(sel.feasible);
     EXPECT_EQ(sel.index, 0u);
+}
+
+TEST(Selection, CarriesWinnerConfigAndPerPointTable)
+{
+    const auto app = syntheticApp();
+    const auto qual = makeQual(371.0);
+
+    const auto drm_sel = selectDrm(app, qual);
+    ASSERT_EQ(drm_sel.table.size(), app.points.size());
+    EXPECT_DOUBLE_EQ(drm_sel.config.frequency_ghz,
+                     app.points[drm_sel.index].op.config.frequency_ghz);
+    for (std::size_t i = 0; i < app.points.size(); ++i) {
+        const auto &pt = drm_sel.table[i];
+        EXPECT_DOUBLE_EQ(pt.perf_rel, app.points[i].perf_rel);
+        EXPECT_DOUBLE_EQ(pt.fit,
+                         operatingPointFit(qual, app.points[i].op));
+        EXPECT_DOUBLE_EQ(pt.max_temp_k, app.points[i].op.maxTemp());
+        EXPECT_EQ(pt.feasible, pt.fit <= qual.spec().target_fit);
+    }
+    // The winner's scalar fields mirror its table row.
+    EXPECT_DOUBLE_EQ(drm_sel.fit, drm_sel.table[drm_sel.index].fit);
+    EXPECT_DOUBLE_EQ(drm_sel.perf_rel,
+                     drm_sel.table[drm_sel.index].perf_rel);
+
+    const auto dtm_sel = selectDtm(app, 380.0, qual);
+    ASSERT_EQ(dtm_sel.table.size(), app.points.size());
+    for (std::size_t i = 0; i < app.points.size(); ++i)
+        EXPECT_EQ(dtm_sel.table[i].feasible,
+                  dtm_sel.table[i].max_temp_k <= 380.0);
 }
 
 TEST(SelectDeath, EmptyExplorationIsFatal)
@@ -220,8 +253,8 @@ TEST(SelectDeath, EmptyExplorationIsFatal)
     ExploredApp empty;
     EXPECT_EXIT(selectDrm(empty, makeQual()),
                 testing::ExitedWithCode(1), "empty");
-    EXPECT_EXIT(selectDtm(empty, 370.0), testing::ExitedWithCode(1),
-                "empty");
+    EXPECT_EXIT(selectDtm(empty, 370.0, makeQual()),
+                testing::ExitedWithCode(1), "empty");
 }
 
 TEST(Explorer, SmallRealExplorationEndToEnd)

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Validator for the telemetry smoke fixture: after ctest runs
+ * bench_fig2_archdvs with `--metrics`/`--trace` on a truncated
+ * suite, this program checks that both files parse as JSON and carry
+ * the keys the instrumentation promises -- evaluator iteration
+ * histogram with samples, evaluation-cache counters, thread-pool
+ * metrics, and a well-formed Chrome trace timeline.
+ *
+ * Usage: telemetry_validate <metrics.json> <trace.json>
+ * Exits 0 when every check passes; prints each failure otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hh"
+
+namespace {
+
+int failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+}
+
+std::string
+slurp(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail(std::string("cannot open ") + path);
+        return "";
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Counter that must exist and be strictly positive. */
+void
+checkCounter(const ramp::util::JsonValue &doc, const char *name)
+{
+    const auto *counters = doc.find("counters");
+    const auto *v = counters ? counters->find(name) : nullptr;
+    if (!v || !v->isNumber())
+        fail(std::string("counter missing: ") + name);
+    else if (v->number <= 0.0)
+        fail(std::string("counter not positive: ") + name);
+}
+
+/** Histogram that must exist with a positive sample total. */
+void
+checkHistogram(const ramp::util::JsonValue &doc, const char *name)
+{
+    const auto *hists = doc.find("histograms");
+    const auto *h = hists ? hists->find(name) : nullptr;
+    if (!h || !h->isObject()) {
+        fail(std::string("histogram missing: ") + name);
+        return;
+    }
+    const auto *total = h->find("total");
+    if (!total || total->number <= 0.0)
+        fail(std::string("histogram has no samples: ") + name);
+    const auto *counts = h->find("counts");
+    if (!counts || !counts->isArray() || counts->array.empty())
+        fail(std::string("histogram has no bins: ") + name);
+}
+
+void
+validateMetrics(const std::string &text)
+{
+    std::string err;
+    const auto doc = ramp::util::parseJson(text, &err);
+    if (!doc || !doc->isObject()) {
+        fail("metrics file is not a JSON object: " + err);
+        return;
+    }
+
+    // The evaluator ran and its fixed point converged somewhere.
+    checkCounter(*doc, "evaluator.evaluate_calls");
+    checkCounter(*doc, "evaluator.converge_calls");
+    checkHistogram(*doc, "evaluator.iterations");
+
+    // The evaluation cache was consulted.
+    const auto *counters = doc->find("counters");
+    const auto *hits = counters ? counters->find("cache.hits") : nullptr;
+    const auto *misses =
+        counters ? counters->find("cache.misses") : nullptr;
+    if (!hits || !misses)
+        fail("cache.hits / cache.misses counters missing");
+    else if (hits->number + misses->number <= 0.0)
+        fail("cache was never consulted");
+
+    // The pool ran batches; its utilization metrics are present.
+    checkCounter(*doc, "pool.batches");
+    checkCounter(*doc, "pool.items");
+    checkHistogram(*doc, "pool.batch_s");
+    checkHistogram(*doc, "pool.worker_share");
+    const auto *gauges = doc->find("gauges");
+    const auto *threads =
+        gauges ? gauges->find("pool.threads") : nullptr;
+    if (!threads || threads->number < 2.0)
+        fail("pool.threads gauge missing or < 2 "
+             "(bench runs with --threads 2)");
+
+    // The simulator core reported throughput.
+    checkCounter(*doc, "sim.cycles");
+    checkCounter(*doc, "sim.uops_retired");
+}
+
+void
+validateTrace(const std::string &text)
+{
+    std::string err;
+    const auto doc = ramp::util::parseJson(text, &err);
+    if (!doc || !doc->isObject()) {
+        fail("trace file is not a JSON object: " + err);
+        return;
+    }
+    const auto *events = doc->find("traceEvents");
+    if (!events || !events->isArray()) {
+        fail("traceEvents array missing");
+        return;
+    }
+    if (events->array.empty())
+        fail("trace contains no events");
+
+    bool saw_evaluate = false;
+    for (const auto &ev : events->array) {
+        const auto *name = ev.find("name");
+        const auto *ph = ev.find("ph");
+        const auto *ts = ev.find("ts");
+        if (!name || !name->isString() || !ph || !ph->isString() ||
+            !ts || !ts->isNumber()) {
+            fail("event missing name/ph/ts");
+            break;
+        }
+        if (ph->str == "X" && !ev.find("dur")) {
+            fail("complete event missing dur: " + name->str);
+            break;
+        }
+        saw_evaluate |= name->str == "evaluate";
+    }
+    if (!saw_evaluate)
+        fail("no 'evaluate' span in the trace");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s <metrics.json> <trace.json>\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string metrics = slurp(argv[1]);
+    const std::string trace = slurp(argv[2]);
+    if (failures == 0) {
+        validateMetrics(metrics);
+        validateTrace(trace);
+    }
+    if (failures == 0)
+        std::printf("telemetry smoke output OK\n");
+    return failures == 0 ? 0 : 1;
+}

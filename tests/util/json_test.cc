@@ -139,5 +139,86 @@ TEST(JsonDeath, WritingPastRootPanics)
     EXPECT_DEATH(w.beginObject(), "complete root");
 }
 
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->boolean);
+    EXPECT_FALSE(parseJson("false")->boolean);
+    EXPECT_DOUBLE_EQ(parseJson("-12.5e2")->number, -1250.0);
+    EXPECT_EQ(parseJson("\"hi\"")->str, "hi");
+}
+
+TEST(JsonParse, NestedDocument)
+{
+    const auto doc = parseJson(
+        R"({"counters":{"a":3},"list":[1,2,3],"flag":true})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->at("counters").at("a").number, 3.0);
+    ASSERT_EQ(doc->at("list").array.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc->at("list").array[2].number, 3.0);
+    EXPECT_TRUE(doc->at("flag").boolean);
+    EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto doc = parseJson(R"(["a\"b\\c\n", "Aé"])");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->array[0].str, "a\"b\\c\n");
+    EXPECT_EQ(doc->array[1].str, "A\xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8)
+{
+    // U+1F600 as a surrogate pair.
+    const auto doc = parseJson(R"("😀")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("", &err).has_value());
+    EXPECT_FALSE(parseJson("{", &err).has_value());
+    EXPECT_FALSE(parseJson("[1,]", &err).has_value());
+    EXPECT_FALSE(parseJson("{\"a\" 1}", &err).has_value());
+    EXPECT_FALSE(parseJson("12 34", &err).has_value());
+    EXPECT_FALSE(parseJson("nul", &err).has_value());
+    EXPECT_FALSE(parseJson("\"unterminated", &err).has_value());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject()
+        .kv("name", "bench")
+        .kv("pi", 3.25)
+        .kv("n", std::uint64_t{42})
+        .key("tags")
+        .beginArray()
+        .value("a")
+        .value(true)
+        .null()
+        .endArray()
+        .endObject();
+    const auto doc = parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->at("name").str, "bench");
+    EXPECT_DOUBLE_EQ(doc->at("pi").number, 3.25);
+    EXPECT_DOUBLE_EQ(doc->at("n").number, 42.0);
+    ASSERT_EQ(doc->at("tags").array.size(), 3u);
+    EXPECT_TRUE(doc->at("tags").array[2].isNull());
+}
+
+TEST(JsonParseDeath, AtMissingKeyPanics)
+{
+    const auto doc = parseJson("{}");
+    EXPECT_DEATH(doc->at("missing"), "missing");
+}
+
 } // namespace
 } // namespace ramp::util

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Telemetry under threads: the per-thread counter/histogram slots
+ * must merge to exact totals once the writers have joined, whether
+ * the writers are raw std::threads (whose state is retired at thread
+ * exit) or pool workers (still live at snapshot time). Runs under
+ * the `concurrency` ctest label, so the TSan preset covers the
+ * owner-write/snapshot-read protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/telemetry.hh"
+#include "util/thread_pool.hh"
+
+namespace ramp::telemetry {
+namespace {
+
+TEST(TelemetryConcurrency, PoolHammerMergesExactCounts)
+{
+    Registry::instance().reset();
+    const Counter c = counter("tc.pool_counter");
+    const Histogram h = histogram("tc.pool_hist", 0.0, 1.0, 8);
+
+    util::ThreadPool pool(4);
+    constexpr std::size_t items = 2000;
+    constexpr std::uint64_t adds_per_item = 50;
+    pool.parallelFor(items, [&](std::size_t i) {
+        for (std::uint64_t k = 0; k < adds_per_item; ++k)
+            c.add();
+        h.add(static_cast<double>(i % 10) / 10.0);
+    });
+
+    // parallelFor has joined: the snapshot must be exact.
+    const auto snap = Registry::instance().snapshot();
+    EXPECT_EQ(snap.counter("tc.pool_counter"), items * adds_per_item);
+    const auto &hs = snap.histograms.at("tc.pool_hist");
+    EXPECT_EQ(hs.total, items);
+    std::uint64_t binned = hs.underflow + hs.overflow;
+    for (auto n : hs.counts)
+        binned += n;
+    EXPECT_EQ(binned, items);
+}
+
+TEST(TelemetryConcurrency, ExitingThreadsRetireIntoTotals)
+{
+    Registry::instance().reset();
+    const Counter c = counter("tc.retire_counter");
+    const Histogram h = histogram("tc.retire_hist", 0.0, 100.0, 10);
+
+    constexpr int threads = 8;
+    constexpr std::uint64_t per_thread = 10'000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            for (std::uint64_t k = 0; k < per_thread; ++k)
+                c.add();
+            h.add(static_cast<double>(t));
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    const auto snap = Registry::instance().snapshot();
+    EXPECT_EQ(snap.counter("tc.retire_counter"),
+              threads * per_thread);
+    EXPECT_EQ(snap.histograms.at("tc.retire_hist").total,
+              static_cast<std::uint64_t>(threads));
+}
+
+TEST(TelemetryConcurrency, SnapshotsRaceSafelyWithWriters)
+{
+    Registry::instance().reset();
+    const Counter c = counter("tc.race_counter");
+    const Histogram h = histogram("tc.race_hist", 0.0, 1.0, 4);
+
+    std::atomic<bool> stop{false};
+    std::thread snapshotter([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto snap = Registry::instance().snapshot();
+            // Monotone non-decreasing while writers run.
+            (void)snap.counter("tc.race_counter");
+        }
+    });
+
+    util::ThreadPool pool(4);
+    constexpr std::size_t items = 500;
+    pool.parallelFor(items, [&](std::size_t i) {
+        c.add();
+        h.add(static_cast<double>(i % 4) / 4.0);
+    });
+    stop.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+
+    const auto snap = Registry::instance().snapshot();
+    // parallelFor counts items itself; our counter must be exact too.
+    EXPECT_EQ(snap.counter("tc.race_counter"), items);
+    EXPECT_EQ(snap.histograms.at("tc.race_hist").total, items);
+}
+
+TEST(TelemetryConcurrency, LateRegistrationWhileSnapshotting)
+{
+    // New metrics registered (and slots grown) concurrently with
+    // snapshots: the registry must neither crash nor lose counts.
+    Registry::instance().reset();
+    std::atomic<bool> stop{false};
+    std::thread snapshotter([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            (void)Registry::instance().snapshot();
+    });
+
+    util::ThreadPool pool(4);
+    pool.parallelFor(64, [&](std::size_t i) {
+        const Counter c = counter("tc.late." +
+                                  std::to_string(i % 16));
+        c.add();
+    });
+    stop.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+
+    const auto snap = Registry::instance().snapshot();
+    std::uint64_t sum = 0;
+    for (int k = 0; k < 16; ++k)
+        sum += snap.counter("tc.late." + std::to_string(k));
+    EXPECT_EQ(sum, 64u);
+}
+
+} // namespace
+} // namespace ramp::telemetry

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Telemetry registry tests: counter/gauge/histogram registration and
+ * snapshots, histogram bin edges, the scoped timer, trace-event JSON
+ * well-formedness (validated with util's JSON parser), and reset.
+ * The multi-threaded merge path is hammered separately in the
+ * concurrency-labelled telemetry_concurrency_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/json.hh"
+#include "util/telemetry.hh"
+
+namespace ramp::telemetry {
+namespace {
+
+/** Each test works on a clean registry. */
+class Telemetry : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Registry::instance().reset();
+        Registry::instance().setTracing(false);
+    }
+};
+
+TEST_F(Telemetry, CountersAccumulateAndSnapshot)
+{
+    const Counter c = counter("t.counter");
+    c.add();
+    c.add(41);
+    const auto snap = Registry::instance().snapshot();
+    EXPECT_EQ(snap.counter("t.counter"), 42u);
+    EXPECT_EQ(snap.counter("t.absent"), 0u);
+}
+
+TEST_F(Telemetry, ReRegisteringReturnsTheSameSlot)
+{
+    counter("t.same").add(1);
+    counter("t.same").add(2);
+    EXPECT_EQ(Registry::instance().snapshot().counter("t.same"), 3u);
+}
+
+TEST_F(Telemetry, DefaultConstructedHandlesAreInert)
+{
+    const Counter c;
+    const Histogram h;
+    const Gauge g;
+    c.add(5);
+    h.add(1.0);
+    g.set(2.0); // all no-ops
+    const auto snap = Registry::instance().snapshot();
+    for (const auto &[name, v] : snap.counters)
+        EXPECT_EQ(v, 0u) << name;
+}
+
+TEST_F(Telemetry, GaugeLastValueWins)
+{
+    const Gauge g = gauge("t.gauge");
+    g.set(1.5);
+    g.set(-3.25);
+    const auto snap = Registry::instance().snapshot();
+    ASSERT_TRUE(snap.gauges.count("t.gauge"));
+    EXPECT_DOUBLE_EQ(snap.gauges.at("t.gauge"), -3.25);
+}
+
+TEST_F(Telemetry, HistogramBinEdges)
+{
+    // 4 bins over [0,4): bin i covers [i, i+1). Boundary samples land
+    // in the upper bin (util/stats convention); x < lo underflows,
+    // x >= hi overflows.
+    const Histogram h = histogram("t.hist", 0.0, 4.0, 4);
+    h.add(-0.1); // underflow
+    h.add(0.0);  // bin 0 lower edge
+    h.add(0.99); // bin 0
+    h.add(1.0);  // bin 1 lower edge
+    h.add(3.5);  // bin 3
+    h.add(4.0);  // overflow (hi is exclusive)
+    h.add(7.0);  // overflow
+
+    const auto snap = Registry::instance().snapshot();
+    const auto &hs = snap.histograms.at("t.hist");
+    EXPECT_DOUBLE_EQ(hs.lo, 0.0);
+    EXPECT_DOUBLE_EQ(hs.hi, 4.0);
+    ASSERT_EQ(hs.counts.size(), 4u);
+    EXPECT_EQ(hs.counts[0], 2u);
+    EXPECT_EQ(hs.counts[1], 1u);
+    EXPECT_EQ(hs.counts[2], 0u);
+    EXPECT_EQ(hs.counts[3], 1u);
+    EXPECT_EQ(hs.underflow, 1u);
+    EXPECT_EQ(hs.overflow, 2u);
+    EXPECT_EQ(hs.total, 7u);
+    EXPECT_DOUBLE_EQ(hs.min, -0.1);
+    EXPECT_DOUBLE_EQ(hs.max, 7.0);
+    EXPECT_NEAR(hs.mean(), (-0.1 + 0.99 + 1.0 + 3.5 + 4.0 + 7.0) / 7,
+                1e-12);
+}
+
+TEST_F(Telemetry, ScopedTimerRecordsSeconds)
+{
+    const Histogram h = histogram("t.timer_s", 0.0, 10.0, 10);
+    {
+        ScopedTimer timer(h);
+    }
+    const auto snap = Registry::instance().snapshot();
+    const auto &hs = snap.histograms.at("t.timer_s");
+    EXPECT_EQ(hs.total, 1u);
+    EXPECT_GE(hs.min, 0.0);
+    EXPECT_LT(hs.max, 10.0); // an empty scope is far under 10 s
+}
+
+TEST_F(Telemetry, SpansOnlyCollectedWhenTracingEnabled)
+{
+    auto &reg = Registry::instance();
+    reg.recordSpan("dropped", "test", 0.0, 1.0);
+    reg.setTracing(true);
+    reg.recordSpan("kept", "test", 0.0, 1.0, {{"k", 2.0}});
+    reg.recordInstant("mark", "test");
+    reg.setTracing(false);
+
+    std::ostringstream os;
+    reg.writeTraceJson(os);
+    const auto doc = util::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value()) << os.str();
+    const auto &events = doc->at("traceEvents").array;
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].at("name").str, "kept");
+    EXPECT_EQ(events[0].at("ph").str, "X");
+    EXPECT_DOUBLE_EQ(events[0].at("dur").number, 1.0);
+    EXPECT_DOUBLE_EQ(events[0].at("args").at("k").number, 2.0);
+    EXPECT_EQ(events[1].at("name").str, "mark");
+    EXPECT_EQ(events[1].at("ph").str, "i");
+    EXPECT_EQ(events[1].at("s").str, "t");
+}
+
+TEST_F(Telemetry, ScopedTimerEmitsSpanUnderTracing)
+{
+    auto &reg = Registry::instance();
+    reg.setTracing(true);
+    const Histogram h = histogram("t.span_s", 0.0, 10.0, 10);
+    {
+        ScopedTimer timer(h, "work", "test");
+        timer.arg("points", 3.0);
+    }
+    reg.setTracing(false);
+
+    std::ostringstream os;
+    reg.writeTraceJson(os);
+    const auto doc = util::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value()) << os.str();
+    const auto &events = doc->at("traceEvents").array;
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].at("name").str, "work");
+    EXPECT_EQ(events[0].at("cat").str, "test");
+    EXPECT_GE(events[0].at("dur").number, 0.0);
+    EXPECT_DOUBLE_EQ(events[0].at("args").at("points").number, 3.0);
+}
+
+TEST_F(Telemetry, MetricsJsonParsesAndCarriesEveryKind)
+{
+    counter("t.json_counter").add(7);
+    gauge("t.json_gauge").set(1.25);
+    histogram("t.json_hist", 0.0, 2.0, 2).add(0.5);
+
+    std::ostringstream os;
+    Registry::instance().writeMetricsJson(os);
+    const auto doc = util::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value()) << os.str();
+    EXPECT_DOUBLE_EQ(
+        doc->at("counters").at("t.json_counter").number, 7.0);
+    EXPECT_DOUBLE_EQ(doc->at("gauges").at("t.json_gauge").number,
+                     1.25);
+    const auto &h = doc->at("histograms").at("t.json_hist");
+    EXPECT_DOUBLE_EQ(h.at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(h.at("hi").number, 2.0);
+    ASSERT_EQ(h.at("counts").array.size(), 2u);
+    EXPECT_DOUBLE_EQ(h.at("counts").array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(h.at("total").number, 1.0);
+}
+
+TEST_F(Telemetry, ExitedThreadCountsAreRetained)
+{
+    const Counter c = counter("t.retired");
+    std::thread([&] { c.add(10); }).join();
+    c.add(1);
+    EXPECT_EQ(Registry::instance().snapshot().counter("t.retired"),
+              11u);
+}
+
+TEST_F(Telemetry, ResetZeroesEverything)
+{
+    counter("t.reset_c").add(5);
+    const Histogram h = histogram("t.reset_h", 0.0, 1.0, 2);
+    h.add(0.5);
+    Registry::instance().reset();
+
+    auto snap = Registry::instance().snapshot();
+    EXPECT_EQ(snap.counter("t.reset_c"), 0u);
+    EXPECT_EQ(snap.histograms.at("t.reset_h").total, 0u);
+
+    // Handles stay valid after reset.
+    counter("t.reset_c").add(2);
+    h.add(0.25);
+    snap = Registry::instance().snapshot();
+    EXPECT_EQ(snap.counter("t.reset_c"), 2u);
+    EXPECT_EQ(snap.histograms.at("t.reset_h").total, 1u);
+}
+
+TEST_F(Telemetry, ConsumeOutputFlagsStripsOnlyItsFlags)
+{
+    char prog[] = "prog";
+    char keep1[] = "--threads";
+    char keep2[] = "4";
+    char m[] = "--metrics";
+    char mv[] = "/dev/null";
+    char t[] = "--trace=/dev/null";
+    char keep3[] = "positional";
+    char *argv[] = {prog, keep1, keep2, m, mv, t, keep3, nullptr};
+    int argc = 7;
+    argc = consumeOutputFlags(argc, argv);
+    ASSERT_EQ(argc, 4);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "--threads");
+    EXPECT_STREQ(argv[2], "4");
+    EXPECT_STREQ(argv[3], "positional");
+    EXPECT_EQ(argv[4], nullptr);
+}
+
+TEST(TelemetryDeath, KindClashPanics)
+{
+    counter("t.clash");
+    EXPECT_DEATH(gauge("t.clash"), "t.clash");
+}
+
+TEST(TelemetryDeath, HistogramShapeClashPanics)
+{
+    histogram("t.shape", 0.0, 1.0, 4);
+    EXPECT_DEATH(histogram("t.shape", 0.0, 2.0, 4), "t.shape");
+}
+
+} // namespace
+} // namespace ramp::telemetry
