@@ -278,12 +278,12 @@ ablationFetchThrottle(bench::Suite &suite)
     t.setTitle("Best feasible point per response mechanism "
                "(MP3dec)");
 
-    for (double temp : {355.0, 365.0, 375.0}) {
+    for (double temp_k : {355.0, 365.0, 375.0}) {
         // As a DRM response.
-        const auto qual = suite.qualification(temp);
+        const auto qual = suite.qualification(temp_k);
         const auto d = drm::selectDrm(dvs, qual);
         const auto f = drm::selectDrm(throttle, qual);
-        t.addRow({"DRM@" + util::Table::num(temp, 0) + "K",
+        t.addRow({"DRM@" + util::Table::num(temp_k, 0) + "K",
                   util::Table::num(d.perf_rel, 3) +
                       (d.feasible ? "" : "*"),
                   util::Table::num(f.perf_rel, 3) +
@@ -292,9 +292,9 @@ ablationFetchThrottle(bench::Suite &suite)
                       100.0 * (d.perf_rel / f.perf_rel - 1.0), 0) +
                       "%"});
         // As a DTM response.
-        const auto dd = drm::selectDtm(dvs, temp, qual);
-        const auto fd = drm::selectDtm(throttle, temp, qual);
-        t.addRow({"DTM@" + util::Table::num(temp, 0) + "K",
+        const auto dd = drm::selectDtm(dvs, temp_k, qual);
+        const auto fd = drm::selectDtm(throttle, temp_k, qual);
+        t.addRow({"DTM@" + util::Table::num(temp_k, 0) + "K",
                   util::Table::num(dd.perf_rel, 3) +
                       (dd.feasible ? "" : "*"),
                   util::Table::num(fd.perf_rel, 3) +

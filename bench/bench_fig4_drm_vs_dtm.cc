@@ -47,10 +47,10 @@ main(int argc, char **argv)
         double prev_sign = 0.0;
         double crossover = -1.0;
         std::vector<double> f_drm_series, f_dtm_series;
-        for (double temp : temps) {
-            const auto qual = suite.qualification(temp);
+        for (double temp_k : temps) {
+            const auto qual = suite.qualification(temp_k);
             const auto drm_sel = drm::selectDrm(explored, qual);
-            const auto dtm_sel = drm::selectDtm(explored, temp, qual);
+            const auto dtm_sel = drm::selectDtm(explored, temp_k, qual);
 
             const double f_drm = drm_sel.config.frequency_ghz;
             const double f_dtm = dtm_sel.config.frequency_ghz;
@@ -60,7 +60,7 @@ main(int argc, char **argv)
             const double dtm_fit = dtm_sel.fit;
             const double drm_tmax = drm_sel.max_temp_k;
 
-            if (drm_tmax > temp + 1e-9)
+            if (drm_tmax > temp_k + 1e-9)
                 ++drm_thermal_violations;
             if (dtm_fit > qual.spec().target_fit * (1.0 + 1e-9))
                 ++dtm_fit_violations;
@@ -68,11 +68,11 @@ main(int argc, char **argv)
             const double sign = f_dtm - f_drm;
             if (prev_sign != 0.0 && sign != 0.0 &&
                 (sign > 0) != (prev_sign > 0) && crossover < 0.0)
-                crossover = temp;
+                crossover = temp_k;
             if (sign != 0.0)
                 prev_sign = sign;
 
-            t.addRow({util::Table::num(temp, 0),
+            t.addRow({util::Table::num(temp_k, 0),
                       util::Table::num(f_drm, 2),
                       util::Table::num(f_dtm, 2),
                       util::Table::num(drm_tmax, 1),

@@ -20,8 +20,7 @@
  * one shared pool; output is bit-identical at any thread count.
  */
 
-#ifndef RAMP_BENCH_COMMON_HH
-#define RAMP_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -277,4 +276,3 @@ struct Suite
 } // namespace bench
 } // namespace ramp
 
-#endif // RAMP_BENCH_COMMON_HH

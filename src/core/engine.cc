@@ -72,7 +72,7 @@ RampEngine::addInterval(const sim::PerStructure<double> &temps_k,
         c.temp_k = temps_k[si];
         c.voltage_v = voltage_v;
         c.frequency_ghz = frequency_ghz;
-        c.activity = activity[si];
+        c.activity_af = activity[si];
         c.ambient_k = qual_.spec().ambient_k;
         c.em_j_scale = em_j_scale_;
 
@@ -85,7 +85,7 @@ RampEngine::addInterval(const sim::PerStructure<double> &temps_k,
         rate_acc_[si][2].add(qual_.fit(s, Mechanism::TDDB, c,
                                        on_frac_[si]), duration_s);
         temp_acc_[si].add(c.temp_k, duration_s);
-        act_acc_[si].add(c.activity, duration_s);
+        act_acc_[si].add(c.activity_af, duration_s);
     }
     ++intervals_;
 }
@@ -112,7 +112,7 @@ RampEngine::report() const
         c.temp_k = temp_acc_[si].mean();
         c.voltage_v = qual_.spec().v_qual_v;
         c.frequency_ghz = qual_.spec().f_qual_ghz;
-        c.activity = act_acc_[si].mean();
+        c.activity_af = act_acc_[si].mean();
         c.ambient_k = qual_.spec().ambient_k;
         c.em_j_scale = em_j_scale_;
         r.fit[si][mechanismIndex(Mechanism::TC)] =

@@ -12,8 +12,7 @@
  * lifetimes), and MTTF = 1e9 / FIT hours.
  */
 
-#ifndef RAMP_CORE_ENGINE_HH
-#define RAMP_CORE_ENGINE_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -131,4 +130,3 @@ FitReport combineReports(const std::vector<FitReport> &reports,
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_ENGINE_HH

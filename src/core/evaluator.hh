@@ -14,8 +14,7 @@
  * these operating points).
  */
 
-#ifndef RAMP_CORE_EVALUATOR_HH
-#define RAMP_CORE_EVALUATOR_HH
+#pragma once
 
 #include <cstdint>
 
@@ -127,4 +126,3 @@ class Evaluator
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_EVALUATOR_HH

@@ -14,8 +14,7 @@
  * implementation -- measured by tests and the ablation bench.
  */
 
-#ifndef RAMP_CORE_HW_RAMP_HH
-#define RAMP_CORE_HW_RAMP_HH
+#pragma once
 
 #include "core/engine.hh"
 
@@ -85,4 +84,3 @@ class HwRampEngine
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_HW_RAMP_HH

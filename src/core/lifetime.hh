@@ -20,8 +20,7 @@
  * cares about) shrinks.
  */
 
-#ifndef RAMP_CORE_LIFETIME_HH
-#define RAMP_CORE_LIFETIME_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -93,4 +92,3 @@ class LifetimeSimulator
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_LIFETIME_HH

@@ -19,7 +19,7 @@ constexpr double k_ev = util::k_boltzmann_ev;
 double
 effectiveCurrent(const OperatingConditions &c)
 {
-    const double alpha = std::clamp(c.activity, 0.0, 1.0);
+    const double alpha = std::clamp(c.activity_af, 0.0, 1.0);
     return (0.1 + 0.9 * alpha) * c.voltage_v * c.frequency_ghz *
            c.em_j_scale;
 }

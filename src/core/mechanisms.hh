@@ -29,8 +29,7 @@
  *    (1/(T_avg - T_ambient))^{2.35} (Eq. 5-6).
  */
 
-#ifndef RAMP_CORE_MECHANISMS_HH
-#define RAMP_CORE_MECHANISMS_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -103,7 +102,7 @@ struct OperatingConditions
     double temp_k = 345.0;       ///< Structure temperature.
     double voltage_v = 1.0;      ///< Supply voltage.
     double frequency_ghz = 4.0;  ///< Clock frequency.
-    double activity = 0.5;       ///< Structure activity factor [0,1].
+    double activity_af = 0.5;    ///< Structure activity factor [0,1].
     double ambient_k = 300.0;    ///< Ambient (for thermal cycling).
     /** Technology scaling multiplier on the EM current density
      *  (J ~ V*f/feature relative to the reference node); 1.0 at the
@@ -129,4 +128,3 @@ double mttfRatio(Mechanism m, const OperatingConditions &c,
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_MECHANISMS_HH

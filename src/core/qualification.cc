@@ -47,7 +47,7 @@ Qualification::qualConditions(StructureId s) const
     c.temp_k = spec_.t_qual_k;
     c.voltage_v = spec_.v_qual_v;
     c.frequency_ghz = spec_.f_qual_ghz;
-    c.activity = spec_.alpha_qual[structureIndex(s)];
+    c.activity_af = spec_.alpha_qual[structureIndex(s)];
     c.ambient_k = spec_.ambient_k;
     c.em_j_scale = spec_.em_j_scale_qual;
     return c;

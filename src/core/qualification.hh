@@ -19,8 +19,7 @@
  * any actual operating conditions.
  */
 
-#ifndef RAMP_CORE_QUALIFICATION_HH
-#define RAMP_CORE_QUALIFICATION_HH
+#pragma once
 
 #include "core/mechanisms.hh"
 #include "sim/structures.hh"
@@ -96,4 +95,3 @@ class Qualification
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_QUALIFICATION_HH

@@ -5,8 +5,7 @@
  * value to the stream.
  */
 
-#ifndef RAMP_CORE_REPORT_JSON_HH
-#define RAMP_CORE_REPORT_JSON_HH
+#pragma once
 
 #include <iosfwd>
 
@@ -25,4 +24,3 @@ void writeJson(std::ostream &os, const FitReport &report);
 } // namespace core
 } // namespace ramp
 
-#endif // RAMP_CORE_REPORT_JSON_HH

@@ -17,8 +17,7 @@
  *  - ArchDVS: the cross product.
  */
 
-#ifndef RAMP_DRM_ADAPTATION_HH
-#define RAMP_DRM_ADAPTATION_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -69,4 +68,3 @@ std::vector<sim::MachineConfig> configSpace(AdaptationSpace space);
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_ADAPTATION_HH

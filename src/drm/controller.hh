@@ -19,8 +19,7 @@
  * design point, with a guard band.
  */
 
-#ifndef RAMP_DRM_CONTROLLER_HH
-#define RAMP_DRM_CONTROLLER_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -106,4 +105,3 @@ class DtmController
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_CONTROLLER_HH

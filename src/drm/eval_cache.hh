@@ -32,8 +32,7 @@
  * optimisation loss, never a correctness one.
  */
 
-#ifndef RAMP_DRM_EVAL_CACHE_HH
-#define RAMP_DRM_EVAL_CACHE_HH
+#pragma once
 
 #include <atomic>
 #include <fstream>
@@ -135,4 +134,3 @@ class EvaluationCache
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_EVAL_CACHE_HH

@@ -16,8 +16,7 @@
  * rungs the assignment space is enumerated exactly.
  */
 
-#ifndef RAMP_DRM_INTRA_APP_HH
-#define RAMP_DRM_INTRA_APP_HH
+#pragma once
 
 #include <vector>
 
@@ -93,4 +92,3 @@ class IntraAppExplorer
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_INTRA_APP_HH

@@ -15,8 +15,7 @@
  * serves every T_qual / T_design value in a sweep.
  */
 
-#ifndef RAMP_DRM_ORACLE_HH
-#define RAMP_DRM_ORACLE_HH
+#pragma once
 
 #include <vector>
 
@@ -167,4 +166,3 @@ Selection selectDtm(const ExploredApp &app, double t_design_k,
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_ORACLE_HH

@@ -18,8 +18,7 @@
  * steady-state two-pass method (Section 6.3).
  */
 
-#ifndef RAMP_DRM_TRANSIENT_HH
-#define RAMP_DRM_TRANSIENT_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -108,4 +107,3 @@ class TransientRunner
 } // namespace drm
 } // namespace ramp
 
-#endif // RAMP_DRM_TRANSIENT_HH

@@ -19,8 +19,7 @@
  * as cited by the paper), and linearly with supply voltage.
  */
 
-#ifndef RAMP_POWER_POWER_HH
-#define RAMP_POWER_POWER_HH
+#pragma once
 
 #include "sim/core.hh"
 #include "sim/machine.hh"
@@ -136,4 +135,3 @@ class PowerModel
 } // namespace power
 } // namespace ramp
 
-#endif // RAMP_POWER_POWER_HH

@@ -21,8 +21,7 @@
  * oxide thinning itself.
  */
 
-#ifndef RAMP_SCALING_STUDY_HH
-#define RAMP_SCALING_STUDY_HH
+#pragma once
 
 #include <vector>
 
@@ -65,4 +64,3 @@ std::vector<NodeResult> runScalingStudy(const workload::AppProfile &app,
 } // namespace scaling
 } // namespace ramp
 
-#endif // RAMP_SCALING_STUDY_HH

@@ -18,8 +18,7 @@
  * scales as V*f*C/(W*H) ~ V*f/feature.
  */
 
-#ifndef RAMP_SCALING_TECHNOLOGY_HH
-#define RAMP_SCALING_TECHNOLOGY_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,4 +80,3 @@ thermal::ThermalParams nodeThermalParams(const TechNode &node);
 } // namespace scaling
 } // namespace ramp
 
-#endif // RAMP_SCALING_TECHNOLOGY_HH

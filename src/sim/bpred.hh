@@ -10,8 +10,7 @@
  * between aliased branches into neutral interference.
  */
 
-#ifndef RAMP_SIM_BPRED_HH
-#define RAMP_SIM_BPRED_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -88,4 +87,3 @@ class ReturnAddressStack
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_BPRED_HH

@@ -9,8 +9,7 @@
  * MemorySystem that owns the caches.
  */
 
-#ifndef RAMP_SIM_CACHE_HH
-#define RAMP_SIM_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -94,4 +93,3 @@ class Cache
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_CACHE_HH

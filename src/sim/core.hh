@@ -25,8 +25,7 @@
  *   FrontEnd     : uops fetched / (fetch width x cycles)
  */
 
-#ifndef RAMP_SIM_CORE_HH
-#define RAMP_SIM_CORE_HH
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -247,4 +246,3 @@ class Core
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_CORE_HH

@@ -5,8 +5,7 @@
  * unit counts, voltage, frequency).
  */
 
-#ifndef RAMP_SIM_MACHINE_HH
-#define RAMP_SIM_MACHINE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -132,4 +131,3 @@ MachineConfig baseMachine();
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_MACHINE_HH

@@ -9,8 +9,7 @@
  * scale with the configured core frequency under DVS.
  */
 
-#ifndef RAMP_SIM_MEM_HH
-#define RAMP_SIM_MEM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -103,4 +102,3 @@ class MemorySystem
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_MEM_HH

@@ -16,8 +16,7 @@
  * too low to matter).
  */
 
-#ifndef RAMP_SIM_STRUCTURES_HH
-#define RAMP_SIM_STRUCTURES_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -81,4 +80,3 @@ using PerStructure = std::array<T, num_structures>;
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_STRUCTURES_HH

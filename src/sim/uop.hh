@@ -11,8 +11,7 @@
  * machine, not from the trace.
  */
 
-#ifndef RAMP_SIM_UOP_HH
-#define RAMP_SIM_UOP_HH
+#pragma once
 
 #include <cstdint>
 
@@ -119,4 +118,3 @@ class UopSource
 } // namespace sim
 } // namespace ramp
 
-#endif // RAMP_SIM_UOP_HH

@@ -9,8 +9,7 @@
  * coupling.
  */
 
-#ifndef RAMP_THERMAL_FLOORPLAN_HH
-#define RAMP_THERMAL_FLOORPLAN_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -70,4 +69,3 @@ class Floorplan
 } // namespace thermal
 } // namespace ramp
 
-#endif // RAMP_THERMAL_FLOORPLAN_HH

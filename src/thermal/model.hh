@@ -13,8 +13,7 @@
  * heat-sink temperature obtained from a first averaging pass.
  */
 
-#ifndef RAMP_THERMAL_MODEL_HH
-#define RAMP_THERMAL_MODEL_HH
+#pragma once
 
 #include <vector>
 
@@ -140,4 +139,3 @@ class ThermalModel
 } // namespace thermal
 } // namespace ramp
 
-#endif // RAMP_THERMAL_MODEL_HH

@@ -7,8 +7,7 @@
  * powers in watts, areas in square millimetres, time in seconds.
  */
 
-#ifndef RAMP_UTIL_CONSTANTS_HH
-#define RAMP_UTIL_CONSTANTS_HH
+#pragma once
 
 namespace ramp {
 namespace util {
@@ -60,4 +59,3 @@ fitToMttfYears(double fit)
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_CONSTANTS_HH

@@ -8,8 +8,7 @@
  * as null, since JSON has no NaN/Inf).
  */
 
-#ifndef RAMP_UTIL_JSON_HH
-#define RAMP_UTIL_JSON_HH
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -133,4 +132,3 @@ std::optional<JsonValue> parseJson(std::string_view text,
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_JSON_HH

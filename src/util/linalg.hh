@@ -7,8 +7,7 @@
  * than any sparse machinery.
  */
 
-#ifndef RAMP_UTIL_LINALG_HH
-#define RAMP_UTIL_LINALG_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -54,4 +53,3 @@ std::vector<double> solveLinear(Matrix a, std::vector<double> b);
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_LINALG_HH

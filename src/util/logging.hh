@@ -8,8 +8,7 @@
  * inform() report conditions without stopping.
  */
 
-#ifndef RAMP_UTIL_LOGGING_HH
-#define RAMP_UTIL_LOGGING_HH
+#pragma once
 
 #include <cstdlib>
 #include <sstream>
@@ -69,4 +68,3 @@ cat(Args &&...args)
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_LOGGING_HH

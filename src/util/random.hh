@@ -8,8 +8,7 @@
  * no observable statistical defects at the scales used here.
  */
 
-#ifndef RAMP_UTIL_RANDOM_HH
-#define RAMP_UTIL_RANDOM_HH
+#pragma once
 
 #include <cstdint>
 
@@ -70,4 +69,3 @@ class Rng
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_RANDOM_HH

@@ -5,8 +5,7 @@
  * averages, and fixed-bin histograms.
  */
 
-#ifndef RAMP_UTIL_STATS_HH
-#define RAMP_UTIL_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -149,4 +148,3 @@ class Histogram
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_STATS_HH

@@ -7,8 +7,7 @@
  * across runs.
  */
 
-#ifndef RAMP_UTIL_TABLE_HH
-#define RAMP_UTIL_TABLE_HH
+#pragma once
 
 #include <cstddef>
 #include <iosfwd>
@@ -56,4 +55,3 @@ class Table
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_TABLE_HH

@@ -29,8 +29,7 @@
  * a single relaxed atomic-bool check when disabled.
  */
 
-#ifndef RAMP_UTIL_TELEMETRY_HH
-#define RAMP_UTIL_TELEMETRY_HH
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -393,4 +392,3 @@ int consumeOutputFlags(int argc, char **argv);
 } // namespace telemetry
 } // namespace ramp
 
-#endif // RAMP_UTIL_TELEMETRY_HH

@@ -17,8 +17,7 @@
  * on the calling thread after the batch drains.
  */
 
-#ifndef RAMP_UTIL_THREAD_POOL_HH
-#define RAMP_UTIL_THREAD_POOL_HH
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -109,4 +108,3 @@ class ThreadPool
 } // namespace util
 } // namespace ramp
 
-#endif // RAMP_UTIL_THREAD_POOL_HH

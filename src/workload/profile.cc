@@ -81,7 +81,7 @@ constexpr std::uint64_t mb = 1024 * 1024;
 AppProfile
 specApp(std::string name, AppClass cls, UopMix mix, MemBehavior mem,
         BranchBehavior br, DepBehavior dep, std::uint64_t code,
-        double ipc, double power)
+        double ipc, double power_w)
 {
     AppProfile p;
     p.name = std::move(name);
@@ -91,7 +91,7 @@ specApp(std::string name, AppClass cls, UopMix mix, MemBehavior mem,
     p.dep = dep;
     p.code_bytes = code;
     p.table2_ipc = ipc;
-    p.table2_power_w = power;
+    p.table2_power_w = power_w;
     return p;
 }
 

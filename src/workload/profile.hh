@@ -13,8 +13,7 @@
  * is locked in by tests.
  */
 
-#ifndef RAMP_WORKLOAD_PROFILE_HH
-#define RAMP_WORKLOAD_PROFILE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -155,4 +154,3 @@ const AppProfile &findApp(const std::string &name);
 } // namespace workload
 } // namespace ramp
 
-#endif // RAMP_WORKLOAD_PROFILE_HH

@@ -12,8 +12,7 @@
  * to end).
  */
 
-#ifndef RAMP_WORKLOAD_TRACE_FILE_HH
-#define RAMP_WORKLOAD_TRACE_FILE_HH
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -88,4 +87,3 @@ std::uint64_t captureTrace(sim::UopSource &source,
 } // namespace workload
 } // namespace ramp
 
-#endif // RAMP_WORKLOAD_TRACE_FILE_HH

@@ -17,8 +17,7 @@
  * Everything is a deterministic function of the profile and seed.
  */
 
-#ifndef RAMP_WORKLOAD_TRACE_GEN_HH
-#define RAMP_WORKLOAD_TRACE_GEN_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -83,4 +82,3 @@ class TraceGenerator : public sim::UopSource
 } // namespace workload
 } // namespace ramp
 
-#endif // RAMP_WORKLOAD_TRACE_GEN_HH

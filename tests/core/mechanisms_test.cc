@@ -22,7 +22,7 @@ at(double t, double v = 1.0, double f = 4.0, double a = 0.5)
     c.temp_k = t;
     c.voltage_v = v;
     c.frequency_ghz = f;
-    c.activity = a;
+    c.activity_af = a;
     return c;
 }
 

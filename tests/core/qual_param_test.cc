@@ -115,7 +115,7 @@ class MechanismSweepTest : public testing::TestWithParam<Mechanism>
 TEST_P(MechanismSweepTest, RateMonotoneInOperatingRange)
 {
     OperatingConditions c;
-    c.activity = 0.5;
+    c.activity_af = 0.5;
     double prev = -1e300;
     for (double t = 310.0; t <= 450.0; t += 5.0) {
         c.temp_k = t;

@@ -112,7 +112,7 @@ TEST(Qualification, CheaperQualificationShrinksHeadroom)
     const Qualification cheap(spec(345.0));
     OperatingConditions c;
     c.temp_k = 370.0;
-    c.activity = 0.5;
+    c.activity_af = 0.5;
     const auto s = StructureId::IntAlu;
     for (auto m : allMechanisms())
         EXPECT_GT(cheap.fit(s, m, c), expensive.fit(s, m, c));
@@ -123,7 +123,7 @@ TEST(Qualification, PowerGatingScalesEmAndTddbOnly)
     const Qualification q(spec());
     OperatingConditions c;
     c.temp_k = 370.0;
-    c.activity = 0.4;
+    c.activity_af = 0.4;
     const auto s = StructureId::Fpu;
     EXPECT_NEAR(q.fit(s, Mechanism::EM, c, 0.25),
                 0.25 * q.fit(s, Mechanism::EM, c, 1.0), 1e-12);

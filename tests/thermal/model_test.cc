@@ -32,8 +32,8 @@ TEST(ThermalSteady, ZeroPowerIsAmbientEverywhere)
 {
     const ThermalModel model;
     const auto t = model.steadyState(flatPower(0.0));
-    for (double temp : t.block_k)
-        EXPECT_NEAR(temp, model.params().ambient_k, 1e-6);
+    for (double temp_k : t.block_k)
+        EXPECT_NEAR(temp_k, model.params().ambient_k, 1e-6);
     EXPECT_NEAR(t.sink_k, model.params().ambient_k, 1e-6);
 }
 
@@ -41,11 +41,11 @@ TEST(ThermalSteady, HeatFlowsDownTheStack)
 {
     const ThermalModel model;
     const auto t = model.steadyState(flatPower(2.0));
-    const double ambient = model.params().ambient_k;
-    EXPECT_GT(t.sink_k, ambient);
+    const double ambient_k = model.params().ambient_k;
+    EXPECT_GT(t.sink_k, ambient_k);
     EXPECT_GT(t.spreader_k, t.sink_k);
-    for (double temp : t.block_k)
-        EXPECT_GT(temp, t.spreader_k);
+    for (double temp_k : t.block_k)
+        EXPECT_GT(temp_k, t.spreader_k);
 }
 
 TEST(ThermalSteady, EnergyBalanceAtTheSink)

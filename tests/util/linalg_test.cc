@@ -94,11 +94,11 @@ TEST(SolveLinear, ThermalShapedSystem)
     g.at(0, 0) = g01 + g0a; g.at(0, 1) = -g01;
     g.at(1, 0) = -g01; g.at(1, 1) = g01 + g12; g.at(1, 2) = -g12;
     g.at(2, 1) = -g12; g.at(2, 2) = g12 + g2a;
-    const double ambient = 318.0;
+    const double ambient_k = 318.0;
     const auto t = solveLinear(
-        g, {10.0 + g0a * ambient, 5.0, 1.0 + g2a * ambient});
+        g, {10.0 + g0a * ambient_k, 5.0, 1.0 + g2a * ambient_k});
     for (double ti : t)
-        EXPECT_GT(ti, ambient);
+        EXPECT_GT(ti, ambient_k);
 }
 
 TEST(SolveLinearDeath, SingularSystemIsFatal)
