@@ -54,8 +54,9 @@ TEST(IntraApp, ExploitsPhaseVariability)
     const auto &app = workload::findApp("MPGdec");
     const auto qual = makeQual(352.0);
     const auto res = explorer.explore(app, qual);
-    if (res.feasible && res.rung_per_phase[0] != res.rung_per_phase[1])
+    if (res.feasible && res.rung_per_phase[0] != res.rung_per_phase[1]) {
         EXPECT_GE(res.gainOverPerApp(), 1.0 - 1e-9);
+    }
 }
 
 TEST(IntraApp, SinglePhaseDegeneratesToPerApp)
