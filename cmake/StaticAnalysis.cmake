@@ -1,0 +1,53 @@
+# Optional static-analysis targets. Both are gated on the host
+# having the tool (the CI image does; minimal containers may not):
+#
+#   cmake --build build --target lint-tidy     # clang-tidy, .clang-tidy config
+#   cmake --build build --target format-check  # clang-format --dry-run -Werror
+#
+# Sources covered: src/ bench/ examples/ tests/ tools/ (fixtures
+# excluded -- they are ramp-lint's deliberately-broken inputs).
+
+file(GLOB_RECURSE RAMP_ANALYSIS_SOURCES
+    ${CMAKE_SOURCE_DIR}/src/*.cc ${CMAKE_SOURCE_DIR}/src/*.hh
+    ${CMAKE_SOURCE_DIR}/bench/*.cc ${CMAKE_SOURCE_DIR}/bench/*.hh
+    ${CMAKE_SOURCE_DIR}/examples/*.cc
+    ${CMAKE_SOURCE_DIR}/tests/*.cc
+    ${CMAKE_SOURCE_DIR}/tools/*.cc ${CMAKE_SOURCE_DIR}/tools/*.hh)
+list(FILTER RAMP_ANALYSIS_SOURCES EXCLUDE REGEX "/fixtures/")
+
+find_program(CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18
+    clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14)
+if(CLANG_TIDY_EXE)
+    set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+    # Only .cc files: headers are covered through their includers
+    # (and standalone via the lint.headers self-sufficiency test).
+    set(RAMP_TIDY_SOURCES ${RAMP_ANALYSIS_SOURCES})
+    list(FILTER RAMP_TIDY_SOURCES INCLUDE REGEX "\\.cc$")
+    add_custom_target(lint-tidy
+        COMMAND ${CLANG_TIDY_EXE} -p ${CMAKE_BINARY_DIR}
+            --warnings-as-errors=* ${RAMP_TIDY_SOURCES}
+        WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+        COMMENT "clang-tidy over src/bench/examples/tests/tools"
+        VERBATIM)
+else()
+    message(STATUS "clang-tidy not found: lint-tidy target disabled")
+endif()
+
+find_program(CLANG_FORMAT_EXE NAMES clang-format clang-format-18
+    clang-format-17 clang-format-16 clang-format-15 clang-format-14)
+if(CLANG_FORMAT_EXE)
+    add_custom_target(format-check
+        COMMAND ${CLANG_FORMAT_EXE} --dry-run -Werror
+            ${RAMP_ANALYSIS_SOURCES}
+        WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+        COMMENT "clang-format drift check (read-only)"
+        VERBATIM)
+    add_custom_target(format
+        COMMAND ${CLANG_FORMAT_EXE} -i ${RAMP_ANALYSIS_SOURCES}
+        WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+        COMMENT "clang-format in place"
+        VERBATIM)
+else()
+    message(STATUS
+        "clang-format not found: format-check/format disabled")
+endif()

@@ -71,6 +71,7 @@ DrmController::observe(double avg_fit_so_far)
         cooldown_ = params_.settle_intervals;
     }
     if (level_ != from)
+        // ramp-lint: emits(instant, drm.level_change)
         recordLevelChange(controllerMetrics().drm_changes,
                           "drm.level_change", "drm", from, level_,
                           avg_fit_so_far);
@@ -108,6 +109,7 @@ DtmController::observe(double max_temp_k)
         cooldown_ = params_.settle_intervals;
     }
     if (level_ != from)
+        // ramp-lint: emits(instant, dtm.level_change)
         recordLevelChange(controllerMetrics().dtm_changes,
                           "dtm.level_change", "dtm", from, level_,
                           max_temp_k);

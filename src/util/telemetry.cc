@@ -60,6 +60,7 @@ localState()
     {
         ThreadState *state;
 
+        // ramp-lint: allow(raw-new): state outlives the thread.
         Holder() : state(new ThreadState())
         {
             Registry::instance().registerState(state);
@@ -92,6 +93,7 @@ Registry::instance()
 {
     // Leaked on purpose: thread_local destructors and atexit writers
     // may run after static destruction would have torn it down.
+    // ramp-lint: allow(raw-new): leaked on purpose, see above.
     static Registry *r = new Registry();
     return *r;
 }

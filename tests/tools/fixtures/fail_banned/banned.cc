@@ -1,0 +1,24 @@
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+static std::mutex mu_;
+
+int
+roll()
+{
+    mu_.lock();
+    int *p = new int(std::rand());
+    std::cout << *p << std::endl;
+    int v = *p;
+    delete p;
+    mu_.unlock();
+    return v;
+}
+
+void
+reseed()
+{
+    // ramp-lint: allow(banned-rand)
+    srand(42);
+}

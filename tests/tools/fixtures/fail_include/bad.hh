@@ -1,0 +1,4 @@
+/** No pragma once, upward include, unresolvable include. */
+
+#include "../secret/internal.hh"
+#include "no/such/file.hh"

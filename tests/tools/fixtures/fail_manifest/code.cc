@@ -1,0 +1,14 @@
+/** Uses a metric nobody documented. */
+
+#include <string>
+
+namespace telemetry {
+struct Counter { void add() const {} };
+Counter counter(const std::string &);
+} // namespace telemetry
+
+void
+touch()
+{
+    telemetry::counter("rogue.metric").add();
+}

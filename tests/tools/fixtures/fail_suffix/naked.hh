@@ -1,0 +1,10 @@
+#pragma once
+
+struct Config
+{
+    double temp = 345.0;
+    float power = 0.0F;
+    double activity = 0.5;
+};
+
+void setAmbient(double ambient);

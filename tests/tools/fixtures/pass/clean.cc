@@ -1,0 +1,23 @@
+/** Clean fixture: documented metric, suffixed quantities, RAII. */
+
+#include "clean.hh"
+
+#include <memory>
+#include <string>
+
+namespace telemetry {
+struct Counter { void add() const {} };
+Counter counter(const std::string &);
+} // namespace telemetry
+
+namespace fixture {
+
+double
+readTemperature(const Sensor &s)
+{
+    telemetry::counter("fixture.reads").add();
+    auto owned = std::make_unique<Sensor>(s);
+    return owned->temp_k;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+/** A header that satisfies every ramp-lint rule. */
+
+#pragma once
+
+namespace fixture {
+
+struct Sensor
+{
+    double temp_k = 300.0;
+    double power_w = 0.0;
+    double activity_af = 0.5;
+};
+
+double readTemperature(const Sensor &s);
+
+} // namespace fixture

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ramp-lint self-tests: drive the real binary against the fixture
+ * trees under tests/tools/fixtures/ and assert both the exit code
+ * and the file:line diagnostics each rule must produce. Paths come
+ * in via compile definitions (RAMP_LINT_BIN, RAMP_LINT_FIXTURES,
+ * RAMP_LINT_ROOT).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+/** Run a command, capturing stdout+stderr and the exit code. */
+RunResult
+run(const std::string &cmd)
+{
+    RunResult r;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return r;
+    std::array<char, 4096> buf{};
+    std::size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+const std::string bin = RAMP_LINT_BIN;
+const std::string fixtures = RAMP_LINT_FIXTURES;
+
+/** Lint one fixture dir with its own (or no) manifest. */
+RunResult
+lintFixture(const std::string &name, bool with_manifest)
+{
+    const std::string dir = fixtures + "/" + name;
+    std::string cmd = bin + " --root " + dir;
+    cmd += with_manifest ? " --manifest " + dir + "/metrics.manifest"
+                         : " --no-manifest";
+    return run(cmd + " " + dir);
+}
+
+TEST(RampLint, CleanFixturePasses)
+{
+    const auto r = lintFixture("pass", true);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("clean"), std::string::npos);
+}
+
+TEST(RampLint, UndocumentedMetricFailsWithFileAndLine)
+{
+    const auto r = lintFixture("fail_manifest", true);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The undocumented name, anchored to its call site.
+    EXPECT_NE(r.output.find("code.cc:13:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rogue.metric"), std::string::npos);
+    // The dead entry, anchored to its manifest line.
+    EXPECT_NE(r.output.find("metrics.manifest:2:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("dead manifest entry"),
+              std::string::npos);
+}
+
+TEST(RampLint, NakedQuantityNamesFail)
+{
+    const auto r = lintFixture("fail_suffix", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    for (const char *needle : {"naked.hh:5:", "naked.hh:6:",
+                               "naked.hh:7:", "naked.hh:10:"})
+        EXPECT_NE(r.output.find(needle), std::string::npos)
+            << needle << " missing in:\n"
+            << r.output;
+    EXPECT_NE(r.output.find("[unit-suffix]"), std::string::npos);
+    EXPECT_NE(r.output.find("_af"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("_w (Watts)"), std::string::npos);
+}
+
+TEST(RampLint, BannedPatternsFail)
+{
+    const auto r = lintFixture("fail_banned", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    for (const char *needle :
+         {"[banned-rand]", "[raw-new]", "[raw-delete]", "[endl]",
+          "[mutex-guard]", "[suppression]"})
+        EXPECT_NE(r.output.find(needle), std::string::npos)
+            << needle << " missing in:\n"
+            << r.output;
+    // std::rand anchored to its line.
+    EXPECT_NE(r.output.find("banned.cc:11:"), std::string::npos)
+        << r.output;
+    // A reason-less allow() is itself a finding, and suppresses
+    // nothing: the srand on the next line still fires.
+    EXPECT_NE(r.output.find("banned.cc:23:"), std::string::npos)
+        << r.output;
+}
+
+TEST(RampLint, IncludeHygieneFails)
+{
+    const auto r = lintFixture("fail_include", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[pragma-once]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("[include-path]"), std::string::npos);
+    EXPECT_NE(r.output.find("upward include"), std::string::npos);
+    EXPECT_NE(r.output.find("bad.hh:3:"), std::string::npos);
+    EXPECT_NE(r.output.find("bad.hh:4:"), std::string::npos);
+}
+
+TEST(RampLint, RealTreeIsClean)
+{
+    const auto r = run(bin + " --root " + std::string(RAMP_LINT_ROOT));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RampLint, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(run(bin).exit_code, 2);
+    EXPECT_EQ(run(bin + " --root /no/such/dir").exit_code, 2);
+    EXPECT_EQ(run(bin + " --bogus-flag").exit_code, 2);
+}
+
+} // namespace

@@ -235,6 +235,7 @@ TEST_F(Telemetry, ConsumeOutputFlagsStripsOnlyItsFlags)
 TEST(TelemetryDeath, KindClashPanics)
 {
     counter("t.clash");
+    // ramp-lint: allow(metrics-manifest): deliberate kind clash.
     EXPECT_DEATH(gauge("t.clash"), "t.clash");
 }
 

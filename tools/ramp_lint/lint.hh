@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ramp-lint: the repo's domain checker. Enforces invariants a
+ * generic linter cannot know about:
+ *
+ *  - every telemetry metric/trace name used in code is documented in
+ *    docs/metrics.manifest, and every manifest entry is live;
+ *  - physical quantities carry unit suffixes (`temp_k`, `power_w`,
+ *    `activity_af`, ...) instead of naked `double temp` names;
+ *  - banned patterns: `std::rand`/`srand` outside src/util/random,
+ *    raw `new`/`delete`, `std::endl`, locking a mutex member
+ *    directly instead of through a guard;
+ *  - include hygiene: `#pragma once` in every header, no upward
+ *    (`..`) quoted includes, quoted includes resolvable from the
+ *    canonical roots.
+ *
+ * A finding can be suppressed -- with a mandatory reason -- by a
+ * comment on the same or the preceding line:
+ *
+ *     // ramp-lint: allow(raw-new): leaked singleton, never freed
+ *
+ * Names that reach the telemetry registry through a helper (so no
+ * string literal sits at a recognised call site) are declared with a
+ * marker comment next to the call (kind one of counter, gauge,
+ * histogram, span, instant):
+ *
+ *     // ramp-lint: emits(<kind>, <name>)
+ */
+
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ramp_lint {
+
+/** One finding, printed as `path:line: [rule] message`. */
+struct Diagnostic
+{
+    std::filesystem::path file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** A metric/trace name reference extracted from source. */
+struct MetricRef
+{
+    std::string kind; ///< counter|gauge|histogram|span|instant.
+    std::string name;
+    std::filesystem::path file;
+    std::size_t line = 0;
+};
+
+/** One comment's text, for marker/suppression scanning. */
+struct CommentSpan
+{
+    std::size_t line = 0;
+    std::string text;
+};
+
+/**
+ * A source file preprocessed for scanning. `code_str` keeps string
+ * literals but blanks comments; `code` additionally blanks string
+ * and char literal contents. Both preserve line structure, so an
+ * offset maps to the same line in every view.
+ */
+struct SourceFile
+{
+    std::filesystem::path path;
+    std::string raw;
+    std::string code_str;
+    std::string code;
+    std::vector<CommentSpan> comments;
+
+    bool isHeader() const;
+    /** 1-based line of a byte offset into any of the views. */
+    std::size_t lineOf(std::size_t offset) const;
+};
+
+/** Load and preprocess one file (strip comments, blank strings). */
+SourceFile loadSource(const std::filesystem::path &path);
+
+/**
+ * Collect the .cc/.hh files under each of @p dirs, skipping any
+ * directory named `fixtures` (lint's own deliberately-failing test
+ * inputs) and build trees (`build*`).
+ */
+std::vector<std::filesystem::path>
+collectSources(const std::vector<std::filesystem::path> &dirs);
+
+/** One docs/metrics.manifest entry. */
+struct ManifestEntry
+{
+    std::string kind;  ///< counter|gauge|histogram|span|instant.
+    std::string scope; ///< fig2|aux|test.
+    std::size_t line = 0;
+    bool referenced = false;
+};
+
+/** name -> entry; parse errors are reported as diagnostics. */
+struct Manifest
+{
+    std::filesystem::path path;
+    std::map<std::string, ManifestEntry> entries;
+};
+
+Manifest loadManifest(const std::filesystem::path &path,
+                      std::vector<Diagnostic> &diags);
+
+/** Context shared by every rule run. */
+struct LintContext
+{
+    std::filesystem::path root;
+    Manifest manifest;
+    std::vector<Diagnostic> diags;
+    std::vector<MetricRef> refs;
+};
+
+/** Extract metric references (call sites + `emits` markers). */
+void extractMetricRefs(const SourceFile &src,
+                       std::vector<MetricRef> &refs);
+
+/** Run every per-file rule on @p src, appending to ctx.diags. */
+void checkFile(const SourceFile &src, LintContext &ctx);
+
+/** Cross-file rules: manifest consistency (after every file ran). */
+void checkManifest(LintContext &ctx);
+
+} // namespace ramp_lint

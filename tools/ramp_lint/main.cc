@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ramp-lint CLI. Walks the repo (or explicit paths), runs every
+ * rule, and prints `path:line: [rule] message` per finding.
+ *
+ *   ramp_lint --root DIR [--manifest FILE] [--dump-metrics]
+ *             [--no-manifest] [PATH...]
+ *
+ * With no PATH arguments the default walk is root/{src,bench,
+ * examples,tests,tools}. `--dump-metrics` prints the extracted
+ * `<kind> <name>` set instead of linting (used to seed the
+ * manifest). Exit: 0 clean, 1 findings, 2 usage error.
+ */
+
+#include "lint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --root DIR [--manifest FILE] [--dump-metrics]\n"
+        "          [--no-manifest] [PATH...]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    using namespace ramp_lint;
+
+    fs::path root;
+    fs::path manifest_path;
+    bool dump = false;
+    bool no_manifest = false;
+    std::vector<fs::path> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--manifest" && i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (arg == "--dump-metrics") {
+            dump = true;
+        } else if (arg == "--no-manifest") {
+            no_manifest = true;
+        } else if (arg == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (root.empty())
+        return usage(argv[0]);
+    if (!fs::is_directory(root)) {
+        std::fprintf(stderr, "--root %s: not a directory\n",
+                     root.string().c_str());
+        return 2;
+    }
+    if (paths.empty())
+        for (const char *d :
+             {"src", "bench", "examples", "tests", "tools"})
+            paths.push_back(root / d);
+    if (manifest_path.empty())
+        manifest_path = root / "docs" / "metrics.manifest";
+
+    LintContext ctx;
+    ctx.root = root;
+
+    const auto files = collectSources(paths);
+    if (files.empty()) {
+        std::fprintf(stderr, "no sources found\n");
+        return 2;
+    }
+
+    if (dump) {
+        std::set<std::pair<std::string, std::string>> seen;
+        for (const auto &f : files) {
+            const SourceFile src = loadSource(f);
+            std::vector<MetricRef> refs;
+            extractMetricRefs(src, refs);
+            for (const auto &r : refs)
+                seen.insert({r.kind, r.name});
+        }
+        for (const auto &[kind, name] : seen)
+            std::printf("%s %s\n", kind.c_str(), name.c_str());
+        return 0;
+    }
+
+    if (!no_manifest)
+        ctx.manifest = loadManifest(manifest_path, ctx.diags);
+
+    for (const auto &f : files)
+        checkFile(loadSource(f), ctx);
+    if (!no_manifest)
+        checkManifest(ctx);
+
+    for (const auto &d : ctx.diags)
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n",
+                     d.file.generic_string().c_str(), d.line,
+                     d.rule.c_str(), d.message.c_str());
+    if (!ctx.diags.empty()) {
+        std::fprintf(stderr, "ramp-lint: %zu finding(s) in %zu "
+                             "file(s) scanned\n",
+                     ctx.diags.size(), files.size());
+        return 1;
+    }
+    std::printf("ramp-lint: clean (%zu files)\n", files.size());
+    return 0;
+}

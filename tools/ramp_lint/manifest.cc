@@ -1,0 +1,91 @@
+/**
+ * @file
+ * docs/metrics.manifest parsing. The manifest is the single source
+ * of truth for telemetry names; each line is
+ *
+ *     <kind> <name> <scope>
+ *
+ * kind  := counter | gauge | histogram | span | instant
+ * scope := fig2 (counted in the bench_fig2_archdvs --metrics
+ *          emission check) | aux (production name registered on a
+ *          path fig2 does not exercise) | test (test-only; may be
+ *          referenced only under tests/)
+ *
+ * `#` starts a comment; blank lines are ignored.
+ */
+
+#include "lint.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace ramp_lint {
+
+namespace {
+
+bool
+validKind(const std::string &kind)
+{
+    return kind == "counter" || kind == "gauge" ||
+           kind == "histogram" || kind == "span" ||
+           kind == "instant";
+}
+
+bool
+validScope(const std::string &scope)
+{
+    return scope == "fig2" || scope == "aux" || scope == "test";
+}
+
+} // namespace
+
+Manifest
+loadManifest(const std::filesystem::path &path,
+             std::vector<Diagnostic> &diags)
+{
+    Manifest m;
+    m.path = path;
+    std::ifstream in(path);
+    if (!in) {
+        diags.push_back({path, 0, "metrics-manifest",
+                         "cannot open manifest"});
+        return m;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string kind, name, scope, extra;
+        if (!(ss >> kind))
+            continue;
+        if (!(ss >> name >> scope) || (ss >> extra)) {
+            diags.push_back({path, lineno, "metrics-manifest",
+                             "malformed line (want: <kind> <name> "
+                             "<scope>)"});
+            continue;
+        }
+        if (!validKind(kind)) {
+            diags.push_back({path, lineno, "metrics-manifest",
+                             "unknown kind '" + kind + "'"});
+            continue;
+        }
+        if (!validScope(scope)) {
+            diags.push_back({path, lineno, "metrics-manifest",
+                             "unknown scope '" + scope + "'"});
+            continue;
+        }
+        if (m.entries.count(name)) {
+            diags.push_back({path, lineno, "metrics-manifest",
+                             "duplicate entry '" + name + "'"});
+            continue;
+        }
+        m.entries[name] = {kind, scope, lineno, false};
+    }
+    return m;
+}
+
+} // namespace ramp_lint

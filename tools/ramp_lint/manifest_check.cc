@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Manifest-vs-emission validator: checks that the `fig2`-scoped
+ * counter/gauge/histogram entries of docs/metrics.manifest exactly
+ * match the keys of a `--metrics` JSON file produced by
+ * bench_fig2_archdvs (the telemetry smoke fixture's run).
+ *
+ * Both directions fail: an emitted key missing from the manifest is
+ * an undocumented metric, a fig2-scoped entry that was not emitted
+ * is a stale scope (demote it to aux or delete it).
+ *
+ * Usage: ramp_lint_manifest_check <metrics.manifest> <metrics.json>
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "lint.hh"
+#include "util/json.hh"
+
+namespace {
+
+int failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: %s <metrics.manifest> "
+                             "<metrics.json>\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<ramp_lint::Diagnostic> diags;
+    const auto manifest = ramp_lint::loadManifest(argv[1], diags);
+    for (const auto &d : diags)
+        fail("manifest " + d.message);
+
+    std::ifstream in(argv[2]);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto doc = ramp::util::parseJson(ss.str());
+    if (!doc) {
+        fail(std::string(argv[2]) + " does not parse as JSON");
+        return 1;
+    }
+
+    // kind as emitted -> JSON section name.
+    const std::map<std::string, std::string> sections = {
+        {"counter", "counters"},
+        {"gauge", "gauges"},
+        {"histogram", "histograms"},
+    };
+
+    for (const auto &[kind, section] : sections) {
+        const auto *obj = doc->find(section);
+        if (!obj) {
+            fail("metrics JSON lacks section '" + section + "'");
+            continue;
+        }
+        for (const auto &[name, value] : obj->object) {
+            (void)value;
+            const auto it = manifest.entries.find(name);
+            if (it == manifest.entries.end())
+                fail("emitted " + kind + " '" + name +
+                     "' is not in the manifest");
+            else if (it->second.kind != kind)
+                fail("emitted " + kind + " '" + name +
+                     "' declared as " + it->second.kind +
+                     " in the manifest");
+            else if (it->second.scope != "fig2")
+                fail("emitted " + kind + " '" + name +
+                     "' has scope '" + it->second.scope +
+                     "' (should be fig2)");
+        }
+        for (const auto &[name, entry] : manifest.entries) {
+            if (entry.kind != kind || entry.scope != "fig2")
+                continue;
+            if (!obj->find(name))
+                fail("fig2-scoped " + kind + " '" + name +
+                     "' was not emitted (stale scope? demote to "
+                     "aux)");
+        }
+    }
+
+    if (failures) {
+        std::fprintf(stderr,
+                     "manifest check: %d mismatch(es)\n", failures);
+        return 1;
+    }
+    std::printf("manifest check: %s matches %s\n", argv[1],
+                argv[2]);
+    return 0;
+}

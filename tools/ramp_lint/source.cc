@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Source loading for ramp-lint: comment/string-aware preprocessing
+ * (so a banned token inside a string or comment never fires) and the
+ * directory walk.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ramp_lint {
+
+namespace fs = std::filesystem;
+
+bool
+SourceFile::isHeader() const
+{
+    return path.extension() == ".hh" || path.extension() == ".h";
+}
+
+std::size_t
+SourceFile::lineOf(std::size_t offset) const
+{
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < offset && i < raw.size(); ++i)
+        if (raw[i] == '\n')
+            ++line;
+    return line;
+}
+
+namespace {
+
+/** Replace every non-newline char in [begin, end) with a space. */
+void
+blank(std::string &text, std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = begin; i < end && i < text.size(); ++i)
+        if (text[i] != '\n')
+            text[i] = ' ';
+}
+
+/**
+ * Walk the raw text once, classifying comments, string literals and
+ * char literals (including raw strings). Produces the two blanked
+ * views and the per-line comment texts.
+ */
+void
+preprocess(SourceFile &src)
+{
+    const std::string &raw = src.raw;
+    src.code_str = raw;
+    src.code = raw;
+
+    std::size_t i = 0;
+    std::size_t line = 1;
+    while (i < raw.size()) {
+        const char c = raw[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (c == '/' && i + 1 < raw.size() &&
+                   raw[i + 1] == '/') {
+            std::size_t end = raw.find('\n', i);
+            if (end == std::string::npos)
+                end = raw.size();
+            src.comments.push_back(
+                {line, raw.substr(i + 2, end - i - 2)});
+            blank(src.code_str, i, end);
+            blank(src.code, i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < raw.size() &&
+                   raw[i + 1] == '*') {
+            std::size_t end = raw.find("*/", i + 2);
+            end = end == std::string::npos ? raw.size() : end + 2;
+            // Record the body line by line so a marker inside a
+            // block comment still reports the right line.
+            std::size_t seg = i + 2;
+            std::size_t seg_line = line;
+            while (seg < end) {
+                std::size_t nl = raw.find('\n', seg);
+                std::size_t stop =
+                    nl == std::string::npos || nl >= end ? end : nl;
+                src.comments.push_back(
+                    {seg_line, raw.substr(seg, stop - seg)});
+                if (stop == nl) {
+                    ++seg_line;
+                    seg = nl + 1;
+                } else {
+                    seg = end;
+                }
+            }
+            for (std::size_t k = i; k < end; ++k)
+                if (raw[k] == '\n')
+                    ++line;
+            blank(src.code_str, i, end);
+            blank(src.code, i, end);
+            i = end;
+        } else if (c == 'R' && i + 1 < raw.size() &&
+                   raw[i + 1] == '"') {
+            // Raw string literal: R"delim( ... )delim".
+            std::size_t paren = raw.find('(', i + 2);
+            if (paren == std::string::npos) {
+                ++i;
+                continue;
+            }
+            const std::string delim =
+                raw.substr(i + 2, paren - i - 2);
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = raw.find(close, paren + 1);
+            end = end == std::string::npos ? raw.size()
+                                           : end + close.size();
+            blank(src.code, i, end);
+            for (std::size_t k = i; k < end; ++k)
+                if (raw[k] == '\n')
+                    ++line;
+            i = end;
+        } else if (c == '\'' && i > 0 &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(raw[i - 1])) ||
+                    raw[i - 1] == '_')) {
+            // Digit separator (10'000) or suffix position, not a
+            // char literal.
+            ++i;
+        } else if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < raw.size() && raw[j] != quote &&
+                   raw[j] != '\n') {
+                if (raw[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            // Leave an unterminated literal's newline to the main
+            // loop so line counting never drifts.
+            const std::size_t end =
+                j < raw.size() && raw[j] == quote ? j + 1 : j;
+            if (end > i + 1)
+                blank(src.code, i + 1, end - 1);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+}
+
+} // namespace
+
+SourceFile
+loadSource(const fs::path &path)
+{
+    SourceFile src;
+    src.path = path;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    src.raw = ss.str();
+    preprocess(src);
+    return src;
+}
+
+std::vector<fs::path>
+collectSources(const std::vector<fs::path> &dirs)
+{
+    std::vector<fs::path> out;
+    for (const auto &dir : dirs) {
+        if (fs::is_regular_file(dir)) {
+            out.push_back(dir);
+            continue;
+        }
+        if (!fs::is_directory(dir))
+            continue;
+        auto it = fs::recursive_directory_iterator(dir);
+        for (const auto &entry : it) {
+            const fs::path &p = entry.path();
+            const std::string name = p.filename().string();
+            if (entry.is_directory() &&
+                (name == "fixtures" ||
+                 name.rfind("build", 0) == 0)) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!entry.is_regular_file())
+                continue;
+            const auto ext = p.extension();
+            if (ext == ".cc" || ext == ".hh" || ext == ".h" ||
+                ext == ".cpp")
+                out.push_back(p);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace ramp_lint
