@@ -9,8 +9,9 @@
  * EXPERIMENTS.md records the measured output against the paper.
  *
  * All benches accept the same flags (see Options::usage):
- * `--threads N`, `--seed N`, `--apps N`, `--metrics PATH` and
- * `--trace PATH`, plus `--help`. Unknown flags are rejected, except
+ * `--threads N`, `--seed N`, `--apps N`, `--metrics PATH`,
+ * `--trace PATH`, `--fault-plan P` and `--fault-seed N`, plus
+ * `--help`. Unknown flags are rejected, except
  * in the stripping mode bench_kernels uses to coexist with
  * google-benchmark's own flags. The RAMP_THREADS and RAMP_EVAL_CACHE
  * environment variables provide defaults for the worker count and
@@ -31,6 +32,7 @@
 #include "core/qualification.hh"
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
+#include "fault/fault.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "util/thread_pool.hh"
@@ -63,6 +65,11 @@ struct Options
     /** Chrome trace-event timeline written at exit ("" = none;
      *  setting it enables span collection). */
     std::string trace_path;
+    /** Fault-injection plan: inline JSON (leading '{') or a file
+     *  path; "" = run clean. Parsed and installed by parse(). */
+    std::string fault_plan;
+    /** Overrides the plan's own seed when nonzero. */
+    std::uint64_t fault_seed = 0;
 
     static void
     usage(const char *prog, std::FILE *out)
@@ -82,6 +89,12 @@ struct Options
             "(JSON) at exit\n"
             "  --trace PATH    write a Chrome trace-event timeline at "
             "exit\n"
+            "  --fault-plan P  install a fault-injection plan: inline "
+            "JSON ('{...}')\n"
+            "                  or a JSON file path (default: run "
+            "clean)\n"
+            "  --fault-seed N  override the plan's seed (requires "
+            "--fault-plan)\n"
             "  --help          show this message and exit\n"
             "environment:\n"
             "  RAMP_THREADS    default worker count\n"
@@ -149,8 +162,10 @@ struct Options
                                                          &opts
                                                               .metrics_path},
                   {"--trace", &opts.trace_path},
+                  {"--fault-plan", &opts.fault_plan},
                   {"--threads", nullptr},
                   {"--seed", nullptr},
+                  {"--fault-seed", nullptr},
                   {"--apps", nullptr}}) {
                 if (arg == name ||
                     arg.rfind(std::string(name) + "=", 0) == 0) {
@@ -189,6 +204,8 @@ struct Options
                     parsePositive(flag, value));
             } else if (std::string(flag) == "--seed") {
                 opts.seed = parsePositive(flag, value);
+            } else if (std::string(flag) == "--fault-seed") {
+                opts.fault_seed = parsePositive(flag, value);
             } else { // --apps
                 opts.max_apps = static_cast<std::size_t>(
                     parsePositive(flag, value));
@@ -202,6 +219,18 @@ struct Options
         if (!opts.metrics_path.empty() || !opts.trace_path.empty())
             telemetry::writeFilesAtExit(opts.metrics_path,
                                         opts.trace_path);
+
+        if (opts.fault_seed != 0 && opts.fault_plan.empty())
+            util::fatal("--fault-seed requires --fault-plan");
+        if (!opts.fault_plan.empty()) {
+            auto plan = fault::loadFaultPlan(opts.fault_plan);
+            if (!plan)
+                util::fatal(util::cat("--fault-plan: ",
+                                      plan.error().str()));
+            if (opts.fault_seed != 0)
+                plan.value().seed = opts.fault_seed;
+            fault::installFaultPlan(plan.value());
+        }
         return opts;
     }
 };

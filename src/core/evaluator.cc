@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "workload/trace_gen.hh"
@@ -32,6 +33,10 @@ struct EvalMetrics
     /** Wall time of a full evaluate() (sim + fixed point). */
     telemetry::Histogram evaluate_s =
         telemetry::histogram("evaluator.evaluate_s", 0.0, 2.0, 40);
+    /** Fixed points that stopped at the iteration limit (including
+     *  fault-forced ones); their points carry converged == false. */
+    telemetry::Counter non_converged =
+        telemetry::counter("evaluator.non_converged");
 };
 
 EvalMetrics &
@@ -75,10 +80,31 @@ Evaluator::Evaluator(EvalParams params) : params_(params)
         util::fatal("thermal tolerance must be positive");
 }
 
-OperatingPoint
-Evaluator::convergeThermal(const sim::MachineConfig &cfg,
-                           const sim::ActivitySample &activity,
-                           const sim::CoreStats &stats) const
+namespace {
+
+/** Scheduling-independent identity of one fixed-point invocation,
+ *  for the forced-non-convergence fault hook. */
+std::uint64_t
+convergeSiteHash(const sim::MachineConfig &cfg,
+                 const sim::ActivitySample &activity)
+{
+    std::uint64_t h = fault::faultHash(0, cfg.frequency_ghz);
+    h = fault::faultHash(h, cfg.voltage_v);
+    h = fault::faultHash(h, static_cast<double>(cfg.fetch_duty_x8));
+    h = fault::faultHash(h, static_cast<double>(cfg.num_int_alu));
+    h = fault::faultHash(h, static_cast<double>(cfg.num_fpu));
+    h = fault::faultHash(h, static_cast<double>(cfg.num_agen));
+    h = fault::faultHash(h, static_cast<double>(activity.cycles));
+    h = fault::faultHash(h, static_cast<double>(activity.retired));
+    return h;
+}
+
+} // namespace
+
+util::Result<OperatingPoint>
+Evaluator::tryConvergeThermal(const sim::MachineConfig &cfg,
+                              const sim::ActivitySample &activity,
+                              const sim::CoreStats &stats) const
 {
     const power::PowerModel pmodel(cfg, params_.power_params);
     const thermal::ThermalModel tmodel(params_.thermal_params);
@@ -119,7 +145,10 @@ Evaluator::convergeThermal(const sim::MachineConfig &cfg,
         PerStructure<double> total{};
         for (std::size_t i = 0; i < num_structures; ++i)
             total[i] = dyn[i] + leak[i];
-        steady = tmodel.steadyState(total);
+        auto solve = tmodel.trySteadyState(total);
+        if (!solve)
+            return solve.error();
+        steady = std::move(solve.value());
 
         double worst = 0.0;
         for (std::size_t i = 0; i < num_structures; ++i) {
@@ -139,6 +168,19 @@ Evaluator::convergeThermal(const sim::MachineConfig &cfg,
     metrics.iterations.add(static_cast<double>(iterations));
     metrics.residual_k.add(final_residual_k);
 
+    // Stopped at the limit without meeting tolerance: the iterate is
+    // not a fixed point. Also the hook for the forced-non-convergence
+    // fault, which flags the (otherwise clean) point so downstream
+    // handling of untrusted evaluations can be exercised.
+    op.converged = final_residual_k < params_.tolerance_k;
+    if (const auto *plan = fault::activeFaultPlan();
+        plan && op.converged &&
+        fault::forceNonConvergence(
+            *plan, convergeSiteHash(cfg, activity)))
+        op.converged = false;
+    if (!op.converged)
+        metrics.non_converged.add();
+
     op.temps_k = temps;
     op.sink_temp_k = steady.sink_k;
     PerStructure<double> leak_temps = temps;
@@ -149,14 +191,28 @@ Evaluator::convergeThermal(const sim::MachineConfig &cfg,
     op.power = pmodel.breakdown(activity, leak_temps);
     for (double t : op.temps_k)
         if (!std::isfinite(t))
-            util::panic("thermal fixed point produced non-finite "
-                        "temperatures");
+            return util::RampError{
+                util::ErrorCode::NonFiniteValue,
+                "thermal fixed point produced non-finite "
+                "temperatures"};
     return op;
 }
 
 OperatingPoint
-Evaluator::evaluate(const sim::MachineConfig &cfg,
-                    const workload::AppProfile &profile) const
+Evaluator::convergeThermal(const sim::MachineConfig &cfg,
+                           const sim::ActivitySample &activity,
+                           const sim::CoreStats &stats) const
+{
+    auto result = tryConvergeThermal(cfg, activity, stats);
+    if (!result)
+        util::fatal(util::cat("convergeThermal: ",
+                              result.error().str()));
+    return std::move(result.value());
+}
+
+util::Result<OperatingPoint>
+Evaluator::tryEvaluate(const sim::MachineConfig &cfg,
+                       const workload::AppProfile &profile) const
 {
     auto &metrics = evalMetrics();
     metrics.evaluate_calls.add();
@@ -181,7 +237,10 @@ Evaluator::evaluate(const sim::MachineConfig &cfg,
     core.runUops(params_.measure_uops);
     const sim::ActivitySample activity = core.takeInterval();
 
-    OperatingPoint op = convergeThermal(cfg, activity, core.stats());
+    auto result = tryConvergeThermal(cfg, activity, core.stats());
+    if (!result)
+        return result.error();
+    OperatingPoint &op = result.value();
     auto ratio = [](std::uint64_t miss, std::uint64_t acc) {
         return acc ? static_cast<double>(miss) /
                          static_cast<double>(acc)
@@ -193,7 +252,17 @@ Evaluator::evaluate(const sim::MachineConfig &cfg,
                               mem.l1i().accesses() - l1i_acc0);
     op.l2_miss_ratio = ratio(mem.l2().misses() - l2_miss0,
                              mem.l2().accesses() - l2_acc0);
-    return op;
+    return result;
+}
+
+OperatingPoint
+Evaluator::evaluate(const sim::MachineConfig &cfg,
+                    const workload::AppProfile &profile) const
+{
+    auto result = tryEvaluate(cfg, profile);
+    if (!result)
+        util::fatal(util::cat("evaluate: ", result.error().str()));
+    return std::move(result.value());
 }
 
 } // namespace core

@@ -22,6 +22,7 @@
 #include "sim/core.hh"
 #include "sim/machine.hh"
 #include "thermal/model.hh"
+#include "util/error.hh"
 #include "workload/profile.hh"
 
 namespace ramp {
@@ -36,6 +37,12 @@ struct OperatingPoint
     power::PowerBreakdown power;         ///< Converged power.
     sim::PerStructure<double> temps_k{}; ///< Converged steady temps.
     double sink_temp_k = 0.0;
+
+    /** False when the leakage/thermal fixed point stopped at its
+     *  iteration limit (or was fault-forced there): the temperatures
+     *  are an unconverged iterate, and reliability management must
+     *  not trust them. */
+    bool converged = true;
 
     /** Cache behaviour over the measured region (evaluate() only;
      *  zero when the point came from convergeThermal()). */
@@ -102,16 +109,31 @@ class Evaluator
 
     /**
      * Run the workload on the machine and converge the power/thermal
-     * loop. Deterministic in (profile, cfg, params).
+     * loop. Deterministic in (profile, cfg, params). A singular
+     * thermal solve or non-finite temperatures come back as a
+     * RampError (a recoverable per-point failure); hitting the
+     * fixed-point iteration limit is NOT an error -- the point is
+     * returned with converged == false for the caller to judge.
      */
+    util::Result<OperatingPoint>
+    tryEvaluate(const sim::MachineConfig &cfg,
+                const workload::AppProfile &profile) const;
+
+    /** tryEvaluate that treats any error as unrecoverable (fatal). */
     OperatingPoint evaluate(const sim::MachineConfig &cfg,
                             const workload::AppProfile &profile) const;
 
     /**
      * Power/thermal fixed point for an already-measured activity
      * sample (used by the DRM oracle to re-derive temperatures and by
-     * ablations). Exposed for tests.
+     * ablations). Error/convergence semantics as tryEvaluate.
      */
+    util::Result<OperatingPoint>
+    tryConvergeThermal(const sim::MachineConfig &cfg,
+                       const sim::ActivitySample &activity,
+                       const sim::CoreStats &stats) const;
+
+    /** tryConvergeThermal that treats any error as unrecoverable. */
     OperatingPoint
     convergeThermal(const sim::MachineConfig &cfg,
                     const sim::ActivitySample &activity,

@@ -1,8 +1,11 @@
 #include "drm/eval_cache.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -11,6 +14,7 @@
 #define RAMP_HAVE_FLOCK 1
 #endif
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -46,6 +50,41 @@ cacheMetrics()
     return m;
 }
 
+// Degradation counters, registered lazily (on first event) so a
+// clean run's metric snapshot is unchanged.
+
+const telemetry::Counter &
+quarantinedCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("eval_cache.quarantined");
+    return c;
+}
+
+const telemetry::Counter &
+openRetryCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("eval_cache.open_retries");
+    return c;
+}
+
+const telemetry::Counter &
+contentionCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("eval_cache.lock_contention");
+    return c;
+}
+
+const telemetry::Counter &
+writeFailCounter()
+{
+    static const telemetry::Counter c =
+        telemetry::counter("eval_cache.write_failures");
+    return c;
+}
+
 } // namespace
 
 EvaluationCache::EvaluationCache(std::string path)
@@ -65,6 +104,7 @@ EvaluationCache::EvaluationCache(std::string path)
 #endif
 
     std::size_t lines = 0;
+    std::vector<std::string> bad_lines;
     {
         std::ifstream in(path_);
         std::string line;
@@ -75,8 +115,10 @@ EvaluationCache::EvaluationCache(std::string path)
             std::string key;
             CachedEvaluation v;
             is >> version >> key;
-            if (version != record_version || key.empty())
+            if (version != record_version || key.empty()) {
+                bad_lines.push_back(line);
                 continue;
+            }
             is >> v.activity.cycles >> v.activity.retired;
             for (auto &a : v.activity.activity)
                 is >> a;
@@ -87,59 +129,57 @@ EvaluationCache::EvaluationCache(std::string path)
                 v.stats.loads >> v.stats.stores;
             is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >>
                 v.l2_miss_ratio;
-            if (!is)
-                continue; // corrupt record: skip
+            if (!is) {
+                bad_lines.push_back(line);
+                continue; // corrupt record
+            }
             entries_[key] = v;
         }
     }
     loaded_ = entries_.size();
 
+    // Corrupt and stale-version lines are evidence (of a torn write,
+    // interleaved appends, or a bug), not noise: park them in a
+    // sidecar instead of silently discarding them. Superseded
+    // duplicates parse fine and are merely compacted away.
+    if (!bad_lines.empty()) {
+        const std::string qpath = path_ + ".quarantine";
+        std::ofstream q(qpath, std::ios::app);
+        if (q)
+            for (const auto &l : bad_lines)
+                q << l << '\n';
+        quarantined_ = bad_lines.size();
+        quarantinedCounter().add(quarantined_);
+        util::warn(util::cat("evaluation cache: quarantined ",
+                             quarantined_,
+                             " corrupt/stale lines from ", path_,
+                             " to ", qpath));
+    }
+
     // Compact: rewrite the append-log as exactly one line per live
     // record, dropping corrupt lines, stale versions, and superseded
     // duplicates. Skipped when the log is already compact (the
-    // common warm-start case) so clean loads touch nothing, and
-    // skipped when another process holds the cache open (its shared
-    // lock blocks our exclusive upgrade): renaming over the log would
-    // detach that process's appender onto an unlinked inode and lose
-    // every record it writes for the rest of its run.
-    bool may_compact = lines > entries_.size();
-#ifdef RAMP_HAVE_FLOCK
-    if (may_compact) {
-        // flock conversions are not atomic: on a failed non-blocking
-        // upgrade the shared lock may already be gone, so re-acquire
-        // it (briefly blocking on at most one compacting holder).
-        may_compact = lock_fd_ >= 0 &&
-                      ::flock(lock_fd_, LOCK_EX | LOCK_NB) == 0;
-        if (!may_compact && lock_fd_ >= 0)
-            ::flock(lock_fd_, LOCK_SH);
-    }
-#endif
-    if (may_compact) {
-        compacted_ = lines - entries_.size();
-        const std::string tmp = path_ + ".compact.tmp";
-        std::ofstream out(tmp, std::ios::trunc);
-        if (out) {
-            for (const auto &[key, value] : entries_)
-                writeRecord(out, key, value);
-            out.close();
-            if (!out || std::rename(tmp.c_str(), path_.c_str()) != 0) {
-                util::warn(util::cat("evaluation cache: compaction of ",
-                                     path_, " failed; log left as-is"));
-                std::remove(tmp.c_str());
-                compacted_ = 0;
+    // common warm-start case) so clean loads touch nothing. A
+    // contended or failed compaction is a recoverable, structured
+    // condition -- the log simply stays as-is until a future
+    // exclusive holder compacts it.
+    if (lines > entries_.size()) {
+        if (auto r = tryCompact(lines); !r) {
+            if (r.error().code == util::ErrorCode::LockContention) {
+                contentionCounter().add();
+                util::debug(util::cat("evaluation cache: ",
+                                      r.error().str()));
+            } else {
+                util::warn(util::cat("evaluation cache: ",
+                                     r.error().str()));
             }
         }
-#ifdef RAMP_HAVE_FLOCK
-        if (lock_fd_ >= 0)
-            ::flock(lock_fd_, LOCK_SH); // downgrade for our lifetime
-#endif
     }
 
     // One appender for the cache's lifetime: put() no longer pays an
     // open/close per record, and every append is a single line-
     // granular write behind file_mutex_.
-    appender_.open(path_, std::ios::app);
-    if (!appender_)
+    if (!openAppender())
         util::warn(
             util::cat("evaluation cache: cannot append to ", path_));
 
@@ -156,6 +196,72 @@ EvaluationCache::EvaluationCache(std::string path)
                                                       compacted_,
                                                       " stale lines)")
                                           : ""));
+}
+
+util::Result<void>
+EvaluationCache::tryCompact(std::size_t lines)
+{
+#ifdef RAMP_HAVE_FLOCK
+    // Another process's shared lock blocks our exclusive upgrade:
+    // renaming over the log would detach that process's appender onto
+    // an unlinked inode and lose every record it writes for the rest
+    // of its run. flock conversions are not atomic: on a failed
+    // non-blocking upgrade the shared lock may already be gone, so
+    // re-acquire it (briefly blocking on at most one compacting
+    // holder).
+    if (lock_fd_ < 0 ||
+        ::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+        if (lock_fd_ >= 0)
+            ::flock(lock_fd_, LOCK_SH);
+        return util::RampError{
+            util::ErrorCode::LockContention,
+            util::cat("another process holds ", path_,
+                      " open; compaction deferred")};
+    }
+#endif
+    compacted_ = lines - entries_.size();
+    const std::string tmp = path_ + ".compact.tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    bool wrote = static_cast<bool>(out);
+    if (wrote) {
+        for (const auto &[key, value] : entries_)
+            writeRecord(out, key, value);
+        out.close();
+        wrote = static_cast<bool>(out) &&
+                std::rename(tmp.c_str(), path_.c_str()) == 0;
+    }
+#ifdef RAMP_HAVE_FLOCK
+    if (lock_fd_ >= 0)
+        ::flock(lock_fd_, LOCK_SH); // downgrade for our lifetime
+#endif
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        compacted_ = 0;
+        return util::RampError{
+            util::ErrorCode::IoFailure,
+            util::cat("compaction of ", path_,
+                      " failed; log left as-is")};
+    }
+    return {};
+}
+
+bool
+EvaluationCache::openAppender()
+{
+    // Bounded retry with exponential backoff: a transiently failing
+    // open (fd pressure, slow network filesystem) should cost a few
+    // milliseconds, not every append for the rest of the run.
+    for (int attempt = 0;; ++attempt) {
+        appender_.clear();
+        appender_.open(path_, std::ios::app);
+        if (appender_)
+            return true;
+        if (attempt >= 3)
+            return false;
+        openRetryCounter().add();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 << attempt));
+    }
 }
 
 EvaluationCache::~EvaluationCache()
@@ -224,11 +330,36 @@ EvaluationCache::put(const std::string &key,
     // whole (load-time parsing tolerates anything else anyway).
     std::ostringstream line;
     writeRecord(line, key, value);
+    std::string text = line.str();
+
+    // Fault hook: garble the on-disk record for hash-selected keys
+    // (the in-memory entry stays good). The corruption surfaces at
+    // the next load as a quarantined line, never as wrong data.
+    if (const auto *plan = fault::activeFaultPlan();
+        plan && plan->enabled(fault::FaultKind::CacheCorrupt) &&
+        fault::corruptCacheRecord(*plan, key)) {
+        if (!text.empty() && text.back() == '\n')
+            text.pop_back();
+        text = fault::corruptLine(*plan, text);
+        text += '\n';
+    }
+
     std::lock_guard lock(file_mutex_);
-    if (!appender_)
-        return; // warned at construction
-    appender_ << line.str();
+    if (!appender_ && !openAppender())
+        return; // warned at construction; retried here
+    appender_ << text;
     appender_.flush();
+    if (!appender_) {
+        // Failed write: report, drop the stream, and let the next
+        // put() reopen it. The in-memory record is already live.
+        writeFailCounter().add();
+        util::warn(util::cat(
+            "evaluation cache: append to ", path_,
+            " failed; will reopen on the next record"));
+        appender_.close();
+        appender_.clear();
+        return;
+    }
     appended_.fetch_add(1, std::memory_order_relaxed);
     cacheMetrics().appends.add();
 }
@@ -249,6 +380,7 @@ EvaluationCache::stats() const
     s.appended = appended_.load(std::memory_order_relaxed);
     s.loaded = loaded_;
     s.compacted = compacted_;
+    s.quarantined = quarantined_;
     return s;
 }
 

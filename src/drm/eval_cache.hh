@@ -73,6 +73,9 @@ class EvaluationCache
         /** Lines the load-time compaction dropped (corrupt, stale
          *  version, or superseded duplicates). */
         std::size_t compacted = 0;
+        /** Corrupt/stale lines copied to the <path>.quarantine
+         *  sidecar at load (never silently discarded). */
+        std::size_t quarantined = 0;
     };
 
     /** Create an empty cache (no file attached). */
@@ -114,6 +117,19 @@ class EvaluationCache
     void writeRecord(std::ostream &os, const std::string &key,
                      const CachedEvaluation &v) const;
 
+    /**
+     * Rewrite the log as one line per live record. LockContention
+     * when another process holds the cache open (benign: compaction
+     * is deferred to a future exclusive holder), IoFailure when the
+     * rewrite itself fails (the log is left as-is).
+     */
+    util::Result<void> tryCompact(std::size_t lines);
+
+    /** Open (or reopen) the appender with bounded retry + backoff;
+     *  false when it stays unopenable. Caller holds file_mutex_ (or
+     *  is the constructor). */
+    bool openAppender();
+
     std::string path_;
     std::map<std::string, CachedEvaluation> entries_;
     mutable std::shared_mutex mutex_; ///< Guards entries_.
@@ -129,6 +145,7 @@ class EvaluationCache
     std::atomic<std::size_t> appended_{0};
     std::size_t loaded_ = 0;
     std::size_t compacted_ = 0;
+    std::size_t quarantined_ = 0;
 };
 
 } // namespace drm

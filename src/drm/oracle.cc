@@ -1,6 +1,7 @@
 #include "drm/oracle.hh"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "power/power.hh"
@@ -17,6 +18,9 @@ struct OracleMetrics
     telemetry::Counter explores =
         telemetry::counter("oracle.explores");
     telemetry::Counter points = telemetry::counter("oracle.points");
+    /** Points dropped from explorations (evaluation errors). */
+    telemetry::Counter failed_points =
+        telemetry::counter("oracle.failed_points");
     /** Wall time of one explore() (all points, both passes). */
     telemetry::Histogram explore_s =
         telemetry::histogram("oracle.explore_s", 0.0, 60.0, 60);
@@ -68,37 +72,50 @@ OracleExplorer::OracleExplorer(core::EvalParams eval_params,
 {
 }
 
-void
+util::BatchReport
 OracleExplorer::forEach(std::size_t count,
                         const std::function<void(std::size_t)> &fn) const
 {
-    if (pool_) {
-        pool_->parallelFor(count, fn);
-        return;
+    if (pool_)
+        return pool_->parallelFor(count, fn);
+    util::BatchReport report;
+    report.items = count;
+    for (std::size_t i = 0; i < count; ++i) {
+        try {
+            fn(i);
+        } catch (const util::RampException &e) {
+            report.failures.emplace_back(i, e.error());
+        }
     }
-    for (std::size_t i = 0; i < count; ++i)
-        fn(i);
+    return report;
 }
 
-core::OperatingPoint
-OracleExplorer::evaluate(const sim::MachineConfig &cfg,
-                         const workload::AppProfile &app) const
+util::Result<core::OperatingPoint>
+OracleExplorer::tryEvaluate(const sim::MachineConfig &cfg,
+                            const workload::AppProfile &app) const
 {
     if (!cache_)
-        return evaluator_.evaluate(cfg, app);
+        return evaluator_.tryEvaluate(cfg, app);
 
     const std::string key =
         EvaluationCache::key(cfg, app, evaluator_.params());
     if (auto hit = cache_->get(key)) {
-        core::OperatingPoint op =
-            evaluator_.convergeThermal(cfg, hit->activity, hit->stats);
+        auto result =
+            evaluator_.tryConvergeThermal(cfg, hit->activity,
+                                          hit->stats);
+        if (!result)
+            return result;
+        core::OperatingPoint &op = result.value();
         op.l1d_miss_ratio = hit->l1d_miss_ratio;
         op.l1i_miss_ratio = hit->l1i_miss_ratio;
         op.l2_miss_ratio = hit->l2_miss_ratio;
-        return op;
+        return result;
     }
 
-    core::OperatingPoint op = evaluator_.evaluate(cfg, app);
+    auto result = evaluator_.tryEvaluate(cfg, app);
+    if (!result)
+        return result; // failed evaluations are never cached
+    const core::OperatingPoint &op = result.value();
     CachedEvaluation rec;
     rec.activity = op.activity;
     rec.stats = op.stats;
@@ -106,7 +123,18 @@ OracleExplorer::evaluate(const sim::MachineConfig &cfg,
     rec.l1i_miss_ratio = op.l1i_miss_ratio;
     rec.l2_miss_ratio = op.l2_miss_ratio;
     cache_->put(key, rec);
-    return op;
+    return result;
+}
+
+core::OperatingPoint
+OracleExplorer::evaluate(const sim::MachineConfig &cfg,
+                         const workload::AppProfile &app) const
+{
+    auto result = tryEvaluate(cfg, app);
+    if (!result)
+        util::fatal(util::cat("oracle evaluate: ",
+                              result.error().str()));
+    return std::move(result.value());
 }
 
 core::OperatingPoint
@@ -134,10 +162,28 @@ OracleExplorer::explore(const workload::AppProfile &app,
     timer.arg("points", static_cast<double>(cfgs.size()));
     out.points.resize(cfgs.size());
     auto eval_point = [&](std::size_t i) {
+        auto result = tryEvaluate(cfgs[i], app);
+        if (!result)
+            throw util::RampException(result.error());
         ExploredPoint pt;
-        pt.op = evaluate(cfgs[i], app);
+        pt.op = std::move(result.value());
         pt.perf_rel = pt.op.uopsPerSecond() / base_perf;
         out.points[i] = std::move(pt);
+    };
+    // Failed points are dropped by forEach and marked invalid here;
+    // each decision is a pure function of the point, so the dropped
+    // set (and thus the output) is identical at every thread count.
+    auto mark_failures = [&](const util::BatchReport &report,
+                             const std::vector<std::size_t> &index) {
+        for (const auto &[n, err] : report.failures) {
+            const std::size_t i = index.empty() ? n : index[n];
+            out.points[i] = ExploredPoint{};
+            out.points[i].valid = false;
+            metrics.failed_points.add();
+            util::warn(util::cat("oracle: dropped point ", i,
+                                 " for ", app.name, ": ",
+                                 err.str()));
+        }
     };
 
     // Pass 1: one representative (the first occurrence) per unique
@@ -159,12 +205,18 @@ OracleExplorer::explore(const workload::AppProfile &app,
         for (std::size_t i = 0; i < cfgs.size(); ++i)
             reps.push_back(i);
     }
-    forEach(reps.size(), [&](std::size_t n) { eval_point(reps[n]); });
+    mark_failures(
+        forEach(reps.size(),
+                [&](std::size_t n) { eval_point(reps[n]); }),
+        reps);
 
     // Pass 2: the duplicate-key points, all cache hits now (cheap
     // power/thermal re-convergence only), exactly as they would be
     // in a serial sweep that had already passed their key once.
-    forEach(rest.size(), [&](std::size_t n) { eval_point(rest[n]); });
+    mark_failures(
+        forEach(rest.size(),
+                [&](std::size_t n) { eval_point(rest[n]); }),
+        rest);
     return out;
 }
 
@@ -176,12 +228,19 @@ namespace {
  * to the least-violating point per @p violation (lower = closer to
  * feasible). One steadyFit per point: winner values are carried from
  * the table instead of being recomputed.
+ *
+ * Failed evaluations never participate (no constraint row can be
+ * computed from a default point); with @p require_converged,
+ * non-converged points get their row computed for display but are
+ * excluded from both the feasible choice and the fallback. If every
+ * point is excluded the exploration is unusable and this is fatal.
  */
 template <typename FeasibleFn, typename ViolationFn>
 Selection
 selectByConstraint(const ExploredApp &app,
                    const core::Qualification &qual,
-                   FeasibleFn feasible, ViolationFn violation)
+                   bool require_converged, FeasibleFn feasible,
+                   ViolationFn violation)
 {
     Selection sel;
     sel.table.reserve(app.points.size());
@@ -190,17 +249,34 @@ selectByConstraint(const ExploredApp &app,
     bool found = false;
     double best_perf = -1.0;
     std::size_t fallback = 0;
+    bool has_fallback = false;
     double least_violation = 1e300;
+    constexpr double inf = std::numeric_limits<double>::infinity();
 
     for (std::size_t i = 0; i < app.points.size(); ++i) {
+        const ExploredPoint &xp = app.points[i];
         SelectionPoint pt;
-        pt.perf_rel = app.points[i].perf_rel;
-        pt.fit = operatingPointFit(qual, app.points[i].op);
-        pt.max_temp_k = app.points[i].op.maxTemp();
+        pt.converged = xp.op.converged;
+        if (!xp.valid) {
+            pt.valid = false;
+            pt.fit = inf;
+            pt.max_temp_k = inf;
+            sel.table.push_back(pt);
+            continue;
+        }
+        pt.perf_rel = xp.perf_rel;
+        pt.fit = operatingPointFit(qual, xp.op);
+        pt.max_temp_k = xp.op.maxTemp();
+        pt.valid = !require_converged || pt.converged;
+        if (!pt.valid) {
+            sel.table.push_back(pt);
+            continue;
+        }
         pt.feasible = feasible(pt);
-        if (violation(pt) < least_violation) {
+        if (!has_fallback || violation(pt) < least_violation) {
             least_violation = violation(pt);
             fallback = i;
+            has_fallback = true;
         }
         if (pt.feasible && pt.perf_rel > best_perf) {
             best_perf = pt.perf_rel;
@@ -209,6 +285,10 @@ selectByConstraint(const ExploredApp &app,
         }
         sel.table.push_back(pt);
     }
+
+    if (!found && !has_fallback)
+        util::fatal("oracle selection: every explored point is "
+                    "invalid or non-converged; nothing to select");
 
     sel.index = found ? best : fallback;
     sel.feasible = found;
@@ -228,8 +308,11 @@ selectDrm(const ExploredApp &app, const core::Qualification &qual)
         util::fatal("selectDrm: empty exploration");
 
     const double target = qual.spec().target_fit;
+    // DRM is the reliability-aware policy: a non-converged thermal
+    // fixed point gives untrustworthy FIT, so such points are
+    // excluded outright (require_converged).
     return selectByConstraint(
-        app, qual,
+        app, qual, /*require_converged=*/true,
         [&](const SelectionPoint &pt) { return pt.fit <= target; },
         [](const SelectionPoint &pt) { return pt.fit; });
 }
@@ -242,9 +325,11 @@ selectDtm(const ExploredApp &app, double t_design_k,
         util::fatal("selectDtm: empty exploration");
 
     // The DTM policy is reliability-oblivious: @p qual only feeds the
-    // reported per-point and winner FIT values, never the choice.
+    // reported per-point and winner FIT values, never the choice. It
+    // tolerates non-converged points (their temperature iterate is
+    // still an upper-bound-ish signal and DTM reacts, not predicts).
     return selectByConstraint(
-        app, qual,
+        app, qual, /*require_converged=*/false,
         [&](const SelectionPoint &pt) {
             return pt.max_temp_k <= t_design_k;
         },

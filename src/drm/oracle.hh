@@ -36,6 +36,12 @@ struct ExploredPoint
     core::OperatingPoint op;
     /** Performance relative to the base machine (1.0 = parity). */
     double perf_rel = 0.0;
+    /** False when this point's evaluation failed (singular solve,
+     *  non-finite temperatures): op is default-constructed and the
+     *  point is excluded from every selection. A *non-converged*
+     *  evaluation is different -- it is valid but carries
+     *  op.converged == false. */
+    bool valid = true;
 };
 
 /** The full explored space for one application. */
@@ -54,6 +60,13 @@ struct SelectionPoint
     double fit = 0.0;        ///< Application FIT under the qualification.
     double max_temp_k = 0.0; ///< Hottest structure at this point.
     bool feasible = false;   ///< Met the policy's constraint.
+    /** Participated in the selection. False for failed evaluations
+     *  (both policies) and, under DRM, for non-converged ones: a FIT
+     *  value derived from an unconverged thermal iterate must not
+     *  steer reliability management, not even as a fallback. */
+    bool valid = true;
+    /** The point's thermal fixed point converged. */
+    bool converged = true;
 };
 
 /**
@@ -106,8 +119,18 @@ class OracleExplorer
                             EvaluationCache *cache = nullptr,
                             util::ThreadPool *pool = nullptr);
 
-    /** Evaluate one (configuration, application) point, via the
-     *  cache when one is attached. */
+    /**
+     * Evaluate one (configuration, application) point, via the cache
+     * when one is attached. A failed evaluation (singular solve,
+     * non-finite temperatures) comes back as a RampError and is never
+     * cached; non-convergence is a valid point with
+     * op.converged == false.
+     */
+    util::Result<core::OperatingPoint>
+    tryEvaluate(const sim::MachineConfig &cfg,
+                const workload::AppProfile &app) const;
+
+    /** tryEvaluate that treats any error as unrecoverable (fatal). */
     core::OperatingPoint evaluate(const sim::MachineConfig &cfg,
                                   const workload::AppProfile &app) const;
 
@@ -125,6 +148,12 @@ class OracleExplorer
      * representative per unique timing key (so the work done -- and
      * the record each key caches -- is identical to a serial sweep).
      * Parallel output is bit-identical to serial output.
+     *
+     * A point whose evaluation fails is dropped, not fatal: it comes
+     * back with valid == false (warned and counted in
+     * oracle.failed_points), and failure decisions are pure functions
+     * of the point's identity, so the dropped set is identical at
+     * every thread count.
      */
     ExploredApp explore(const workload::AppProfile &app,
                         AdaptationSpace space) const;
@@ -135,9 +164,11 @@ class OracleExplorer
     void setPool(util::ThreadPool *pool) { pool_ = pool; }
 
   private:
-    /** parallelFor via the pool, or a plain loop without one. */
-    void forEach(std::size_t count,
-                 const std::function<void(std::size_t)> &fn) const;
+    /** parallelFor via the pool, or a plain loop without one; either
+     *  way items that throw RampException are dropped and reported. */
+    util::BatchReport
+    forEach(std::size_t count,
+            const std::function<void(std::size_t)> &fn) const;
 
     core::Evaluator evaluator_;
     EvaluationCache *cache_;

@@ -1,13 +1,33 @@
 #include "drm/transient.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 
+#include "fault/fault.hh"
 #include "sim/core.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
+#include "util/telemetry.hh"
 #include "workload/trace_gen.hh"
 
 namespace ramp {
 namespace drm {
+
+namespace {
+
+/** Non-finite per-structure power samples replaced by the previous
+ *  interval's finite value before the thermal step. */
+telemetry::Counter &
+powerHoldCounter()
+{
+    static telemetry::Counter c =
+        telemetry::counter("transient.power_holds");
+    return c;
+}
+
+} // namespace
 
 std::uint32_t
 TransientResult::thermalViolations(double t_design_k) const
@@ -52,12 +72,37 @@ TransientRunner::run(const workload::AppProfile &app,
     DrmController drm_ctl(params_.drm, ladder.size(), base_level);
     DtmController dtm_ctl(params_.dtm, ladder.size(), base_level);
 
+    // Sensor conditioning in front of each controller. Clean readings
+    // pass through bit-exactly, so these change nothing on a
+    // fault-free run.
+    fault::SensorChannel temp_chan(params_.temp_channel);
+    fault::SensorChannel fit_chan(params_.fit_channel);
+    const std::size_t failsafe_level =
+        std::min(params_.failsafe_level, ladder.size() - 1);
+
+    // Fault injection, armed only when a plan is installed. The
+    // sensor streams and the power-NaN injector are serial (one
+    // control loop), so per-stream Rngs keep each deterministic in
+    // (plan seed, stream name).
+    const fault::FaultPlan *plan = fault::activeFaultPlan();
+    std::optional<fault::SensorFaulter> temp_faulter;
+    std::optional<fault::SensorFaulter> fit_faulter;
+    std::optional<util::Rng> power_rng;
+    if (plan) {
+        temp_faulter.emplace(*plan, "dtm.temp", params_.dtm.t_design_k);
+        fit_faulter.emplace(*plan, "drm.fit", params_.drm.target_fit);
+        if (plan->enabled(fault::FaultKind::PowerNan))
+            power_rng.emplace(
+                fault::faultHash(plan->seed, "transient.power"));
+    }
+
     TransientResult result;
     result.trace.reserve(params_.num_intervals);
 
     std::size_t level = base_level;
     bool thermal_initialised = false;
     double perf_sum = 0.0;
+    sim::PerStructure<double> held_power_w{};
 
     for (std::uint32_t i = 0; i < params_.num_intervals; ++i) {
         const DvsLevel &lvl = ladder[level];
@@ -87,6 +132,27 @@ TransientRunner::run(const workload::AppProfile &app,
         sim::PerStructure<double> total{};
         for (std::size_t s = 0; s < sim::num_structures; ++s)
             total[s] = dyn[s] + leak[s];
+
+        if (power_rng &&
+            power_rng->chance(
+                plan->spec(fault::FaultKind::PowerNan).rate)) {
+            total[power_rng->below(sim::num_structures)] =
+                std::numeric_limits<double>::quiet_NaN();
+            fault::countFault(fault::FaultKind::PowerNan);
+            result.degradation.injected_faults += 1;
+        }
+        // Graceful degradation: a non-finite power sample would poison
+        // the RC state for the rest of the run, so hold the structure
+        // at its previous finite value instead.
+        for (std::size_t s = 0; s < sim::num_structures; ++s) {
+            if (std::isfinite(total[s])) {
+                held_power_w[s] = total[s];
+            } else {
+                total[s] = held_power_w[s];
+                powerHoldCounter().add();
+                result.degradation.power_holds += 1;
+            }
+        }
         thermal_model.step(total, params_.represented_time_s);
         const auto temps = thermal_model.blockTemps();
 
@@ -106,22 +172,45 @@ TransientRunner::run(const workload::AppProfile &app,
             power_total += total[s];
         out.total_power_w = power_total;
         out.avg_fit = engine.report().totalFit();
-        result.trace.push_back(out);
+
+        // What the controllers see: the true values, through the
+        // faulter (when armed) and the conditioning channel.
+        const auto temp_reading = temp_chan.observe(
+            temp_faulter ? temp_faulter->apply(out.max_temp_k)
+                         : out.max_temp_k);
+        const auto fit_reading = fit_chan.observe(
+            fit_faulter ? fit_faulter->apply(out.avg_fit)
+                        : out.avg_fit);
+        out.sensed_temp_k = temp_reading.value;
+        out.sensed_fit = fit_reading.value;
 
         result.max_temp_seen_k =
             std::max(result.max_temp_seen_k, out.max_temp_k);
         perf_sum += sample.ipc() * cfg.frequency_ghz * 1e9;
 
+        // A fail-safe latch overrides the active policy's controller:
+        // K consecutive invalid readings mean the control input cannot
+        // be trusted, so run at the safest rung until the channel sees
+        // enough valid readings to release. (Forced moves are not
+        // controller transitions.)
         switch (policy) {
           case Policy::None:
             break;
           case Policy::Drm:
-            level = drm_ctl.observe(out.avg_fit);
+            level = drm_ctl.observe(fit_reading.value);
+            if (fit_reading.failsafe)
+                level = failsafe_level;
+            out.failsafe = fit_reading.failsafe;
             break;
           case Policy::Dtm:
-            level = dtm_ctl.observe(out.max_temp_k);
+            level = dtm_ctl.observe(temp_reading.value);
+            if (temp_reading.failsafe)
+                level = failsafe_level;
+            out.failsafe = temp_reading.failsafe;
             break;
         }
+        result.degradation.failsafe_intervals += out.failsafe;
+        result.trace.push_back(out);
     }
 
     result.final_avg_fit = engine.report().totalFit();
@@ -129,6 +218,19 @@ TransientRunner::run(const workload::AppProfile &app,
                                    ? drm_ctl.transitions()
                                    : dtm_ctl.transitions();
     result.avg_uops_per_second = perf_sum / params_.num_intervals;
+
+    auto &deg = result.degradation;
+    for (const auto *chan : {&temp_chan, &fit_chan}) {
+        const auto &st = chan->stats();
+        deg.invalid_readings += st.invalid;
+        deg.fallbacks += st.fallbacks;
+        deg.despiked += st.despiked;
+        deg.failsafe_engages += st.engages;
+    }
+    if (temp_faulter)
+        deg.injected_faults += temp_faulter->tally().total();
+    if (fit_faulter)
+        deg.injected_faults += fit_faulter->tally().total();
     return result;
 }
 

@@ -27,6 +27,7 @@
 #include "core/qualification.hh"
 #include "drm/adaptation.hh"
 #include "drm/controller.hh"
+#include "fault/sensor_channel.hh"
 #include "power/power.hh"
 #include "thermal/model.hh"
 #include "workload/profile.hh"
@@ -54,6 +55,39 @@ struct TransientParams
     DtmController::Params dtm{};
     power::PowerParams power{};
     thermal::ThermalParams thermal{};
+
+    /** Conditioning in front of the DTM controller's temperature
+     *  input. Valid unspiked readings pass through bit-exactly, so a
+     *  fault-free run is unchanged by the channel's presence. The
+     *  spike threshold must clear the largest legitimate
+     *  interval-to-interval swing -- level changes move near-steady
+     *  block temperatures by tens of kelvin -- so it only rejects
+     *  physically impossible jumps. */
+    fault::SensorChannel::Params temp_channel{
+        .label = "dtm.temp",
+        .min_valid = 250.0,
+        .max_valid = 1000.0,
+        .spike_threshold = 40.0,
+        .failsafe_after = 5,
+        .release_after = 3,
+        .stuck_after = 3,
+    };
+    /** Conditioning in front of the DRM controller's FIT input. The
+     *  lifetime average moves slowly, so despiking stays off and
+     *  plausibility plus stuck-at detection carry the weight. */
+    fault::SensorChannel::Params fit_channel{
+        .label = "drm.fit",
+        .min_valid = 0.0,
+        .max_valid = 1e9,
+        .spike_threshold = 0.0,
+        .failsafe_after = 5,
+        .release_after = 3,
+        .stuck_after = 0,
+    };
+    /** Ladder level forced while a channel is in fail-safe. Level 0
+     *  is the bottom of the ladder: lowest frequency/voltage, the
+     *  safest point for both temperature and wear. */
+    std::size_t failsafe_level = 0;
 };
 
 /** One interval of the recorded trace. */
@@ -63,9 +97,17 @@ struct TransientSample
     double frequency_ghz = 0.0;
     double voltage_v = 0.0;
     double ipc = 0.0;
-    double max_temp_k = 0.0;      ///< Hottest block after the step.
+    double max_temp_k = 0.0;      ///< Hottest block after the step (true).
     double total_power_w = 0.0;
-    double avg_fit = 0.0;         ///< Lifetime-average FIT so far.
+    double avg_fit = 0.0;         ///< Lifetime-average FIT so far (true).
+    /** What the controller saw: the (possibly faulted) reading after
+     *  SensorChannel conditioning. Equal to the true values on a
+     *  fault-free run. */
+    double sensed_temp_k = 0.0;
+    double sensed_fit = 0.0;
+    /** The active channel's fail-safe latch was engaged after this
+     *  interval's reading (it forces the next interval's level). */
+    bool failsafe = false;
 };
 
 /** Outcome of a transient run. */
@@ -79,6 +121,20 @@ struct TransientResult
     double avg_uops_per_second = 0.0;
     double max_temp_seen_k = 0.0;
     std::uint64_t level_transitions = 0;
+
+    /** Fault-injection and graceful-degradation tallies for the run.
+     *  All zero on a fault-free run. */
+    struct Degradation
+    {
+        std::uint64_t injected_faults = 0;   ///< Sensor + power faults.
+        std::uint64_t invalid_readings = 0;  ///< Rejected by a channel.
+        std::uint64_t fallbacks = 0;         ///< Last-known-good used.
+        std::uint64_t despiked = 0;          ///< Median-replaced readings.
+        std::uint64_t failsafe_engages = 0;  ///< Fail-safe latch entries.
+        std::uint64_t failsafe_intervals = 0;///< Intervals at forced level.
+        std::uint64_t power_holds = 0;       ///< Non-finite power held.
+    };
+    Degradation degradation;
 
     /** Intervals whose hottest block exceeded the given limit. */
     std::uint32_t thermalViolations(double t_design_k) const;

@@ -1,0 +1,158 @@
+#include "fault/sensor_channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/telemetry.hh"
+
+namespace ramp {
+namespace fault {
+
+namespace {
+
+/** Degradation counters, registered on first event so a clean run's
+ *  metric snapshot is unchanged. */
+struct ChannelMetrics
+{
+    telemetry::Counter invalid =
+        telemetry::counter("sensor.invalid");
+    telemetry::Counter despiked =
+        telemetry::counter("sensor.despiked");
+    telemetry::Counter fallbacks =
+        telemetry::counter("sensor.fallbacks");
+    telemetry::Counter stuck =
+        telemetry::counter("sensor.stuck_detected");
+    telemetry::Counter engages =
+        telemetry::counter("sensor.failsafe_engages");
+    telemetry::Counter releases =
+        telemetry::counter("sensor.failsafe_releases");
+};
+
+ChannelMetrics &
+channelMetrics()
+{
+    static ChannelMetrics m;
+    return m;
+}
+
+/**
+ * Instant trace event attributed to one channel (the channel label
+ * becomes the trace category; trace args must be numeric). Metric
+ * names flow through here as variables, so call sites carry the name
+ * as a literal for ramp-lint's channelInstant extraction.
+ */
+void
+channelInstant(const std::string &label, const char *event,
+               double count)
+{
+    telemetry::Registry::instance().recordInstant(
+        event, label, {{"count", count}});
+}
+
+double
+median3(double a, double b, double c)
+{
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+} // namespace
+
+SensorChannel::SensorChannel(Params params)
+    : params_(std::move(params))
+{
+}
+
+SensorChannel::Reading
+SensorChannel::observe(double raw)
+{
+    ++stats_.observations;
+    auto &metrics = channelMetrics();
+
+    bool plausible = std::isfinite(raw) &&
+                     raw >= params_.min_valid &&
+                     raw <= params_.max_valid;
+
+    // Stuck-at: clean thermal/FIT telemetry never repeats
+    // bit-identically across intervals (workload activity varies),
+    // so a long enough equal run means the sensor latched.
+    if (params_.stuck_after > 0 && std::isfinite(raw)) {
+        if (has_prev_raw_ && raw == prev_raw_)
+            ++identical_run_;
+        else
+            identical_run_ = 0;
+        prev_raw_ = raw;
+        has_prev_raw_ = true;
+        if (plausible && identical_run_ >= params_.stuck_after) {
+            plausible = false;
+            ++stats_.stuck;
+            metrics.stuck.add();
+        }
+    }
+
+    Reading r;
+    if (!plausible) {
+        ++stats_.invalid;
+        metrics.invalid.add();
+        r.valid = false;
+        if (has_last_good_) {
+            r.value = last_good_;
+            r.fallback = true;
+            ++stats_.fallbacks;
+            metrics.fallbacks.add();
+        } else {
+            // No history yet: a finite placeholder mid-range. The
+            // fail-safe counter is already running, so a sensor that
+            // is dead from the start still ends in fail-safe.
+            r.value =
+                0.5 * (params_.min_valid + params_.max_valid);
+        }
+        consecutive_valid_ = 0;
+        ++consecutive_invalid_;
+        if (!failsafe_ &&
+            consecutive_invalid_ >= params_.failsafe_after) {
+            failsafe_ = true;
+            ++stats_.engages;
+            metrics.engages.add();
+            channelInstant(params_.label, "sensor.failsafe_engaged",
+                           static_cast<double>(consecutive_invalid_));
+        }
+    } else {
+        double accepted = raw;
+        if (params_.spike_threshold > 0.0 && accepted_n_ >= 2) {
+            const double med =
+                median3(accepted_[0], accepted_[1], raw);
+            if (std::fabs(raw - med) > params_.spike_threshold) {
+                accepted = med;
+                r.despiked = true;
+                ++stats_.despiked;
+                metrics.despiked.add();
+            }
+        }
+        r.value = accepted;
+        last_good_ = accepted;
+        has_last_good_ = true;
+        accepted_[0] = accepted_[1];
+        accepted_[1] = accepted;
+        accepted_n_ = std::min<std::size_t>(accepted_n_ + 1, 2);
+
+        consecutive_invalid_ = 0;
+        if (failsafe_) {
+            ++consecutive_valid_;
+            if (consecutive_valid_ >= params_.release_after) {
+                failsafe_ = false;
+                consecutive_valid_ = 0;
+                ++stats_.releases;
+                metrics.releases.add();
+                channelInstant(params_.label,
+                               "sensor.failsafe_released",
+                               static_cast<double>(
+                                   stats_.releases));
+            }
+        }
+    }
+    r.failsafe = failsafe_;
+    return r;
+}
+
+} // namespace fault
+} // namespace ramp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fail-safe sensor conditioning between raw readings and the DRM/DTM
+ * controllers.
+ *
+ * A controller that trusts a raw sensor dies with it: one NaN in the
+ * temperature stream and DTM either throttles forever or never. The
+ * SensorChannel sits in front of each controller input and applies,
+ * in order:
+ *
+ *  1. plausibility (finite and inside a configured physical range),
+ *  2. stuck-at detection (a run of bit-identical readings -- real
+ *     thermal/FIT telemetry always moves between intervals),
+ *  3. median-of-3 despiking (a lone outlier is replaced by the
+ *     median of itself and the two previous accepted readings),
+ *  4. last-known-good fallback for implausible readings, and
+ *  5. a fail-safe latch: K consecutive invalid readings mean the
+ *     sensor cannot be trusted at all, and the caller must clamp to
+ *     the safest DVS level until M consecutive valid readings
+ *     release the latch.
+ *
+ * Valid, unspiked readings pass through bit-exactly, so a clean run
+ * through a SensorChannel is identical to a run without one.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ramp {
+namespace fault {
+
+/** One conditioned controller input stream. */
+class SensorChannel
+{
+  public:
+    struct Params
+    {
+        /** Channel name for telemetry/trace attribution. */
+        std::string label = "sensor";
+
+        /** Plausibility window in the stream's units. */
+        double min_valid = 0.0;
+        double max_valid = 1e30;
+
+        /** Despike when a reading deviates from the median of
+         *  (prev2, prev1, reading) by more than this (stream units;
+         *  0 disables). Must sit above the largest clean
+         *  interval-to-interval change. */
+        double spike_threshold = 0.0;
+
+        /** Consecutive invalid readings that engage fail-safe. */
+        std::uint32_t failsafe_after = 5;
+
+        /** Consecutive valid readings that release fail-safe. */
+        std::uint32_t release_after = 3;
+
+        /** Bit-identical consecutive readings treated as a stuck
+         *  sensor (0 disables). */
+        std::uint32_t stuck_after = 0;
+    };
+
+    /** What the controller should act on for one raw reading. */
+    struct Reading
+    {
+        double value = 0.0;    ///< Conditioned value.
+        bool valid = true;     ///< Raw reading was plausible.
+        bool despiked = false; ///< Median replaced a spike.
+        bool fallback = false; ///< Last-known-good substituted.
+        bool failsafe = false; ///< Channel is in fail-safe state.
+    };
+
+    /** Degradation event counts for this channel. */
+    struct Stats
+    {
+        std::uint64_t observations = 0;
+        std::uint64_t invalid = 0;
+        std::uint64_t despiked = 0;
+        std::uint64_t fallbacks = 0;
+        std::uint64_t stuck = 0;
+        std::uint64_t engages = 0;
+        std::uint64_t releases = 0;
+    };
+
+    explicit SensorChannel(Params params);
+
+    /** Condition one raw reading. */
+    Reading observe(double raw);
+
+    /** True while the fail-safe latch is engaged. */
+    bool failsafe() const { return failsafe_; }
+
+    const Stats &stats() const { return stats_; }
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+
+    double last_good_ = 0.0;
+    bool has_last_good_ = false;
+
+    double prev_raw_ = 0.0;
+    bool has_prev_raw_ = false;
+    std::uint32_t identical_run_ = 0; ///< Equal-to-previous streak.
+
+    double accepted_[2] = {0.0, 0.0}; ///< Last two accepted values.
+    std::size_t accepted_n_ = 0;
+
+    std::uint32_t consecutive_invalid_ = 0;
+    std::uint32_t consecutive_valid_ = 0;
+    bool failsafe_ = false;
+
+    Stats stats_;
+};
+
+} // namespace fault
+} // namespace ramp

@@ -116,8 +116,8 @@ ThermalModel::buildNetwork()
     max_stable_dt_ *= 0.5; // safety margin
 }
 
-SteadyTemps
-ThermalModel::steadyState(const PerStructure<double> &power_w) const
+util::Result<SteadyTemps>
+ThermalModel::trySteadyState(const PerStructure<double> &power_w) const
 {
     static const telemetry::Counter solves =
         telemetry::counter("thermal.steady_solves");
@@ -138,19 +138,41 @@ ThermalModel::steadyState(const PerStructure<double> &power_w) const
         a.at(i, i) = diag;
         b[i] = g_amb_[i] * params_.ambient_k;
         if (i < num_structures) {
+            if (!std::isfinite(power_w[i]))
+                return util::RampError{
+                    util::ErrorCode::NonFiniteValue,
+                    util::cat("non-finite block power ", power_w[i],
+                              " at structure ", i,
+                              " in thermal solve")};
             if (power_w[i] < 0.0)
-                util::fatal("negative block power in thermal solve");
+                return util::RampError{
+                    util::ErrorCode::InvalidInput,
+                    util::cat("negative block power ", power_w[i],
+                              " at structure ", i,
+                              " in thermal solve")};
             b[i] += power_w[i];
         }
     }
-    const auto t = util::solveLinear(a, b);
+    auto t = util::trySolveLinear(std::move(a), std::move(b));
+    if (!t)
+        return t.error();
 
     SteadyTemps out;
     for (std::size_t i = 0; i < num_structures; ++i)
-        out.block_k[i] = t[i];
-    out.spreader_k = t[spreader_];
-    out.sink_k = t[sink_];
+        out.block_k[i] = t.value()[i];
+    out.spreader_k = t.value()[spreader_];
+    out.sink_k = t.value()[sink_];
     return out;
+}
+
+SteadyTemps
+ThermalModel::steadyState(const PerStructure<double> &power_w) const
+{
+    auto result = trySteadyState(power_w);
+    if (!result)
+        util::fatal(util::cat("thermal steady state: ",
+                              result.error().str()));
+    return std::move(result.value());
 }
 
 void

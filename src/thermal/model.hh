@@ -83,7 +83,18 @@ class ThermalModel
 
     /**
      * Steady-state temperatures for a fixed per-block power map (W).
-     * Does not modify transient state.
+     * Does not modify transient state. Negative or non-finite block
+     * power is an InvalidInput error (a corrupted power sample must
+     * not crash the control loop); a singular conductance system is
+     * propagated as SingularSystem.
+     */
+    util::Result<SteadyTemps>
+    trySteadyState(const sim::PerStructure<double> &power_w) const;
+
+    /**
+     * trySteadyState that treats any failure as unrecoverable (calls
+     * fatal). For callers whose power map comes from validated model
+     * output rather than a fault-prone measurement path.
      */
     SteadyTemps steadyState(const sim::PerStructure<double> &power_w) const;
 

@@ -1,0 +1,43 @@
+#include "util/error.hh"
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace util {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::SingularSystem:
+        return "singular-system";
+      case ErrorCode::NonFiniteValue:
+        return "non-finite-value";
+      case ErrorCode::NonConvergence:
+        return "non-convergence";
+      case ErrorCode::InvalidInput:
+        return "invalid-input";
+      case ErrorCode::CorruptRecord:
+        return "corrupt-record";
+      case ErrorCode::IoFailure:
+        return "io-failure";
+      case ErrorCode::LockContention:
+        return "lock-contention";
+    }
+    return "unknown";
+}
+
+std::string
+RampError::str() const
+{
+    return cat(errorCodeName(code), ": ", message);
+}
+
+void
+resultMisuse(const char *what)
+{
+    panic(what);
+}
+
+} // namespace util
+} // namespace ramp

@@ -49,8 +49,8 @@ Matrix::mul(const std::vector<double> &x) const
     return y;
 }
 
-std::vector<double>
-solveLinear(Matrix a, std::vector<double> b)
+Result<std::vector<double>>
+trySolveLinear(Matrix a, std::vector<double> b)
 {
     const std::size_t n = a.rows();
     if (a.cols() != n || b.size() != n)
@@ -68,7 +68,10 @@ solveLinear(Matrix a, std::vector<double> b)
             }
         }
         if (best < 1e-300)
-            fatal("solveLinear: singular thermal/linear system");
+            return RampError{ErrorCode::SingularSystem,
+                             cat("singular linear system (pivot ",
+                                 best, " in column ", col, " of ", n,
+                                 ")")};
         if (pivot != col) {
             for (std::size_t c = col; c < n; ++c)
                 std::swap(a.at(col, c), a.at(pivot, c));
@@ -95,6 +98,15 @@ solveLinear(Matrix a, std::vector<double> b)
         x[i] = acc / a.at(i, i);
     }
     return x;
+}
+
+std::vector<double>
+solveLinear(Matrix a, std::vector<double> b)
+{
+    auto result = trySolveLinear(std::move(a), std::move(b));
+    if (!result)
+        fatal(cat("solveLinear: ", result.error().str()));
+    return std::move(result.value());
 }
 
 } // namespace util

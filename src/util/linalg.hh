@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/error.hh"
+
 namespace ramp {
 namespace util {
 
@@ -45,8 +47,19 @@ class Matrix
 
 /**
  * Solve A x = b with partial-pivot Gaussian elimination.
- * A must be square with A.rows() == b.size().
- * Calls fatal() on a (numerically) singular system.
+ * A must be square with A.rows() == b.size() (violating that is a
+ * caller bug and panics). A numerically singular system is a
+ * recoverable per-item failure and comes back as
+ * ErrorCode::SingularSystem.
+ */
+Result<std::vector<double>> trySolveLinear(Matrix a,
+                                           std::vector<double> b);
+
+/**
+ * trySolveLinear that treats singularity as unrecoverable: calls
+ * fatal(). For callers whose system is constructed from validated
+ * user configuration and can only be singular if that configuration
+ * is meaningless.
  */
 std::vector<double> solveLinear(Matrix a, std::vector<double> b);
 

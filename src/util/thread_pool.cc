@@ -1,5 +1,6 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -30,6 +31,10 @@ struct PoolMetrics
      *  opposed to the submitting caller); 0 on the serial path. */
     telemetry::Histogram worker_share =
         telemetry::histogram("pool.worker_share", 0.0, 1.0, 20);
+    /** Items that threw RampException and were dropped (reported in
+     *  the BatchReport) instead of killing their batch. */
+    telemetry::Counter failed_items =
+        telemetry::counter("pool.failed_items");
 };
 
 PoolMetrics &
@@ -78,7 +83,9 @@ ThreadPool::~ThreadPool()
 }
 
 std::size_t
-ThreadPool::drainBatch(Batch &batch, std::exception_ptr &error)
+ThreadPool::drainBatch(
+    Batch &batch, std::exception_ptr &error,
+    std::vector<std::pair<std::size_t, RampError>> &failures)
 {
     std::size_t executed = 0;
     for (;;) {
@@ -88,6 +95,8 @@ ThreadPool::drainBatch(Batch &batch, std::exception_ptr &error)
             return executed;
         try {
             batch.fn(i);
+        } catch (const RampException &e) {
+            failures.emplace_back(i, e.error());
         } catch (...) {
             if (!error)
                 error = std::current_exception();
@@ -116,23 +125,29 @@ ThreadPool::workerLoop()
         lock.unlock();
 
         std::exception_ptr error;
-        const std::size_t executed = drainBatch(*last, error);
+        std::vector<std::pair<std::size_t, RampError>> failures;
+        const std::size_t executed =
+            drainBatch(*last, error, failures);
 
         lock.lock();
         last->completed += executed;
         if (error && !last->error)
             last->error = error;
+        for (auto &f : failures)
+            last->failures.push_back(std::move(f));
         if (last->completed >= last->count)
             done_cv_.notify_all();
     }
 }
 
-void
+BatchReport
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &fn)
 {
+    BatchReport report;
+    report.items = count;
     if (count == 0)
-        return;
+        return report;
 
     auto &metrics = poolMetrics();
     metrics.batches.add();
@@ -143,11 +158,23 @@ ThreadPool::parallelFor(std::size_t count,
     timer.arg("count", static_cast<double>(count));
 
     if (workers_.empty() || count == 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            fn(i);
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (const RampException &e) {
+                report.failures.emplace_back(i, e.error());
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
         metrics.caller_items.add(count);
         metrics.worker_share.add(0.0);
-        return;
+        metrics.failed_items.add(report.failures.size());
+        if (error)
+            std::rethrow_exception(error);
+        return report;
     }
 
     auto batch = std::make_shared<Batch>();
@@ -161,12 +188,15 @@ ThreadPool::parallelFor(std::size_t count,
     metrics.queue_depth.set(static_cast<double>(count));
 
     std::exception_ptr error;
-    const std::size_t executed = drainBatch(*batch, error);
+    std::vector<std::pair<std::size_t, RampError>> failures;
+    const std::size_t executed = drainBatch(*batch, error, failures);
 
     lock.lock();
     batch->completed += executed;
     if (error && !batch->error)
         batch->error = error;
+    for (auto &f : failures)
+        batch->failures.push_back(std::move(f));
     done_cv_.wait(lock,
                   [&] { return batch->completed >= batch->count; });
     // Retire the batch so late-waking workers see no work. (Workers
@@ -174,6 +204,7 @@ ThreadPool::parallelFor(std::size_t count,
     if (batch_ == batch)
         batch_ = nullptr;
     const std::exception_ptr first = batch->error;
+    report.failures = std::move(batch->failures);
     lock.unlock();
 
     metrics.queue_depth.set(0.0);
@@ -182,8 +213,15 @@ ThreadPool::parallelFor(std::size_t count,
     metrics.worker_share.add(static_cast<double>(count - executed) /
                              static_cast<double>(count));
 
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    metrics.failed_items.add(report.failures.size());
+
     if (first)
         std::rethrow_exception(first);
+    return report;
 }
 
 } // namespace util

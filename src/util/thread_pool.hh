@@ -13,8 +13,13 @@
  * Work items are claimed from a shared atomic index, so scheduling
  * order is nondeterministic -- callers must write results by index
  * (never push_back) and keep fn free of order-dependent state.
- * Exceptions thrown by fn are captured and the first one is rethrown
- * on the calling thread after the batch drains.
+ *
+ * Failure policy: an item that throws RampException is a *recoverable
+ * per-item failure* -- the batch keeps draining, and the failed
+ * indices come back in the BatchReport (sorted, so reports are
+ * deterministic) for the caller to drop or retry. Any other exception
+ * still indicates a bug or an unrecoverable condition: the first one
+ * is rethrown on the calling thread after the batch drains.
  */
 
 #pragma once
@@ -26,10 +31,25 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/error.hh"
 
 namespace ramp {
 namespace util {
+
+/** Per-batch outcome of a parallelFor: which items failed, and how. */
+struct BatchReport
+{
+    /** Items submitted (fn invocations attempted). */
+    std::size_t items = 0;
+    /** (index, error) per item that threw RampException, sorted by
+     *  index so the report is deterministic at any thread count. */
+    std::vector<std::pair<std::size_t, RampError>> failures;
+
+    bool ok() const { return failures.empty(); }
+};
 
 /**
  * Threads to use when the caller expressed no preference: the
@@ -65,9 +85,13 @@ class ThreadPool
      * until all calls return. The caller participates, so this is
      * safe (and serial) on a 1-thread pool. Not reentrant: fn must
      * not itself call parallelFor on the same pool.
+     *
+     * Items that throw RampException are reported in the returned
+     * BatchReport instead of killing the batch; any other exception
+     * is rethrown (first wins) after the batch drains.
      */
-    void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &fn);
+    BatchReport parallelFor(std::size_t count,
+                            const std::function<void(std::size_t)> &fn);
 
   private:
     /**
@@ -86,13 +110,17 @@ class ThreadPool
         std::atomic<std::size_t> next{0}; ///< Next unclaimed index.
         std::size_t completed = 0; ///< Executed; guarded by mutex_.
         std::exception_ptr error;  ///< First thrown; guarded by mutex_.
+        /** RampException items, unsorted; guarded by mutex_. */
+        std::vector<std::pair<std::size_t, RampError>> failures;
     };
 
     void workerLoop();
     /** Claim and run indices of @p batch; returns how many this
-     *  thread executed, recording the first exception seen. */
-    static std::size_t drainBatch(Batch &batch,
-                                  std::exception_ptr &error);
+     *  thread executed, recording the first non-Ramp exception and
+     *  collecting RampException failures per item. */
+    static std::size_t
+    drainBatch(Batch &batch, std::exception_ptr &error,
+               std::vector<std::pair<std::size_t, RampError>> &failures);
 
     std::vector<std::thread> workers_;
 

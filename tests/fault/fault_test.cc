@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the fault-injection core: strict plan parsing, plan
+ * installation, the scheduling-independent hash decisions, and the
+ * per-stream SensorFaulter's determinism.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace ramp::fault {
+namespace {
+
+using util::ErrorCode;
+
+/** Clears any installed plan around each test (process-global). */
+class FaultPlanGuard : public testing::Test
+{
+  protected:
+    void SetUp() override { clearFaultPlan(); }
+    void TearDown() override { clearFaultPlan(); }
+};
+
+TEST(FaultKindNames, RoundTrip)
+{
+    for (std::size_t i = 0; i < num_fault_kinds; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        const auto back = faultKindFromName(faultKindName(kind));
+        ASSERT_TRUE(back.has_value()) << faultKindName(kind);
+        EXPECT_EQ(*back, kind);
+    }
+    EXPECT_FALSE(faultKindFromName("sensor-gremlin").has_value());
+    EXPECT_FALSE(faultKindFromName("").has_value());
+}
+
+TEST(ParseFaultPlan, EmptyObjectIsCleanPlan)
+{
+    const auto plan = parseFaultPlan("{}");
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan.value().seed, 1u);
+    EXPECT_FALSE(plan.value().any());
+}
+
+TEST(ParseFaultPlan, ParsesSeedAndSpecs)
+{
+    const auto plan = parseFaultPlan(
+        R"({"seed": 7, "faults": {
+             "sensor-noise": {"rate": 0.25, "sigma": 0.1},
+             "sensor-stuck": {"rate": 0.1, "hold": 5},
+             "sensor-delay": {"rate": 0.2, "delay": 4},
+             "cache-corrupt": {"rate": 0.5, "magnitude": 0.2}}})");
+    ASSERT_TRUE(plan.ok());
+    const FaultPlan &p = plan.value();
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_TRUE(p.any());
+    EXPECT_TRUE(p.enabled(FaultKind::SensorNoise));
+    EXPECT_DOUBLE_EQ(p.spec(FaultKind::SensorNoise).rate, 0.25);
+    EXPECT_DOUBLE_EQ(p.spec(FaultKind::SensorNoise).sigma, 0.1);
+    EXPECT_EQ(p.spec(FaultKind::SensorStuck).hold, 5u);
+    EXPECT_EQ(p.spec(FaultKind::SensorDelay).delay, 4u);
+    EXPECT_DOUBLE_EQ(p.spec(FaultKind::CacheCorrupt).magnitude, 0.2);
+    EXPECT_FALSE(p.enabled(FaultKind::PowerNan));
+    EXPECT_FALSE(p.enabled(FaultKind::NonConvergence));
+}
+
+TEST(ParseFaultPlan, RejectsMalformedInput)
+{
+    // Strictness: every shape error is InvalidInput, never a silent
+    // default -- a typo'd campaign must not quietly run clean.
+    const char *bad[] = {
+        "not json at all",
+        "[1, 2]",
+        R"({"sede": 3})",
+        R"({"seed": -1})",
+        R"({"seed": 1.5})",
+        R"({"faults": [1]})",
+        R"({"faults": {"sensor-gremlin": {"rate": 0.1}}})",
+        R"({"faults": {"sensor-noise": 0.1}})",
+        R"({"faults": {"sensor-noise": {"rat": 0.1}}})",
+        R"({"faults": {"sensor-noise": {"rate": 1.5}}})",
+        R"({"faults": {"sensor-noise": {"rate": -0.1}}})",
+        R"({"faults": {"sensor-noise": {"rate": "hot"}}})",
+        R"({"faults": {"sensor-noise": {"sigma": -1}}})",
+        R"({"faults": {"sensor-stuck": {"hold": 0}}})",
+        R"({"faults": {"sensor-delay": {"delay": 2.5}}})",
+    };
+    for (const char *text : bad) {
+        const auto plan = parseFaultPlan(text);
+        ASSERT_FALSE(plan.ok()) << text;
+        EXPECT_EQ(plan.error().code, ErrorCode::InvalidInput) << text;
+    }
+}
+
+TEST(LoadFaultPlan, InlineMatchesFile)
+{
+    const std::string text =
+        R"({"seed": 11, "faults": {"power-nan": {"rate": 0.3}}})";
+    const std::string path =
+        testing::TempDir() + "ramp_fault_plan_test.json";
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+    const auto inline_plan = loadFaultPlan(text);
+    const auto file_plan = loadFaultPlan(path);
+    ASSERT_TRUE(inline_plan.ok());
+    ASSERT_TRUE(file_plan.ok());
+    EXPECT_EQ(inline_plan.value().seed, file_plan.value().seed);
+    EXPECT_DOUBLE_EQ(
+        inline_plan.value().spec(FaultKind::PowerNan).rate,
+        file_plan.value().spec(FaultKind::PowerNan).rate);
+    std::remove(path.c_str());
+}
+
+TEST(LoadFaultPlan, MissingFileIsIoFailure)
+{
+    const auto plan =
+        loadFaultPlan(testing::TempDir() + "no_such_plan_xyz.json");
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.error().code, ErrorCode::IoFailure);
+}
+
+TEST_F(FaultPlanGuard, InstallAndClear)
+{
+    EXPECT_EQ(activeFaultPlan(), nullptr);
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.spec(FaultKind::SensorDropout).rate = 0.5;
+    installFaultPlan(plan);
+    ASSERT_NE(activeFaultPlan(), nullptr);
+    EXPECT_EQ(activeFaultPlan()->seed, 42u);
+    EXPECT_TRUE(activeFaultPlan()->enabled(FaultKind::SensorDropout));
+    clearFaultPlan();
+    EXPECT_EQ(activeFaultPlan(), nullptr);
+}
+
+TEST(HashChance, EdgeRatesAndDeterminism)
+{
+    const std::uint64_t h = faultHash(1, "some-site");
+    EXPECT_FALSE(hashChance(h, 0.0));
+    EXPECT_TRUE(hashChance(h, 1.0));
+    // Pure function of (hash, rate).
+    EXPECT_EQ(hashChance(h, 0.3), hashChance(h, 0.3));
+}
+
+TEST(HashChance, RateIsRespectedAcrossSites)
+{
+    std::size_t hits = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const auto h =
+            faultHash(7, util::cat("site-", i));
+        hits += hashChance(h, 0.3);
+    }
+    // Binomial(1000, 0.3): far outside [240, 360] means bias.
+    EXPECT_GT(hits, 240u);
+    EXPECT_LT(hits, 360u);
+}
+
+TEST(FaultHash, DiscriminatesPayloads)
+{
+    EXPECT_NE(faultHash(1, "a"), faultHash(1, "b"));
+    EXPECT_NE(faultHash(1, "a"), faultHash(2, "a"));
+    EXPECT_NE(faultHash(1, 3.0), faultHash(1, 4.0));
+    EXPECT_EQ(faultHash(1, "a"), faultHash(1, "a"));
+}
+
+TEST(CorruptLine, DeterministicAndNeverIdentity)
+{
+    FaultPlan plan;
+    plan.seed = 3;
+    const std::vector<std::string> lines = {
+        "2 some_key 1 2 3 4 5 6 7 8",
+        "2 another_key 0.5 0.25 nine ten",
+        "2 k 1",
+    };
+    for (const auto &line : lines) {
+        const auto a = corruptLine(plan, line);
+        const auto b = corruptLine(plan, line);
+        EXPECT_EQ(a, b) << line;
+        EXPECT_NE(a, line) << line;
+    }
+}
+
+TEST_F(FaultPlanGuard, CorruptCacheRecordFollowsRate)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    EXPECT_FALSE(corruptCacheRecord(plan, "key")); // rate 0
+    plan.spec(FaultKind::CacheCorrupt).rate = 1.0;
+    EXPECT_TRUE(corruptCacheRecord(plan, "key"));
+    // Same (plan, key) -> same decision at any call order.
+    plan.spec(FaultKind::CacheCorrupt).rate = 0.5;
+    const bool first = corruptCacheRecord(plan, "stable-key");
+    EXPECT_EQ(corruptCacheRecord(plan, "stable-key"), first);
+}
+
+TEST_F(FaultPlanGuard, ForceNonConvergenceFollowsRate)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    EXPECT_FALSE(forceNonConvergence(plan, 123));
+    plan.spec(FaultKind::NonConvergence).rate = 1.0;
+    EXPECT_TRUE(forceNonConvergence(plan, 123));
+    plan.spec(FaultKind::NonConvergence).rate = 0.5;
+    const bool first = forceNonConvergence(plan, 99);
+    EXPECT_EQ(forceNonConvergence(plan, 99), first);
+}
+
+TEST(SensorFaulter, CleanPlanIsIdentity)
+{
+    SensorFaulter faulter(FaultPlan{}, "test.stream", 100.0);
+    for (double v : {350.0, 351.25, 0.0, -3.0, 1e6}) {
+        EXPECT_EQ(faulter.apply(v), v);
+    }
+    EXPECT_EQ(faulter.tally().total(), 0u);
+}
+
+TEST(SensorFaulter, DeterministicPerStream)
+{
+    FaultPlan plan;
+    plan.seed = 9;
+    plan.spec(FaultKind::SensorNoise).rate = 0.5;
+    plan.spec(FaultKind::SensorDropout).rate = 0.2;
+
+    SensorFaulter a(plan, "dtm.temp", 370.0);
+    SensorFaulter b(plan, "dtm.temp", 370.0);
+    SensorFaulter other(plan, "drm.fit", 370.0);
+    bool streams_differ = false;
+    for (int i = 0; i < 200; ++i) {
+        const double clean = 350.0 + 0.1 * i;
+        const double va = a.apply(clean);
+        const double vb = b.apply(clean);
+        // Identical stream identity -> bit-identical faulted sequence
+        // (NaN compares unequal, so compare representations).
+        EXPECT_TRUE(va == vb || (std::isnan(va) && std::isnan(vb)))
+            << "reading " << i;
+        const double vo = other.apply(clean);
+        if (!(vo == va || (std::isnan(vo) && std::isnan(va))))
+            streams_differ = true;
+    }
+    EXPECT_EQ(a.tally().total(), b.tally().total());
+    // Different stream names decorrelate the sequences.
+    EXPECT_TRUE(streams_differ);
+}
+
+TEST(SensorFaulter, DropoutAtRateOneIsAllNan)
+{
+    FaultPlan plan;
+    plan.spec(FaultKind::SensorDropout).rate = 1.0;
+    SensorFaulter faulter(plan, "s", 1.0);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(std::isnan(faulter.apply(300.0 + i)));
+    EXPECT_EQ(faulter.tally().dropout, 20u);
+    EXPECT_EQ(faulter.tally().total(), 20u);
+}
+
+TEST(SensorFaulter, DelayReplaysCleanHistory)
+{
+    FaultPlan plan;
+    plan.spec(FaultKind::SensorDelay).rate = 1.0;
+    plan.spec(FaultKind::SensorDelay).delay = 2;
+    SensorFaulter faulter(plan, "s", 1.0);
+    std::vector<double> in, out;
+    for (int i = 0; i < 10; ++i) {
+        in.push_back(300.0 + i);
+        out.push_back(faulter.apply(in.back()));
+    }
+    // Too little history at first: the reading passes through.
+    EXPECT_EQ(out[0], in[0]);
+    EXPECT_EQ(out[1], in[1]);
+    // From then on every output is the reading from 2 observations
+    // ago -- genuine history, not previously-faulted output.
+    for (std::size_t i = 2; i < in.size(); ++i)
+        EXPECT_EQ(out[i], in[i - 2]) << "reading " << i;
+    EXPECT_EQ(faulter.tally().delay, 8u);
+}
+
+TEST(SensorFaulter, QuantizeSnapsToGrid)
+{
+    FaultPlan plan;
+    plan.spec(FaultKind::SensorQuantize).rate = 1.0;
+    plan.spec(FaultKind::SensorQuantize).step = 0.05;
+    SensorFaulter faulter(plan, "s", 100.0); // grid = 5.0
+    for (double v : {351.2, 348.9, 350.0, 352.5001}) {
+        const double q = faulter.apply(v);
+        EXPECT_DOUBLE_EQ(q, std::round(v / 5.0) * 5.0);
+    }
+    EXPECT_EQ(faulter.tally().quantize, 4u);
+}
+
+TEST(SensorFaulter, StuckLatchRepeatsLastGenuineReading)
+{
+    FaultPlan plan;
+    plan.spec(FaultKind::SensorStuck).rate = 1.0;
+    plan.spec(FaultKind::SensorStuck).hold = 3;
+    SensorFaulter faulter(plan, "s", 1.0);
+    // Reading 0 latches (and is itself genuine); readings 1..3 repeat
+    // it bit-for-bit; reading 4 re-latches and is genuine again.
+    EXPECT_EQ(faulter.apply(300.0), 300.0);
+    EXPECT_EQ(faulter.apply(301.0), 300.0);
+    EXPECT_EQ(faulter.apply(302.0), 300.0);
+    EXPECT_EQ(faulter.apply(303.0), 300.0);
+    EXPECT_EQ(faulter.apply(304.0), 304.0);
+    EXPECT_EQ(faulter.tally().stuck, 3u);
+}
+
+TEST_F(FaultPlanGuard, CountFaultFeedsTelemetry)
+{
+    const auto before = telemetry::Registry::instance()
+                            .snapshot()
+                            .counter("fault.sensor_noise");
+    countFault(FaultKind::SensorNoise);
+    countFault(FaultKind::SensorNoise);
+    const auto after = telemetry::Registry::instance()
+                           .snapshot()
+                           .counter("fault.sensor_noise");
+    EXPECT_EQ(after, before + 2);
+}
+
+} // namespace
+} // namespace ramp::fault

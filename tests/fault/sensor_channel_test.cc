@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for SensorChannel: plausibility gating, median-of-3
+ * despiking, stuck-at detection, last-known-good fallback, and the
+ * fail-safe latch (engage after K consecutive invalid readings,
+ * release after enough valid ones).
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fault/sensor_channel.hh"
+
+namespace ramp::fault {
+namespace {
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+SensorChannel::Params
+tempParams()
+{
+    SensorChannel::Params p;
+    p.label = "test.temp";
+    p.min_valid = 250.0;
+    p.max_valid = 1000.0;
+    p.spike_threshold = 40.0;
+    p.failsafe_after = 3;
+    p.release_after = 2;
+    p.stuck_after = 0;
+    return p;
+}
+
+TEST(SensorChannel, CleanReadingsPassThroughBitExact)
+{
+    SensorChannel chan(tempParams());
+    for (double raw : {300.0, 305.5, 299.25, 310.0, 308.125}) {
+        const auto r = chan.observe(raw);
+        EXPECT_EQ(r.value, raw);
+        EXPECT_TRUE(r.valid);
+        EXPECT_FALSE(r.despiked);
+        EXPECT_FALSE(r.fallback);
+        EXPECT_FALSE(r.failsafe);
+    }
+    const auto s = chan.stats();
+    EXPECT_EQ(s.observations, 5u);
+    EXPECT_EQ(s.invalid, 0u);
+    EXPECT_EQ(s.despiked, 0u);
+    EXPECT_EQ(s.fallbacks, 0u);
+    EXPECT_EQ(s.engages, 0u);
+}
+
+TEST(SensorChannel, ImplausibleReadingsFallBackToLastGood)
+{
+    SensorChannel chan(tempParams());
+    EXPECT_TRUE(chan.observe(300.0).valid);
+    for (double raw : {nan_v,
+                       std::numeric_limits<double>::infinity(),
+                       200.0,   // below min_valid
+                       2000.0}) // above max_valid
+    {
+        const auto r = chan.observe(raw);
+        EXPECT_FALSE(r.valid);
+        EXPECT_TRUE(r.fallback);
+        EXPECT_EQ(r.value, 300.0);
+    }
+    EXPECT_EQ(chan.stats().invalid, 4u);
+    EXPECT_EQ(chan.stats().fallbacks, 4u);
+}
+
+TEST(SensorChannel, MidRangePlaceholderBeforeAnyGoodReading)
+{
+    SensorChannel chan(tempParams());
+    const auto r = chan.observe(nan_v);
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.fallback); // nothing to fall back to
+    EXPECT_DOUBLE_EQ(r.value, 0.5 * (250.0 + 1000.0));
+}
+
+TEST(SensorChannel, DespikesLoneOutlierToMedian)
+{
+    auto p = tempParams();
+    p.spike_threshold = 5.0;
+    SensorChannel chan(p);
+    EXPECT_EQ(chan.observe(300.0).value, 300.0);
+    EXPECT_EQ(chan.observe(301.0).value, 301.0);
+    // 400 is plausible (in range) but 99 K off the recent median:
+    // physically impossible between intervals, so it is replaced.
+    const auto spike = chan.observe(400.0);
+    EXPECT_TRUE(spike.valid);
+    EXPECT_TRUE(spike.despiked);
+    EXPECT_EQ(spike.value, 301.0); // median3(300, 301, 400)
+    // The next ordinary reading passes untouched.
+    const auto after = chan.observe(302.0);
+    EXPECT_FALSE(after.despiked);
+    EXPECT_EQ(after.value, 302.0);
+    EXPECT_EQ(chan.stats().despiked, 1u);
+}
+
+TEST(SensorChannel, ZeroThresholdDisablesDespiking)
+{
+    auto p = tempParams();
+    p.spike_threshold = 0.0;
+    SensorChannel chan(p);
+    chan.observe(300.0);
+    chan.observe(301.0);
+    const auto r = chan.observe(400.0);
+    EXPECT_FALSE(r.despiked);
+    EXPECT_EQ(r.value, 400.0);
+}
+
+TEST(SensorChannel, DetectsStuckSensor)
+{
+    auto p = tempParams();
+    p.stuck_after = 3;
+    SensorChannel chan(p);
+    // A genuine sensor never repeats bit-identically for long; after
+    // stuck_after identical readings the channel stops trusting them.
+    EXPECT_TRUE(chan.observe(300.0).valid);
+    EXPECT_TRUE(chan.observe(300.0).valid); // run = 1
+    EXPECT_TRUE(chan.observe(300.0).valid); // run = 2
+    const auto r = chan.observe(300.0);     // run = 3 -> stuck
+    EXPECT_FALSE(r.valid);
+    EXPECT_TRUE(r.fallback);
+    EXPECT_EQ(chan.stats().stuck, 1u);
+    // A changed reading clears the run.
+    EXPECT_TRUE(chan.observe(301.0).valid);
+}
+
+TEST(SensorChannel, FailsafeEngagesAfterKInvalidAndReleases)
+{
+    SensorChannel chan(tempParams()); // engage after 3, release after 2
+    EXPECT_TRUE(chan.observe(300.0).valid);
+    EXPECT_FALSE(chan.observe(nan_v).failsafe);
+    EXPECT_FALSE(chan.observe(nan_v).failsafe);
+    const auto third = chan.observe(nan_v);
+    EXPECT_TRUE(third.failsafe);
+    EXPECT_EQ(third.value, 300.0); // still last-known-good
+    EXPECT_EQ(chan.stats().engages, 1u);
+    EXPECT_TRUE(chan.failsafe());
+
+    // One valid reading is not enough to release...
+    EXPECT_TRUE(chan.observe(301.0).failsafe);
+    // ...the second is.
+    EXPECT_FALSE(chan.observe(302.0).failsafe);
+    EXPECT_FALSE(chan.failsafe());
+    EXPECT_EQ(chan.stats().releases, 1u);
+}
+
+TEST(SensorChannel, AlternatingValidInvalidNeverEngages)
+{
+    // Hysteresis: the engage counter tracks *consecutive* invalid
+    // readings, so an intermittent sensor degrades (fallback per bad
+    // reading) without ever tripping the fail-safe.
+    SensorChannel chan(tempParams());
+    for (int i = 0; i < 10; ++i) {
+        const auto good = chan.observe(300.0 + i);
+        EXPECT_TRUE(good.valid);
+        EXPECT_FALSE(good.failsafe);
+        const auto bad = chan.observe(nan_v);
+        EXPECT_FALSE(bad.valid);
+        EXPECT_FALSE(bad.failsafe);
+        EXPECT_EQ(bad.value, 300.0 + i);
+    }
+    EXPECT_EQ(chan.stats().invalid, 10u);
+    EXPECT_EQ(chan.stats().engages, 0u);
+}
+
+TEST(SensorChannel, DeadFromStartStillReachesFailsafe)
+{
+    SensorChannel chan(tempParams());
+    for (int i = 0; i < 2; ++i)
+        EXPECT_FALSE(chan.observe(nan_v).failsafe);
+    const auto r = chan.observe(nan_v);
+    EXPECT_TRUE(r.failsafe);
+    EXPECT_TRUE(std::isfinite(r.value)); // placeholder, never NaN
+    EXPECT_EQ(chan.stats().engages, 1u);
+    EXPECT_EQ(chan.stats().fallbacks, 0u);
+}
+
+} // namespace
+} // namespace ramp::fault

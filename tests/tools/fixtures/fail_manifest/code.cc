@@ -12,3 +12,11 @@ touch()
 {
     telemetry::counter("rogue.metric").add();
 }
+
+void channelInstant(const std::string &, const char *, double);
+
+void
+touchChannel(const std::string &label)
+{
+    channelInstant(label, "rogue.instant", 1.0);
+}

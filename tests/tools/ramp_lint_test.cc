@@ -67,6 +67,11 @@ TEST(RampLint, UndocumentedMetricFailsWithFileAndLine)
     EXPECT_NE(r.output.find("code.cc:13:"), std::string::npos)
         << r.output;
     EXPECT_NE(r.output.find("rogue.metric"), std::string::npos);
+    // A name routed through the channelInstant helper (the literal
+    // is the second argument) is still extracted and anchored.
+    EXPECT_NE(r.output.find("code.cc:21:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rogue.instant"), std::string::npos);
     // The dead entry, anchored to its manifest line.
     EXPECT_NE(r.output.find("metrics.manifest:2:"),
               std::string::npos)

@@ -314,6 +314,17 @@ extractMetricRefs(const SourceFile &src,
                          {"span", m[1], src.path, line});
                  });
 
+    // SensorChannel's channelInstant helper: the first argument is
+    // the channel label (a variable), the second the instant name.
+    static const std::regex chan_re(
+        std::string("\\bchannelIns") +
+        "tant\\s*\\(\\s*[^,()\"]*,\\s*\"([^\"]+)\"");
+    forEachMatch(src, src.code_str, chan_re,
+                 [&](const std::smatch &m, std::size_t line) {
+                     refs.push_back(
+                         {"instant", m[1], src.path, line});
+                 });
+
     // Names that reach the registry through a helper carry a marker
     // comment at the call site.
     static const std::regex marker_re(
