@@ -9,9 +9,9 @@
  * EXPERIMENTS.md records the measured output against the paper.
  *
  * All benches accept the same flags (see Options::usage):
- * `--threads N`, `--seed N`, `--apps N`, `--metrics PATH`,
- * `--trace PATH`, `--fault-plan P` and `--fault-seed N`, plus
- * `--help`. Unknown flags are rejected, except
+ * `--threads N`, `--seed N`, `--apps N`, `--cache PATH`,
+ * `--metrics PATH`, `--trace PATH`, `--fault-plan P` and
+ * `--fault-seed N`, plus `--help`. Unknown flags are rejected, except
  * in the stripping mode bench_kernels uses to coexist with
  * google-benchmark's own flags. The RAMP_THREADS and RAMP_EVAL_CACHE
  * environment variables provide defaults for the worker count and
@@ -50,6 +50,11 @@ cachePath()
     return "ramp_eval_cache.txt";
 }
 
+struct Options;
+
+/** Cache path resolution: --cache flag > RAMP_EVAL_CACHE > default. */
+std::string cachePath(const Options &opts);
+
 /** The unified bench command line. */
 struct Options
 {
@@ -65,6 +70,9 @@ struct Options
     /** Chrome trace-event timeline written at exit ("" = none;
      *  setting it enables span collection). */
     std::string trace_path;
+    /** Evaluation-cache path; "" = RAMP_EVAL_CACHE, else the default
+     *  (see cachePath(opts)). */
+    std::string cache_path;
     /** Fault-injection plan: inline JSON (leading '{') or a file
      *  path; "" = run clean. Parsed and installed by parse(). */
     std::string fault_plan;
@@ -85,6 +93,8 @@ struct Options
             "re-simulate)\n"
             "  --apps N        run only the first N suite "
             "applications\n"
+            "  --cache PATH    evaluation cache file (wins over "
+            "RAMP_EVAL_CACHE)\n"
             "  --metrics PATH  write a telemetry metrics snapshot "
             "(JSON) at exit\n"
             "  --trace PATH    write a Chrome trace-event timeline at "
@@ -162,6 +172,7 @@ struct Options
                                                          &opts
                                                               .metrics_path},
                   {"--trace", &opts.trace_path},
+                  {"--cache", &opts.cache_path},
                   {"--fault-plan", &opts.fault_plan},
                   {"--threads", nullptr},
                   {"--seed", nullptr},
@@ -235,6 +246,14 @@ struct Options
     }
 };
 
+inline std::string
+cachePath(const Options &opts)
+{
+    if (!opts.cache_path.empty())
+        return opts.cache_path;
+    return cachePath();
+}
+
 /** Simulation controls used by every reproduction bench. */
 inline core::EvalParams
 benchEvalParams(const Options &opts = {})
@@ -255,7 +274,7 @@ struct Suite
     sim::PerStructure<double> alpha_qual{};
 
     explicit Suite(const Options &opts = {})
-        : cache(cachePath()),
+        : cache(cachePath(opts)),
           pool(opts.threads),
           explorer(benchEvalParams(opts), &cache, &pool),
           apps(workload::standardApps())

@@ -86,6 +86,17 @@ adaptationSpaceName(AdaptationSpace s)
     util::panic("adaptationSpaceName: bad space");
 }
 
+std::optional<AdaptationSpace>
+adaptationSpaceFromName(std::string_view name)
+{
+    for (AdaptationSpace s :
+         {AdaptationSpace::Arch, AdaptationSpace::Dvs,
+          AdaptationSpace::ArchDvs, AdaptationSpace::FetchThrottle})
+        if (name == adaptationSpaceName(s))
+            return s;
+    return std::nullopt;
+}
+
 std::vector<sim::MachineConfig>
 configSpace(AdaptationSpace space)
 {

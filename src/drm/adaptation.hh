@@ -19,7 +19,9 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/machine.hh"
@@ -61,6 +63,11 @@ enum class AdaptationSpace {
 
 /** Name for reports. */
 const char *adaptationSpaceName(AdaptationSpace s);
+
+/** Inverse of adaptationSpaceName (exact match); nullopt for unknown
+ *  names. Used by the serving protocol to parse request fields. */
+std::optional<AdaptationSpace>
+adaptationSpaceFromName(std::string_view name);
 
 /** All machine configurations in a space (base machine included). */
 std::vector<sim::MachineConfig> configSpace(AdaptationSpace space);

@@ -90,6 +90,8 @@ writeFailCounter()
 EvaluationCache::EvaluationCache(std::string path)
     : path_(std::move(path))
 {
+    if (path_.empty())
+        return; // In-memory only: no log, no lock sidecar.
 #ifdef RAMP_HAVE_FLOCK
     // Advisory cross-process coordination: hold a shared lock on a
     // sidecar for as long as this cache (and its appender) lives.

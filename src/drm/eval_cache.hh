@@ -85,7 +85,8 @@ class EvaluationCache
      * Attach a backing file, load any existing records from it, and
      * compact it (drop corrupt/stale/duplicate lines) if the log
      * holds anything but one line per live record. Missing files are
-     * fine (cold cache).
+     * fine (cold cache); an empty path means in-memory only, same as
+     * the default constructor.
      */
     explicit EvaluationCache(std::string path);
 

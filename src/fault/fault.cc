@@ -28,6 +28,8 @@ constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
 constexpr std::uint64_t cache_salt = 0x6361636865636f72ull;
 constexpr std::uint64_t converge_salt = 0x636f6e7665726765ull;
 constexpr std::uint64_t stream_salt = 0x73747265616d7365ull;
+constexpr std::uint64_t conn_drop_salt = 0x636f6e6e64726f70ull;
+constexpr std::uint64_t conn_slow_salt = 0x636f6e6e736c6f77ull;
 
 /** splitmix64 finalizer: decorrelates structured hash inputs. */
 std::uint64_t
@@ -52,7 +54,8 @@ gaussian(util::Rng &rng)
 const char *const kind_names[num_fault_kinds] = {
     "sensor-noise",  "sensor-quantize", "sensor-stuck",
     "sensor-dropout", "sensor-delay",   "cache-corrupt",
-    "non-convergence", "power-nan",
+    "non-convergence", "power-nan",     "conn-drop",
+    "conn-slow",
 };
 
 FaultPlan &
@@ -124,6 +127,12 @@ parseSpecField(FaultSpec &spec, std::string_view kind,
             spec.step = v;
         else
             spec.magnitude = v;
+    } else if (key == "delay-ms") {
+        if (v < 0.0)
+            return RampError{ErrorCode::InvalidInput,
+                             cat("fault plan: ", kind,
+                                 ".delay-ms must be >= 0, got ", v)};
+        spec.delay_ms = v;
     } else if (key == "hold" || key == "delay") {
         if (v < 1.0 || v != std::floor(v) || v > 1e6)
             return RampError{ErrorCode::InvalidInput,
@@ -138,7 +147,7 @@ parseSpecField(FaultSpec &spec, std::string_view kind,
         return RampError{ErrorCode::InvalidInput,
                          cat("fault plan: unknown field '", key,
                              "' in ", kind, " (expected rate/sigma/"
-                             "step/magnitude/hold/delay)")};
+                             "step/magnitude/hold/delay/delay-ms)")};
     }
     return {};
 }
@@ -244,7 +253,7 @@ void
 countFault(FaultKind kind)
 {
     // Registered on first fault, so a clean run's metric snapshot is
-    // unchanged; one firing registers all eight (zeros are fine).
+    // unchanged; one firing registers every kind (zeros are fine).
     static const std::array<telemetry::Counter, num_fault_kinds>
         counters = {
             telemetry::counter("fault.sensor_noise"),
@@ -255,6 +264,8 @@ countFault(FaultKind kind)
             telemetry::counter("fault.cache_corrupt"),
             telemetry::counter("fault.non_convergence"),
             telemetry::counter("fault.power_nan"),
+            telemetry::counter("fault.conn_drop"),
+            telemetry::counter("fault.conn_slow"),
         };
     counters[static_cast<std::size_t>(kind)].add();
 }
@@ -344,6 +355,34 @@ forceNonConvergence(const FaultPlan &plan, std::uint64_t site_hash)
         return false;
     countFault(FaultKind::NonConvergence);
     return true;
+}
+
+bool
+dropConnection(const FaultPlan &plan, std::string_view request_key)
+{
+    const auto &spec = plan.spec(FaultKind::ConnDrop);
+    if (spec.rate <= 0.0)
+        return false;
+    if (!hashChance(faultHash(plan.seed ^ conn_drop_salt,
+                              request_key),
+                    spec.rate))
+        return false;
+    countFault(FaultKind::ConnDrop);
+    return true;
+}
+
+double
+slowReplyMs(const FaultPlan &plan, std::string_view request_key)
+{
+    const auto &spec = plan.spec(FaultKind::ConnSlow);
+    if (spec.rate <= 0.0)
+        return 0.0;
+    if (!hashChance(faultHash(plan.seed ^ conn_slow_salt,
+                              request_key),
+                    spec.rate))
+        return 0.0;
+    countFault(FaultKind::ConnSlow);
+    return spec.delay_ms;
 }
 
 SensorFaulter::SensorFaulter(const FaultPlan &plan,

@@ -45,9 +45,11 @@ enum class FaultKind : std::uint8_t {
     CacheCorrupt,    ///< Eval-cache record garbled on write.
     NonConvergence,  ///< Thermal fixed point forced to its limit.
     PowerNan,        ///< One block's power sample becomes NaN.
+    ConnDrop,        ///< Server drops a connection instead of replying.
+    ConnSlow,        ///< Server delays a reply by `delay_ms`.
 };
 
-inline constexpr std::size_t num_fault_kinds = 8;
+inline constexpr std::size_t num_fault_kinds = 10;
 
 /** Stable kebab-case name ("sensor-noise") for plans and logs. */
 const char *faultKindName(FaultKind kind);
@@ -69,6 +71,7 @@ struct FaultSpec
     double magnitude = 0.5; ///< Corruption amplitude as a fraction of scale.
     std::uint32_t hold = 3; ///< Readings a stuck sensor repeats.
     std::uint32_t delay = 2; ///< Readings a delayed sample lags.
+    double delay_ms = 20.0; ///< Reply delay injected by conn-slow.
 };
 
 /** The full injection campaign: a seed plus one spec per kind. */
@@ -153,6 +156,25 @@ std::string corruptLine(const FaultPlan &plan, std::string_view line);
  * fault.non_convergence).
  */
 bool forceNonConvergence(const FaultPlan &plan, std::uint64_t site_hash);
+
+/**
+ * True when the serving layer should drop the connection carrying the
+ * request identified by @p request_key instead of replying (pure hash
+ * decision; counts fault.conn_drop). The key is the request payload
+ * plus its per-connection sequence number, so the decision is
+ * independent of scheduling.
+ */
+bool dropConnection(const FaultPlan &plan,
+                    std::string_view request_key);
+
+/**
+ * Milliseconds of artificial delay to insert before replying to the
+ * request identified by @p request_key; 0.0 when the conn-slow fault
+ * is not armed or this request was not selected (counts
+ * fault.conn_slow when it fires).
+ */
+double slowReplyMs(const FaultPlan &plan,
+                   std::string_view request_key);
 
 /**
  * Applies the sensor-stream fault kinds to one scalar reading

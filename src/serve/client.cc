@@ -1,0 +1,156 @@
+#include "serve/client.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace serve {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::RampError;
+using util::Result;
+
+Result<Client>
+Client::connect(ClientOptions opts)
+{
+    auto sock = util::connectTcp(opts.port, opts.connect_timeout_ms);
+    if (!sock)
+        return sock.error();
+    return Client(std::move(sock.value()), opts);
+}
+
+Result<std::uint64_t>
+Client::sendRequest(Request req)
+{
+    req.id = next_id_++;
+    auto written =
+        util::writeFrame(sock_, encodeRequest(req),
+                         opts_.max_frame_bytes, opts_.io_timeout_ms);
+    if (!written)
+        return written.error();
+    return req.id;
+}
+
+Result<Reply>
+Client::receiveReply()
+{
+    auto frame = util::readFrame(sock_, opts_.max_frame_bytes,
+                                 opts_.io_timeout_ms);
+    if (!frame)
+        return frame.error();
+    if (!frame.value().has_value())
+        return RampError{ErrorCode::IoFailure,
+                         "server closed the connection before "
+                         "replying"};
+    return parseReply(*frame.value());
+}
+
+Result<Reply>
+Client::call(Request req)
+{
+    auto id = sendRequest(std::move(req));
+    if (!id)
+        return id.error();
+    auto reply = receiveReply();
+    if (!reply)
+        return reply.error();
+    if (reply.value().id != id.value())
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("reply id ", reply.value().id,
+                      " does not match request id ", id.value(),
+                      " (pipelined replies need receiveReply())")};
+    return reply;
+}
+
+Result<JsonValue>
+Client::unwrap(Reply reply)
+{
+    if (reply.ok)
+        return std::move(reply.result);
+    const ErrorCode code = replyErrorCode(reply.error_code);
+    // Keep the wire code in the message only when the mapping is
+    // lossy (e.g. "bad-request" -> InvalidInput), so str() does not
+    // print the same code twice.
+    std::string message = reply.error_message;
+    if (reply.error_code != util::errorCodeName(code))
+        message = util::cat(reply.error_code, ": ", message);
+    return RampError{code, std::move(message)};
+}
+
+Result<JsonValue>
+Client::evaluate(const std::string &app, drm::AdaptationSpace space,
+                 std::size_t config, double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::Evaluate;
+    req.app = app;
+    req.space = space;
+    req.config = config;
+    req.t_qual_k = t_qual_k;
+    auto reply = call(std::move(req));
+    if (!reply)
+        return reply.error();
+    return unwrap(std::move(reply.value()));
+}
+
+Result<JsonValue>
+Client::selectDrm(const std::string &app, drm::AdaptationSpace space,
+                  double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::SelectDrm;
+    req.app = app;
+    req.space = space;
+    req.t_qual_k = t_qual_k;
+    auto reply = call(std::move(req));
+    if (!reply)
+        return reply.error();
+    return unwrap(std::move(reply.value()));
+}
+
+Result<JsonValue>
+Client::selectDtm(const std::string &app, drm::AdaptationSpace space,
+                  double t_design_k, double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::SelectDtm;
+    req.app = app;
+    req.space = space;
+    req.t_design_k = t_design_k;
+    req.t_qual_k = t_qual_k;
+    auto reply = call(std::move(req));
+    if (!reply)
+        return reply.error();
+    return unwrap(std::move(reply.value()));
+}
+
+Result<JsonValue>
+Client::stats()
+{
+    Request req;
+    req.type = RequestType::Stats;
+    auto reply = call(std::move(req));
+    if (!reply)
+        return reply.error();
+    return unwrap(std::move(reply.value()));
+}
+
+Result<void>
+Client::requestShutdown()
+{
+    Request req;
+    req.type = RequestType::Shutdown;
+    auto reply = call(std::move(req));
+    if (!reply)
+        return reply.error();
+    auto result = unwrap(std::move(reply.value()));
+    if (!result)
+        return result.error();
+    return {};
+}
+
+} // namespace serve
+} // namespace ramp

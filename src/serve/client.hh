@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Client library for the RAMP evaluation service.
+ *
+ * A Client owns one connection to a ramp_served daemon. The simple
+ * surface is call(): send one request, wait for its reply. The
+ * pipelined surface is send()/receive(): queue several requests and
+ * collect replies as they complete (the server answers in completion
+ * order, correlated by id) -- that is what bench_serve uses to keep N
+ * requests in flight per connection.
+ *
+ * Error replies become RampErrors via replyErrorCode(), so a caller
+ * distinguishes "overloaded" (back off and retry) from "shutting-
+ * down" (go away) from evaluation failures (non-convergence and
+ * friends travel the wire structurally).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "util/net.hh"
+
+namespace ramp {
+namespace serve {
+
+/** Connection knobs. */
+struct ClientOptions
+{
+    std::uint16_t port = 0;    ///< ramp_served's port.
+    int connect_timeout_ms = 2'000;
+    /** Deadline for one send or one reply wait. Slow-connection
+     *  fault tests shrink this to force the timeout path. */
+    int io_timeout_ms = 30'000;
+    std::size_t max_frame_bytes = default_max_frame;
+};
+
+/** One connection to the evaluation daemon. Move-only. */
+class Client
+{
+  public:
+    /** Connect to 127.0.0.1:opts.port. */
+    static util::Result<Client> connect(ClientOptions opts);
+
+    Client(Client &&) = default;
+    Client &operator=(Client &&) = default;
+
+    /**
+     * Send @p req (its id is overwritten with a fresh one) and wait
+     * for the matching reply. Transport failures (timeout, torn
+     * stream) are RampErrors; an error *reply* is returned as a
+     * Reply with ok == false, so callers see the server's code.
+     */
+    util::Result<Reply> call(Request req);
+
+    /** Pipelining: send without waiting. Assigns and returns the
+     *  request id the reply will echo. */
+    util::Result<std::uint64_t> sendRequest(Request req);
+
+    /** Pipelining: block for the next reply, whatever its id. */
+    util::Result<Reply> receiveReply();
+
+    /** call() an evaluate and unwrap the result object. */
+    util::Result<util::JsonValue>
+    evaluate(const std::string &app, drm::AdaptationSpace space,
+             std::size_t config, double t_qual_k = 345.0);
+
+    /** call() a select_drm and unwrap the result object. */
+    util::Result<util::JsonValue>
+    selectDrm(const std::string &app, drm::AdaptationSpace space,
+              double t_qual_k = 345.0);
+
+    /** call() a select_dtm and unwrap the result object. */
+    util::Result<util::JsonValue>
+    selectDtm(const std::string &app, drm::AdaptationSpace space,
+              double t_design_k = 370.0, double t_qual_k = 345.0);
+
+    /** call() a stats request and unwrap the result object. */
+    util::Result<util::JsonValue> stats();
+
+    /** Ask the server to begin its graceful drain. */
+    util::Result<void> requestShutdown();
+
+    /** Turn a Reply into value-or-error (error replies become
+     *  RampErrors with replyErrorCode()). */
+    static util::Result<util::JsonValue> unwrap(Reply reply);
+
+  private:
+    Client(util::Socket sock, ClientOptions opts)
+        : sock_(std::move(sock)), opts_(opts)
+    {
+    }
+
+    util::Socket sock_;
+    ClientOptions opts_;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace serve
+} // namespace ramp

@@ -1,0 +1,279 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace serve {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::RampError;
+using util::Result;
+
+namespace {
+
+const char *const type_names[] = {
+    "evaluate", "select_drm", "select_dtm", "stats", "shutdown",
+};
+
+/** Fetch a finite number field, with a default when absent. */
+Result<double>
+numberField(const JsonValue &obj, std::string_view key,
+            double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    if (!v->isNumber() || !std::isfinite(v->number))
+        return RampError{ErrorCode::InvalidInput,
+                         util::cat("request field '", std::string(key),
+                                   "' must be a finite number")};
+    return v->number;
+}
+
+} // namespace
+
+const char *
+requestTypeName(RequestType t)
+{
+    return type_names[static_cast<std::size_t>(t)];
+}
+
+std::optional<RequestType>
+requestTypeFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < std::size(type_names); ++i)
+        if (name == type_names[i])
+            return static_cast<RequestType>(i);
+    return std::nullopt;
+}
+
+std::string
+encodeRequest(const Request &req)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("id", JsonValue::makeNumber(
+                       static_cast<double>(req.id)));
+    root.set("type",
+             JsonValue::makeString(requestTypeName(req.type)));
+    switch (req.type) {
+      case RequestType::Evaluate:
+        root.set("app", JsonValue::makeString(req.app));
+        root.set("space", JsonValue::makeString(
+                              drm::adaptationSpaceName(req.space)));
+        root.set("config", JsonValue::makeNumber(
+                               static_cast<double>(req.config)));
+        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        break;
+      case RequestType::SelectDrm:
+        root.set("app", JsonValue::makeString(req.app));
+        root.set("space", JsonValue::makeString(
+                              drm::adaptationSpaceName(req.space)));
+        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        break;
+      case RequestType::SelectDtm:
+        root.set("app", JsonValue::makeString(req.app));
+        root.set("space", JsonValue::makeString(
+                              drm::adaptationSpaceName(req.space)));
+        root.set("t_design_k",
+                 JsonValue::makeNumber(req.t_design_k));
+        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        break;
+      case RequestType::Stats:
+      case RequestType::Shutdown:
+        break;
+    }
+    return util::writeJson(root);
+}
+
+Result<Request>
+parseRequest(std::string_view payload)
+{
+    std::string err;
+    const auto doc = util::parseJson(payload, &err);
+    if (!doc)
+        return RampError{ErrorCode::InvalidInput,
+                         util::cat("request is not JSON: ", err)};
+    if (!doc->isObject())
+        return RampError{ErrorCode::InvalidInput,
+                         "request must be a JSON object"};
+
+    Request req;
+
+    const JsonValue *id = doc->find("id");
+    if (!id || !id->isNumber() || id->number < 0.0 ||
+        id->number != std::floor(id->number))
+        return RampError{ErrorCode::InvalidInput,
+                         "request needs a non-negative integer "
+                         "'id'"};
+    req.id = static_cast<std::uint64_t>(id->number);
+
+    const JsonValue *type = doc->find("type");
+    if (!type || !type->isString())
+        return RampError{ErrorCode::InvalidInput,
+                         "request needs a string 'type'"};
+    const auto t = requestTypeFromName(type->str);
+    if (!t)
+        return RampError{ErrorCode::InvalidInput,
+                         util::cat("unknown request type '",
+                                   type->str, "'")};
+    req.type = *t;
+
+    const bool needs_app = req.type == RequestType::Evaluate ||
+                           req.type == RequestType::SelectDrm ||
+                           req.type == RequestType::SelectDtm;
+
+    // Reject fields that don't apply to the type: a client that
+    // sends "config" on a select_drm believed it would be honoured.
+    for (const auto &[key, value] : doc->object) {
+        (void)value;
+        if (key == "id" || key == "type")
+            continue;
+        const bool known =
+            (needs_app && (key == "app" || key == "space" ||
+                           key == "t_qual_k")) ||
+            (req.type == RequestType::Evaluate && key == "config") ||
+            (req.type == RequestType::SelectDtm &&
+             key == "t_design_k");
+        if (!known)
+            return RampError{
+                ErrorCode::InvalidInput,
+                util::cat("field '", key, "' does not apply to a ",
+                          requestTypeName(req.type), " request")};
+    }
+
+    if (!needs_app)
+        return req;
+
+    const JsonValue *app = doc->find("app");
+    if (!app || !app->isString() || app->str.empty())
+        return RampError{ErrorCode::InvalidInput,
+                         "request needs a non-empty string 'app'"};
+    req.app = app->str;
+
+    const JsonValue *space = doc->find("space");
+    if (!space || !space->isString())
+        return RampError{ErrorCode::InvalidInput,
+                         "request needs a string 'space'"};
+    const auto s = drm::adaptationSpaceFromName(space->str);
+    if (!s)
+        return RampError{ErrorCode::InvalidInput,
+                         util::cat("unknown adaptation space '",
+                                   space->str, "'")};
+    req.space = *s;
+
+    auto t_qual = numberField(*doc, "t_qual_k", req.t_qual_k);
+    if (!t_qual)
+        return t_qual.error();
+    req.t_qual_k = t_qual.value();
+
+    if (req.type == RequestType::Evaluate) {
+        const JsonValue *cfg = doc->find("config");
+        if (!cfg || !cfg->isNumber() || cfg->number < 0.0 ||
+            cfg->number != std::floor(cfg->number))
+            return RampError{ErrorCode::InvalidInput,
+                             "evaluate needs a non-negative integer "
+                             "'config'"};
+        req.config = static_cast<std::size_t>(cfg->number);
+    }
+    if (req.type == RequestType::SelectDtm) {
+        auto t_design =
+            numberField(*doc, "t_design_k", req.t_design_k);
+        if (!t_design)
+            return t_design.error();
+        req.t_design_k = t_design.value();
+    }
+    return req;
+}
+
+std::string
+encodeResultReply(std::uint64_t id, JsonValue result)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("id",
+             JsonValue::makeNumber(static_cast<double>(id)));
+    root.set("ok", JsonValue::makeBool(true));
+    root.set("result", std::move(result));
+    return util::writeJson(root);
+}
+
+std::string
+encodeErrorReply(std::uint64_t id, std::string_view code,
+                 std::string_view message)
+{
+    JsonValue error = JsonValue::makeObject();
+    error.set("code", JsonValue::makeString(std::string(code)));
+    error.set("message",
+              JsonValue::makeString(std::string(message)));
+    JsonValue root = JsonValue::makeObject();
+    root.set("id",
+             JsonValue::makeNumber(static_cast<double>(id)));
+    root.set("ok", JsonValue::makeBool(false));
+    root.set("error", std::move(error));
+    return util::writeJson(root);
+}
+
+Result<Reply>
+parseReply(std::string_view payload)
+{
+    std::string err;
+    const auto doc = util::parseJson(payload, &err);
+    if (!doc || !doc->isObject())
+        return RampError{ErrorCode::InvalidInput,
+                         util::cat("reply is not a JSON object: ",
+                                   err)};
+    Reply reply;
+    const JsonValue *id = doc->find("id");
+    const JsonValue *ok = doc->find("ok");
+    if (!id || !id->isNumber() || !ok || !ok->isBool())
+        return RampError{ErrorCode::InvalidInput,
+                         "reply needs numeric 'id' and boolean "
+                         "'ok'"};
+    reply.id = static_cast<std::uint64_t>(id->number);
+    reply.ok = ok->boolean;
+    if (reply.ok) {
+        const JsonValue *result = doc->find("result");
+        if (!result)
+            return RampError{ErrorCode::InvalidInput,
+                             "ok reply is missing 'result'"};
+        reply.result = *result;
+    } else {
+        const JsonValue *error = doc->find("error");
+        if (!error || !error->isObject())
+            return RampError{ErrorCode::InvalidInput,
+                             "error reply is missing 'error'"};
+        const JsonValue *code = error->find("code");
+        const JsonValue *message = error->find("message");
+        if (!code || !code->isString() || !message ||
+            !message->isString())
+            return RampError{ErrorCode::InvalidInput,
+                             "error reply needs string "
+                             "'code'/'message'"};
+        reply.error_code = code->str;
+        reply.error_message = message->str;
+    }
+    return reply;
+}
+
+util::ErrorCode
+replyErrorCode(std::string_view code)
+{
+    if (code == err_overloaded)
+        return ErrorCode::Overloaded;
+    if (code == err_shutting_down)
+        return ErrorCode::Unavailable;
+    for (ErrorCode c :
+         {ErrorCode::SingularSystem, ErrorCode::NonFiniteValue,
+          ErrorCode::NonConvergence, ErrorCode::InvalidInput,
+          ErrorCode::CorruptRecord, ErrorCode::IoFailure,
+          ErrorCode::LockContention, ErrorCode::Timeout,
+          ErrorCode::Overloaded, ErrorCode::Unavailable})
+        if (code == util::errorCodeName(c))
+            return c;
+    return ErrorCode::InvalidInput;
+}
+
+} // namespace serve
+} // namespace ramp

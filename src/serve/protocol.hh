@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The wire protocol of the RAMP evaluation service.
+ *
+ * Requests and replies are single JSON objects carried in the
+ * length-prefixed frames of util/net.hh. Every request carries a
+ * client-chosen `id` that the matching reply echoes, so a client may
+ * pipeline requests and correlate replies by id (replies come back
+ * in completion order, not necessarily submission order).
+ *
+ * Request shapes (fields beyond `id`/`type` per type):
+ *
+ *   {"id":1,"type":"evaluate","app":"bzip2","space":"DVS",
+ *    "config":6,"t_qual_k":345}
+ *   {"id":2,"type":"select_drm","app":"gzip","space":"ArchDVS",
+ *    "t_qual_k":345}
+ *   {"id":3,"type":"select_dtm","app":"gzip","space":"ArchDVS",
+ *    "t_design_k":370,"t_qual_k":345}
+ *   {"id":4,"type":"stats"}
+ *   {"id":5,"type":"shutdown"}
+ *
+ * Replies are {"id":N,"ok":true,"result":{...}} on success, or
+ * {"id":N,"ok":false,"error":{"code":"...","message":"..."}} on
+ * failure. Error codes are util::errorCodeName strings for
+ * evaluation failures (so a non-converged thermal point or a
+ * singular solve is reported structurally, never dropped), plus the
+ * serving-layer codes below.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "drm/adaptation.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+
+namespace ramp {
+namespace serve {
+
+/** Frame payload cap both sides enforce by default. */
+inline constexpr std::size_t default_max_frame = std::size_t{1}
+                                                 << 20;
+
+/** Serving-layer reply error codes (beyond util::errorCodeName). */
+inline constexpr const char *err_overloaded = "overloaded";
+inline constexpr const char *err_bad_request = "bad-request";
+inline constexpr const char *err_shutting_down = "shutting-down";
+
+/** The request verbs. */
+enum class RequestType : std::uint8_t {
+    Evaluate,  ///< One (app, config) operating point.
+    SelectDrm, ///< DRM oracle selection over a space.
+    SelectDtm, ///< DTM oracle selection over a space.
+    Stats,     ///< Server counters + cache stats (never queued).
+    Shutdown,  ///< Begin graceful drain.
+};
+
+/** Wire name ("evaluate", "select_drm", ...). */
+const char *requestTypeName(RequestType t);
+
+/** Inverse of requestTypeName; nullopt for unknown names. */
+std::optional<RequestType> requestTypeFromName(std::string_view name);
+
+/** One parsed (or to-be-encoded) request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    RequestType type = RequestType::Stats;
+
+    /** Application name (evaluate / select_*). */
+    std::string app;
+    /** Adaptation space the config indexes into. */
+    drm::AdaptationSpace space = drm::AdaptationSpace::ArchDvs;
+    /** Index into drm::configSpace(space) (evaluate only). */
+    std::size_t config = 0;
+    /** Qualification temperature for FIT evaluation (K). */
+    double t_qual_k = 345.0;
+    /** Thermal design point (select_dtm only, K). */
+    double t_design_k = 370.0;
+};
+
+/** Serialize a request to its wire payload. */
+std::string encodeRequest(const Request &req);
+
+/**
+ * Parse and validate one request payload. Strict: unknown `type`,
+ * missing/mistyped fields, fields that don't apply to the type, and
+ * non-finite temperatures are all InvalidInput.
+ */
+util::Result<Request> parseRequest(std::string_view payload);
+
+/** Success reply carrying @p result (consumed). */
+std::string encodeResultReply(std::uint64_t id,
+                              util::JsonValue result);
+
+/** Error reply with a structured code. */
+std::string encodeErrorReply(std::uint64_t id, std::string_view code,
+                             std::string_view message);
+
+/** A decoded reply. */
+struct Reply
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    util::JsonValue result;    ///< Valid when ok.
+    std::string error_code;    ///< Valid when !ok.
+    std::string error_message; ///< Valid when !ok.
+};
+
+/** Parse a reply payload (InvalidInput on malformed shape). */
+util::Result<Reply> parseReply(std::string_view payload);
+
+/** Nearest util::ErrorCode for a reply error code string (client
+ *  Result plumbing): "overloaded" -> Overloaded, "shutting-down" ->
+ *  Unavailable, errorCodeName strings -> themselves, anything else
+ *  -> InvalidInput. */
+util::ErrorCode replyErrorCode(std::string_view code);
+
+} // namespace serve
+} // namespace ramp

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Command-line client for ramp_served. One invocation, one request:
+ *
+ *   ramp_client --port N evaluate APP SPACE CONFIG [T_QUAL_K]
+ *   ramp_client --port N select-drm APP SPACE [T_QUAL_K]
+ *   ramp_client --port N select-dtm APP SPACE [T_DESIGN_K [T_QUAL_K]]
+ *   ramp_client --port N stats
+ *   ramp_client --port N shutdown
+ *
+ * The reply's result object is printed to stdout as one JSON line.
+ * Error replies (including "overloaded" and "shutting-down") print
+ * the structured code to stderr and exit nonzero.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "util/logging.hh"
+
+namespace {
+
+void
+usage(const char *prog, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s --port N [--timeout-ms N] COMMAND [args]\n"
+        "commands:\n"
+        "  evaluate APP SPACE CONFIG [T_QUAL_K]\n"
+        "  select-drm APP SPACE [T_QUAL_K]\n"
+        "  select-dtm APP SPACE [T_DESIGN_K [T_QUAL_K]]\n"
+        "  stats\n"
+        "  shutdown\n"
+        "SPACE is one of Arch, DVS, ArchDVS, FetchThrottle.\n",
+        prog);
+}
+
+double
+parseTemp(const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0')
+        ramp::util::fatal(ramp::util::cat(
+            "expected a temperature in kelvin, got '", value, "'"));
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ramp;
+
+    serve::ClientOptions opts;
+    std::vector<std::string> words;
+
+    const char *prog = argc > 0 ? argv[0] : "ramp_client";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(prog, stdout);
+            return 0;
+        }
+        if (arg == "--port" || arg == "--timeout-ms") {
+            if (i + 1 >= argc)
+                util::fatal(util::cat(arg, " needs a value"));
+            const std::string value = argv[++i];
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0')
+                util::fatal(util::cat(arg,
+                                      " needs an integer, got '",
+                                      value, "'"));
+            if (arg == "--port")
+                opts.port = static_cast<std::uint16_t>(n);
+            else
+                opts.io_timeout_ms = static_cast<int>(n);
+            continue;
+        }
+        words.push_back(arg);
+    }
+    if (opts.port == 0 || words.empty()) {
+        usage(prog, stderr);
+        util::fatal("need --port and a command");
+    }
+
+    const std::string &command = words[0];
+    const auto arity = [&](std::size_t lo, std::size_t hi) {
+        const std::size_t n = words.size() - 1;
+        if (n < lo || n > hi) {
+            usage(prog, stderr);
+            util::fatal(util::cat("wrong argument count for ",
+                                  command));
+        }
+    };
+    const auto space = [&](const std::string &name) {
+        const auto s = drm::adaptationSpaceFromName(name);
+        if (!s)
+            util::fatal(util::cat("unknown adaptation space '", name,
+                                  "'"));
+        return *s;
+    };
+
+    auto client = serve::Client::connect(opts);
+    if (!client)
+        util::fatal(util::cat("cannot connect to 127.0.0.1:",
+                              opts.port, ": ",
+                              client.error().str()));
+
+    util::Result<util::JsonValue> result =
+        util::RampError{util::ErrorCode::InvalidInput, "unset"};
+    if (command == "evaluate") {
+        arity(3, 4);
+        result = client.value().evaluate(
+            words[1], space(words[2]),
+            static_cast<std::size_t>(
+                std::strtoull(words[3].c_str(), nullptr, 10)),
+            words.size() > 4 ? parseTemp(words[4]) : 345.0);
+    } else if (command == "select-drm") {
+        arity(2, 3);
+        result = client.value().selectDrm(
+            words[1], space(words[2]),
+            words.size() > 3 ? parseTemp(words[3]) : 345.0);
+    } else if (command == "select-dtm") {
+        arity(2, 4);
+        result = client.value().selectDtm(
+            words[1], space(words[2]),
+            words.size() > 3 ? parseTemp(words[3]) : 370.0,
+            words.size() > 4 ? parseTemp(words[4]) : 345.0);
+    } else if (command == "stats") {
+        arity(0, 0);
+        result = client.value().stats();
+    } else if (command == "shutdown") {
+        arity(0, 0);
+        auto done = client.value().requestShutdown();
+        if (!done)
+            util::fatal(util::cat("shutdown: ",
+                                  done.error().str()));
+        std::fprintf(stdout, "{\"draining\":true}\n");
+        return 0;
+    } else {
+        usage(prog, stderr);
+        util::fatal(util::cat("unknown command '", command, "'"));
+    }
+
+    if (!result) {
+        std::fprintf(stderr, "%s: %s\n", command.c_str(),
+                     result.error().str().c_str());
+        return 1;
+    }
+    std::fprintf(stdout, "%s\n",
+                 util::writeJson(result.value()).c_str());
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The RAMP evaluation daemon. Listens on loopback, serves the
+ * protocol of serve/protocol.hh, and drains gracefully on SIGTERM /
+ * SIGINT or a client shutdown request: admitted work is answered,
+ * new work is rejected with "shutting-down", then the process exits.
+ *
+ * The bound port is printed to stdout (and optionally a --port-file)
+ * so scripts can use an ephemeral port without racing the daemon.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "fault/fault.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+void
+usage(const char *prog, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s [options]\n"
+        "  --port N            listen port (default 0 = ephemeral)\n"
+        "  --port-file PATH    write the bound port to PATH\n"
+        "  --cache PATH        evaluation cache file (wins over\n"
+        "                      RAMP_EVAL_CACHE; default\n"
+        "                      ramp_eval_cache.txt)\n"
+        "  --threads N         evaluation pool concurrency\n"
+        "  --apps N            serve only the first N suite apps\n"
+        "  --queue-depth N     admission queue bound (default 64)\n"
+        "  --batch-max N       max requests per batch (default 16)\n"
+        "  --idle-timeout-ms N disconnect idle peers (default "
+        "30000)\n"
+        "  --metrics PATH      telemetry snapshot at exit\n"
+        "  --fault-plan P      fault plan (inline JSON or file)\n"
+        "  --fault-seed N      override the plan's seed\n"
+        "  --help              show this message and exit\n",
+        prog);
+}
+
+[[noreturn]] void
+badFlag(const char *prog, const std::string &why)
+{
+    usage(prog, stderr);
+    ramp::util::fatal(why);
+}
+
+std::uint64_t
+parseCount(const char *prog, const std::string &flag,
+           const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long n =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0')
+        badFlag(prog, ramp::util::cat(flag,
+                                      " needs an integer, got '",
+                                      value, "'"));
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ramp;
+
+    serve::ServiceOptions service_opts;
+    if (const char *env = std::getenv("RAMP_EVAL_CACHE"))
+        service_opts.cache_path = env;
+    else
+        service_opts.cache_path = "ramp_eval_cache.txt";
+    serve::ServerOptions server_opts;
+    std::string port_file;
+    std::string metrics_path;
+    std::string fault_plan;
+    std::uint64_t fault_seed = 0;
+
+    const char *prog = argc > 0 ? argv[0] : "ramp_served";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(prog, stdout);
+            return 0;
+        }
+        if (i + 1 >= argc)
+            badFlag(prog, util::cat(arg, " needs a value"));
+        const std::string value = argv[++i];
+        if (arg == "--port")
+            server_opts.port = static_cast<std::uint16_t>(
+                parseCount(prog, arg, value));
+        else if (arg == "--port-file")
+            port_file = value;
+        else if (arg == "--cache")
+            service_opts.cache_path = value;
+        else if (arg == "--threads")
+            service_opts.threads = static_cast<unsigned>(
+                parseCount(prog, arg, value));
+        else if (arg == "--apps")
+            service_opts.max_apps = static_cast<std::size_t>(
+                parseCount(prog, arg, value));
+        else if (arg == "--queue-depth")
+            server_opts.queue_depth = static_cast<std::size_t>(
+                parseCount(prog, arg, value));
+        else if (arg == "--batch-max")
+            server_opts.batch_max = static_cast<std::size_t>(
+                parseCount(prog, arg, value));
+        else if (arg == "--idle-timeout-ms")
+            server_opts.idle_timeout_ms = static_cast<int>(
+                parseCount(prog, arg, value));
+        else if (arg == "--metrics")
+            metrics_path = value;
+        else if (arg == "--fault-plan")
+            fault_plan = value;
+        else if (arg == "--fault-seed")
+            fault_seed = parseCount(prog, arg, value);
+        else
+            badFlag(prog,
+                    util::cat("unknown argument '", arg,
+                              "' (see --help)"));
+    }
+
+    if (!metrics_path.empty())
+        telemetry::writeFilesAtExit(metrics_path, "");
+    if (fault_seed != 0 && fault_plan.empty())
+        util::fatal("--fault-seed requires --fault-plan");
+    if (!fault_plan.empty()) {
+        auto plan = fault::loadFaultPlan(fault_plan);
+        if (!plan)
+            util::fatal(
+                util::cat("--fault-plan: ", plan.error().str()));
+        if (fault_seed != 0)
+            plan.value().seed = fault_seed;
+        fault::installFaultPlan(plan.value());
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    serve::EvaluationService service(service_opts);
+    serve::Server server(service, server_opts);
+    if (auto started = server.start(); !started)
+        util::fatal(util::cat("ramp_served: ",
+                              started.error().str()));
+
+    std::fprintf(stdout, "ramp_served: listening on 127.0.0.1:%u\n",
+                 server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+        // Written after listen() succeeds, so a watcher that sees the
+        // file can connect immediately.
+        std::ofstream out(port_file);
+        out << server.port() << "\n";
+        if (!out)
+            util::fatal(util::cat("cannot write --port-file ",
+                                  port_file));
+    }
+
+    while (g_signal == 0 && !server.draining())
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+
+    std::fprintf(stderr, "ramp_served: draining (%s)\n",
+                 g_signal ? "signal" : "shutdown request");
+    server.stop();
+    return 0;
+}

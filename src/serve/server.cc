@@ -1,0 +1,420 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "fault/fault.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace serve {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::RampError;
+using util::Result;
+
+namespace {
+
+/** Seconds between two steady-clock points. */
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Best-effort id recovery from a payload that failed strict parsing,
+ * so the error reply still correlates when the client got only one
+ * field wrong. 0 when even that much is unrecoverable.
+ */
+std::uint64_t
+bestEffortId(std::string_view payload)
+{
+    const auto doc = util::parseJson(payload, nullptr);
+    if (!doc || !doc->isObject())
+        return 0;
+    const JsonValue *id = doc->find("id");
+    if (!id || !id->isNumber() || id->number < 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(id->number);
+}
+
+} // namespace
+
+Server::Server(EvaluationService &service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts))
+{
+    if (opts_.queue_depth == 0)
+        opts_.queue_depth = 1;
+    if (opts_.batch_max == 0)
+        opts_.batch_max = 1;
+}
+
+Server::~Server() { stop(); }
+
+Result<void>
+Server::start()
+{
+    if (started_.exchange(true))
+        return RampError{ErrorCode::InvalidInput,
+                         "server already started"};
+    auto listener = util::listenTcp(opts_.port);
+    if (!listener)
+        return listener.error();
+    listener_ = std::move(listener.value());
+    port_ = listener_.port;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    batcher_ = std::thread([this] { batchLoop(); });
+    return {};
+}
+
+void
+Server::requestDrain()
+{
+    {
+        std::lock_guard lock(queue_mu_);
+        draining_.store(true, std::memory_order_release);
+    }
+    queue_cv_.notify_all();
+}
+
+void
+Server::wait()
+{
+    if (!started_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard done(done_mu_);
+    if (joined_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (batcher_.joinable())
+        batcher_.join();
+    // Everything admitted has been answered; now wake any reader
+    // still parked on its socket and collect the threads.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard lock(conns_mu_);
+        conns.swap(conns_);
+    }
+    for (auto &conn : conns) {
+        conn->sock.shutdownBoth();
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+    listener_.socket.close();
+    joined_ = true;
+}
+
+void
+Server::stop()
+{
+    requestDrain();
+    wait();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining()) {
+        auto accepted = util::acceptTcp(listener_.socket, 200);
+        // Reap finished readers so a long-lived daemon's connection
+        // table tracks live peers, not history.
+        {
+            std::lock_guard lock(conns_mu_);
+            for (auto &conn : conns_) {
+                if (conn->done.load(std::memory_order_acquire) &&
+                    conn->thread.joinable())
+                    conn->thread.join();
+            }
+            std::erase_if(conns_, [](const auto &conn) {
+                return conn->done.load(std::memory_order_acquire) &&
+                       !conn->thread.joinable();
+            });
+        }
+        if (!accepted) {
+            if (accepted.error().code == ErrorCode::Timeout)
+                continue;
+            util::warn(util::cat("serve: accept failed: ",
+                                 accepted.error().message));
+            break;
+        }
+        connections_.add();
+        n_connections_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<Connection>();
+        conn->sock = std::move(accepted.value());
+        {
+            std::lock_guard lock(conns_mu_);
+            conns_.push_back(conn);
+        }
+        conn->thread =
+            std::thread([this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+Server::connectionLoop(const std::shared_ptr<Connection> &conn)
+{
+    std::uint64_t seq = 0;
+    while (true) {
+        auto frame = util::readFrame(conn->sock,
+                                     opts_.max_frame_bytes,
+                                     opts_.idle_timeout_ms);
+        if (!frame) {
+            if (frame.error().code == ErrorCode::InvalidInput) {
+                // Oversized length prefix, or garbage bytes that
+                // misparsed as one: tell the peer why, then hang up
+                // (the stream is unframeable from here on).
+                bad_requests_.add();
+                n_bad_requests_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                sendReply(conn, "",
+                          encodeErrorReply(0, err_bad_request,
+                                           frame.error().message));
+            }
+            break; // Timeout (idle peer) or IoFailure: just drop.
+        }
+        if (!frame.value().has_value())
+            break; // Clean EOF at a frame boundary.
+        replyInline(conn, *frame.value(), seq++);
+    }
+    conn->done.store(true, std::memory_order_release);
+}
+
+void
+Server::replyInline(const std::shared_ptr<Connection> &conn,
+                    const std::string &payload, std::uint64_t seq)
+{
+    const std::string fault_key =
+        util::cat(payload, "#", seq);
+
+    auto parsed = parseRequest(payload);
+    if (!parsed) {
+        bad_requests_.add();
+        n_bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        sendReply(conn, fault_key,
+                  encodeErrorReply(bestEffortId(payload),
+                                   err_bad_request,
+                                   parsed.error().message));
+        return;
+    }
+    Request req = std::move(parsed.value());
+    requests_.add();
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
+
+    switch (req.type) {
+      case RequestType::Stats: {
+        JsonValue result = JsonValue::makeObject();
+        result.set("server", statsJson());
+        result.set("cache", service_.cacheStatsJson());
+        sendReply(conn, fault_key,
+                  encodeResultReply(req.id, std::move(result)));
+        return;
+      }
+      case RequestType::Shutdown: {
+        requestDrain();
+        JsonValue result = JsonValue::makeObject();
+        result.set("draining", JsonValue::makeBool(true));
+        sendReply(conn, fault_key,
+                  encodeResultReply(req.id, std::move(result)));
+        return;
+      }
+      case RequestType::Evaluate:
+      case RequestType::SelectDrm:
+      case RequestType::SelectDtm:
+        break;
+    }
+
+    // Admission control: the queue is bounded, and full or draining
+    // means an immediate structured rejection, never a hang.
+    {
+        std::lock_guard lock(queue_mu_);
+        if (draining_.load(std::memory_order_acquire)) {
+            sendReply(conn, fault_key,
+                      encodeErrorReply(req.id, err_shutting_down,
+                                       "server is draining"));
+            return;
+        }
+        if (queue_.size() >= opts_.queue_depth) {
+            rejected_.add();
+            n_rejected_.fetch_add(1, std::memory_order_relaxed);
+            sendReply(
+                conn, fault_key,
+                encodeErrorReply(
+                    req.id, err_overloaded,
+                    util::cat("admission queue is full (depth ",
+                              opts_.queue_depth, ")")));
+            return;
+        }
+        queue_.push_back(Job{conn, std::move(req), fault_key,
+                             std::chrono::steady_clock::now()});
+        queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+    queue_cv_.notify_one();
+}
+
+void
+Server::batchLoop()
+{
+    service_.ensureReady();
+    while (true) {
+        std::vector<Job> batch;
+        {
+            std::unique_lock lock(queue_mu_);
+            queue_cv_.wait(lock, [&] {
+                return !queue_.empty() ||
+                       draining_.load(std::memory_order_acquire);
+            });
+            if (queue_.empty())
+                return; // Draining and fully drained.
+            const std::size_t take =
+                std::min(opts_.batch_max, queue_.size());
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            queue_depth_.set(static_cast<double>(queue_.size()));
+        }
+        runBatch(batch);
+    }
+}
+
+void
+Server::runBatch(std::vector<Job> &batch)
+{
+    const auto batch_t0 = std::chrono::steady_clock::now();
+
+    // Single-flight: evaluate requests naming the same point share
+    // one evaluation. Only one batch is ever in flight (one batcher),
+    // so within-batch coalescing *is* global single-flight.
+    using PointKey =
+        std::tuple<std::string, drm::AdaptationSpace, std::size_t>;
+    std::map<PointKey, std::vector<std::size_t>> point_jobs;
+    std::vector<std::size_t> select_jobs;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Request &req = batch[i].req;
+        if (req.type == RequestType::Evaluate)
+            point_jobs[PointKey{req.app, req.space, req.config}]
+                .push_back(i);
+        else
+            select_jobs.push_back(i);
+    }
+
+    std::vector<const PointKey *> unique_points;
+    unique_points.reserve(point_jobs.size());
+    std::size_t coalesced = 0;
+    for (const auto &[key, jobs] : point_jobs) {
+        unique_points.push_back(&key);
+        coalesced += jobs.size() - 1;
+    }
+    if (coalesced) {
+        coalesced_.add(coalesced);
+        n_coalesced_.fetch_add(coalesced,
+                               std::memory_order_relaxed);
+    }
+
+    // Result has no default state; seed the slots with a placeholder
+    // the parallel loop always overwrites.
+    std::vector<Result<core::OperatingPoint>> points(
+        unique_points.size(),
+        Result<core::OperatingPoint>(
+            RampError{ErrorCode::InvalidInput, "unset"}));
+    service_.pool().parallelFor(
+        unique_points.size(), [&](std::size_t i) {
+            const auto &[app, space, config] = *unique_points[i];
+            points[i] = service_.evaluatePoint(app, space, config);
+        });
+
+    std::map<PointKey, std::size_t> point_index;
+    for (std::size_t i = 0; i < unique_points.size(); ++i)
+        point_index.emplace(*unique_points[i], i);
+
+    for (Job &job : batch) {
+        const Request &req = job.req;
+        Result<JsonValue> result =
+            RampError{ErrorCode::InvalidInput, "unset"};
+        if (req.type == RequestType::Evaluate) {
+            const auto &point = points[point_index.at(
+                PointKey{req.app, req.space, req.config})];
+            result = point ? service_.encodeEvaluation(req,
+                                                       point.value())
+                           : Result<JsonValue>(point.error());
+        } else {
+            result = service_.select(req);
+        }
+        std::string reply =
+            result ? encodeResultReply(req.id,
+                                       std::move(result.value()))
+                   : encodeErrorReply(
+                         req.id,
+                         util::errorCodeName(result.error().code),
+                         result.error().message);
+        sendReply(job.conn, job.fault_key, reply);
+        request_s_.add(secondsSince(job.admitted));
+    }
+
+    batches_.add();
+    n_batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_size_.add(static_cast<double>(batch.size()));
+    batch_s_.add(secondsSince(batch_t0));
+}
+
+void
+Server::sendReply(const std::shared_ptr<Connection> &conn,
+                  std::string_view fault_key,
+                  const std::string &payload)
+{
+    if (const fault::FaultPlan *plan = fault::activeFaultPlan();
+        plan && !fault_key.empty()) {
+        if (fault::dropConnection(*plan, fault_key)) {
+            // Sever instead of replying: the client sees a torn
+            // stream, exactly the failure its timeout path handles.
+            conn->sock.shutdownBoth();
+            return;
+        }
+        const double delay_ms = fault::slowReplyMs(*plan, fault_key);
+        if (delay_ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    std::lock_guard lock(conn->write_mu);
+    auto written = util::writeFrame(conn->sock, payload,
+                                    opts_.max_frame_bytes,
+                                    opts_.io_timeout_ms);
+    if (!written)
+        conn->sock.shutdownBoth();
+}
+
+JsonValue
+Server::statsJson() const
+{
+    const auto load = [](const std::atomic<std::uint64_t> &c) {
+        return JsonValue::makeNumber(static_cast<double>(
+            c.load(std::memory_order_relaxed)));
+    };
+    std::size_t depth = 0;
+    {
+        std::lock_guard lock(queue_mu_);
+        depth = queue_.size();
+    }
+    JsonValue out = JsonValue::makeObject();
+    out.set("requests", load(n_requests_));
+    out.set("batches", load(n_batches_));
+    out.set("rejected", load(n_rejected_));
+    out.set("bad_requests", load(n_bad_requests_));
+    out.set("coalesced", load(n_coalesced_));
+    out.set("connections", load(n_connections_));
+    out.set("queue_depth",
+            JsonValue::makeNumber(static_cast<double>(depth)));
+    out.set("draining", JsonValue::makeBool(draining()));
+    return out;
+}
+
+} // namespace serve
+} // namespace ramp

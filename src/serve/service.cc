@@ -1,0 +1,202 @@
+#include "serve/service.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace serve {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::RampError;
+using util::Result;
+
+EvaluationService::EvaluationService(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_path),
+      pool_(opts_.threads),
+      explorer_(opts_.eval_params, &cache_, &pool_),
+      apps_(workload::standardApps())
+{
+    if (opts_.max_apps && opts_.max_apps < apps_.size())
+        apps_.resize(opts_.max_apps);
+}
+
+void
+EvaluationService::ensureReady()
+{
+    std::call_once(ready_once_, [&] {
+        base_ops_.resize(apps_.size());
+        pool_.parallelFor(apps_.size(), [&](std::size_t i) {
+            base_ops_[i] = explorer_.evaluateBase(apps_[i]);
+        });
+        alpha_qual_ = drm::alphaQualFromBaseline(base_ops_);
+    });
+}
+
+Result<std::size_t>
+EvaluationService::appIndex(const std::string &app) const
+{
+    for (std::size_t i = 0; i < apps_.size(); ++i)
+        if (apps_[i].name == app)
+            return i;
+    std::string known;
+    for (const auto &a : apps_)
+        known += known.empty() ? a.name : ", " + a.name;
+    return RampError{ErrorCode::InvalidInput,
+                     util::cat("unknown application '", app,
+                               "' (serving: ", known, ")")};
+}
+
+Result<core::OperatingPoint>
+EvaluationService::evaluatePoint(const std::string &app,
+                                 drm::AdaptationSpace space,
+                                 std::size_t config)
+{
+    auto idx = appIndex(app);
+    if (!idx)
+        return idx.error();
+    const auto configs = drm::configSpace(space);
+    if (config >= configs.size())
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("config index ", config, " out of range for ",
+                      drm::adaptationSpaceName(space), " (",
+                      configs.size(), " configurations)")};
+    return explorer_.tryEvaluate(configs[config],
+                                 apps_[idx.value()]);
+}
+
+std::shared_ptr<const core::Qualification>
+EvaluationService::qualification(double t_qual_k)
+{
+    std::lock_guard lock(qual_mu_);
+    auto it = quals_.find(t_qual_k);
+    if (it != quals_.end())
+        return it->second;
+    core::QualificationSpec spec;
+    spec.t_qual_k = t_qual_k;
+    spec.alpha_qual = alpha_qual_;
+    auto qual = std::make_shared<const core::Qualification>(spec);
+    quals_.emplace(t_qual_k, qual);
+    return qual;
+}
+
+Result<JsonValue>
+EvaluationService::encodeEvaluation(const Request &req,
+                                    const core::OperatingPoint &op)
+{
+    auto idx = appIndex(req.app);
+    if (!idx)
+        return idx.error();
+    const core::OperatingPoint &base = base_ops_[idx.value()];
+    const auto qual = qualification(req.t_qual_k);
+
+    JsonValue out = JsonValue::makeObject();
+    out.set("app", JsonValue::makeString(req.app));
+    out.set("space", JsonValue::makeString(
+                         drm::adaptationSpaceName(req.space)));
+    out.set("config", JsonValue::makeNumber(
+                          static_cast<double>(req.config)));
+    out.set("frequency_ghz",
+            JsonValue::makeNumber(op.config.frequency_ghz));
+    out.set("voltage_v", JsonValue::makeNumber(op.config.voltage_v));
+    out.set("perf_rel",
+            JsonValue::makeNumber(op.uopsPerSecond() /
+                                  base.uopsPerSecond()));
+    out.set("ipc", JsonValue::makeNumber(op.ipc()));
+    out.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+    out.set("fit", JsonValue::makeNumber(
+                       drm::operatingPointFit(*qual, op)));
+    out.set("max_temp_k", JsonValue::makeNumber(op.maxTemp()));
+    out.set("avg_temp_k", JsonValue::makeNumber(op.avgTemp()));
+    out.set("power_w", JsonValue::makeNumber(op.totalPower()));
+    // A non-converged fixed point is a *reported* condition, never a
+    // silent drop: the caller decides whether to trust the numbers.
+    out.set("converged", JsonValue::makeBool(op.converged));
+    return out;
+}
+
+Result<std::shared_ptr<const drm::ExploredApp>>
+EvaluationService::explored(std::size_t app_index,
+                            drm::AdaptationSpace space)
+{
+    const auto key = std::make_pair(app_index, space);
+    auto it = explored_.find(key);
+    if (it != explored_.end())
+        return it->second;
+    auto result = std::make_shared<const drm::ExploredApp>(
+        explorer_.explore(apps_[app_index], space));
+    explored_.emplace(key, result);
+    return result;
+}
+
+Result<JsonValue>
+EvaluationService::select(const Request &req)
+{
+    auto idx = appIndex(req.app);
+    if (!idx)
+        return idx.error();
+    auto space = explored(idx.value(), req.space);
+    if (!space)
+        return space.error();
+    const auto qual = qualification(req.t_qual_k);
+
+    const bool drm_policy = req.type == RequestType::SelectDrm;
+    const drm::Selection sel =
+        drm_policy
+            ? drm::selectDrm(*space.value(), *qual)
+            : drm::selectDtm(*space.value(), req.t_design_k, *qual);
+
+    JsonValue out = JsonValue::makeObject();
+    out.set("app", JsonValue::makeString(req.app));
+    out.set("space", JsonValue::makeString(
+                         drm::adaptationSpaceName(req.space)));
+    out.set("policy",
+            JsonValue::makeString(drm_policy ? "drm" : "dtm"));
+    out.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+    if (!drm_policy)
+        out.set("t_design_k", JsonValue::makeNumber(req.t_design_k));
+    out.set("index", JsonValue::makeNumber(
+                         static_cast<double>(sel.index)));
+    out.set("frequency_ghz",
+            JsonValue::makeNumber(sel.config.frequency_ghz));
+    out.set("voltage_v", JsonValue::makeNumber(sel.config.voltage_v));
+    out.set("window_size", JsonValue::makeNumber(static_cast<double>(
+                               sel.config.window_size)));
+    out.set("num_int_alu", JsonValue::makeNumber(static_cast<double>(
+                               sel.config.num_int_alu)));
+    out.set("num_fpu", JsonValue::makeNumber(static_cast<double>(
+                           sel.config.num_fpu)));
+    out.set("perf_rel", JsonValue::makeNumber(sel.perf_rel));
+    out.set("fit", JsonValue::makeNumber(sel.fit));
+    out.set("max_temp_k", JsonValue::makeNumber(sel.max_temp_k));
+    out.set("feasible", JsonValue::makeBool(sel.feasible));
+    out.set("converged",
+            JsonValue::makeBool(sel.index < sel.table.size()
+                                    ? sel.table[sel.index].converged
+                                    : true));
+    return out;
+}
+
+JsonValue
+EvaluationService::cacheStatsJson() const
+{
+    const auto stats = cache_.stats();
+    JsonValue out = JsonValue::makeObject();
+    out.set("records", JsonValue::makeNumber(
+                           static_cast<double>(cache_.size())));
+    out.set("hits", JsonValue::makeNumber(
+                        static_cast<double>(stats.hits)));
+    out.set("misses", JsonValue::makeNumber(
+                          static_cast<double>(stats.misses)));
+    out.set("appended", JsonValue::makeNumber(
+                            static_cast<double>(stats.appended)));
+    out.set("loaded", JsonValue::makeNumber(
+                          static_cast<double>(stats.loaded)));
+    return out;
+}
+
+} // namespace serve
+} // namespace ramp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The evaluation engine behind the serving layer, shared by
+ * ramp_served, bench_serve's direct-path oracle, and the serve
+ * tests.
+ *
+ * EvaluationService owns the stack a bench's Suite owns -- the
+ * persistent EvaluationCache, the ThreadPool, the OracleExplorer,
+ * the application suite, and the paper's qualification setup
+ * (alpha_qual from the base operating points) -- but exposes it
+ * request-at-a-time: evaluate one (app, space, config) point, or run
+ * one DRM/DTM oracle selection over a space. Results are returned
+ * both as library types (for single-flight sharing) and as encoded
+ * protocol JSON, and the encoding is the *only* serializer either
+ * the server or the direct path uses, so a served reply is
+ * byte-identical to the equivalent in-process call by construction.
+ *
+ * Thread safety: ensureReady() and select() fan work out across the
+ * owned pool and must only be called from one driver thread at a
+ * time (the server's batcher). evaluatePoint()/encodeEvaluation()
+ * never touch the pool and are safe to call concurrently from
+ * *inside* a pool batch -- that is exactly how the server
+ * parallelizes a batch of evaluate requests.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+#include "drm/adaptation.hh"
+#include "drm/eval_cache.hh"
+#include "drm/oracle.hh"
+#include "serve/protocol.hh"
+#include "util/thread_pool.hh"
+#include "workload/profile.hh"
+
+namespace ramp {
+namespace serve {
+
+/** Construction knobs for the service. */
+struct ServiceOptions
+{
+    /** Evaluation-cache path ("" = in-memory only). */
+    std::string cache_path;
+    /** Pool concurrency; 0 = util::defaultThreadCount(). */
+    unsigned threads = 0;
+    /** Truncate the suite to its first N applications; 0 = all. */
+    std::size_t max_apps = 0;
+    /** Simulation controls (keyed into the cache). */
+    core::EvalParams eval_params{};
+};
+
+/** The long-lived evaluation state behind the server. */
+class EvaluationService
+{
+  public:
+    explicit EvaluationService(ServiceOptions opts);
+
+    /**
+     * Evaluate every application's base operating point (through the
+     * cache) and derive alpha_qual. Idempotent; uses the pool. The
+     * server runs this before its first batch; direct callers run it
+     * before evaluatePoint()/select().
+     */
+    void ensureReady();
+
+    /** The (possibly truncated) application suite. */
+    const std::vector<workload::AppProfile> &apps() const
+    {
+        return apps_;
+    }
+
+    util::ThreadPool &pool() { return pool_; }
+    drm::EvaluationCache &cache() { return cache_; }
+
+    /**
+     * Evaluate one explored point: configSpace(space)[config] run on
+     * @p app. Unknown apps and out-of-range config indices are
+     * InvalidInput; evaluation failures carry their RampError
+     * through. Safe inside a pool batch (never touches the pool).
+     */
+    util::Result<core::OperatingPoint>
+    evaluatePoint(const std::string &app, drm::AdaptationSpace space,
+                  std::size_t config);
+
+    /**
+     * Encode an evaluate reply's result object for @p req from an
+     * already-evaluated point: relative performance against the
+     * app's base point, application FIT under the request's
+     * qualification temperature, temperatures, power, convergence.
+     */
+    util::Result<util::JsonValue>
+    encodeEvaluation(const Request &req,
+                     const core::OperatingPoint &op);
+
+    /**
+     * Run one DRM or DTM oracle selection (req.type selects which).
+     * The explored space is memoized per (app, space), so repeated
+     * selections at different temperatures re-run only the cheap
+     * constraint evaluation. Driver-thread only (fans out on the
+     * pool).
+     */
+    util::Result<util::JsonValue> select(const Request &req);
+
+    /** Cache usage counters as a JSON object (stats replies). */
+    util::JsonValue cacheStatsJson() const;
+
+  private:
+    /** Unknown-app guard; InvalidInput with the suite's names. */
+    util::Result<std::size_t> appIndex(const std::string &app) const;
+
+    /** Memoized qualification for one T_qual (thread-safe). */
+    std::shared_ptr<const core::Qualification>
+    qualification(double t_qual_k);
+
+    /** Memoized explored space (driver-thread only). */
+    util::Result<std::shared_ptr<const drm::ExploredApp>>
+    explored(std::size_t app_index, drm::AdaptationSpace space);
+
+    ServiceOptions opts_;
+    drm::EvaluationCache cache_;
+    util::ThreadPool pool_;
+    drm::OracleExplorer explorer_;
+    std::vector<workload::AppProfile> apps_;
+
+    std::once_flag ready_once_;
+    std::vector<core::OperatingPoint> base_ops_;
+    sim::PerStructure<double> alpha_qual_{};
+
+    std::mutex qual_mu_; ///< Guards quals_.
+    std::map<double, std::shared_ptr<const core::Qualification>>
+        quals_;
+
+    /** Driver-thread only (no lock): explored-space memo. */
+    std::map<std::pair<std::size_t, drm::AdaptationSpace>,
+             std::shared_ptr<const drm::ExploredApp>>
+        explored_;
+};
+
+} // namespace serve
+} // namespace ramp

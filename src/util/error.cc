@@ -23,6 +23,12 @@ errorCodeName(ErrorCode code)
         return "io-failure";
       case ErrorCode::LockContention:
         return "lock-contention";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Overloaded:
+        return "overloaded";
+      case ErrorCode::Unavailable:
+        return "unavailable";
     }
     return "unknown";
 }

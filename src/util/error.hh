@@ -42,6 +42,12 @@ enum class ErrorCode {
     IoFailure,
     /** An advisory lock was held by another process. */
     LockContention,
+    /** A deadline elapsed before an I/O operation completed. */
+    Timeout,
+    /** A bounded admission queue rejected the work (serving layer). */
+    Overloaded,
+    /** The peer is draining and no longer accepts work. */
+    Unavailable,
 };
 
 /** Stable lowercase name for logs and tests. */

@@ -1,8 +1,10 @@
 #include "util/json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -218,6 +220,188 @@ JsonValue::at(std::string_view key) const
     if (!v)
         panic(cat("JsonValue: missing key '", std::string(key), "'"));
     return *v;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.type = Type::Bool;
+    out.boolean = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue out;
+    out.type = Type::Number;
+    out.number = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.type = Type::String;
+    out.str = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue out;
+    out.type = Type::Array;
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue out;
+    out.type = Type::Object;
+    return out;
+}
+
+JsonValue &
+JsonValue::set(std::string key, JsonValue v)
+{
+    if (type != Type::Object)
+        panic("JsonValue::set on a non-object");
+    object.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (type != Type::Array)
+        panic("JsonValue::push on a non-array");
+    array.push_back(std::move(v));
+    return *this;
+}
+
+namespace {
+
+/** Shortest decimal form that parses back to exactly @p v. Integral
+ *  values within the double-exact range print as plain integers so
+ *  counters stay readable. */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        os << buf;
+        return;
+    }
+    char buf[40];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v,
+                      std::chars_format::general);
+    os.write(buf, res.ptr - buf);
+}
+
+void
+writeEscapedString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const JsonValue &value)
+{
+    switch (value.type) {
+      case JsonValue::Type::Null:
+        os << "null";
+        break;
+      case JsonValue::Type::Bool:
+        os << (value.boolean ? "true" : "false");
+        break;
+      case JsonValue::Type::Number:
+        writeNumber(os, value.number);
+        break;
+      case JsonValue::Type::String:
+        writeEscapedString(os, value.str);
+        break;
+      case JsonValue::Type::Array: {
+        os << '[';
+        bool first = true;
+        for (const JsonValue &v : value.array) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJson(os, v);
+        }
+        os << ']';
+        break;
+      }
+      case JsonValue::Type::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[k, v] : value.object) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscapedString(os, k);
+            os << ':';
+            writeJson(os, v);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+std::string
+writeJson(const JsonValue &value)
+{
+    std::ostringstream os;
+    writeJson(os, value);
+    return os.str();
 }
 
 namespace {

@@ -114,7 +114,36 @@ struct JsonValue
 
     /** find() that dies (panic) when the key is missing. */
     const JsonValue &at(std::string_view key) const;
+
+    // --- Construction helpers (building documents to serialize) ---
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    /** Append an object member (no duplicate-key check) and return
+     *  *this for chaining. Panics when this is not an object. */
+    JsonValue &set(std::string key, JsonValue v);
+
+    /** Append an array element; panics when this is not an array. */
+    JsonValue &push(JsonValue v);
 };
+
+/**
+ * Serialize a document tree. Exact round-trip with parseJson: string
+ * escaping matches the parser's decoding, and numbers are printed
+ * with the shortest representation that parses back to the same
+ * double (integral values in range print without an exponent or
+ * fraction). Non-finite numbers cannot be represented and are
+ * emitted as null, as JsonWriter does.
+ */
+void writeJson(std::ostream &os, const JsonValue &value);
+
+/** writeJson into a string (protocol messages, tests). */
+std::string writeJson(const JsonValue &value);
 
 /**
  * Parse a complete JSON document. Strict: one root value, no trailing

@@ -295,41 +295,49 @@ Registry::snapshot() const
 void
 Registry::writeMetricsJson(std::ostream &os) const
 {
+    // Built as a document tree and serialized with util::writeJson
+    // so the emitted file is guaranteed to round-trip through
+    // util::parseJson (the validator and manifest checker both parse
+    // it back).
     const Snapshot snap = snapshot();
-    util::JsonWriter w(os);
-    w.beginObject();
+    util::JsonValue root = util::JsonValue::makeObject();
 
-    w.key("counters").beginObject();
+    util::JsonValue counters = util::JsonValue::makeObject();
     for (const auto &[name, value] : snap.counters)
-        w.kv(name, value);
-    w.endObject();
+        counters.set(name, util::JsonValue::makeNumber(
+                               static_cast<double>(value)));
+    root.set("counters", std::move(counters));
 
-    w.key("gauges").beginObject();
+    util::JsonValue gauges = util::JsonValue::makeObject();
     for (const auto &[name, value] : snap.gauges)
-        w.kv(name, value);
-    w.endObject();
+        gauges.set(name, util::JsonValue::makeNumber(value));
+    root.set("gauges", std::move(gauges));
 
-    w.key("histograms").beginObject();
+    util::JsonValue hists = util::JsonValue::makeObject();
     for (const auto &[name, h] : snap.histograms) {
-        w.key(name).beginObject();
-        w.kv("lo", h.lo);
-        w.kv("hi", h.hi);
-        w.key("counts").beginArray();
+        util::JsonValue entry = util::JsonValue::makeObject();
+        entry.set("lo", util::JsonValue::makeNumber(h.lo));
+        entry.set("hi", util::JsonValue::makeNumber(h.hi));
+        util::JsonValue counts = util::JsonValue::makeArray();
         for (std::uint64_t c : h.counts)
-            w.value(c);
-        w.endArray();
-        w.kv("underflow", h.underflow);
-        w.kv("overflow", h.overflow);
-        w.kv("total", h.total);
-        w.kv("sum", h.sum);
-        w.kv("mean", h.mean());
-        w.kv("min", h.min);
-        w.kv("max", h.max);
-        w.endObject();
+            counts.push(util::JsonValue::makeNumber(
+                static_cast<double>(c)));
+        entry.set("counts", std::move(counts));
+        entry.set("underflow", util::JsonValue::makeNumber(
+                                   static_cast<double>(h.underflow)));
+        entry.set("overflow", util::JsonValue::makeNumber(
+                                  static_cast<double>(h.overflow)));
+        entry.set("total", util::JsonValue::makeNumber(
+                               static_cast<double>(h.total)));
+        entry.set("sum", util::JsonValue::makeNumber(h.sum));
+        entry.set("mean", util::JsonValue::makeNumber(h.mean()));
+        entry.set("min", util::JsonValue::makeNumber(h.min));
+        entry.set("max", util::JsonValue::makeNumber(h.max));
+        hists.set(name, std::move(entry));
     }
-    w.endObject();
+    root.set("histograms", std::move(hists));
 
-    w.endObject();
+    util::writeJson(os, root);
     os << '\n';
 }
 

@@ -92,6 +92,8 @@ TEST(ParseFaultPlan, RejectsMalformedInput)
         R"({"faults": {"sensor-noise": {"sigma": -1}}})",
         R"({"faults": {"sensor-stuck": {"hold": 0}}})",
         R"({"faults": {"sensor-delay": {"delay": 2.5}}})",
+        R"({"faults": {"conn-slow": {"delay-ms": -1}}})",
+        R"({"faults": {"conn-slow": {"delay-ms": "soon"}}})",
     };
     for (const char *text : bad) {
         const auto plan = parseFaultPlan(text);
@@ -311,6 +313,75 @@ TEST(SensorFaulter, StuckLatchRepeatsLastGenuineReading)
     EXPECT_EQ(faulter.apply(303.0), 300.0);
     EXPECT_EQ(faulter.apply(304.0), 304.0);
     EXPECT_EQ(faulter.tally().stuck, 3u);
+}
+
+TEST(ParseFaultPlan, ParsesConnectionKinds)
+{
+    const auto plan = parseFaultPlan(
+        R"({"faults": {
+             "conn-drop": {"rate": 0.2},
+             "conn-slow": {"rate": 0.5, "delay-ms": 35.5}}})");
+    ASSERT_TRUE(plan.ok()) << plan.error().str();
+    EXPECT_DOUBLE_EQ(
+        plan.value().spec(FaultKind::ConnDrop).rate, 0.2);
+    EXPECT_DOUBLE_EQ(
+        plan.value().spec(FaultKind::ConnSlow).rate, 0.5);
+    EXPECT_DOUBLE_EQ(
+        plan.value().spec(FaultKind::ConnSlow).delay_ms, 35.5);
+}
+
+TEST_F(FaultPlanGuard, DropConnectionFollowsRate)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    EXPECT_FALSE(dropConnection(plan, "req#0")); // rate 0
+    plan.spec(FaultKind::ConnDrop).rate = 1.0;
+    EXPECT_TRUE(dropConnection(plan, "req#0"));
+    // Pure hash of (seed, key): same decision at any call order,
+    // different keys decorrelated.
+    plan.spec(FaultKind::ConnDrop).rate = 0.5;
+    const bool first = dropConnection(plan, "stable#7");
+    EXPECT_EQ(dropConnection(plan, "stable#7"), first);
+    int dropped = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (dropConnection(plan,
+                           "req#" + std::to_string(i)))
+            ++dropped;
+    EXPECT_GT(dropped, 400);
+    EXPECT_LT(dropped, 600);
+}
+
+TEST_F(FaultPlanGuard, SlowReplyReturnsConfiguredDelay)
+{
+    FaultPlan plan;
+    plan.seed = 9;
+    EXPECT_EQ(slowReplyMs(plan, "req#0"), 0.0); // rate 0
+    plan.spec(FaultKind::ConnSlow).rate = 1.0;
+    plan.spec(FaultKind::ConnSlow).delay_ms = 12.5;
+    EXPECT_EQ(slowReplyMs(plan, "req#0"), 12.5);
+    plan.spec(FaultKind::ConnSlow).rate = 0.5;
+    const double first = slowReplyMs(plan, "stable#3");
+    EXPECT_EQ(slowReplyMs(plan, "stable#3"), first);
+}
+
+TEST_F(FaultPlanGuard, ConnectionKindsAreDecorrelated)
+{
+    // Both kinds armed at 0.5 with the same seed: the drop and slow
+    // decisions for one key must not be the same coin flip.
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.spec(FaultKind::ConnDrop).rate = 0.5;
+    plan.spec(FaultKind::ConnSlow).rate = 0.5;
+    int agree = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string key = "req#" + std::to_string(i);
+        const bool dropped = dropConnection(plan, key);
+        const bool slowed = slowReplyMs(plan, key) > 0.0;
+        if (dropped == slowed)
+            ++agree;
+    }
+    EXPECT_GT(agree, 400);
+    EXPECT_LT(agree, 600);
 }
 
 TEST_F(FaultPlanGuard, CountFaultFeedsTelemetry)

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Loopback tests for the length-prefixed frame codec: partial
+ * writes reassembled, oversized frames rejected before the payload
+ * is read, garbage ahead of a frame detected, half-closed sockets,
+ * and read deadlines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <thread>
+
+#include "util/net.hh"
+
+namespace ramp {
+namespace util {
+namespace {
+
+/** One accepted loopback socket pair. */
+struct Pair
+{
+    Listener listener;
+    Socket client;
+    Socket server;
+};
+
+Pair
+loopbackPair()
+{
+    Pair pair;
+    auto listener = listenTcp(0);
+    EXPECT_TRUE(listener.ok()) << listener.error().str();
+    pair.listener = std::move(listener.value());
+    auto client = connectTcp(pair.listener.port, 2'000);
+    EXPECT_TRUE(client.ok()) << client.error().str();
+    pair.client = std::move(client.value());
+    auto server = acceptTcp(pair.listener.socket, 2'000);
+    EXPECT_TRUE(server.ok()) << server.error().str();
+    pair.server = std::move(server.value());
+    return pair;
+}
+
+/** Raw send that bypasses the frame writer. */
+void
+rawSend(const Socket &sock, const std::string &bytes)
+{
+    ASSERT_EQ(::send(sock.fd(), bytes.data(), bytes.size(),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+}
+
+std::string
+prefix(std::uint32_t n)
+{
+    std::string p(4, '\0');
+    p[0] = static_cast<char>(n >> 24);
+    p[1] = static_cast<char>(n >> 16);
+    p[2] = static_cast<char>(n >> 8);
+    p[3] = static_cast<char>(n);
+    return p;
+}
+
+TEST(Framing, RoundTrip)
+{
+    Pair pair = loopbackPair();
+    const std::string payload = "{\"id\":1,\"type\":\"stats\"}";
+    auto written =
+        writeFrame(pair.client, payload, 1 << 20, 1'000);
+    ASSERT_TRUE(written.ok()) << written.error().str();
+    auto frame = readFrame(pair.server, 1 << 20, 1'000);
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    ASSERT_TRUE(frame.value().has_value());
+    EXPECT_EQ(*frame.value(), payload);
+}
+
+TEST(Framing, PartialWritesReassemble)
+{
+    Pair pair = loopbackPair();
+    const std::string payload(300, 'x');
+    const std::string wire = prefix(300) + payload;
+
+    // Dribble the frame across five sends with gaps; the reader's
+    // deadline covers the whole frame, not each chunk.
+    std::thread writer([&] {
+        const std::size_t step = wire.size() / 5 + 1;
+        for (std::size_t off = 0; off < wire.size(); off += step) {
+            rawSend(pair.client,
+                    wire.substr(off,
+                                std::min(step, wire.size() - off)));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+    auto frame = readFrame(pair.server, 1 << 20, 5'000);
+    writer.join();
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    ASSERT_TRUE(frame.value().has_value());
+    EXPECT_EQ(*frame.value(), payload);
+}
+
+TEST(Framing, OversizedFrameRejectedBeforePayload)
+{
+    Pair pair = loopbackPair();
+    // Announce 1 MiB against a 4 KiB cap; send no payload at all.
+    // The reader must reject from the prefix alone.
+    rawSend(pair.client, prefix(1u << 20));
+    auto frame = readFrame(pair.server, 4'096, 1'000);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::InvalidInput);
+}
+
+TEST(Framing, GarbageBytesLookLikeAnAbsurdLength)
+{
+    Pair pair = loopbackPair();
+    rawSend(pair.client, "GET / HTTP/1.1\r\n\r\n");
+    auto frame = readFrame(pair.server, 1 << 20, 1'000);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::InvalidInput);
+}
+
+TEST(Framing, CleanEofAtFrameBoundary)
+{
+    Pair pair = loopbackPair();
+    pair.client.shutdownWrite();
+    auto frame = readFrame(pair.server, 1 << 20, 1'000);
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    EXPECT_FALSE(frame.value().has_value());
+}
+
+TEST(Framing, HalfClosedMidFrameIsATornStream)
+{
+    Pair pair = loopbackPair();
+    // Prefix promises 100 bytes; deliver 10, then FIN.
+    rawSend(pair.client, prefix(100) + std::string(10, 'y'));
+    pair.client.shutdownWrite();
+    auto frame = readFrame(pair.server, 1 << 20, 1'000);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::IoFailure);
+}
+
+TEST(Framing, HalfClosedPeerStillReceivesReplies)
+{
+    Pair pair = loopbackPair();
+    const std::string payload = "last-request";
+    auto written =
+        writeFrame(pair.client, payload, 1 << 20, 1'000);
+    ASSERT_TRUE(written.ok());
+    pair.client.shutdownWrite(); // FIN after the request.
+
+    auto frame = readFrame(pair.server, 1 << 20, 1'000);
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame.value().has_value());
+    EXPECT_EQ(*frame.value(), payload);
+
+    // The server side can still answer on the other half.
+    auto reply = writeFrame(pair.server, "reply", 1 << 20, 1'000);
+    ASSERT_TRUE(reply.ok()) << reply.error().str();
+    auto got = readFrame(pair.client, 1 << 20, 1'000);
+    ASSERT_TRUE(got.ok()) << got.error().str();
+    ASSERT_TRUE(got.value().has_value());
+    EXPECT_EQ(*got.value(), "reply");
+}
+
+TEST(Framing, ReadDeadlineIsTimeout)
+{
+    Pair pair = loopbackPair();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto frame = readFrame(pair.server, 1 << 20, 100);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::Timeout);
+    EXPECT_GE(waited_ms, 90.0);
+    EXPECT_LT(waited_ms, 5'000.0);
+}
+
+TEST(Framing, WriterRefusesOversizedPayload)
+{
+    Pair pair = loopbackPair();
+    auto written = writeFrame(pair.client, std::string(5'000, 'z'),
+                              4'096, 1'000);
+    ASSERT_FALSE(written.ok());
+    EXPECT_EQ(written.error().code, ErrorCode::InvalidInput);
+}
+
+} // namespace
+} // namespace util
+} // namespace ramp

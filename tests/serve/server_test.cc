@@ -1,0 +1,450 @@
+/**
+ * @file
+ * In-process server tests: served replies are byte-identical to the
+ * direct evaluation path, errors travel structurally, admission
+ * control rejects explicitly, drain semantics hold, and the
+ * conn-drop/conn-slow fault kinds exercise the failure paths
+ * deterministically.
+ *
+ * One shared EvaluationService (tiny simulation lengths, one app,
+ * in-memory cache) backs every test; each test starts its own Server
+ * over it, which is cheap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/net.hh"
+
+namespace ramp {
+namespace serve {
+namespace {
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ServiceOptions opts;
+        opts.cache_path = ""; // In-memory; tests must not share
+                              // records with the repo cache.
+        opts.threads = 2;
+        opts.max_apps = 1;
+        opts.eval_params.warmup_uops = 40'000;
+        opts.eval_params.measure_uops = 60'000;
+        service_ = std::make_unique<EvaluationService>(opts);
+        service_->ensureReady();
+        app_ = service_->apps()[0].name;
+    }
+
+    static void TearDownTestSuite() { service_.reset(); }
+
+    void TearDown() override { fault::clearFaultPlan(); }
+
+    /** The direct-path answer for an evaluate, serialized. */
+    static std::string
+    directEvaluate(std::size_t config)
+    {
+        Request req;
+        req.type = RequestType::Evaluate;
+        req.app = app_;
+        req.space = drm::AdaptationSpace::Dvs;
+        req.config = config;
+        auto op = service_->evaluatePoint(
+            app_, drm::AdaptationSpace::Dvs, config);
+        EXPECT_TRUE(op.ok()) << op.error().str();
+        auto encoded =
+            service_->encodeEvaluation(req, op.value());
+        EXPECT_TRUE(encoded.ok());
+        return util::writeJson(encoded.value());
+    }
+
+    static Client
+    connectTo(const Server &server, int io_timeout_ms = 30'000)
+    {
+        ClientOptions opts;
+        opts.port = server.port();
+        opts.io_timeout_ms = io_timeout_ms;
+        auto client = Client::connect(opts);
+        EXPECT_TRUE(client.ok()) << client.error().str();
+        return std::move(client.value());
+    }
+
+    static std::unique_ptr<EvaluationService> service_;
+    static std::string app_;
+};
+
+std::unique_ptr<EvaluationService> ServerTest::service_;
+std::string ServerTest::app_;
+
+TEST_F(ServerTest, EvaluateIsByteIdenticalToDirectPath)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+    for (std::size_t config : {0u, 3u, 7u}) {
+        auto served = client.evaluate(
+            app_, drm::AdaptationSpace::Dvs, config);
+        ASSERT_TRUE(served.ok()) << served.error().str();
+        EXPECT_EQ(util::writeJson(served.value()),
+                  directEvaluate(config));
+    }
+}
+
+TEST_F(ServerTest, SelectionsMatchDirectPath)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+
+    auto served_drm =
+        client.selectDrm(app_, drm::AdaptationSpace::Dvs);
+    ASSERT_TRUE(served_drm.ok()) << served_drm.error().str();
+    auto served_dtm =
+        client.selectDtm(app_, drm::AdaptationSpace::Dvs, 370.0);
+    ASSERT_TRUE(served_dtm.ok()) << served_dtm.error().str();
+
+    // Stop the server so the batcher (the driver thread) is gone
+    // before select() runs on this thread.
+    server.stop();
+
+    Request drm_req;
+    drm_req.type = RequestType::SelectDrm;
+    drm_req.app = app_;
+    drm_req.space = drm::AdaptationSpace::Dvs;
+    auto direct_drm = service_->select(drm_req);
+    ASSERT_TRUE(direct_drm.ok());
+    EXPECT_EQ(util::writeJson(served_drm.value()),
+              util::writeJson(direct_drm.value()));
+
+    Request dtm_req;
+    dtm_req.type = RequestType::SelectDtm;
+    dtm_req.app = app_;
+    dtm_req.space = drm::AdaptationSpace::Dvs;
+    dtm_req.t_design_k = 370.0;
+    auto direct_dtm = service_->select(dtm_req);
+    ASSERT_TRUE(direct_dtm.ok());
+    EXPECT_EQ(util::writeJson(served_dtm.value()),
+              util::writeJson(direct_dtm.value()));
+}
+
+TEST_F(ServerTest, PipelinedIdenticalRequestsAllAnswered)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+
+    const std::string want = directEvaluate(2);
+    constexpr std::size_t n = 16;
+    for (std::size_t i = 0; i < n; ++i) {
+        Request req;
+        req.type = RequestType::Evaluate;
+        req.app = app_;
+        req.space = drm::AdaptationSpace::Dvs;
+        req.config = 2;
+        ASSERT_TRUE(client.sendRequest(std::move(req)).ok());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        auto reply = client.receiveReply();
+        ASSERT_TRUE(reply.ok()) << reply.error().str();
+        ASSERT_TRUE(reply.value().ok)
+            << reply.value().error_message;
+        EXPECT_EQ(util::writeJson(reply.value().result), want);
+    }
+}
+
+TEST_F(ServerTest, UnknownAppIsAStructuredErrorNotAHangup)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+
+    auto bad =
+        client.evaluate("no-such-app", drm::AdaptationSpace::Dvs, 0);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, util::ErrorCode::InvalidInput);
+
+    // The connection survives a request-level error.
+    auto good =
+        client.evaluate(app_, drm::AdaptationSpace::Dvs, 0);
+    EXPECT_TRUE(good.ok()) << good.error().str();
+}
+
+TEST_F(ServerTest, MalformedPayloadGetsBadRequestAndConnectionLives)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+
+    auto sock = util::connectTcp(server.port(), 2'000);
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(util::writeFrame(sock.value(), "not json at all",
+                                 default_max_frame, 1'000)
+                    .ok());
+    auto frame =
+        util::readFrame(sock.value(), default_max_frame, 30'000);
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    ASSERT_TRUE(frame.value().has_value());
+    auto reply = parseReply(*frame.value());
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply.value().ok);
+    EXPECT_EQ(reply.value().error_code, err_bad_request);
+
+    // Same connection, now a well-formed request.
+    Request req;
+    req.id = 5;
+    req.type = RequestType::Stats;
+    ASSERT_TRUE(util::writeFrame(sock.value(), encodeRequest(req),
+                                 default_max_frame, 1'000)
+                    .ok());
+    auto frame2 =
+        util::readFrame(sock.value(), default_max_frame, 30'000);
+    ASSERT_TRUE(frame2.ok());
+    ASSERT_TRUE(frame2.value().has_value());
+    auto reply2 = parseReply(*frame2.value());
+    ASSERT_TRUE(reply2.ok());
+    EXPECT_TRUE(reply2.value().ok);
+    EXPECT_EQ(reply2.value().id, 5u);
+}
+
+TEST_F(ServerTest, OversizedFrameIsRejectedThenDisconnected)
+{
+    ServerOptions opts;
+    opts.max_frame_bytes = 1'024;
+    Server server(*service_, opts);
+    ASSERT_TRUE(server.start().ok());
+
+    auto sock = util::connectTcp(server.port(), 2'000);
+    ASSERT_TRUE(sock.ok());
+    // A frame the server's cap forbids. The client-side cap must be
+    // larger or writeFrame would refuse locally.
+    ASSERT_TRUE(util::writeFrame(sock.value(),
+                                 std::string(4'096, 'x'), 1 << 20,
+                                 1'000)
+                    .ok());
+    auto frame = util::readFrame(sock.value(), 1 << 20, 30'000);
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    ASSERT_TRUE(frame.value().has_value());
+    auto reply = parseReply(*frame.value());
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply.value().ok);
+    EXPECT_EQ(reply.value().error_code, err_bad_request);
+
+    // The stream is unframeable from here on: the server hangs up.
+    // With our oversized payload still unread on its side, that
+    // close may surface as a clean FIN or a reset -- disconnected
+    // either way, never a second reply.
+    auto eof = util::readFrame(sock.value(), 1 << 20, 30'000);
+    if (eof.ok())
+        EXPECT_FALSE(eof.value().has_value());
+    else
+        EXPECT_EQ(eof.error().code, util::ErrorCode::IoFailure);
+}
+
+TEST_F(ServerTest, QueueOverflowRepliesOverloadedNotSilence)
+{
+    // One-deep queue, one-request batches, and every reply delayed
+    // 300 ms: while the batcher sleeps in its first reply, the queue
+    // holds one admitted request and any further arrival must be
+    // rejected -- deterministically, not racily.
+    fault::FaultPlan plan;
+    plan.spec(fault::FaultKind::ConnSlow).rate = 1.0;
+    plan.spec(fault::FaultKind::ConnSlow).delay_ms = 300.0;
+    fault::installFaultPlan(plan);
+
+    ServerOptions opts;
+    opts.queue_depth = 1;
+    opts.batch_max = 1;
+    Server server(*service_, opts);
+    ASSERT_TRUE(server.start().ok());
+    Client a = connectTo(server);
+    Client b = connectTo(server);
+    Client c = connectTo(server);
+
+    Request req;
+    req.type = RequestType::Evaluate;
+    req.app = app_;
+    req.space = drm::AdaptationSpace::Dvs;
+    req.config = 1;
+
+    // a's request is popped by the batcher, which then sleeps in
+    // the slow reply; b's request fills the queue.
+    ASSERT_TRUE(a.sendRequest(req).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_TRUE(b.sendRequest(req).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // c must be rejected: the queue is full and the batcher is
+    // still asleep for another ~100 ms.
+    auto rejected = c.call(req);
+    ASSERT_TRUE(rejected.ok()) << rejected.error().str();
+    ASSERT_FALSE(rejected.value().ok);
+    EXPECT_EQ(rejected.value().error_code, err_overloaded);
+
+    // The admitted requests still complete.
+    auto ra = a.receiveReply();
+    ASSERT_TRUE(ra.ok()) << ra.error().str();
+    EXPECT_TRUE(ra.value().ok);
+    auto rb = b.receiveReply();
+    ASSERT_TRUE(rb.ok()) << rb.error().str();
+    EXPECT_TRUE(rb.value().ok);
+}
+
+TEST_F(ServerTest, ShutdownDrainsThenRejects)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client worker = connectTo(server);
+
+    // Admit work, then drain. sendRequest only proves the bytes left
+    // our socket, so pipeline a stats probe behind the evaluate: one
+    // connection's frames are handled in order, which makes the
+    // probe's reply proof that the evaluate was admitted first.
+    Request req;
+    req.type = RequestType::Evaluate;
+    req.app = app_;
+    req.space = drm::AdaptationSpace::Dvs;
+    req.config = 4;
+    auto eval_id = worker.sendRequest(req);
+    ASSERT_TRUE(eval_id.ok()) << eval_id.error().str();
+    Request probe;
+    probe.type = RequestType::Stats;
+    auto probe_id = worker.sendRequest(probe);
+    ASSERT_TRUE(probe_id.ok()) << probe_id.error().str();
+
+    // Replies interleave (stats is answered inline, the evaluate by
+    // the batcher), so collect until the probe's reply shows up.
+    std::optional<Reply> eval_reply;
+    for (;;) {
+        auto r = worker.receiveReply();
+        ASSERT_TRUE(r.ok()) << r.error().str();
+        if (r.value().id == probe_id.value())
+            break;
+        ASSERT_EQ(r.value().id, eval_id.value());
+        eval_reply = std::move(r.value());
+    }
+
+    Client admin = connectTo(server);
+    ASSERT_TRUE(admin.requestShutdown().ok());
+    EXPECT_TRUE(server.draining());
+
+    // The admitted request is answered, never dropped.
+    if (!eval_reply.has_value()) {
+        auto r = worker.receiveReply();
+        ASSERT_TRUE(r.ok()) << r.error().str();
+        ASSERT_EQ(r.value().id, eval_id.value());
+        eval_reply = std::move(r.value());
+    }
+    EXPECT_TRUE(eval_reply->ok);
+
+    // New work is rejected with the drain code.
+    auto late = worker.call(req);
+    if (late.ok()) {
+        ASSERT_FALSE(late.value().ok);
+        EXPECT_EQ(late.value().error_code, err_shutting_down);
+    } else {
+        // The server may already have closed the connection.
+        EXPECT_EQ(late.error().code, util::ErrorCode::IoFailure);
+    }
+
+    server.wait(); // Full drain terminates.
+}
+
+TEST_F(ServerTest, ForcedNonConvergenceIsReportedNotDropped)
+{
+    // Force every thermal fixed point to report non-convergence:
+    // the evaluation is still valid and must come back ok with
+    // converged == false, not vanish into an error.
+    fault::FaultPlan plan;
+    plan.spec(fault::FaultKind::NonConvergence).rate = 1.0;
+    fault::installFaultPlan(plan);
+
+    // A private service: the shared one's memos hold converged
+    // points and its cache must stay clean.
+    ServiceOptions opts;
+    opts.cache_path = "";
+    opts.threads = 2;
+    opts.max_apps = 1;
+    opts.eval_params.warmup_uops = 40'000;
+    opts.eval_params.measure_uops = 60'000;
+    EvaluationService service(opts);
+    Server server(service, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+
+    auto result = client.evaluate(service.apps()[0].name,
+                                  drm::AdaptationSpace::Dvs, 0);
+    ASSERT_TRUE(result.ok()) << result.error().str();
+    const util::JsonValue *converged =
+        result.value().find("converged");
+    ASSERT_NE(converged, nullptr);
+    EXPECT_FALSE(converged->boolean);
+}
+
+TEST_F(ServerTest, ConnDropSeversDeterministically)
+{
+    fault::FaultPlan plan;
+    plan.spec(fault::FaultKind::ConnDrop).rate = 1.0;
+    fault::installFaultPlan(plan);
+
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server, /*io_timeout_ms=*/2'000);
+
+    // Every reply is dropped at rate 1.0: the call must fail with a
+    // transport error, not hang past its deadline.
+    auto result =
+        client.evaluate(app_, drm::AdaptationSpace::Dvs, 0);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.error().code == util::ErrorCode::IoFailure ||
+                result.error().code == util::ErrorCode::Timeout)
+        << result.error().str();
+}
+
+TEST_F(ServerTest, StatsCountsTraffic)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Client client = connectTo(server);
+
+    ASSERT_TRUE(
+        client.evaluate(app_, drm::AdaptationSpace::Dvs, 0).ok());
+    auto stats = client.stats();
+    ASSERT_TRUE(stats.ok()) << stats.error().str();
+    const util::JsonValue *srv = stats.value().find("server");
+    ASSERT_NE(srv, nullptr);
+    EXPECT_GE(srv->find("requests")->number, 2.0);
+    EXPECT_GE(srv->find("batches")->number, 1.0);
+    EXPECT_EQ(srv->find("draining")->boolean, false);
+    const util::JsonValue *cache = stats.value().find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_NE(cache->find("hits"), nullptr);
+}
+
+TEST_F(ServerTest, IdleTimeoutDisconnectsSilentPeers)
+{
+    ServerOptions opts;
+    opts.idle_timeout_ms = 100;
+    Server server(*service_, opts);
+    ASSERT_TRUE(server.start().ok());
+
+    auto sock = util::connectTcp(server.port(), 2'000);
+    ASSERT_TRUE(sock.ok());
+    // Say nothing; the server must hang up on us.
+    auto frame = util::readFrame(sock.value(), default_max_frame,
+                                 5'000);
+    ASSERT_TRUE(frame.ok()) << frame.error().str();
+    EXPECT_FALSE(frame.value().has_value());
+}
+
+} // namespace
+} // namespace serve
+} // namespace ramp

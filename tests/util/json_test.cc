@@ -5,6 +5,7 @@
  */
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -218,6 +219,87 @@ TEST(JsonParseDeath, AtMissingKeyPanics)
 {
     const auto doc = parseJson("{}");
     EXPECT_DEATH(doc->at("missing"), "missing");
+}
+
+TEST(WriteJson, BuildsAndSerializesTrees)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("name", JsonValue::makeString("serve"))
+        .set("ok", JsonValue::makeBool(true))
+        .set("none", JsonValue::makeNull());
+    JsonValue tags = JsonValue::makeArray();
+    tags.push(JsonValue::makeNumber(1.0))
+        .push(JsonValue::makeNumber(2.5));
+    root.set("tags", std::move(tags));
+    EXPECT_EQ(writeJson(root),
+              "{\"name\":\"serve\",\"ok\":true,\"none\":null,"
+              "\"tags\":[1,2.5]}");
+}
+
+TEST(WriteJson, EscapingMatchesTheStreamingWriter)
+{
+    // Same corpus EscapesStrings feeds JsonWriter; both emitters
+    // must agree byte for byte.
+    const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject().kv("k", nasty).endObject();
+
+    JsonValue root = JsonValue::makeObject();
+    root.set("k", JsonValue::makeString(nasty));
+    EXPECT_EQ(writeJson(root), os.str());
+}
+
+TEST(WriteJson, RoundTripsThroughParseJson)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("int", JsonValue::makeNumber(9007199254740991.0));
+    root.set("neg", JsonValue::makeNumber(-42.0));
+    // A double whose shortest decimal form needs 17 digits: %.12g
+    // would lose bits, to_chars must not.
+    root.set("pi", JsonValue::makeNumber(3.141592653589793));
+    root.set("tiny", JsonValue::makeNumber(5e-324));
+    root.set("text", JsonValue::makeString("x\"\\\n\x02"));
+    root.set("inf", JsonValue::makeNumber(
+                        std::numeric_limits<double>::infinity()));
+
+    const auto doc = parseJson(writeJson(root));
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->at("int").number, 9007199254740991.0);
+    EXPECT_EQ(doc->at("neg").number, -42.0);
+    EXPECT_EQ(doc->at("pi").number, 3.141592653589793);
+    EXPECT_EQ(doc->at("tiny").number, 5e-324);
+    EXPECT_EQ(doc->at("text").str, "x\"\\\n\x02");
+    // Non-finite values have no JSON spelling; null, like the
+    // streaming writer.
+    EXPECT_TRUE(doc->at("inf").isNull());
+}
+
+TEST(WriteJson, SecondRoundTripIsAFixedPoint)
+{
+    // writeJson(parseJson(writeJson(v))) == writeJson(v): the wire
+    // form is canonical, which is what byte-identity between the
+    // served and direct evaluation paths rests on.
+    JsonValue root = JsonValue::makeObject();
+    root.set("perf", JsonValue::makeNumber(0.8125));
+    root.set("fit", JsonValue::makeNumber(3171.381438049162));
+    root.set("app", JsonValue::makeString("MPGdec"));
+    const std::string once = writeJson(root);
+    const auto doc = parseJson(once);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(writeJson(*doc), once);
+}
+
+TEST(WriteJsonDeath, SetOnNonObjectPanics)
+{
+    JsonValue arr = JsonValue::makeArray();
+    EXPECT_DEATH(arr.set("k", JsonValue::makeNull()), "set");
+}
+
+TEST(WriteJsonDeath, PushOnNonArrayPanics)
+{
+    JsonValue obj = JsonValue::makeObject();
+    EXPECT_DEATH(obj.push(JsonValue::makeNull()), "push");
 }
 
 } // namespace
