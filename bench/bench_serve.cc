@@ -39,6 +39,8 @@
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "util/random.hh"
+#include "util/stats.hh"
+#include "util/telemetry.hh"
 
 namespace {
 
@@ -93,10 +95,13 @@ parseServeFlags(int &argc, char **argv)
 }
 
 /** One request of the mixed distribution, deterministic in (worker,
- *  sequence) so every run exercises the same stream. */
+ *  sequence) so every run exercises the same stream. Select requests
+ *  carry @p surrogate, so a tiered run serves the same stream
+ *  through the fast path. */
 serve::Request
 mixedRequest(std::size_t worker, std::size_t seq,
-             const std::vector<workload::AppProfile> &apps)
+             const std::vector<workload::AppProfile> &apps,
+             drm::surrogate::SurrogateMode surrogate)
 {
     util::Rng rng(0x62656e63685f7376ull ^ (worker * 0x9e3779b9ull) ^
                   seq);
@@ -110,8 +115,17 @@ mixedRequest(std::size_t worker, std::size_t seq,
             rng.below(drm::configSpace(req.space).size());
     } else if (roll < 0.85) {
         req.type = serve::RequestType::SelectDrm;
+        // Half the selections sweep the full ArchDVS space: large
+        // enough to train the surrogate, so a tiered run actually
+        // serves ranked selections instead of falling back.
+        if (rng.uniform() < 0.5)
+            req.space = drm::AdaptationSpace::ArchDvs;
+        req.surrogate = surrogate;
     } else if (roll < 0.95) {
         req.type = serve::RequestType::SelectDtm;
+        if (rng.uniform() < 0.5)
+            req.space = drm::AdaptationSpace::ArchDvs;
+        req.surrogate = surrogate;
     } else {
         req.type = serve::RequestType::Stats;
     }
@@ -176,13 +190,16 @@ main(int argc, char **argv)
     // Expected answers, computed through the same service the server
     // uses -- i.e. the same selectDrm/tryEvaluate calls and the same
     // encoder -- sequentially, before any load exists. This both
-    // checks byte-identity and warms the cache and memos.
+    // checks byte-identity and warms the cache and memos. Select
+    // answers are always precomputed with the surrogate *off*, so a
+    // `--surrogate rank|auto` run byte-compares every served tiered
+    // selection against the exhaustive oracle end to end.
     service.ensureReady();
     std::map<std::string, std::string> expected;
     for (std::size_t w = 0; w < serve_opts.connections; ++w) {
         for (std::size_t s = 0; s < serve_opts.requests; ++s) {
-            serve::Request req =
-                mixedRequest(w, s, service.apps());
+            serve::Request req = mixedRequest(w, s, service.apps(),
+                                              opts.surrogate);
             if (req.type == serve::RequestType::Stats)
                 continue; // Stats answers are time-varying.
             const std::string key = requestKey(req);
@@ -199,7 +216,10 @@ main(int argc, char **argv)
                             : util::Result<util::JsonValue>(
                                   op.error());
             } else {
-                direct = service.select(req);
+                serve::Request exhaustive = req;
+                exhaustive.surrogate =
+                    drm::surrogate::SurrogateMode::Off;
+                direct = service.select(exhaustive);
             }
             if (!direct)
                 util::fatal(util::cat("bench_serve: direct ", key,
@@ -231,8 +251,8 @@ main(int argc, char **argv)
                         break;
                     }
                 }
-                serve::Request req =
-                    mixedRequest(w, s, service.apps());
+                serve::Request req = mixedRequest(
+                    w, s, service.apps(), opts.surrogate);
                 const std::string key = requestKey(req);
                 const auto req_t0 =
                     std::chrono::steady_clock::now();
@@ -311,11 +331,7 @@ main(int argc, char **argv)
     const auto pct = [&](double p) {
         if (total.latencies_s.empty())
             return 0.0;
-        const std::size_t i = std::min(
-            total.latencies_s.size() - 1,
-            static_cast<std::size_t>(
-                p * static_cast<double>(total.latencies_s.size())));
-        return total.latencies_s[i] * 1e3;
+        return util::percentile(total.latencies_s, p) * 1e3;
     };
 
     const std::uint64_t issued =
@@ -338,6 +354,52 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total.reconnects));
     std::printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f\n",
                 pct(0.50), pct(0.90), pct(0.99));
+
+    // Perf-trajectory artifact: enough to see, commit over commit,
+    // whether serving throughput or the surrogate's exact-simulation
+    // savings regressed.
+    {
+        const auto snap =
+            telemetry::Registry::instance().snapshot();
+        util::JsonValue doc = util::JsonValue::makeObject();
+        doc.set("bench", util::JsonValue::makeString("bench_serve"));
+        doc.set("surrogate",
+                util::JsonValue::makeString(
+                    drm::surrogate::surrogateModeName(
+                        opts.surrogate)));
+        doc.set("connections",
+                util::JsonValue::makeNumber(static_cast<double>(
+                    serve_opts.connections)));
+        doc.set("requests_per_connection",
+                util::JsonValue::makeNumber(static_cast<double>(
+                    serve_opts.requests)));
+        doc.set("issued", util::JsonValue::makeNumber(
+                              static_cast<double>(issued)));
+        doc.set("answered", util::JsonValue::makeNumber(
+                                static_cast<double>(answered)));
+        doc.set("ok", util::JsonValue::makeNumber(
+                          static_cast<double>(total.ok)));
+        doc.set("rejected", util::JsonValue::makeNumber(
+                                static_cast<double>(total.rejected)));
+        doc.set("wall_s", util::JsonValue::makeNumber(wall_s));
+        doc.set("req_per_s",
+                util::JsonValue::makeNumber(
+                    wall_s > 0.0
+                        ? static_cast<double>(answered) / wall_s
+                        : 0.0));
+        doc.set("p50_ms", util::JsonValue::makeNumber(pct(0.50)));
+        doc.set("p90_ms", util::JsonValue::makeNumber(pct(0.90)));
+        doc.set("p99_ms", util::JsonValue::makeNumber(pct(0.99)));
+        for (const char *name :
+             {"surrogate.selections", "surrogate.exact_confirms",
+              "surrogate.train_evals", "surrogate.exact_sims_saved",
+              "surrogate.fallbacks"})
+            doc.set(name, util::JsonValue::makeNumber(
+                              static_cast<double>(
+                                  snap.counter(name))));
+        bench::writeBenchArtifact(
+            bench::benchJsonPath(opts, "BENCH_serve.json"), doc);
+    }
 
     bool failed = false;
     if (total.mismatches != 0) {

@@ -10,12 +10,13 @@
  *
  * All benches accept the same flags (see Options::usage):
  * `--threads N`, `--seed N`, `--apps N`, `--cache PATH`,
- * `--metrics PATH`, `--trace PATH`, `--fault-plan P` and
- * `--fault-seed N`, plus `--help`. Unknown flags are rejected, except
- * in the stripping mode bench_kernels uses to coexist with
- * google-benchmark's own flags. The RAMP_THREADS and RAMP_EVAL_CACHE
- * environment variables provide defaults for the worker count and
- * the cache path.
+ * `--surrogate MODE`, `--bench-json PATH`, `--metrics PATH`,
+ * `--trace PATH`, `--fault-plan P` and `--fault-seed N`, plus
+ * `--help`. Unknown flags are rejected, except in the stripping mode
+ * bench_kernels uses to coexist with google-benchmark's own flags.
+ * The RAMP_THREADS and RAMP_EVAL_CACHE environment variables provide
+ * defaults for the worker count and the cache path; an explicit
+ * `--cache ""` beats the env var and selects an in-memory cache.
  *
  * Parallelism: the oracle sweeps fan exploration points out across
  * one shared pool; output is bit-identical at any thread count.
@@ -25,6 +26,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -32,7 +34,9 @@
 #include "core/qualification.hh"
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
+#include "drm/surrogate/tiered.hh"
 #include "fault/fault.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 #include "util/thread_pool.hh"
@@ -70,9 +74,23 @@ struct Options
     /** Chrome trace-event timeline written at exit ("" = none;
      *  setting it enables span collection). */
     std::string trace_path;
-    /** Evaluation-cache path; "" = RAMP_EVAL_CACHE, else the default
-     *  (see cachePath(opts)). */
+    /** Evaluation-cache path. Only meaningful with cache_set; an
+     *  explicit empty path selects an in-memory cache (see
+     *  cachePath(opts) for the three-way precedence). */
     std::string cache_path;
+    /** --cache was given, even with an empty value. The flag always
+     *  beats RAMP_EVAL_CACHE. */
+    bool cache_set = false;
+    /** Tiered-selection mode for benches that select (see
+     *  drm/surrogate/tiered.hh). Off preserves the exhaustive
+     *  behaviour bit-for-bit. */
+    drm::surrogate::SurrogateMode surrogate =
+        drm::surrogate::SurrogateMode::Off;
+    /** Perf-trajectory artifact path. Only meaningful with
+     *  bench_json_set; an explicit empty value disables the
+     *  artifact. Unset = the bench's default BENCH_*.json name. */
+    std::string bench_json_path;
+    bool bench_json_set = false;
     /** Fault-injection plan: inline JSON (leading '{') or a file
      *  path; "" = run clean. Parsed and installed by parse(). */
     std::string fault_plan;
@@ -94,7 +112,15 @@ struct Options
             "  --apps N        run only the first N suite "
             "applications\n"
             "  --cache PATH    evaluation cache file (wins over "
-            "RAMP_EVAL_CACHE)\n"
+            "RAMP_EVAL_CACHE;\n"
+            "                  an empty PATH selects an in-memory "
+            "cache)\n"
+            "  --surrogate M   tiered selection mode: off, rank, or "
+            "auto\n"
+            "                  (default off = exhaustive search)\n"
+            "  --bench-json P  perf-trajectory artifact path (default "
+            "the bench's\n"
+            "                  BENCH_*.json; an empty P disables it)\n"
             "  --metrics PATH  write a telemetry metrics snapshot "
             "(JSON) at exit\n"
             "  --trace PATH    write a Chrome trace-event timeline at "
@@ -155,6 +181,7 @@ struct Options
     {
         Options opts;
         const char *prog = argc > 0 ? argv[0] : "bench";
+        std::string surrogate_name;
         int out = 1;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -173,6 +200,8 @@ struct Options
                                                               .metrics_path},
                   {"--trace", &opts.trace_path},
                   {"--cache", &opts.cache_path},
+                  {"--surrogate", &surrogate_name},
+                  {"--bench-json", &opts.bench_json_path},
                   {"--fault-plan", &opts.fault_plan},
                   {"--threads", nullptr},
                   {"--seed", nullptr},
@@ -206,10 +235,19 @@ struct Options
             }
 
             if (str_out) {
-                if (value.empty())
+                // --cache "" (in-memory) and --bench-json ""
+                // (disable) are meaningful; the rest need a path.
+                const bool allow_empty =
+                    std::string(flag) == "--cache" ||
+                    std::string(flag) == "--bench-json";
+                if (value.empty() && !allow_empty)
                     util::fatal(
                         util::cat(flag, " needs a non-empty path"));
                 *str_out = value;
+                if (std::string(flag) == "--cache")
+                    opts.cache_set = true;
+                else if (std::string(flag) == "--bench-json")
+                    opts.bench_json_set = true;
             } else if (std::string(flag) == "--threads") {
                 opts.threads = static_cast<unsigned>(
                     parsePositive(flag, value));
@@ -225,6 +263,16 @@ struct Options
         if (strip) {
             argc = out;
             argv[out] = nullptr;
+        }
+
+        if (!surrogate_name.empty()) {
+            auto mode =
+                drm::surrogate::surrogateModeFromName(surrogate_name);
+            if (!mode)
+                util::fatal(util::cat(
+                    "--surrogate needs off, rank, or auto; got '",
+                    surrogate_name, "'"));
+            opts.surrogate = *mode;
         }
 
         if (!opts.metrics_path.empty() || !opts.trace_path.empty())
@@ -249,9 +297,41 @@ struct Options
 inline std::string
 cachePath(const Options &opts)
 {
-    if (!opts.cache_path.empty())
+    // Three-way precedence: flag > RAMP_EVAL_CACHE > default. An
+    // explicit --cache "" means "in-memory", so the flag must win
+    // even when its value is empty -- falling through to the env var
+    // here would silently reattach the file the caller opted out of.
+    if (opts.cache_set)
         return opts.cache_path;
     return cachePath();
+}
+
+/** Perf-trajectory artifact path for a bench whose default artifact
+ *  is @p default_name; "" = disabled by --bench-json "". */
+inline std::string
+benchJsonPath(const Options &opts, const std::string &default_name)
+{
+    return opts.bench_json_set ? opts.bench_json_path : default_name;
+}
+
+/** Write one BENCH_*.json perf-trajectory artifact (no-op on an
+ *  empty path). The document is the bench's own measurement record
+ *  -- exact-simulation counts, wall time, throughput -- diffed
+ *  across PRs, so benches must only ever APPEND keys. */
+inline void
+writeBenchArtifact(const std::string &path,
+                   const util::JsonValue &doc)
+{
+    if (path.empty())
+        return;
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        util::warn(util::cat("bench: cannot write artifact ", path));
+        return;
+    }
+    writeJson(os, doc);
+    os << '\n';
+    std::fprintf(stderr, "  perf artifact: %s\n", path.c_str());
 }
 
 /** Simulation controls used by every reproduction bench. */

@@ -317,6 +317,13 @@ EvaluationCache::get(const std::string &key) const
     return it->second;
 }
 
+bool
+EvaluationCache::contains(const std::string &key) const
+{
+    std::shared_lock lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
 void
 EvaluationCache::put(const std::string &key,
                      const CachedEvaluation &value)

@@ -104,6 +104,10 @@ class EvaluationCache
     /** Look up a record; nullopt on miss. Thread-safe. */
     std::optional<CachedEvaluation> get(const std::string &key) const;
 
+    /** Whether a record exists, without counting a hit or miss (the
+     *  surrogate layer probes history without using it). */
+    bool contains(const std::string &key) const;
+
     /** Insert (or overwrite) a record and append it to the file.
      *  Thread-safe; appends are serialized and line-atomic. */
     void put(const std::string &key, const CachedEvaluation &value);

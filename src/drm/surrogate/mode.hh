@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The surrogate-mode knob, split out so lightweight layers (the
+ * serve wire protocol, bench option parsing) can name a mode without
+ * pulling in the tiered explorer machinery (tiered.hh).
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ramp {
+namespace drm {
+namespace surrogate {
+
+/** How selections use the surrogate fast path. */
+enum class SurrogateMode
+{
+    /** Exhaustive search only (the pre-surrogate behaviour). */
+    Off,
+    /** Rank on the surrogate, confirm exactly; any gate trip falls
+     *  back to exhaustive for that selection. */
+    Rank,
+    /** Rank, but treat a cold/thin cache as expected warm-up: go
+     *  straight to exhaustive (skipping the doomed fit attempt) and
+     *  seed the model from that exploration so the next selection
+     *  takes the fast path. */
+    Auto,
+};
+
+/** "off" / "rank" / "auto". */
+const char *surrogateModeName(SurrogateMode mode);
+
+/** Inverse of surrogateModeName; nullopt for unknown names. */
+std::optional<SurrogateMode>
+surrogateModeFromName(const std::string &name);
+
+} // namespace surrogate
+} // namespace drm
+} // namespace ramp

@@ -1,0 +1,209 @@
+#include "drm/surrogate/model.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "drm/oracle.hh"
+#include "util/linalg.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace drm {
+namespace surrogate {
+
+namespace {
+
+/** Ridge strength relative to the mean Gram diagonal. Large enough
+ *  to regularise collinear knobs (the DVS ladder ties V to f), small
+ *  enough not to bias a well-conditioned fit measurably. */
+constexpr double ridge_rel = 1e-8;
+
+} // namespace
+
+std::vector<double>
+configFeatures(const sim::MachineConfig &cfg)
+{
+    // Normalise every knob to O(1) around the base machine so the
+    // ridge penalty treats them evenly.
+    const double f = cfg.frequency_ghz / 4.0;
+    const double v = cfg.voltage_v;
+    const double w = static_cast<double>(cfg.window_size) / 128.0;
+    const double a = static_cast<double>(cfg.num_int_alu) / 6.0;
+    const double u = static_cast<double>(cfg.num_fpu) / 4.0;
+    const double d = static_cast<double>(cfg.fetch_duty_x8) / 8.0;
+    std::vector<double> row{1.0, f, v, w, a, u, d,
+                            f * f, w * w, f * w, f * a};
+    if (row.size() != feature_count)
+        util::panic("configFeatures row does not match feature_count");
+    return row;
+}
+
+util::Result<ResponseSurface>
+ResponseSurface::fit(const std::vector<std::vector<double>> &rows,
+                     const std::vector<double> &targets)
+{
+    const std::size_t n = rows.size();
+    const std::size_t m = feature_count;
+    if (n != targets.size())
+        util::panic("ResponseSurface::fit rows/targets size mismatch");
+    if (n < m)
+        return util::RampError{
+            util::ErrorCode::InvalidInput,
+            util::cat("surrogate history too thin: ", n,
+                      " samples for ", m, " features")};
+
+    // Ridge would happily "fit" n copies of one point, so a
+    // degenerate design has to be rejected explicitly: require at
+    // least one feature column that varies across samples.
+    bool varies = false;
+    for (std::size_t j = 1; j < m && !varies; ++j) {
+        for (std::size_t i = 1; i < n; ++i) {
+            if (rows[i][j] != rows[0][j]) {
+                varies = true;
+                break;
+            }
+        }
+    }
+    if (!varies)
+        return util::RampError{
+            util::ErrorCode::InvalidInput,
+            util::cat("degenerate surrogate history: all ", n,
+                      " samples share one configuration")};
+
+    // Normal equations (X^T X + lambda I) c = X^T y.
+    util::Matrix gram(m, m);
+    std::vector<double> rhs(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &x = rows[i];
+        if (x.size() != m)
+            util::panic("ResponseSurface::fit bad feature row width");
+        for (std::size_t r = 0; r < m; ++r) {
+            rhs[r] += x[r] * targets[i];
+            for (std::size_t c = 0; c < m; ++c)
+                gram.at(r, c) += x[r] * x[c];
+        }
+    }
+    double diag_mean = 0.0;
+    for (std::size_t r = 0; r < m; ++r)
+        diag_mean += gram.at(r, r);
+    diag_mean /= static_cast<double>(m);
+    const double lambda = std::max(ridge_rel * diag_mean, 1e-12);
+    for (std::size_t r = 0; r < m; ++r)
+        gram.at(r, r) += lambda;
+
+    auto solved = util::trySolveLinear(std::move(gram), std::move(rhs));
+    if (!solved)
+        return solved.error();
+
+    ResponseSurface surface;
+    surface.coef_ = std::move(solved.value());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double err =
+            std::fabs(surface.predict(rows[i]) - targets[i]);
+        surface.max_abs_residual_ =
+            std::max(surface.max_abs_residual_, err);
+    }
+    if (!std::isfinite(surface.max_abs_residual_))
+        return util::RampError{util::ErrorCode::NonFiniteValue,
+                               "non-finite surrogate fit residual"};
+    return surface;
+}
+
+double
+ResponseSurface::predict(const std::vector<double> &row) const
+{
+    if (row.size() != coef_.size())
+        util::panic("ResponseSurface::predict bad feature row width");
+    double acc = 0.0;
+    for (std::size_t j = 0; j < coef_.size(); ++j)
+        acc += coef_[j] * row[j];
+    return acc;
+}
+
+util::Result<SurrogateModel>
+SurrogateModel::fit(std::vector<TrainingSample> samples)
+{
+    SurrogateModel model;
+    model.samples_ = std::move(samples);
+    model.rows_.reserve(model.samples_.size());
+    std::vector<double> perf;
+    std::vector<double> temp;
+    perf.reserve(model.samples_.size());
+    temp.reserve(model.samples_.size());
+    for (const auto &s : model.samples_) {
+        model.rows_.push_back(configFeatures(s.op.config));
+        perf.push_back(s.perf_rel);
+        temp.push_back(s.op.maxTemp());
+    }
+
+    auto perf_fit = ResponseSurface::fit(model.rows_, perf);
+    if (!perf_fit)
+        return perf_fit.error();
+    model.perf_ = std::move(perf_fit.value());
+
+    auto temp_fit = ResponseSurface::fit(model.rows_, temp);
+    if (!temp_fit)
+        return temp_fit.error();
+    model.temp_ = std::move(temp_fit.value());
+    return model;
+}
+
+double
+SurrogateModel::predictPerf(const sim::MachineConfig &cfg) const
+{
+    return perf_.predict(configFeatures(cfg));
+}
+
+double
+SurrogateModel::predictTempK(const sim::MachineConfig &cfg) const
+{
+    return temp_.predict(configFeatures(cfg));
+}
+
+util::Result<const ResponseSurface *>
+SurrogateModel::fitSurface(const core::Qualification &qual)
+{
+    const double t_qual_k = qual.spec().t_qual_k;
+    auto it = fit_surfaces_.find(t_qual_k);
+    if (it != fit_surfaces_.end())
+        return &it->second;
+
+    // FIT spans orders of magnitude across a DVS ladder (it is
+    // exponential in temperature), so fit its logarithm; the floor
+    // guards a pathological zero-FIT point.
+    std::vector<double> log_fit;
+    log_fit.reserve(samples_.size());
+    for (const auto &s : samples_)
+        log_fit.push_back(
+            std::log(std::max(operatingPointFit(qual, s.op), 1e-30)));
+
+    auto fitted = ResponseSurface::fit(rows_, log_fit);
+    if (!fitted)
+        return fitted.error();
+    auto placed =
+        fit_surfaces_.emplace(t_qual_k, std::move(fitted.value()));
+    return &placed.first->second;
+}
+
+util::Result<double>
+SurrogateModel::predictFit(const sim::MachineConfig &cfg,
+                           const core::Qualification &qual)
+{
+    auto surface = fitSurface(qual);
+    if (!surface)
+        return surface.error();
+    return std::exp(surface.value()->predict(configFeatures(cfg)));
+}
+
+util::Result<double>
+SurrogateModel::fitLogResidual(const core::Qualification &qual)
+{
+    auto surface = fitSurface(qual);
+    if (!surface)
+        return surface.error();
+    return surface.value()->maxAbsResidual();
+}
+
+} // namespace surrogate
+} // namespace drm
+} // namespace ramp

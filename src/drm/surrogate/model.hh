@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cheap fitted response surfaces over the adaptation knobs (the
+ * NeuroScalar-style learned fast path, done C++-native).
+ *
+ * A SurrogateModel is trained on a handful of exactly-evaluated
+ * operating points of one application and predicts, for any
+ * configuration in the space, the three quantities oracle selection
+ * ranks on: relative performance, hottest-structure temperature, and
+ * application FIT under a qualification. Predictions are a dot
+ * product -- no timing simulation, no thermal fixed point -- so a
+ * tiered selection can rank a whole space for the cost of a few
+ * dozen multiplies per point and reserve exact evaluation for the
+ * top-k frontier (drm/surrogate/tiered.hh).
+ *
+ * The surfaces are ridge-regularised quadratic polynomials over the
+ * normalised knobs (V, f, window, ALUs, FPUs, fetch duty), solved
+ * with the same dense Gaussian elimination the thermal RC network
+ * uses (util/linalg). Ridge keeps the normal equations solvable when
+ * knobs are collinear (the DVS ladder ties V to f) or frozen (an
+ * Arch-only space never varies V/f). Performance and temperature are
+ * qualification-independent and fitted once; FIT depends on T_qual,
+ * so its surface is fitted lazily per qualification -- in log space,
+ * because FIT is exponential in temperature -- from the *retained*
+ * training points, which costs one cheap steadyFit per point and no
+ * new simulations.
+ *
+ * Every fit reports its worst training residual. Callers gate on it:
+ * a surface that cannot even reproduce its own training data must
+ * not rank candidates (the tiered layer falls back to exhaustive
+ * search).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+#include "util/error.hh"
+
+namespace ramp {
+namespace drm {
+namespace surrogate {
+
+/** Number of polynomial terms in configFeatures(). */
+inline constexpr std::size_t feature_count = 11;
+
+/**
+ * The feature vector of one configuration: an intercept, the
+ * normalised knobs, and the quadratic/interaction terms that matter
+ * for these responses (performance saturates in window size and
+ * bends in frequency because off-chip latencies are fixed physical
+ * times).
+ */
+std::vector<double> configFeatures(const sim::MachineConfig &cfg);
+
+/** One exactly-evaluated training observation. */
+struct TrainingSample
+{
+    core::OperatingPoint op;
+    /** Performance relative to the application's base machine. */
+    double perf_rel = 0.0;
+};
+
+/**
+ * One scalar response fitted by ridge least squares. Build via
+ * fit(); InvalidInput when there are fewer samples than features or
+ * the design matrix is degenerate (every sample identical),
+ * SingularSystem when elimination still fails.
+ */
+class ResponseSurface
+{
+  public:
+    /** Fit targets[i] ~ dot(coef, rows[i]). @p rows are
+     *  configFeatures() vectors; all rows identical is degenerate. */
+    static util::Result<ResponseSurface>
+    fit(const std::vector<std::vector<double>> &rows,
+        const std::vector<double> &targets);
+
+    /** Predicted response for one feature row. */
+    double predict(const std::vector<double> &row) const;
+
+    /** Largest |prediction - target| over the training set. */
+    double maxAbsResidual() const { return max_abs_residual_; }
+
+  private:
+    std::vector<double> coef_;
+    double max_abs_residual_ = 0.0;
+};
+
+/**
+ * The per-application model: performance and temperature surfaces
+ * plus lazily-fitted per-qualification log-FIT surfaces.
+ *
+ * Not thread-safe (the lazy FIT-surface memo mutates); confine to
+ * one driver thread, as the tiered explorer does.
+ */
+class SurrogateModel
+{
+  public:
+    /**
+     * Train on exactly-evaluated points. Non-converged points must
+     * be excluded by the caller (their temperatures are an
+     * unconverged iterate). InvalidInput when the history is too
+     * thin (< feature_count samples) or degenerate.
+     */
+    static util::Result<SurrogateModel>
+    fit(std::vector<TrainingSample> samples);
+
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** Predicted perf_rel for a configuration. */
+    double predictPerf(const sim::MachineConfig &cfg) const;
+
+    /** Predicted hottest-structure temperature (K). */
+    double predictTempK(const sim::MachineConfig &cfg) const;
+
+    /**
+     * Predicted application FIT under @p qual. The log-FIT surface
+     * for this qualification temperature is fitted on first use from
+     * the retained training points (cheap steadyFit calls, no
+     * simulation); a degenerate refit surfaces as an error.
+     */
+    util::Result<double> predictFit(const sim::MachineConfig &cfg,
+                                    const core::Qualification &qual);
+
+    /** Worst training residual of the perf surface (perf_rel). */
+    double perfResidual() const { return perf_.maxAbsResidual(); }
+
+    /** Worst training residual of the temperature surface (K). */
+    double tempResidualK() const { return temp_.maxAbsResidual(); }
+
+    /**
+     * Worst training residual of the log-FIT surface for @p qual
+     * (natural-log units; 0.1 ~ 10% relative FIT error). Fits the
+     * surface on first use, like predictFit.
+     */
+    util::Result<double> fitLogResidual(const core::Qualification &qual);
+
+  private:
+    util::Result<const ResponseSurface *>
+    fitSurface(const core::Qualification &qual);
+
+    std::vector<TrainingSample> samples_;
+    std::vector<std::vector<double>> rows_; ///< One per sample.
+    ResponseSurface perf_;
+    ResponseSurface temp_;
+    /** Log-FIT surface per qualification temperature (K). */
+    std::map<double, ResponseSurface> fit_surfaces_;
+};
+
+} // namespace surrogate
+} // namespace drm
+} // namespace ramp

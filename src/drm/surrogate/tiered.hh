@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tiered oracle selection: surrogate-ranked, exactly-confirmed.
+ *
+ * Exhaustive oracle selection evaluates every configuration in the
+ * adaptation space with a timing+thermal simulation before picking a
+ * winner. The tiered path replaces almost all of those with
+ * predictions from a fitted response surface (drm/surrogate/model.hh)
+ * and spends exact simulations on three things only:
+ *
+ *   1. a small training set drawn from EvaluationCache history (these
+ *      are cache hits -- cheap thermal re-convergence, no timing
+ *      simulation),
+ *   2. the top-k predicted-feasible frontier, and
+ *   3. a safety margin band: every unevaluated point whose predicted
+ *      performance and constraint land within the fit's residual-
+ *      derived margins of the current winner.
+ *
+ * Selection then runs the *unmodified* drm::selectDrm/selectDtm over
+ * the partial exploration (unevaluated points marked invalid, exactly
+ * as failed evaluations are). The confirm loop repeats -- select,
+ * widen, evaluate -- until no unevaluated candidate could displace
+ * the winner under the margins, so the chosen point is built from the
+ * same exact evaluations, compared by the same code, with the same
+ * tie-breaking, as exhaustive search: the winner is bit-identical
+ * whenever the margins cover the surrogate's true error (asserted on
+ * the full fig2/fig4 spaces in ctest).
+ *
+ * Anything that undermines the model -- cold cache, thin or
+ * degenerate history, a training residual past its gate -- falls
+ * back to plain exhaustive exploration and bumps
+ * surrogate.fallbacks. The fallback is the exact path, so falling
+ * back is always safe, never wrong.
+ *
+ * Not thread-safe: confine one TieredExplorer to one driver thread
+ * (exact evaluations inside still fan out through the
+ * OracleExplorer's pool on the exhaustive path).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "drm/oracle.hh"
+#include "drm/surrogate/mode.hh"
+#include "drm/surrogate/model.hh"
+
+namespace ramp {
+namespace drm {
+namespace surrogate {
+
+/** Tiered-selection tuning. Defaults hold the bit-identity guarantee
+ *  on the fig2/fig4 spaces with ~10x fewer exact simulations. */
+struct TieredOptions
+{
+    SurrogateMode mode = SurrogateMode::Rank;
+
+    /** Training points drawn from history (spread evenly across the
+     *  space). At least feature_count, or no surface can fit. */
+    std::size_t train_max = 20;
+
+    /** Minimum usable history; below this the selection falls back
+     *  (cold-cache / thin-history). */
+    std::size_t train_min = 12;
+
+    /** Residual gates: a surface whose worst training residual
+     *  exceeds its gate must not rank candidates. */
+    double residual_perf_max = 0.05;   ///< perf_rel units.
+    double residual_temp_max_k = 5.0;  ///< Kelvin.
+    double residual_log_fit_max = 1.0; ///< ln(FIT) units.
+
+    /** Safety margins around the current winner when picking
+     *  confirmation candidates; each is widened by twice the fitted
+     *  surface's training residual. */
+    double margin_perf_rel = 0.04;
+    double margin_temp_k = 3.0;
+    double margin_log_fit = 0.4;
+
+    /** Best predicted-feasible points always confirmed exactly,
+     *  margins aside. */
+    std::size_t confirm_top_k = 4;
+};
+
+/** One tiered selection plus its cost accounting. */
+struct TieredSelection
+{
+    Selection selection;
+
+    /** Configurations in the adaptation space. */
+    std::size_t space_points = 0;
+
+    /** Exact evaluations issued by THIS call (training + confirms,
+     *  or the whole space on the exhaustive path). Points memoized
+     *  by earlier selections on the same (app, space) cost nothing
+     *  and are not counted. */
+    std::size_t exact_evals = 0;
+
+    /** Surrogate predictions made (3 responses per ranked point). */
+    std::size_t ranked_points = 0;
+
+    /** Select/widen/evaluate rounds until no candidate remained. */
+    std::size_t confirm_rounds = 0;
+
+    /** False when this selection ran the exhaustive path. */
+    bool used_surrogate = false;
+
+    /** Why the exhaustive path ran ("cold-cache", "thin-history",
+     *  "degenerate-history", "residual", "auto-warmup",
+     *  "no-valid-training", "off"); empty when used_surrogate. */
+    std::string fallback_reason;
+};
+
+/**
+ * Serves tiered selections over an OracleExplorer, memoizing exact
+ * evaluations and fitted models per (application, space) so a sweep
+ * over qualification temperatures pays for training once.
+ */
+class TieredExplorer
+{
+  public:
+    /** @p explorer and @p cache must outlive this object. @p cache
+     *  may be null (no history: rank mode always falls back until
+     *  an exhaustive pass has filled the memo). */
+    explicit TieredExplorer(const OracleExplorer &explorer,
+                            EvaluationCache *cache,
+                            TieredOptions opts = {});
+
+    /** Tiered drm::selectDrm: best perf subject to FIT <= target. */
+    TieredSelection selectDrm(const workload::AppProfile &app,
+                              AdaptationSpace space,
+                              const core::Qualification &qual);
+
+    /** Tiered drm::selectDtm: best perf subject to temp <= design. */
+    TieredSelection selectDtm(const workload::AppProfile &app,
+                              AdaptationSpace space, double t_design_k,
+                              const core::Qualification &qual);
+
+    const TieredOptions &options() const { return opts_; }
+    void setOptions(TieredOptions opts) { opts_ = std::move(opts); }
+
+  private:
+    /** Per-(app, space) memo: the config list, base point, fitted
+     *  model, and every exact evaluation issued so far. */
+    struct SpaceState
+    {
+        std::vector<sim::MachineConfig> cfgs;
+        core::OperatingPoint base;
+        double base_perf_uops_s = 0.0;
+        std::optional<SurrogateModel> model;
+        /** Exactly-evaluated points by config index; nullopt =
+         *  not yet evaluated. */
+        std::vector<std::optional<ExploredPoint>> points;
+    };
+
+    struct Policy
+    {
+        bool drm = false;     ///< selectDrm (else selectDtm).
+        double t_design_k = 0.0;
+    };
+
+    TieredSelection select(const workload::AppProfile &app,
+                           AdaptationSpace space,
+                           const core::Qualification &qual,
+                           const Policy &policy);
+
+    SpaceState &stateFor(const workload::AppProfile &app,
+                         AdaptationSpace space);
+
+    /** Exact-evaluate config @p i unless memoized; returns whether a
+     *  new evaluation was issued (counted by the caller). */
+    bool ensureEvaluated(SpaceState &state,
+                         const workload::AppProfile &app,
+                         std::size_t i);
+
+    /** Exhaustive fallback: evaluate the whole space (through the
+     *  explorer's pool) and run the exact selection. */
+    TieredSelection exhaustive(SpaceState &state,
+                               const workload::AppProfile &app,
+                               AdaptationSpace space,
+                               const core::Qualification &qual,
+                               const Policy &policy,
+                               const std::string &reason);
+
+    /** Fit (or reuse) the model for @p state; empty optional plus a
+     *  reason string when a gate trips. */
+    std::optional<std::string>
+    ensureModel(SpaceState &state, const workload::AppProfile &app,
+                TieredSelection &result);
+
+    const OracleExplorer &explorer_;
+    EvaluationCache *cache_;
+    TieredOptions opts_;
+    std::map<std::pair<std::string, AdaptationSpace>, SpaceState>
+        spaces_;
+};
+
+} // namespace surrogate
+} // namespace drm
+} // namespace ramp

@@ -72,6 +72,11 @@ encodeRequest(const Request &req)
         root.set("space", JsonValue::makeString(
                               drm::adaptationSpaceName(req.space)));
         root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        if (req.surrogate != drm::surrogate::SurrogateMode::Off)
+            root.set("surrogate",
+                     JsonValue::makeString(
+                         drm::surrogate::surrogateModeName(
+                             req.surrogate)));
         break;
       case RequestType::SelectDtm:
         root.set("app", JsonValue::makeString(req.app));
@@ -80,6 +85,11 @@ encodeRequest(const Request &req)
         root.set("t_design_k",
                  JsonValue::makeNumber(req.t_design_k));
         root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        if (req.surrogate != drm::surrogate::SurrogateMode::Off)
+            root.set("surrogate",
+                     JsonValue::makeString(
+                         drm::surrogate::surrogateModeName(
+                             req.surrogate)));
         break;
       case RequestType::Stats:
       case RequestType::Shutdown:
@@ -131,12 +141,15 @@ parseRequest(std::string_view payload)
         (void)value;
         if (key == "id" || key == "type")
             continue;
+        const bool is_select = req.type == RequestType::SelectDrm ||
+                               req.type == RequestType::SelectDtm;
         const bool known =
             (needs_app && (key == "app" || key == "space" ||
                            key == "t_qual_k")) ||
             (req.type == RequestType::Evaluate && key == "config") ||
             (req.type == RequestType::SelectDtm &&
-             key == "t_design_k");
+             key == "t_design_k") ||
+            (is_select && key == "surrogate");
         if (!known)
             return RampError{
                 ErrorCode::InvalidInput,
@@ -184,6 +197,23 @@ parseRequest(std::string_view payload)
         if (!t_design)
             return t_design.error();
         req.t_design_k = t_design.value();
+    }
+    if (req.type == RequestType::SelectDrm ||
+        req.type == RequestType::SelectDtm) {
+        if (const JsonValue *mode = doc->find("surrogate")) {
+            if (!mode->isString())
+                return RampError{ErrorCode::InvalidInput,
+                                 "request field 'surrogate' must be "
+                                 "a string"};
+            const auto parsed =
+                drm::surrogate::surrogateModeFromName(mode->str);
+            if (!parsed)
+                return RampError{
+                    ErrorCode::InvalidInput,
+                    util::cat("unknown surrogate mode '", mode->str,
+                              "' (off, rank, or auto)")};
+            req.surrogate = *parsed;
+        }
     }
     return req;
 }

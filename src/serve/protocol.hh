@@ -19,6 +19,12 @@
  *   {"id":4,"type":"stats"}
  *   {"id":5,"type":"shutdown"}
  *
+ * select_* requests additionally accept an optional
+ * `"surrogate":"off"|"rank"|"auto"` field choosing the tiered
+ * evaluation mode (drm/surrogate); absent means "off" (exhaustive).
+ * The chosen winner is identical in every mode -- the field only
+ * trades exact simulations for surrogate ranking on the server.
+ *
  * Replies are {"id":N,"ok":true,"result":{...}} on success, or
  * {"id":N,"ok":false,"error":{"code":"...","message":"..."}} on
  * failure. Error codes are util::errorCodeName strings for
@@ -35,6 +41,7 @@
 #include <string_view>
 
 #include "drm/adaptation.hh"
+#include "drm/surrogate/mode.hh"
 #include "util/error.hh"
 #include "util/json.hh"
 
@@ -81,6 +88,9 @@ struct Request
     double t_qual_k = 345.0;
     /** Thermal design point (select_dtm only, K). */
     double t_design_k = 370.0;
+    /** Tiered evaluation mode (select_* only); Off = exhaustive. */
+    drm::surrogate::SurrogateMode surrogate =
+        drm::surrogate::SurrogateMode::Off;
 };
 
 /** Serialize a request to its wire payload. */

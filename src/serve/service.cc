@@ -138,16 +138,38 @@ EvaluationService::select(const Request &req)
     auto idx = appIndex(req.app);
     if (!idx)
         return idx.error();
-    auto space = explored(idx.value(), req.space);
-    if (!space)
-        return space.error();
     const auto qual = qualification(req.t_qual_k);
-
     const bool drm_policy = req.type == RequestType::SelectDrm;
-    const drm::Selection sel =
-        drm_policy
-            ? drm::selectDrm(*space.value(), *qual)
-            : drm::selectDtm(*space.value(), req.t_design_k, *qual);
+
+    drm::Selection sel;
+    if (req.surrogate != drm::surrogate::SurrogateMode::Off) {
+        // Tiered fast path: surrogate-ranked, exactly-confirmed --
+        // the winner is identical to the exhaustive branch below
+        // (the serve tests assert the reply bytes match), only the
+        // number of exact simulations changes.
+        if (!tiered_)
+            tiered_ =
+                std::make_unique<drm::surrogate::TieredExplorer>(
+                    explorer_, &cache_);
+        drm::surrogate::TieredOptions topts = tiered_->options();
+        topts.mode = req.surrogate;
+        tiered_->setOptions(topts);
+        const workload::AppProfile &app = apps_[idx.value()];
+        sel = drm_policy
+                  ? tiered_->selectDrm(app, req.space, *qual)
+                        .selection
+                  : tiered_
+                        ->selectDtm(app, req.space, req.t_design_k,
+                                    *qual)
+                        .selection;
+    } else {
+        auto space = explored(idx.value(), req.space);
+        if (!space)
+            return space.error();
+        sel = drm_policy ? drm::selectDrm(*space.value(), *qual)
+                         : drm::selectDtm(*space.value(),
+                                          req.t_design_k, *qual);
+    }
 
     JsonValue out = JsonValue::makeObject();
     out.set("app", JsonValue::makeString(req.app));

@@ -36,6 +36,7 @@
 #include "drm/adaptation.hh"
 #include "drm/eval_cache.hh"
 #include "drm/oracle.hh"
+#include "drm/surrogate/tiered.hh"
 #include "serve/protocol.hh"
 #include "util/thread_pool.hh"
 #include "workload/profile.hh"
@@ -103,8 +104,10 @@ class EvaluationService
      * Run one DRM or DTM oracle selection (req.type selects which).
      * The explored space is memoized per (app, space), so repeated
      * selections at different temperatures re-run only the cheap
-     * constraint evaluation. Driver-thread only (fans out on the
-     * pool).
+     * constraint evaluation. With req.surrogate != Off the selection
+     * runs through the tiered explorer instead (same winner, far
+     * fewer exact simulations; see drm/surrogate/tiered.hh).
+     * Driver-thread only (fans out on the pool).
      */
     util::Result<util::JsonValue> select(const Request &req);
 
@@ -141,6 +144,10 @@ class EvaluationService
     std::map<std::pair<std::size_t, drm::AdaptationSpace>,
              std::shared_ptr<const drm::ExploredApp>>
         explored_;
+
+    /** Driver-thread only: tiered fast path (lazily built on the
+     *  first request that asks for it). */
+    std::unique_ptr<drm::surrogate::TieredExplorer> tiered_;
 };
 
 } // namespace serve

@@ -176,9 +176,18 @@ readExact(const Socket &sock, std::size_t n, int timeout_ms)
     out.resize(n);
     std::size_t got = 0;
     while (got < n) {
-        auto ready = waitFor(sock.fd(), POLLIN, deadline);
-        if (!ready)
-            return ready.error();
+        // Only EINTR warrants a retry. EAGAIN/EWOULDBLOCK on a
+        // blocking socket means a socket-level timeout (SO_RCVTIMEO)
+        // fired -- retrying would spin past the caller's deadline,
+        // one half-frame at a time, forever on a stalled peer. When
+        // the caller supplied no deadline, recv runs ungated so a
+        // socket timeout still gets its chance to fire (a poll()
+        // with no deadline would otherwise defeat it silently).
+        if (deadline) {
+            auto ready = waitFor(sock.fd(), POLLIN, deadline);
+            if (!ready)
+                return ready.error();
+        }
         const ssize_t rc =
             ::recv(sock.fd(), out.data() + got, n - got, 0);
         if (rc > 0) {
@@ -192,9 +201,12 @@ readExact(const Socket &sock, std::size_t n, int timeout_ms)
                              cat("peer closed mid-read (", got,
                                  " of ", n, " bytes)")};
         }
-        if (errno == EINTR || errno == EAGAIN ||
-            errno == EWOULDBLOCK)
+        if (errno == EINTR)
             continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return RampError{ErrorCode::Timeout,
+                             cat("socket receive timeout (", got,
+                                 " of ", n, " bytes)")};
         return errnoError("recv");
     }
     return std::optional<std::string>(std::move(out));
@@ -206,9 +218,15 @@ writeAll(const Socket &sock, std::string_view data, int timeout_ms)
     const auto deadline = deadlineFrom(timeout_ms);
     std::size_t sent = 0;
     while (sent < data.size()) {
-        auto ready = waitFor(sock.fd(), POLLOUT, deadline);
-        if (!ready)
-            return ready.error();
+        // Timeout semantics mirror readExact: EINTR retries, a
+        // socket-level send timeout (SO_SNDTIMEO) surfaces as
+        // Timeout instead of spinning, and an absent deadline leaves
+        // send ungated so that timeout can fire.
+        if (deadline) {
+            auto ready = waitFor(sock.fd(), POLLOUT, deadline);
+            if (!ready)
+                return ready.error();
+        }
         const ssize_t rc =
             ::send(sock.fd(), data.data() + sent, data.size() - sent,
                    MSG_NOSIGNAL);
@@ -216,9 +234,12 @@ writeAll(const Socket &sock, std::string_view data, int timeout_ms)
             sent += static_cast<std::size_t>(rc);
             continue;
         }
-        if (rc < 0 && (errno == EINTR || errno == EAGAIN ||
-                       errno == EWOULDBLOCK))
+        if (rc < 0 && errno == EINTR)
             continue;
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return RampError{ErrorCode::Timeout,
+                             cat("socket send timeout (", sent,
+                                 " of ", data.size(), " bytes)")};
         return errnoError("send");
     }
     return {};

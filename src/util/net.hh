@@ -102,11 +102,18 @@ Result<Socket> connectTcp(std::uint16_t port, int timeout_ms);
  * whole read, < 0 waits forever). A clean EOF *before the first
  * byte* returns nullopt (the peer finished); EOF mid-buffer is
  * IoFailure (a torn frame), and an expired deadline is Timeout.
+ *
+ * A socket-level receive timeout (SO_RCVTIMEO) also surfaces as
+ * Timeout -- never as a silent retry, which would spin past the
+ * caller's deadline on a stalled peer. With @p timeout_ms < 0 the
+ * read is not poll()-gated, so a configured SO_RCVTIMEO still
+ * bounds the wait.
  */
 Result<std::optional<std::string>>
 readExact(const Socket &sock, std::size_t n, int timeout_ms);
 
-/** Write all of @p data within @p timeout_ms. */
+/** Write all of @p data within @p timeout_ms. Timeout semantics as
+ *  readExact (SO_SNDTIMEO surfaces as Timeout, never a retry). */
 Result<void> writeAll(const Socket &sock, std::string_view data,
                       int timeout_ms);
 

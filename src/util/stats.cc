@@ -130,5 +130,19 @@ Histogram::quantile(double q) const
     return hi_;
 }
 
+double
+percentile(const std::vector<double> &sorted_ascending, double p)
+{
+    if (sorted_ascending.empty())
+        panic("percentile of an empty sample");
+    p = std::clamp(p, 0.0, 1.0);
+    const double n = static_cast<double>(sorted_ascending.size());
+    const double rank = std::ceil(p * n);
+    std::size_t i = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    if (i >= sorted_ascending.size())
+        i = sorted_ascending.size() - 1;
+    return sorted_ascending[i];
+}
+
 } // namespace util
 } // namespace ramp

@@ -145,6 +145,16 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
+/**
+ * Nearest-rank percentile of an ascending-sorted sample: the value at
+ * index ceil(p * n) - 1, clamped to the sample. This is the inverse
+ * of the empirical CDF -- p50 of {a, b} is a, not b; indexing
+ * p * n directly is biased one rank high at every boundary. p in
+ * [0, 1]; panics on an empty sample (no percentile exists).
+ */
+double percentile(const std::vector<double> &sorted_ascending,
+                  double p);
+
 } // namespace util
 } // namespace ramp
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the shared bench command line (bench/common.hh): the
+ * three-way cache-path precedence (--cache flag > RAMP_EVAL_CACHE >
+ * default, with an explicit empty flag selecting an in-memory
+ * cache), the --surrogate mode flag, and the --bench-json artifact
+ * override.
+ */
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// ramp-lint: allow(include-path): header-only bench/common.hh, wired in via a target include dir
+#include "common.hh"
+
+namespace ramp::bench {
+namespace {
+
+/** Run Options::parse over a synthetic argv. */
+Options
+parseArgs(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "bench_test");
+    std::vector<char *> argv;
+    for (auto &arg : args)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    return Options::parse(static_cast<int>(args.size()), argv.data());
+}
+
+/** Scoped environment override that restores the prior value. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        if (const char *cur = std::getenv(name))
+            old_ = cur;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (old_)
+            ::setenv(name_.c_str(), old_->c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::optional<std::string> old_;
+};
+
+TEST(BenchOptions, CacheDefaultsWhenNothingIsSet)
+{
+    EnvGuard env("RAMP_EVAL_CACHE", nullptr);
+    const Options opts = parseArgs({});
+    EXPECT_FALSE(opts.cache_set);
+    EXPECT_EQ(cachePath(opts), "ramp_eval_cache.txt");
+}
+
+TEST(BenchOptions, CacheEnvBeatsDefault)
+{
+    EnvGuard env("RAMP_EVAL_CACHE", "from_env.txt");
+    const Options opts = parseArgs({});
+    EXPECT_EQ(cachePath(opts), "from_env.txt");
+}
+
+TEST(BenchOptions, CacheFlagBeatsEnv)
+{
+    EnvGuard env("RAMP_EVAL_CACHE", "from_env.txt");
+    const Options opts = parseArgs({"--cache", "from_flag.txt"});
+    EXPECT_TRUE(opts.cache_set);
+    EXPECT_EQ(cachePath(opts), "from_flag.txt");
+}
+
+TEST(BenchOptions, EmptyCacheFlagMeansInMemoryAndBeatsEnv)
+{
+    // The regression this pins: an explicit `--cache ""` opts out of
+    // any file-backed cache. Falling through to RAMP_EVAL_CACHE here
+    // would silently reattach the file the caller rejected.
+    EnvGuard env("RAMP_EVAL_CACHE", "from_env.txt");
+    const Options opts = parseArgs({"--cache", ""});
+    EXPECT_TRUE(opts.cache_set);
+    EXPECT_EQ(cachePath(opts), "");
+}
+
+TEST(BenchOptions, SurrogateFlagParses)
+{
+    EXPECT_EQ(parseArgs({}).surrogate,
+              drm::surrogate::SurrogateMode::Off);
+    EXPECT_EQ(parseArgs({"--surrogate", "off"}).surrogate,
+              drm::surrogate::SurrogateMode::Off);
+    EXPECT_EQ(parseArgs({"--surrogate", "rank"}).surrogate,
+              drm::surrogate::SurrogateMode::Rank);
+    EXPECT_EQ(parseArgs({"--surrogate=auto"}).surrogate,
+              drm::surrogate::SurrogateMode::Auto);
+}
+
+TEST(BenchOptionsDeath, UnknownSurrogateModeIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--surrogate", "fast"}),
+                testing::ExitedWithCode(1), "off, rank, or auto");
+}
+
+TEST(BenchOptions, BenchJsonDefaultsOverridesAndDisables)
+{
+    const Options plain = parseArgs({});
+    EXPECT_FALSE(plain.bench_json_set);
+    EXPECT_EQ(benchJsonPath(plain, "BENCH_x.json"), "BENCH_x.json");
+
+    const Options custom =
+        parseArgs({"--bench-json", "elsewhere.json"});
+    EXPECT_TRUE(custom.bench_json_set);
+    EXPECT_EQ(benchJsonPath(custom, "BENCH_x.json"),
+              "elsewhere.json");
+
+    const Options disabled = parseArgs({"--bench-json", ""});
+    EXPECT_TRUE(disabled.bench_json_set);
+    EXPECT_EQ(benchJsonPath(disabled, "BENCH_x.json"), "");
+}
+
+} // namespace
+} // namespace ramp::bench

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the surrogate fast path: response-surface fit/predict
+ * units, every tiered fallback reason (each must land on the
+ * exhaustive path and bump surrogate.fallbacks), and the bit-identity
+ * guarantee against exhaustive search on the full fig4 (DVS) and
+ * fig2 (ArchDVS) spaces -- the latter also pins the >=10x reduction
+ * in exact simulations per selection.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "drm/surrogate/tiered.hh"
+#include "util/telemetry.hh"
+#include "workload/profile.hh"
+
+namespace ramp::drm::surrogate {
+namespace {
+
+core::EvalParams
+fastParams()
+{
+    core::EvalParams params;
+    params.warmup_uops = 40'000;
+    params.measure_uops = 60'000;
+    return params;
+}
+
+core::Qualification
+makeQual(double t_qual_k)
+{
+    core::QualificationSpec s;
+    s.t_qual_k = t_qual_k;
+    s.alpha_qual.fill(0.5);
+    return core::Qualification(s);
+}
+
+std::uint64_t
+fallbackCount()
+{
+    return telemetry::Registry::instance().snapshot().counter(
+        "surrogate.fallbacks");
+}
+
+/** Synthetic operating point whose temperature is an affine function
+ *  of the knobs, so a quadratic surface reproduces it exactly. */
+core::OperatingPoint
+syntheticOp(const sim::MachineConfig &cfg)
+{
+    core::OperatingPoint op;
+    op.config = cfg;
+    op.temps_k.fill(300.0 + 20.0 * cfg.frequency_ghz +
+                    15.0 * cfg.voltage_v);
+    op.activity.activity.fill(0.5);
+    op.activity.cycles = 1000;
+    op.activity.retired = 1000;
+    return op;
+}
+
+std::vector<TrainingSample>
+syntheticSamples(std::size_t count)
+{
+    const auto cfgs = configSpace(AdaptationSpace::ArchDvs);
+    std::vector<TrainingSample> samples;
+    const std::size_t stride = cfgs.size() / count;
+    for (std::size_t i = 0; i < count; ++i) {
+        TrainingSample s;
+        s.op = syntheticOp(cfgs[i * stride]);
+        s.perf_rel = s.op.config.frequency_ghz / 4.0;
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+TEST(ResponseSurface, RecoversALinearResponse)
+{
+    const auto cfgs = configSpace(AdaptationSpace::ArchDvs);
+    auto target = [](const std::vector<double> &row) {
+        return 2.0 + 0.7 * row[1] + 0.2 * row[2] - 0.1 * row[3];
+    };
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (std::size_t i = 0; i < 24; ++i) {
+        rows.push_back(configFeatures(cfgs[i * 6]));
+        targets.push_back(target(rows.back()));
+    }
+    // Tolerances allow for the ridge term's tiny bias.
+    auto fit = ResponseSurface::fit(rows, targets);
+    ASSERT_TRUE(fit.ok()) << fit.error().str();
+    EXPECT_LT(fit.value().maxAbsResidual(), 1e-4);
+
+    // An unseen configuration predicts on the same function.
+    const auto probe = configFeatures(cfgs[151]);
+    EXPECT_NEAR(fit.value().predict(probe), target(probe), 1e-4);
+}
+
+TEST(ResponseSurface, ThinHistoryIsInvalidInput)
+{
+    const auto cfgs = configSpace(AdaptationSpace::ArchDvs);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (std::size_t i = 0; i < 5; ++i) {
+        rows.push_back(configFeatures(cfgs[i * 20]));
+        targets.push_back(1.0);
+    }
+    auto fit = ResponseSurface::fit(rows, targets);
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(fit.error().message.find("too thin"),
+              std::string::npos);
+}
+
+TEST(ResponseSurface, DegenerateHistoryIsRejected)
+{
+    // Ridge would happily "fit" N copies of one point; the fit must
+    // refuse instead (the tiered layer maps this to the
+    // "degenerate-history" fallback).
+    const auto row = configFeatures(sim::baseMachine());
+    std::vector<std::vector<double>> rows(14, row);
+    std::vector<double> targets(14, 1.0);
+    auto fit = ResponseSurface::fit(rows, targets);
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(fit.error().message.find("degenerate"),
+              std::string::npos);
+}
+
+TEST(SurrogateModel, PredictsItsTrainingResponses)
+{
+    auto samples = syntheticSamples(20);
+    auto model = SurrogateModel::fit(samples);
+    ASSERT_TRUE(model.ok()) << model.error().str();
+
+    // Tolerances allow for the ridge term's tiny bias.
+    EXPECT_LT(model.value().perfResidual(), 1e-4);
+    EXPECT_LT(model.value().tempResidualK(), 1e-2);
+    for (const auto &s : samples) {
+        EXPECT_NEAR(model.value().predictPerf(s.op.config),
+                    s.perf_rel, 1e-4);
+        EXPECT_NEAR(model.value().predictTempK(s.op.config),
+                    s.op.maxTemp(), 1e-2);
+    }
+
+    // FIT predictions come from a lazily-fitted log surface; they
+    // must be positive and track the training points' true FIT.
+    const auto qual = makeQual(380.0);
+    auto residual = model.value().fitLogResidual(qual);
+    ASSERT_TRUE(residual.ok()) << residual.error().str();
+    for (const auto &s : samples) {
+        auto fit = model.value().predictFit(s.op.config, qual);
+        ASSERT_TRUE(fit.ok()) << fit.error().str();
+        const double truth = operatingPointFit(qual, s.op);
+        EXPECT_GT(fit.value(), 0.0);
+        EXPECT_NEAR(std::log(fit.value()), std::log(truth),
+                    residual.value() + 1e-9);
+    }
+}
+
+TEST(SurrogateModel, DegenerateSamplesAreRejected)
+{
+    std::vector<TrainingSample> samples(
+        14, syntheticSamples(1).front());
+    auto model = SurrogateModel::fit(std::move(samples));
+    ASSERT_FALSE(model.ok());
+    EXPECT_EQ(model.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(model.error().message.find("degenerate"),
+              std::string::npos);
+}
+
+TEST(Tiered, ColdCacheThenThinHistoryFallBack)
+{
+    const OracleExplorer explorer(fastParams());
+    const auto &app = workload::findApp("twolf");
+    const auto qual = makeQual(345.0);
+
+    // No cache, nothing memoized: the first selection has no history
+    // at all and must run the exhaustive path.
+    TieredExplorer tiered(explorer, /*cache=*/nullptr);
+    const std::uint64_t before = fallbackCount();
+    const auto first =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_FALSE(first.used_surrogate);
+    EXPECT_EQ(first.fallback_reason, "cold-cache");
+    EXPECT_EQ(first.space_points, 11u);
+    EXPECT_EQ(first.exact_evals, 11u);
+    EXPECT_EQ(fallbackCount(), before + 1);
+
+    // The fallback IS the exhaustive path: same winner as a plain
+    // explore + selectDrm.
+    const auto explored =
+        explorer.explore(app, AdaptationSpace::Dvs);
+    const auto exact = selectDrm(explored, qual);
+    EXPECT_EQ(first.selection.index, exact.index);
+    EXPECT_EQ(first.selection.perf_rel, exact.perf_rel);
+    EXPECT_EQ(first.selection.feasible, exact.feasible);
+
+    // Second selection: 11 memoized points are below the default
+    // train_min of 12, so the model still cannot fit -- but nothing
+    // needs re-evaluating.
+    const auto second =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_FALSE(second.used_surrogate);
+    EXPECT_EQ(second.fallback_reason, "thin-history");
+    EXPECT_EQ(second.exact_evals, 0u);
+    EXPECT_EQ(second.selection.index, exact.index);
+    EXPECT_EQ(fallbackCount(), before + 2);
+}
+
+TEST(Tiered, ResidualGateTripsToExhaustive)
+{
+    const OracleExplorer explorer(fastParams());
+    const auto &app = workload::findApp("twolf");
+    const auto qual = makeQual(345.0);
+
+    TieredOptions topts;
+    topts.train_min = 11;         // the DVS ladder has 11 rungs
+    topts.residual_perf_max = -1.0; // any residual >= 0 trips
+    TieredExplorer tiered(explorer, nullptr, topts);
+
+    const std::uint64_t before = fallbackCount();
+    const auto first =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_EQ(first.fallback_reason, "cold-cache");
+
+    // Now there is enough history to fit, but the (impossible)
+    // residual gate must reject the surface and fall back.
+    const auto second =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_FALSE(second.used_surrogate);
+    EXPECT_EQ(second.fallback_reason, "residual");
+    EXPECT_EQ(second.exact_evals, 0u);
+    EXPECT_EQ(second.selection.index, first.selection.index);
+    EXPECT_EQ(fallbackCount(), before + 2);
+}
+
+TEST(Tiered, AutoWarmupSeedsTheModelThenServes)
+{
+    const OracleExplorer explorer(fastParams());
+    const auto &app = workload::findApp("twolf");
+    const auto qual = makeQual(345.0);
+
+    TieredOptions topts;
+    topts.mode = SurrogateMode::Auto;
+    topts.train_min = 11;
+    TieredExplorer tiered(explorer, nullptr, topts);
+
+    const std::uint64_t before = fallbackCount();
+    const auto warmup =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_FALSE(warmup.used_surrogate);
+    EXPECT_EQ(warmup.fallback_reason, "auto-warmup");
+    EXPECT_EQ(warmup.exact_evals, 11u);
+    EXPECT_EQ(fallbackCount(), before + 1);
+
+    // The warm-up pass seeded the model from its own exploration, so
+    // the next selection takes the fast path at zero extra cost and
+    // picks the identical winner.
+    const auto served =
+        tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+    EXPECT_TRUE(served.used_surrogate);
+    EXPECT_TRUE(served.fallback_reason.empty());
+    EXPECT_EQ(served.exact_evals, 0u);
+    EXPECT_EQ(served.selection.index, warmup.selection.index);
+    EXPECT_EQ(served.selection.perf_rel, warmup.selection.perf_rel);
+    EXPECT_EQ(fallbackCount(), before + 1);
+}
+
+TEST(TieredBitIdentity, Fig4DvsFullSweep)
+{
+    // The fig4 space: the 11-rung DVS ladder. With 11 points and an
+    // 11-term basis the surrogate cannot *save* simulations here --
+    // this test pins the other half of the contract: tiered DRM and
+    // DTM selections are bit-identical to exhaustive search across
+    // the full temperature sweep.
+    EvaluationCache cache(""); // in-memory
+    const OracleExplorer explorer(fastParams(), &cache);
+    const auto &app = workload::findApp("twolf");
+
+    const auto explored =
+        explorer.explore(app, AdaptationSpace::Dvs);
+    ASSERT_EQ(explored.points.size(), 11u);
+
+    TieredOptions topts;
+    topts.train_min = 11;
+    TieredExplorer tiered(explorer, &cache, topts);
+
+    for (double tq : {325.0, 335.0, 345.0, 360.0, 370.0, 400.0}) {
+        const auto qual = makeQual(tq);
+        const auto exact = selectDrm(explored, qual);
+        const auto got =
+            tiered.selectDrm(app, AdaptationSpace::Dvs, qual);
+        EXPECT_EQ(got.selection.index, exact.index) << "T_qual=" << tq;
+        EXPECT_EQ(got.selection.perf_rel, exact.perf_rel);
+        EXPECT_EQ(got.selection.fit, exact.fit);
+        EXPECT_EQ(got.selection.max_temp_k, exact.max_temp_k);
+        EXPECT_EQ(got.selection.feasible, exact.feasible);
+        EXPECT_LE(got.exact_evals, 11u);
+    }
+
+    for (double td : {340.0, 355.0, 370.0, 400.0}) {
+        const auto qual = makeQual(345.0);
+        const auto exact = selectDtm(explored, td, qual);
+        const auto got =
+            tiered.selectDtm(app, AdaptationSpace::Dvs, td, qual);
+        EXPECT_EQ(got.selection.index, exact.index)
+            << "T_design=" << td;
+        EXPECT_EQ(got.selection.perf_rel, exact.perf_rel);
+        EXPECT_EQ(got.selection.fit, exact.fit);
+        EXPECT_EQ(got.selection.max_temp_k, exact.max_temp_k);
+        EXPECT_EQ(got.selection.feasible, exact.feasible);
+        EXPECT_LE(got.exact_evals, 11u);
+    }
+}
+
+TEST(TieredBitIdentity, Fig2ArchDvsSweepSavesTenX)
+{
+    // The fig2 space: every ArchDVS configuration, selected at the
+    // paper's four qualification temperatures. The tiered winner must
+    // be bit-identical to exhaustive search at every temperature
+    // while issuing at least 10x fewer exact simulations than the
+    // one-per-point-per-selection an exhaustive sweep costs.
+    EvaluationCache cache(""); // in-memory
+    const OracleExplorer explorer(fastParams(), &cache);
+    const auto &app = workload::findApp("twolf");
+
+    const auto explored =
+        explorer.explore(app, AdaptationSpace::ArchDvs);
+    const std::size_t n = explored.points.size();
+    ASSERT_GE(n, 100u); // the full fig2 space, not a truncation
+
+    // A fresh tiered explorer: its only head start is the cache
+    // history the exhaustive sweep just wrote (as in a bench or
+    // serve process re-run against a warm cache).
+    TieredExplorer tiered(explorer, &cache);
+    std::size_t tiered_exact = 0;
+    for (double tq : {400.0, 370.0, 345.0, 325.0}) {
+        const auto qual = makeQual(tq);
+        const auto exact = selectDrm(explored, qual);
+        const auto got =
+            tiered.selectDrm(app, AdaptationSpace::ArchDvs, qual);
+        EXPECT_TRUE(got.used_surrogate)
+            << "fell back: " << got.fallback_reason;
+        EXPECT_EQ(got.selection.index, exact.index) << "T_qual=" << tq;
+        EXPECT_EQ(got.selection.perf_rel, exact.perf_rel);
+        EXPECT_EQ(got.selection.fit, exact.fit);
+        EXPECT_EQ(got.selection.max_temp_k, exact.max_temp_k);
+        EXPECT_EQ(got.selection.feasible, exact.feasible);
+        tiered_exact += got.exact_evals;
+    }
+    // >= 10x fewer exact simulations per selection: 4 exhaustive
+    // selections cost 4 * n.
+    EXPECT_LE(tiered_exact, (4 * n) / 10)
+        << "tiered sweep spent " << tiered_exact << " exact sims";
+
+    // DTM on the same space rides the same model and memo.
+    const auto qual = makeQual(345.0);
+    const auto exact_dtm = selectDtm(explored, 370.0, qual);
+    const auto got_dtm =
+        tiered.selectDtm(app, AdaptationSpace::ArchDvs, 370.0, qual);
+    EXPECT_TRUE(got_dtm.used_surrogate)
+        << "fell back: " << got_dtm.fallback_reason;
+    EXPECT_EQ(got_dtm.selection.index, exact_dtm.index);
+    EXPECT_EQ(got_dtm.selection.perf_rel, exact_dtm.perf_rel);
+    EXPECT_EQ(got_dtm.selection.max_temp_k, exact_dtm.max_temp_k);
+    EXPECT_EQ(got_dtm.selection.feasible, exact_dtm.feasible);
+}
+
+} // namespace
+} // namespace ramp::drm::surrogate

@@ -179,6 +179,37 @@ TEST(Framing, ReadDeadlineIsTimeout)
     EXPECT_LT(waited_ms, 5'000.0);
 }
 
+TEST(Framing, SocketReceiveTimeoutSurfacesAsTimeout)
+{
+    Pair pair = loopbackPair();
+    // Promise 100 payload bytes, deliver 10, keep the socket open:
+    // the reader is parked mid-frame. With no poll() deadline
+    // (timeout_ms < 0) only the kernel's SO_RCVTIMEO can end the
+    // wait, and it must surface as a structured Timeout -- the codec
+    // used to retry EAGAIN like EINTR, spinning on the stalled peer
+    // forever.
+    timeval tv{};
+    tv.tv_usec = 100'000; // 100 ms
+    ASSERT_EQ(::setsockopt(pair.server.fd(), SOL_SOCKET, SO_RCVTIMEO,
+                           &tv, sizeof tv),
+              0);
+    rawSend(pair.client, prefix(100) + std::string(10, 'y'));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto frame = readFrame(pair.server, 1 << 20, /*timeout_ms=*/-1);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::Timeout);
+    EXPECT_NE(frame.error().message.find("timeout"),
+              std::string::npos)
+        << frame.error().str();
+    EXPECT_GE(waited_ms, 90.0);
+    EXPECT_LT(waited_ms, 5'000.0);
+}
+
 TEST(Framing, WriterRefusesOversizedPayload)
 {
     Pair pair = loopbackPair();

@@ -135,6 +135,70 @@ TEST(Protocol, ParseRejectsFieldsForeignToTheType)
             .ok());
 }
 
+TEST(Protocol, SurrogateModeRoundTripsOnSelects)
+{
+    for (RequestType t :
+         {RequestType::SelectDrm, RequestType::SelectDtm}) {
+        Request req;
+        req.id = 5;
+        req.type = t;
+        req.app = "gzip";
+        req.space = drm::AdaptationSpace::Dvs;
+        req.surrogate = drm::surrogate::SurrogateMode::Rank;
+        const auto parsed = parseRequest(encodeRequest(req));
+        ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+        EXPECT_EQ(parsed.value().surrogate,
+                  drm::surrogate::SurrogateMode::Rank);
+    }
+}
+
+TEST(Protocol, SurrogateDefaultsToOffAndStaysOffTheWire)
+{
+    Request req;
+    req.id = 6;
+    req.type = RequestType::SelectDrm;
+    req.app = "gzip";
+    req.space = drm::AdaptationSpace::Dvs;
+    // Off is the default, so it is never emitted: old servers keep
+    // parsing new clients' requests.
+    const std::string wire = encodeRequest(req);
+    EXPECT_EQ(wire.find("surrogate"), std::string::npos);
+    const auto parsed = parseRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_EQ(parsed.value().surrogate,
+              drm::surrogate::SurrogateMode::Off);
+}
+
+TEST(Protocol, SurrogateFieldIsValidated)
+{
+    // Unknown mode.
+    const auto bad =
+        parseRequest("{\"id\":1,\"type\":\"select_drm\","
+                     "\"app\":\"x\",\"space\":\"DVS\","
+                     "\"surrogate\":\"fast\"}");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().message.find("surrogate"),
+              std::string::npos);
+
+    // Wrong type.
+    EXPECT_FALSE(
+        parseRequest("{\"id\":1,\"type\":\"select_drm\","
+                     "\"app\":\"x\",\"space\":\"DVS\","
+                     "\"surrogate\":1}")
+            .ok());
+
+    // Foreign to non-select types.
+    EXPECT_FALSE(
+        parseRequest("{\"id\":1,\"type\":\"evaluate\","
+                     "\"app\":\"x\",\"space\":\"DVS\","
+                     "\"config\":0,\"surrogate\":\"rank\"}")
+            .ok());
+    EXPECT_FALSE(
+        parseRequest("{\"id\":1,\"type\":\"stats\","
+                     "\"surrogate\":\"rank\"}")
+            .ok());
+}
+
 TEST(Protocol, ReplyRoundTrips)
 {
     util::JsonValue result = util::JsonValue::makeObject();

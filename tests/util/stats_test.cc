@@ -158,5 +158,52 @@ TEST(HistogramDeath, RejectsBadConstruction)
                 "at least one bin");
 }
 
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    const std::vector<double> one{7.5};
+    EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.5), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.99), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.5);
+}
+
+TEST(Percentile, TwoSamplesSplitAtTheMedian)
+{
+    // Nearest-rank: p50 of {a, b} is a. Indexing p * n directly --
+    // the bug this helper replaced -- would return b.
+    const std::vector<double> two{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(two, 0.50), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 0.51), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 0.99), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(two, 1.0), 2.0);
+}
+
+TEST(Percentile, HundredSamplesMatchTheirRank)
+{
+    // samples[i] = i + 1, so the nearest-rank pth percentile is
+    // exactly ceil(p * 100).
+    std::vector<double> xs(100);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.50), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.90), 90.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 99.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.991), 100.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 100.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.5), 3.0);
+}
+
+TEST(PercentileDeath, RejectsEmptySamples)
+{
+    EXPECT_DEATH(percentile({}, 0.5), "empty");
+}
+
 } // namespace
 } // namespace ramp::util
