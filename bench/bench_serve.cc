@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "aging/state.hh"
 #include "common.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
@@ -422,6 +423,39 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(issued -
                                                     answered));
         failed = true;
+    }
+
+    // One versioned round-trip through the v2 surface: hello ->
+    // report_usage -> remaining_lifetime. Skipped under a fault
+    // plan, where a severed connection would fail the smoke rather
+    // than the protocol.
+    if (!faulted) {
+        serve::ClientOptions copts;
+        copts.port = port;
+        bool smoke_ok = false;
+        if (auto session = serve::Session::open(copts);
+            session && session.value().version() >= 2) {
+            aging::AgingState delta;
+            delta.age_hours = 8760.0;
+            delta.damage[0][0] = 0.01;
+            auto merged = session.value().reportUsage(
+                "bench_serve_smoke", aging::toJson(delta));
+            if (merged) {
+                auto life = session.value().remainingLifetime(
+                    "bench_serve_smoke", service.apps()[0].name,
+                    drm::AdaptationSpace::Dvs);
+                smoke_ok = life &&
+                           life.value().find("consumed") !=
+                               nullptr &&
+                           life.value().find("selection") !=
+                               nullptr;
+            }
+        }
+        if (!smoke_ok) {
+            std::printf("DEVIATION: v2 remaining_lifetime "
+                        "round-trip failed\n");
+            failed = true;
+        }
     }
 
     if (serve_opts.port == 0)

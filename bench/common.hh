@@ -91,6 +91,11 @@ struct Options
      *  artifact. Unset = the bench's default BENCH_*.json name. */
     std::string bench_json_path;
     bool bench_json_set = false;
+    /** Aging-state output path ("" = none). bench_aging saves its
+     *  reference scenario's final AgingState here, in the canonical
+     *  format ramp_served --aging-state and ramp_client
+     *  report-usage consume. */
+    std::string aging_state_path;
     /** Fault-injection plan: inline JSON (leading '{') or a file
      *  path; "" = run clean. Parsed and installed by parse(). */
     std::string fault_plan;
@@ -121,6 +126,8 @@ struct Options
             "  --bench-json P  perf-trajectory artifact path (default "
             "the bench's\n"
             "                  BENCH_*.json; an empty P disables it)\n"
+            "  --aging-state P write the final AgingState (JSON) to P "
+            "(bench_aging)\n"
             "  --metrics PATH  write a telemetry metrics snapshot "
             "(JSON) at exit\n"
             "  --trace PATH    write a Chrome trace-event timeline at "
@@ -202,6 +209,7 @@ struct Options
                   {"--cache", &opts.cache_path},
                   {"--surrogate", &surrogate_name},
                   {"--bench-json", &opts.bench_json_path},
+                  {"--aging-state", &opts.aging_state_path},
                   {"--fault-plan", &opts.fault_plan},
                   {"--threads", nullptr},
                   {"--seed", nullptr},

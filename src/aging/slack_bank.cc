@@ -1,0 +1,69 @@
+#include "aging/slack_bank.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/lifetime.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace aging {
+
+SlackBankPolicy::SlackBankPolicy(SlackBankParams params)
+    : params_(params)
+{
+    if (params_.base_t_qual_k <= 0.0)
+        util::fatal("slack bank base T_qual must be positive");
+    if (params_.max_boost_k < 0.0 || params_.max_throttle_k < 0.0)
+        util::fatal("slack bank boost/throttle bands must be "
+                    "non-negative");
+    if (params_.initial_slack < 0.0 || params_.initial_slack >= 1.0)
+        util::fatal("slack bank initial slack must be in [0,1)");
+    if (params_.service_life_years <= 0.0)
+        util::fatal("slack bank service life must be positive");
+}
+
+double
+SlackBankPolicy::budget(double age_hours) const
+{
+    const double life_fraction =
+        age_hours /
+        core::serviceLifeHours(params_.service_life_years);
+    return std::min(1.0, params_.initial_slack +
+                             (1.0 - params_.initial_slack) *
+                                 life_fraction);
+}
+
+double
+SlackBankPolicy::slack(const AgingState &state) const
+{
+    return budget(state.age_hours) - state.totalDamage();
+}
+
+double
+SlackBankPolicy::effectiveTQualK(const AgingState &state) const
+{
+    const double t_raw_k = params_.base_t_qual_k +
+                           params_.gain_k_per_life * slack(state);
+    return std::clamp(t_raw_k,
+                      params_.base_t_qual_k - params_.max_throttle_k,
+                      params_.base_t_qual_k + params_.max_boost_k);
+}
+
+double
+remainingHoursAtFit(const AgingState &state, double fit,
+                    double target_fit, double service_life_years)
+{
+    const double left = 1.0 - state.totalDamage();
+    if (left <= 0.0)
+        return 0.0;
+    if (fit <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    // The chip burns budget at fit/target relative to the qualified
+    // rate, which by itself would last one service life.
+    return left * target_fit *
+           core::serviceLifeHours(service_life_years) / fit;
+}
+
+} // namespace aging
+} // namespace ramp

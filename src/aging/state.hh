@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Canonical per-chip aging state: Miner's-rule consumed-lifetime
+ * fractions per (structure, mechanism) pair plus the raw stress
+ * history that produced them (EM current-density-time, TDDB
+ * field-time, thermal-cycle counts).
+ *
+ * The on-disk format is versioned JSON written with util::writeJson,
+ * so serialisation is canonical and round-trips bit-exactly. Loading
+ * is strict: a malformed or truncated file is a CorruptRecord (the
+ * recovery helper quarantines it to a `.quarantine` sidecar like the
+ * evaluation cache), and a file written by a *newer* schema version
+ * is refused with a structured InvalidInput error -- never
+ * quarantined, never guessed at -- so downgraded tooling cannot
+ * silently destroy state it does not understand.
+ */
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/mechanisms.hh"
+#include "sim/structures.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+
+namespace ramp {
+namespace aging {
+
+/** Current AgingState schema version (the "v" field on disk). */
+inline constexpr int aging_state_version = 1;
+
+/**
+ * Accumulated wear of one chip. Damage entries are fractions of each
+ * (structure, mechanism) pair's qualified FIT budget consumed under
+ * Miner's rule: 1.0 means the pair has spent the budget one service
+ * life at its allocated FIT would have spent.
+ */
+struct AgingState
+{
+    /** Total integrated operating time, hours. */
+    double age_hours = 0.0;
+
+    /** Consumed-lifetime fraction per structure x mechanism. */
+    sim::PerStructure<std::array<double, core::num_mechanisms>>
+        damage{};
+
+    /** EM stress history: integrated relative current density x
+     *  time (activity x V x f relative to qualification, hours). */
+    sim::PerStructure<double> em_jt_hours{};
+
+    /** TDDB stress history: integrated oxide field proxy x time
+     *  (volt-hours). */
+    sim::PerStructure<double> tddb_vt_hours{};
+
+    /** TC stress history: thermal excursions integrated (one cycle
+     *  per recorded interval). */
+    sim::PerStructure<double> tc_cycles{};
+
+    /**
+     * Chip-level consumed-lifetime fraction: the per-pair fractions
+     * weighted by each pair's share of the FIT budget (even across
+     * mechanisms, area-proportional across structures -- Section
+     * 3.7), so a chip held at exactly the qualified rate for one
+     * service life reads 1.0.
+     */
+    double totalDamage() const;
+
+    /** One structure's consumed fraction (mean over mechanisms,
+     *  which share its budget evenly). */
+    double structureDamage(sim::StructureId s) const;
+
+    /** The most-consumed (structure, mechanism) pair's fraction:
+     *  the series-system weakest link. */
+    double maxPairDamage() const;
+
+    /** Accumulate another state (a usage delta) into this one. */
+    void add(const AgingState &delta);
+};
+
+/** Serialise to the canonical versioned document. */
+util::JsonValue toJson(const AgingState &state);
+
+/**
+ * Parse a state document. Strict: every structure and mechanism key
+ * must be present, no foreign keys, all numbers finite and
+ * non-negative. A document whose "v" exceeds aging_state_version is
+ * InvalidInput ("newer than this build"); any other defect is
+ * CorruptRecord.
+ */
+util::Result<AgingState> agingStateFromJson(const util::JsonValue &doc);
+
+/** Write the state to @p path (atomically: temp file + rename). */
+util::Result<void> saveAgingState(const std::string &path,
+                                  const AgingState &state);
+
+/**
+ * Read and parse @p path. An unreadable file is IoFailure; parse
+ * defects are reported as agingStateFromJson does.
+ */
+util::Result<AgingState> loadAgingState(const std::string &path);
+
+/**
+ * Load-or-start-fresh for daemons and benches: a missing file is a
+ * fresh state; a corrupt file is moved to `path + ".quarantine"`
+ * (counted in aging.state_quarantined) and replaced by a fresh
+ * state; a future-version file is a hard structured error, because
+ * quarantining it would discard newer data.
+ */
+util::Result<AgingState> recoverAgingState(const std::string &path);
+
+} // namespace aging
+} // namespace ramp

@@ -89,6 +89,30 @@ class LifetimeSimulator
     LifetimeParams params_;
 };
 
+/** Hours in one qualified service life. */
+double serviceLifeHours(double service_life_years);
+
+/**
+ * Consumed-lifetime fraction accrued per operating hour by one
+ * (structure, mechanism) pair running at @p fit, under Miner's rule.
+ * Normalised so that holding exactly the allocated FIT for one full
+ * service life consumes 1.0 of the pair's budget; equivalently the
+ * rate is the relative aging rate r(actual)/r(qual) divided by the
+ * service-life hours. Pairs with no allocation do not age (rate 0).
+ */
+double damageRatePerHour(double fit, double allocation_fit,
+                         double service_life_years);
+
+/**
+ * Per-(structure, mechanism) damage rates implied by a steady FIT
+ * report under the given qualification: the fraction of each pair's
+ * qualified budget that one hour of the reported operating history
+ * consumes.
+ */
+sim::PerStructure<std::array<double, num_mechanisms>>
+damageRatesPerHour(const Qualification &qual, const FitReport &report,
+                   double service_life_years);
+
 } // namespace core
 } // namespace ramp
 

@@ -1,5 +1,7 @@
 #include "drm/controller.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -65,6 +67,59 @@ DrmController::observe(double avg_fit_so_far)
         ++transitions_;
         cooldown_ = params_.settle_intervals;
     } else if (avg_fit_so_far < target * (1.0 - params_.up_margin) &&
+               level_ + 1 < num_levels_) {
+        ++level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    }
+    if (level_ != from)
+        // ramp-lint: emits(instant, drm.level_change)
+        recordLevelChange(controllerMetrics().drm_changes,
+                          "drm.level_change", "drm", from, level_,
+                          avg_fit_so_far);
+    return level_;
+}
+
+SlackBankController::SlackBankController(Params params,
+                                         std::size_t num_levels,
+                                         std::size_t start_level)
+    : params_(params), num_levels_(num_levels), level_(start_level)
+{
+    if (num_levels == 0)
+        util::fatal("SlackBankController needs at least one level");
+    if (start_level >= num_levels)
+        util::fatal("SlackBankController start level out of range");
+    if (params_.target_fit <= 0.0)
+        util::fatal("SlackBankController target FIT must be "
+                    "positive");
+    if (params_.bank_fraction < 0.0)
+        util::fatal("SlackBankController bank fraction must be "
+                    "non-negative");
+}
+
+double
+SlackBankController::allowedFit(double progress) const
+{
+    const double p = std::clamp(progress, 0.0, 1.0);
+    return params_.target_fit *
+           (1.0 + params_.bank_fraction * (1.0 - p));
+}
+
+std::size_t
+SlackBankController::observe(double avg_fit_so_far, double progress)
+{
+    if (cooldown_ > 0) {
+        --cooldown_;
+        return level_;
+    }
+    const double allowed = allowedFit(progress);
+    const std::size_t from = level_;
+    if (avg_fit_so_far > allowed * (1.0 + params_.down_margin) &&
+        level_ > 0) {
+        --level_;
+        ++transitions_;
+        cooldown_ = params_.settle_intervals;
+    } else if (avg_fit_so_far < allowed * (1.0 - params_.up_margin) &&
                level_ + 1 < num_levels_) {
         ++level_;
         ++transitions_;

@@ -71,6 +71,58 @@ class DrmController
     std::uint64_t transitions_ = 0;
 };
 
+/**
+ * Slack-banking DRM controller: the same lifetime-average feedback
+ * as DrmController, but against a *front-loaded* allowance instead
+ * of a flat target. At the start of the control window the allowed
+ * average FIT is target * (1 + bank_fraction); the allowance decays
+ * linearly to exactly the target as the window completes, so early
+ * intervals may spend banked reliability slack (running hotter and
+ * faster than the steady-safe point) while the closing feedback
+ * still steers the *final* average to the qualified budget.
+ */
+class SlackBankController
+{
+  public:
+    struct Params
+    {
+        /** Lifetime FIT target (the qualification target). */
+        double target_fit = 4000.0;
+        /** Fraction of the FIT budget banked at progress 0. */
+        double bank_fraction = 0.10;
+        /** Fractional overshoot that triggers a step down. */
+        double down_margin = 0.02;
+        /** Fractional slack that allows a step up. */
+        double up_margin = 0.10;
+        /** Minimum intervals between level changes (settling). */
+        std::uint32_t settle_intervals = 3;
+    };
+
+    SlackBankController(Params params, std::size_t num_levels,
+                        std::size_t start_level);
+
+    /** Average FIT allowed at @p progress through the window
+     *  (progress in [0, 1]). */
+    double allowedFit(double progress) const;
+
+    /**
+     * Feed one interval's lifetime-average FIT and the fraction of
+     * the control window already elapsed; returns the ladder level
+     * for the next interval.
+     */
+    std::size_t observe(double avg_fit_so_far, double progress);
+
+    std::size_t level() const { return level_; }
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    Params params_;
+    std::size_t num_levels_;
+    std::size_t level_;
+    std::uint32_t cooldown_ = 0;
+    std::uint64_t transitions_ = 0;
+};
+
 /** Reactive DTM controller: cap the current hottest temperature. */
 class DtmController
 {

@@ -37,9 +37,10 @@ namespace drm {
 
 /** Which feedback policy drives the DVS ladder. */
 enum class Policy {
-    None,  ///< Pin the base operating point (4 GHz / 1.0 V).
-    Drm,   ///< DrmController on lifetime-average FIT.
-    Dtm,   ///< DtmController on instantaneous max temperature.
+    None,     ///< Pin the base operating point (4 GHz / 1.0 V).
+    Drm,      ///< DrmController on lifetime-average FIT.
+    Dtm,      ///< DtmController on instantaneous max temperature.
+    SlackDrm, ///< SlackBankController: front-loaded FIT allowance.
 };
 
 /** Controls for a transient run. */
@@ -53,6 +54,7 @@ struct TransientParams
 
     DrmController::Params drm{};
     DtmController::Params dtm{};
+    SlackBankController::Params slack{};
     power::PowerParams power{};
     thermal::ThermalParams thermal{};
 

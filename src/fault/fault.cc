@@ -98,6 +98,18 @@ FaultPlan::any() const
     return false;
 }
 
+bool
+sensorFaultsArmed(const FaultPlan &plan)
+{
+    for (FaultKind k :
+         {FaultKind::SensorNoise, FaultKind::SensorQuantize,
+          FaultKind::SensorStuck, FaultKind::SensorDropout,
+          FaultKind::SensorDelay})
+        if (plan.enabled(k))
+            return true;
+    return false;
+}
+
 namespace {
 
 Result<void>

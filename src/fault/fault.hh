@@ -99,6 +99,14 @@ struct FaultPlan
 };
 
 /**
+ * True when @p plan arms any of the sensor-stream kinds (noise,
+ * quantize, stuck, dropout, delay). Integration loops that feed a
+ * SensorFaulter use this to keep the clean path bit-identical to a
+ * build without the faulter in line.
+ */
+bool sensorFaultsArmed(const FaultPlan &plan);
+
+/**
  * Parse a plan from JSON text. Shape:
  *   {"seed": 7, "faults": {"sensor-noise": {"rate": 0.05, ...}, ...}}
  * Strict: unknown top-level keys, unknown kind names, unknown spec

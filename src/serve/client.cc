@@ -1,5 +1,6 @@
 #include "serve/client.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.hh"
@@ -150,6 +151,149 @@ Client::requestShutdown()
     if (!result)
         return result.error();
     return {};
+}
+
+Result<Session>
+Session::open(ClientOptions opts, int max_v)
+{
+    auto client = Client::connect(opts);
+    if (!client)
+        return client.error();
+
+    Request hello;
+    hello.type = RequestType::Hello;
+    hello.version = 1;
+    hello.max_v = std::min(max_v, protocol_version_max);
+    auto reply = client.value().call(std::move(hello));
+    if (!reply)
+        return reply.error();
+    if (!reply.value().ok) {
+        // A server that does not know "hello" is a pre-versioning
+        // daemon: degrade to the legacy wire shape rather than
+        // failing the connection.
+        if (reply.value().error_code == err_bad_request)
+            return Session(std::move(client.value()), 0);
+        auto err = Client::unwrap(std::move(reply.value()));
+        return err.error();
+    }
+    const JsonValue *negotiated =
+        reply.value().result.find("negotiated_v");
+    if (!negotiated || !negotiated->isNumber())
+        return RampError{ErrorCode::InvalidInput,
+                         "hello reply is missing 'negotiated_v'"};
+    return Session(std::move(client.value()),
+                   static_cast<int>(negotiated->number));
+}
+
+Result<void>
+Session::needVersion(int v, const char *verb) const
+{
+    if (version_ >= v)
+        return {};
+    return RampError{
+        ErrorCode::InvalidInput,
+        util::cat(verb, " needs protocol v", v,
+                  " but the session negotiated v", version_)};
+}
+
+Result<JsonValue>
+Session::callUnwrap(Request req)
+{
+    req.version = version_;
+    auto reply = client_.call(std::move(req));
+    if (!reply)
+        return reply.error();
+    return Client::unwrap(std::move(reply.value()));
+}
+
+Result<JsonValue>
+Session::evaluate(const std::string &app,
+                  drm::AdaptationSpace space, std::size_t config,
+                  double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::Evaluate;
+    req.app = app;
+    req.space = space;
+    req.config = config;
+    req.t_qual_k = t_qual_k;
+    return callUnwrap(std::move(req));
+}
+
+Result<JsonValue>
+Session::selectDrm(const std::string &app,
+                   drm::AdaptationSpace space, double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::SelectDrm;
+    req.app = app;
+    req.space = space;
+    req.t_qual_k = t_qual_k;
+    return callUnwrap(std::move(req));
+}
+
+Result<JsonValue>
+Session::selectDtm(const std::string &app,
+                   drm::AdaptationSpace space, double t_design_k,
+                   double t_qual_k)
+{
+    Request req;
+    req.type = RequestType::SelectDtm;
+    req.app = app;
+    req.space = space;
+    req.t_design_k = t_design_k;
+    req.t_qual_k = t_qual_k;
+    return callUnwrap(std::move(req));
+}
+
+Result<JsonValue>
+Session::stats()
+{
+    Request req;
+    req.type = RequestType::Stats;
+    return callUnwrap(std::move(req));
+}
+
+Result<void>
+Session::requestShutdown()
+{
+    Request req;
+    req.type = RequestType::Shutdown;
+    auto result = callUnwrap(std::move(req));
+    if (!result)
+        return result.error();
+    return {};
+}
+
+Result<JsonValue>
+Session::reportUsage(const std::string &chip, JsonValue state)
+{
+    if (auto ok = needVersion(2, "report_usage"); !ok)
+        return ok.error();
+    Request req;
+    req.type = RequestType::ReportUsage;
+    req.chip = chip;
+    req.state = std::move(state);
+    return callUnwrap(std::move(req));
+}
+
+Result<JsonValue>
+Session::remainingLifetime(const std::string &chip,
+                           const std::string &app,
+                           drm::AdaptationSpace space,
+                           double t_qual_k,
+                           drm::surrogate::SurrogateMode surrogate)
+{
+    if (auto ok = needVersion(2, "remaining_lifetime"); !ok)
+        return ok.error();
+    Request req;
+    req.type = RequestType::RemainingLifetime;
+    req.chip = chip;
+    req.app = app;
+    req.space = space;
+    req.t_qual_k = t_qual_k;
+    req.surrogate = surrogate;
+    return callUnwrap(std::move(req));
 }
 
 } // namespace serve

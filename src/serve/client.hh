@@ -13,6 +13,14 @@
  * distinguishes "overloaded" (back off and retry) from "shutting-
  * down" (go away) from evaluation failures (non-convergence and
  * friends travel the wire structurally).
+ *
+ * Client speaks the legacy v0 wire shape, unchanged. Session is the
+ * versioned surface: open() negotiates the protocol version once
+ * with a hello (falling back to v0 against a server that predates
+ * hello), then every typed call is sent at the negotiated version.
+ * The v2 fleet verbs -- reportUsage() and remainingLifetime() --
+ * refuse locally with InvalidInput when the negotiated version is
+ * too old, so a client never sends a frame the server will reject.
  */
 
 #pragma once
@@ -96,6 +104,89 @@ class Client
     util::Socket sock_;
     ClientOptions opts_;
     std::uint64_t next_id_ = 1;
+};
+
+/**
+ * A version-negotiated connection. Move-only; owns its Client.
+ * Every typed call stamps the negotiated version on the request and
+ * unwraps the reply, so callers work with result objects and
+ * RampErrors, never raw frames.
+ */
+class Session
+{
+  public:
+    /**
+     * Connect and negotiate: send a v1 hello advertising
+     * min(max_v, protocol_version_max). A server that rejects the
+     * hello as a bad request is a pre-versioning v0 daemon; the
+     * session degrades to version 0 instead of failing, so one
+     * client binary works against any server generation. Transport
+     * failures are returned as errors.
+     */
+    static util::Result<Session>
+    open(ClientOptions opts, int max_v = protocol_version_max);
+
+    /** The negotiated protocol version (0 against a v0 server). */
+    int version() const { return version_; }
+
+    /** The underlying connection (pipelining; sendRequest callers
+     *  must stamp Request::version themselves). */
+    Client &client() { return client_; }
+
+    /** evaluate at the negotiated version. */
+    util::Result<util::JsonValue>
+    evaluate(const std::string &app, drm::AdaptationSpace space,
+             std::size_t config, double t_qual_k = 345.0);
+
+    /** select_drm at the negotiated version. */
+    util::Result<util::JsonValue>
+    selectDrm(const std::string &app, drm::AdaptationSpace space,
+              double t_qual_k = 345.0);
+
+    /** select_dtm at the negotiated version. */
+    util::Result<util::JsonValue>
+    selectDtm(const std::string &app, drm::AdaptationSpace space,
+              double t_design_k = 370.0, double t_qual_k = 345.0);
+
+    /** stats at the negotiated version. */
+    util::Result<util::JsonValue> stats();
+
+    /** Ask the server to begin its graceful drain. */
+    util::Result<void> requestShutdown();
+
+    /**
+     * v2: merge an AgingState delta document into the server's
+     * registry for @p chip. Returns the chip's post-merge summary.
+     * InvalidInput when the negotiated version is below 2.
+     */
+    util::Result<util::JsonValue>
+    reportUsage(const std::string &chip, util::JsonValue state);
+
+    /**
+     * v2: the chip's consumed lifetime, banked slack, the
+     * slack-banking selection for @p app over @p space, and the ETA
+     * until the FIT budget is spent. InvalidInput below v2.
+     */
+    util::Result<util::JsonValue> remainingLifetime(
+        const std::string &chip, const std::string &app,
+        drm::AdaptationSpace space, double t_qual_k = 345.0,
+        drm::surrogate::SurrogateMode surrogate =
+            drm::surrogate::SurrogateMode::Off);
+
+  private:
+    Session(Client client, int version)
+        : client_(std::move(client)), version_(version)
+    {
+    }
+
+    /** Guard for the v2-only verbs. */
+    util::Result<void> needVersion(int v, const char *verb) const;
+
+    /** Stamp the negotiated version, call, unwrap. */
+    util::Result<util::JsonValue> callUnwrap(Request req);
+
+    Client client_;
+    int version_ = 0;
 };
 
 } // namespace serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -15,22 +16,282 @@ using util::Result;
 namespace {
 
 const char *const type_names[] = {
-    "evaluate", "select_drm", "select_dtm", "stats", "shutdown",
+    "evaluate",    "select_drm",   "select_dtm",
+    "stats",       "shutdown",     "hello",
+    "report_usage", "remaining_lifetime",
 };
 
-/** Fetch a finite number field, with a default when absent. */
-Result<double>
-numberField(const JsonValue &obj, std::string_view key,
-            double fallback)
+// --- The per-version field table -------------------------------------
+//
+// Strict parsing (and the v0-compatible field order of the encoder)
+// is declared here once per request type instead of re-implemented
+// in per-type branches. Each rule names a field, whether the type
+// requires it, the protocol version it arrived in, and whether the
+// encoder may omit it at its default value.
+
+enum class Field : std::uint8_t {
+    App,
+    Space,
+    Config,
+    TQualK,
+    TDesignK,
+    Surrogate,
+    MaxV,
+    Chip,
+    State,
+};
+
+struct FieldRule
 {
-    const JsonValue *v = obj.find(key);
-    if (!v)
-        return fallback;
-    if (!v->isNumber() || !std::isfinite(v->number))
-        return RampError{ErrorCode::InvalidInput,
-                         util::cat("request field '", std::string(key),
-                                   "' must be a finite number")};
-    return v->number;
+    Field field;
+    const char *name;
+    bool required;
+    int min_version;
+    /** Encoder omits the field when it holds its default value
+     *  (the optional surrogate mode). */
+    bool omit_default = false;
+};
+
+struct TypeRule
+{
+    RequestType type;
+    int min_version;
+    const FieldRule *fields;
+    std::size_t num_fields;
+};
+
+constexpr FieldRule evaluate_fields[] = {
+    {Field::App, "app", true, 0},
+    {Field::Space, "space", true, 0},
+    {Field::Config, "config", true, 0},
+    {Field::TQualK, "t_qual_k", false, 0},
+};
+
+constexpr FieldRule select_drm_fields[] = {
+    {Field::App, "app", true, 0},
+    {Field::Space, "space", true, 0},
+    {Field::TQualK, "t_qual_k", false, 0},
+    {Field::Surrogate, "surrogate", false, 0, true},
+};
+
+constexpr FieldRule select_dtm_fields[] = {
+    {Field::App, "app", true, 0},
+    {Field::Space, "space", true, 0},
+    {Field::TDesignK, "t_design_k", false, 0},
+    {Field::TQualK, "t_qual_k", false, 0},
+    {Field::Surrogate, "surrogate", false, 0, true},
+};
+
+constexpr FieldRule hello_fields[] = {
+    {Field::MaxV, "max_v", false, 1},
+};
+
+constexpr FieldRule report_usage_fields[] = {
+    {Field::Chip, "chip", true, 2},
+    {Field::State, "state", true, 2},
+};
+
+constexpr FieldRule remaining_lifetime_fields[] = {
+    {Field::Chip, "chip", true, 2},
+    {Field::App, "app", true, 2},
+    {Field::Space, "space", true, 2},
+    {Field::TQualK, "t_qual_k", false, 2},
+    {Field::Surrogate, "surrogate", false, 2, true},
+};
+
+constexpr TypeRule type_rules[] = {
+    {RequestType::Evaluate, 0, evaluate_fields,
+     std::size(evaluate_fields)},
+    {RequestType::SelectDrm, 0, select_drm_fields,
+     std::size(select_drm_fields)},
+    {RequestType::SelectDtm, 0, select_dtm_fields,
+     std::size(select_dtm_fields)},
+    {RequestType::Stats, 0, nullptr, 0},
+    {RequestType::Shutdown, 0, nullptr, 0},
+    {RequestType::Hello, 1, hello_fields, std::size(hello_fields)},
+    {RequestType::ReportUsage, 2, report_usage_fields,
+     std::size(report_usage_fields)},
+    {RequestType::RemainingLifetime, 2, remaining_lifetime_fields,
+     std::size(remaining_lifetime_fields)},
+};
+
+const TypeRule &
+ruleFor(RequestType t)
+{
+    return type_rules[static_cast<std::size_t>(t)];
+}
+
+/** The rule for @p name within the type, or nullptr (foreign). */
+const FieldRule *
+findField(const TypeRule &rule, std::string_view name)
+{
+    for (std::size_t i = 0; i < rule.num_fields; ++i)
+        if (name == rule.fields[i].name)
+            return &rule.fields[i];
+    return nullptr;
+}
+
+/** Non-negative integer member (ids, config indexes, versions). */
+Result<std::uint64_t>
+nonNegativeInt(const JsonValue &v)
+{
+    if (!v.isNumber() || v.number < 0.0 ||
+        v.number != std::floor(v.number))
+        return RampError{ErrorCode::InvalidInput, "not an integer"};
+    return static_cast<std::uint64_t>(v.number);
+}
+
+/** Parse one table field's value into the request. */
+Result<void>
+parseField(const FieldRule &rule, const JsonValue &value,
+           Request &req)
+{
+    switch (rule.field) {
+      case Field::App:
+        if (!value.isString() || value.str.empty())
+            return RampError{ErrorCode::InvalidInput,
+                             "request needs a non-empty string "
+                             "'app'"};
+        req.app = value.str;
+        return {};
+      case Field::Space: {
+        if (!value.isString())
+            return RampError{ErrorCode::InvalidInput,
+                             "request needs a string 'space'"};
+        const auto s = drm::adaptationSpaceFromName(value.str);
+        if (!s)
+            return RampError{ErrorCode::InvalidInput,
+                             util::cat("unknown adaptation space '",
+                                       value.str, "'")};
+        req.space = *s;
+        return {};
+      }
+      case Field::Config: {
+        auto cfg = nonNegativeInt(value);
+        if (!cfg)
+            return RampError{ErrorCode::InvalidInput,
+                             util::cat(requestTypeName(req.type),
+                                       " needs a non-negative "
+                                       "integer 'config'")};
+        req.config = static_cast<std::size_t>(cfg.value());
+        return {};
+      }
+      case Field::TQualK: {
+        if (!value.isNumber() || !std::isfinite(value.number))
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 't_qual_k' must be a "
+                             "finite number"};
+        req.t_qual_k = value.number;
+        return {};
+      }
+      case Field::TDesignK: {
+        if (!value.isNumber() || !std::isfinite(value.number))
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 't_design_k' must be a "
+                             "finite number"};
+        req.t_design_k = value.number;
+        return {};
+      }
+      case Field::Surrogate: {
+        if (!value.isString())
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 'surrogate' must be a "
+                             "string"};
+        const auto parsed =
+            drm::surrogate::surrogateModeFromName(value.str);
+        if (!parsed)
+            return RampError{
+                ErrorCode::InvalidInput,
+                util::cat("unknown surrogate mode '", value.str,
+                          "' (off, rank, or auto)")};
+        req.surrogate = *parsed;
+        return {};
+      }
+      case Field::MaxV: {
+        auto v = nonNegativeInt(value);
+        if (!v)
+            return RampError{ErrorCode::InvalidInput,
+                             "hello needs a non-negative integer "
+                             "'max_v'"};
+        req.max_v = static_cast<int>(
+            std::min<std::uint64_t>(v.value(), 1'000'000));
+        return {};
+      }
+      case Field::Chip:
+        if (!value.isString() || value.str.empty())
+            return RampError{ErrorCode::InvalidInput,
+                             "request needs a non-empty string "
+                             "'chip'"};
+        req.chip = value.str;
+        return {};
+      case Field::State:
+        if (!value.isObject())
+            return RampError{ErrorCode::InvalidInput,
+                             "report_usage needs an object "
+                             "'state'"};
+        req.state = value;
+        return {};
+    }
+    util::panic("parseField: bad field id");
+}
+
+/** Append one table field's value to the wire object. */
+void
+encodeField(const FieldRule &rule, const Request &req,
+            JsonValue &root)
+{
+    switch (rule.field) {
+      case Field::App:
+        root.set("app", JsonValue::makeString(req.app));
+        return;
+      case Field::Space:
+        root.set("space", JsonValue::makeString(
+                              drm::adaptationSpaceName(req.space)));
+        return;
+      case Field::Config:
+        root.set("config", JsonValue::makeNumber(
+                               static_cast<double>(req.config)));
+        return;
+      case Field::TQualK:
+        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+        return;
+      case Field::TDesignK:
+        root.set("t_design_k",
+                 JsonValue::makeNumber(req.t_design_k));
+        return;
+      case Field::Surrogate:
+        if (req.surrogate != drm::surrogate::SurrogateMode::Off)
+            root.set("surrogate",
+                     JsonValue::makeString(
+                         drm::surrogate::surrogateModeName(
+                             req.surrogate)));
+        return;
+      case Field::MaxV:
+        root.set("max_v", JsonValue::makeNumber(
+                              static_cast<double>(req.max_v)));
+        return;
+      case Field::Chip:
+        root.set("chip", JsonValue::makeString(req.chip));
+        return;
+      case Field::State:
+        root.set("state", req.state);
+        return;
+    }
+    util::panic("encodeField: bad field id");
+}
+
+/** "id" (and, on versioned frames, "v") shared by both reply
+ *  encoders. */
+JsonValue
+replyHead(std::uint64_t id, int version)
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("id",
+             JsonValue::makeNumber(static_cast<double>(id)));
+    if (version > 0)
+        root.set("v", JsonValue::makeNumber(
+                          static_cast<double>(version)));
+    return root;
 }
 
 } // namespace
@@ -50,51 +311,27 @@ requestTypeFromName(std::string_view name)
     return std::nullopt;
 }
 
+int
+requestTypeMinVersion(RequestType t)
+{
+    return ruleFor(t).min_version;
+}
+
 std::string
 encodeRequest(const Request &req)
 {
     JsonValue root = JsonValue::makeObject();
     root.set("id", JsonValue::makeNumber(
                        static_cast<double>(req.id)));
+    if (req.version > 0)
+        root.set("v", JsonValue::makeNumber(
+                          static_cast<double>(req.version)));
     root.set("type",
              JsonValue::makeString(requestTypeName(req.type)));
-    switch (req.type) {
-      case RequestType::Evaluate:
-        root.set("app", JsonValue::makeString(req.app));
-        root.set("space", JsonValue::makeString(
-                              drm::adaptationSpaceName(req.space)));
-        root.set("config", JsonValue::makeNumber(
-                               static_cast<double>(req.config)));
-        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
-        break;
-      case RequestType::SelectDrm:
-        root.set("app", JsonValue::makeString(req.app));
-        root.set("space", JsonValue::makeString(
-                              drm::adaptationSpaceName(req.space)));
-        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
-        if (req.surrogate != drm::surrogate::SurrogateMode::Off)
-            root.set("surrogate",
-                     JsonValue::makeString(
-                         drm::surrogate::surrogateModeName(
-                             req.surrogate)));
-        break;
-      case RequestType::SelectDtm:
-        root.set("app", JsonValue::makeString(req.app));
-        root.set("space", JsonValue::makeString(
-                              drm::adaptationSpaceName(req.space)));
-        root.set("t_design_k",
-                 JsonValue::makeNumber(req.t_design_k));
-        root.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
-        if (req.surrogate != drm::surrogate::SurrogateMode::Off)
-            root.set("surrogate",
-                     JsonValue::makeString(
-                         drm::surrogate::surrogateModeName(
-                             req.surrogate)));
-        break;
-      case RequestType::Stats:
-      case RequestType::Shutdown:
-        break;
-    }
+    const TypeRule &rule = ruleFor(req.type);
+    for (std::size_t i = 0; i < rule.num_fields; ++i)
+        if (rule.fields[i].min_version <= req.version)
+            encodeField(rule.fields[i], req, root);
     return util::writeJson(root);
 }
 
@@ -120,6 +357,22 @@ parseRequest(std::string_view payload)
                          "'id'"};
     req.id = static_cast<std::uint64_t>(id->number);
 
+    if (const JsonValue *v = doc->find("v")) {
+        auto ver = nonNegativeInt(*v);
+        if (!ver)
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 'v' must be a "
+                             "non-negative integer"};
+        if (ver.value() > protocol_version_max)
+            return RampError{
+                ErrorCode::InvalidInput,
+                util::cat("protocol version ", ver.value(),
+                          " is newer than this server speaks (max ",
+                          protocol_version_max,
+                          "); send a hello to negotiate")};
+        req.version = static_cast<int>(ver.value());
+    }
+
     const JsonValue *type = doc->find("type");
     if (!type || !type->isString())
         return RampError{ErrorCode::InvalidInput,
@@ -131,99 +384,58 @@ parseRequest(std::string_view payload)
                                    type->str, "'")};
     req.type = *t;
 
-    const bool needs_app = req.type == RequestType::Evaluate ||
-                           req.type == RequestType::SelectDrm ||
-                           req.type == RequestType::SelectDtm;
+    const TypeRule &rule = ruleFor(req.type);
+    if (rule.min_version > req.version)
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("request type '", requestTypeName(req.type),
+                      "' needs protocol v", rule.min_version,
+                      " or newer (frame is v", req.version, ")")};
 
-    // Reject fields that don't apply to the type: a client that
-    // sends "config" on a select_drm believed it would be honoured.
+    // Reject fields that don't apply to the type (a client that
+    // sends "config" on a select_drm believed it would be honoured)
+    // or that are newer than the frame's declared version.
     for (const auto &[key, value] : doc->object) {
         (void)value;
-        if (key == "id" || key == "type")
+        if (key == "id" || key == "type" || key == "v")
             continue;
-        const bool is_select = req.type == RequestType::SelectDrm ||
-                               req.type == RequestType::SelectDtm;
-        const bool known =
-            (needs_app && (key == "app" || key == "space" ||
-                           key == "t_qual_k")) ||
-            (req.type == RequestType::Evaluate && key == "config") ||
-            (req.type == RequestType::SelectDtm &&
-             key == "t_design_k") ||
-            (is_select && key == "surrogate");
-        if (!known)
+        const FieldRule *f = findField(rule, key);
+        if (!f)
             return RampError{
                 ErrorCode::InvalidInput,
                 util::cat("field '", key, "' does not apply to a ",
                           requestTypeName(req.type), " request")};
+        if (f->min_version > req.version)
+            return RampError{
+                ErrorCode::InvalidInput,
+                util::cat("field '", key, "' needs protocol v",
+                          f->min_version, " or newer (frame is v",
+                          req.version, ")")};
     }
 
-    if (!needs_app)
-        return req;
-
-    const JsonValue *app = doc->find("app");
-    if (!app || !app->isString() || app->str.empty())
-        return RampError{ErrorCode::InvalidInput,
-                         "request needs a non-empty string 'app'"};
-    req.app = app->str;
-
-    const JsonValue *space = doc->find("space");
-    if (!space || !space->isString())
-        return RampError{ErrorCode::InvalidInput,
-                         "request needs a string 'space'"};
-    const auto s = drm::adaptationSpaceFromName(space->str);
-    if (!s)
-        return RampError{ErrorCode::InvalidInput,
-                         util::cat("unknown adaptation space '",
-                                   space->str, "'")};
-    req.space = *s;
-
-    auto t_qual = numberField(*doc, "t_qual_k", req.t_qual_k);
-    if (!t_qual)
-        return t_qual.error();
-    req.t_qual_k = t_qual.value();
-
-    if (req.type == RequestType::Evaluate) {
-        const JsonValue *cfg = doc->find("config");
-        if (!cfg || !cfg->isNumber() || cfg->number < 0.0 ||
-            cfg->number != std::floor(cfg->number))
-            return RampError{ErrorCode::InvalidInput,
-                             "evaluate needs a non-negative integer "
-                             "'config'"};
-        req.config = static_cast<std::size_t>(cfg->number);
-    }
-    if (req.type == RequestType::SelectDtm) {
-        auto t_design =
-            numberField(*doc, "t_design_k", req.t_design_k);
-        if (!t_design)
-            return t_design.error();
-        req.t_design_k = t_design.value();
-    }
-    if (req.type == RequestType::SelectDrm ||
-        req.type == RequestType::SelectDtm) {
-        if (const JsonValue *mode = doc->find("surrogate")) {
-            if (!mode->isString())
-                return RampError{ErrorCode::InvalidInput,
-                                 "request field 'surrogate' must be "
-                                 "a string"};
-            const auto parsed =
-                drm::surrogate::surrogateModeFromName(mode->str);
-            if (!parsed)
+    for (std::size_t i = 0; i < rule.num_fields; ++i) {
+        const FieldRule &f = rule.fields[i];
+        const JsonValue *value = doc->find(f.name);
+        if (!value) {
+            if (f.required)
                 return RampError{
                     ErrorCode::InvalidInput,
-                    util::cat("unknown surrogate mode '", mode->str,
-                              "' (off, rank, or auto)")};
-            req.surrogate = *parsed;
+                    util::cat(requestTypeName(req.type),
+                              " needs required field '", f.name,
+                              "'")};
+            continue;
         }
+        auto parsed = parseField(f, *value, req);
+        if (!parsed)
+            return parsed.error();
     }
     return req;
 }
 
 std::string
-encodeResultReply(std::uint64_t id, JsonValue result)
+encodeResultReply(std::uint64_t id, JsonValue result, int version)
 {
-    JsonValue root = JsonValue::makeObject();
-    root.set("id",
-             JsonValue::makeNumber(static_cast<double>(id)));
+    JsonValue root = replyHead(id, version);
     root.set("ok", JsonValue::makeBool(true));
     root.set("result", std::move(result));
     return util::writeJson(root);
@@ -231,15 +443,13 @@ encodeResultReply(std::uint64_t id, JsonValue result)
 
 std::string
 encodeErrorReply(std::uint64_t id, std::string_view code,
-                 std::string_view message)
+                 std::string_view message, int version)
 {
     JsonValue error = JsonValue::makeObject();
     error.set("code", JsonValue::makeString(std::string(code)));
     error.set("message",
               JsonValue::makeString(std::string(message)));
-    JsonValue root = JsonValue::makeObject();
-    root.set("id",
-             JsonValue::makeNumber(static_cast<double>(id)));
+    JsonValue root = replyHead(id, version);
     root.set("ok", JsonValue::makeBool(false));
     root.set("error", std::move(error));
     return util::writeJson(root);
@@ -263,6 +473,15 @@ parseReply(std::string_view payload)
                          "'ok'"};
     reply.id = static_cast<std::uint64_t>(id->number);
     reply.ok = ok->boolean;
+    if (const JsonValue *v = doc->find("v")) {
+        auto ver = nonNegativeInt(*v);
+        if (!ver)
+            return RampError{ErrorCode::InvalidInput,
+                             "reply field 'v' must be a "
+                             "non-negative integer"};
+        reply.version = static_cast<int>(
+            std::min<std::uint64_t>(ver.value(), 1'000'000));
+    }
     if (reply.ok) {
         const JsonValue *result = doc->find("result");
         if (!result)

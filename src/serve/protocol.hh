@@ -8,7 +8,20 @@
  * pipeline requests and correlate replies by id (replies come back
  * in completion order, not necessarily submission order).
  *
- * Request shapes (fields beyond `id`/`type` per type):
+ * The protocol is versioned. A frame without a `"v"` field is v0:
+ * the original five request types, answered with v0-shaped replies
+ * -- byte-identical to the pre-versioning protocol, so old clients
+ * keep working against a new server. Frames with `"v":1` carry the
+ * same five types plus `hello` (capability negotiation: the client
+ * states the highest version it speaks, the server answers with its
+ * own range and the negotiated version). `"v":2` adds the fleet
+ * verbs: `report_usage` ships an aging::AgingState delta for a named
+ * chip, and `remaining_lifetime` answers that chip's consumed
+ * lifetime, its current safe operating point (a slack-banking
+ * selection), and the ETA until the FIT budget is spent. Versioned
+ * requests get replies carrying the same `"v"`.
+ *
+ * Request shapes (fields beyond `id`/`type`/`v` per type):
  *
  *   {"id":1,"type":"evaluate","app":"bzip2","space":"DVS",
  *    "config":6,"t_qual_k":345}
@@ -18,6 +31,11 @@
  *    "t_design_k":370,"t_qual_k":345}
  *   {"id":4,"type":"stats"}
  *   {"id":5,"type":"shutdown"}
+ *   {"id":6,"v":1,"type":"hello","max_v":2}
+ *   {"id":7,"v":2,"type":"report_usage","chip":"fleet-0042",
+ *    "state":{...AgingState document...}}
+ *   {"id":8,"v":2,"type":"remaining_lifetime","chip":"fleet-0042",
+ *    "app":"gzip","space":"DVS","t_qual_k":345}
  *
  * select_* requests additionally accept an optional
  * `"surrogate":"off"|"rank"|"auto"` field choosing the tiered
@@ -27,10 +45,15 @@
  *
  * Replies are {"id":N,"ok":true,"result":{...}} on success, or
  * {"id":N,"ok":false,"error":{"code":"...","message":"..."}} on
- * failure. Error codes are util::errorCodeName strings for
- * evaluation failures (so a non-converged thermal point or a
- * singular solve is reported structurally, never dropped), plus the
- * serving-layer codes below.
+ * failure (v >= 1 frames insert `"v":N` after `"id"`). Error codes
+ * are util::errorCodeName strings for evaluation failures (so a
+ * non-converged thermal point or a singular solve is reported
+ * structurally, never dropped), plus the serving-layer codes below.
+ *
+ * Parsing is strict and table-driven: each request type declares its
+ * fields (and the protocol version each field/type arrived in) once,
+ * and the parser rejects unknown types, foreign fields, and fields
+ * or types newer than the frame's version from that single table.
  */
 
 #pragma once
@@ -52,6 +75,12 @@ namespace serve {
 inline constexpr std::size_t default_max_frame = std::size_t{1}
                                                  << 20;
 
+/** Highest protocol version this build speaks ("v" field). */
+inline constexpr int protocol_version_max = 2;
+
+/** Lowest version (the unversioned legacy wire shape). */
+inline constexpr int protocol_version_min = 0;
+
 /** Serving-layer reply error codes (beyond util::errorCodeName). */
 inline constexpr const char *err_overloaded = "overloaded";
 inline constexpr const char *err_bad_request = "bad-request";
@@ -59,11 +88,14 @@ inline constexpr const char *err_shutting_down = "shutting-down";
 
 /** The request verbs. */
 enum class RequestType : std::uint8_t {
-    Evaluate,  ///< One (app, config) operating point.
-    SelectDrm, ///< DRM oracle selection over a space.
-    SelectDtm, ///< DTM oracle selection over a space.
-    Stats,     ///< Server counters + cache stats (never queued).
-    Shutdown,  ///< Begin graceful drain.
+    Evaluate,          ///< One (app, config) operating point.
+    SelectDrm,         ///< DRM oracle selection over a space.
+    SelectDtm,         ///< DTM oracle selection over a space.
+    Stats,             ///< Server counters + cache stats (never queued).
+    Shutdown,          ///< Begin graceful drain.
+    Hello,             ///< v1: capability negotiation.
+    ReportUsage,       ///< v2: merge an AgingState delta for a chip.
+    RemainingLifetime, ///< v2: consumed life + safe point + ETA.
 };
 
 /** Wire name ("evaluate", "select_drm", ...). */
@@ -72,13 +104,19 @@ const char *requestTypeName(RequestType t);
 /** Inverse of requestTypeName; nullopt for unknown names. */
 std::optional<RequestType> requestTypeFromName(std::string_view name);
 
+/** Protocol version a request type needs (0 for the legacy five). */
+int requestTypeMinVersion(RequestType t);
+
 /** One parsed (or to-be-encoded) request. */
 struct Request
 {
     std::uint64_t id = 0;
     RequestType type = RequestType::Stats;
 
-    /** Application name (evaluate / select_*). */
+    /** Protocol version of the frame (0 = legacy, no "v" field). */
+    int version = 0;
+
+    /** Application name (evaluate / select_* / remaining_lifetime). */
     std::string app;
     /** Adaptation space the config indexes into. */
     drm::AdaptationSpace space = drm::AdaptationSpace::ArchDvs;
@@ -91,30 +129,44 @@ struct Request
     /** Tiered evaluation mode (select_* only); Off = exhaustive. */
     drm::surrogate::SurrogateMode surrogate =
         drm::surrogate::SurrogateMode::Off;
+
+    /** hello: highest version the client speaks. */
+    int max_v = protocol_version_max;
+    /** Chip identity (report_usage / remaining_lifetime). */
+    std::string chip;
+    /** AgingState delta document (report_usage). */
+    util::JsonValue state;
 };
 
-/** Serialize a request to its wire payload. */
+/** Serialize a request to its wire payload (v0 byte-identical to
+ *  the pre-versioning encoder when req.version == 0). */
 std::string encodeRequest(const Request &req);
 
 /**
  * Parse and validate one request payload. Strict: unknown `type`,
- * missing/mistyped fields, fields that don't apply to the type, and
- * non-finite temperatures are all InvalidInput.
+ * missing/mistyped fields, fields that don't apply to the type,
+ * fields or types newer than the frame's `v`, a `v` this build does
+ * not speak, and non-finite temperatures are all InvalidInput.
  */
 util::Result<Request> parseRequest(std::string_view payload);
 
-/** Success reply carrying @p result (consumed). */
+/** Success reply carrying @p result (consumed). @p version is the
+ *  request's negotiated frame version; 0 keeps the legacy shape. */
 std::string encodeResultReply(std::uint64_t id,
-                              util::JsonValue result);
+                              util::JsonValue result,
+                              int version = 0);
 
 /** Error reply with a structured code. */
 std::string encodeErrorReply(std::uint64_t id, std::string_view code,
-                             std::string_view message);
+                             std::string_view message,
+                             int version = 0);
 
 /** A decoded reply. */
 struct Reply
 {
     std::uint64_t id = 0;
+    /** Frame version echoed by the server (0 = legacy shape). */
+    int version = 0;
     bool ok = false;
     util::JsonValue result;    ///< Valid when ok.
     std::string error_code;    ///< Valid when !ok.

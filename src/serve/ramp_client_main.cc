@@ -7,6 +7,15 @@
  *   ramp_client --port N select-dtm APP SPACE [T_DESIGN_K [T_QUAL_K]]
  *   ramp_client --port N stats
  *   ramp_client --port N shutdown
+ *   ramp_client --port N hello
+ *   ramp_client --port N report-usage CHIP STATEFILE
+ *   ramp_client --port N remaining-lifetime CHIP APP SPACE [T_QUAL_K]
+ *
+ * Every invocation opens a Session: the protocol version is
+ * negotiated once with a hello, and requests go out at the
+ * negotiated version (v0 against a pre-versioning daemon). The
+ * fleet commands (report-usage, remaining-lifetime) need v2 and
+ * fail with a structured error against older servers.
  *
  * The reply's result object is printed to stdout as one JSON line.
  * Error replies (including "overloaded" and "shutting-down") print
@@ -18,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "aging/state.hh"
 #include "serve/client.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -35,6 +46,9 @@ usage(const char *prog, std::FILE *out)
         "  select-dtm APP SPACE [T_DESIGN_K [T_QUAL_K]]\n"
         "  stats\n"
         "  shutdown\n"
+        "  hello\n"
+        "  report-usage CHIP STATEFILE\n"
+        "  remaining-lifetime CHIP APP SPACE [T_QUAL_K]\n"
         "SPACE is one of Arch, DVS, ArchDVS, FetchThrottle.\n",
         prog);
 }
@@ -108,43 +122,63 @@ main(int argc, char **argv)
         return *s;
     };
 
-    auto client = serve::Client::connect(opts);
-    if (!client)
+    auto session = serve::Session::open(opts);
+    if (!session)
         util::fatal(util::cat("cannot connect to 127.0.0.1:",
                               opts.port, ": ",
-                              client.error().str()));
+                              session.error().str()));
 
     util::Result<util::JsonValue> result =
         util::RampError{util::ErrorCode::InvalidInput, "unset"};
     if (command == "evaluate") {
         arity(3, 4);
-        result = client.value().evaluate(
+        result = session.value().evaluate(
             words[1], space(words[2]),
             static_cast<std::size_t>(
                 std::strtoull(words[3].c_str(), nullptr, 10)),
             words.size() > 4 ? parseTemp(words[4]) : 345.0);
     } else if (command == "select-drm") {
         arity(2, 3);
-        result = client.value().selectDrm(
+        result = session.value().selectDrm(
             words[1], space(words[2]),
             words.size() > 3 ? parseTemp(words[3]) : 345.0);
     } else if (command == "select-dtm") {
         arity(2, 4);
-        result = client.value().selectDtm(
+        result = session.value().selectDtm(
             words[1], space(words[2]),
             words.size() > 3 ? parseTemp(words[3]) : 370.0,
             words.size() > 4 ? parseTemp(words[4]) : 345.0);
     } else if (command == "stats") {
         arity(0, 0);
-        result = client.value().stats();
+        result = session.value().stats();
     } else if (command == "shutdown") {
         arity(0, 0);
-        auto done = client.value().requestShutdown();
+        auto done = session.value().requestShutdown();
         if (!done)
             util::fatal(util::cat("shutdown: ",
                                   done.error().str()));
         std::fprintf(stdout, "{\"draining\":true}\n");
         return 0;
+    } else if (command == "hello") {
+        arity(0, 0);
+        // The session already negotiated; report what it learned.
+        util::JsonValue out = util::JsonValue::makeObject();
+        out.set("negotiated_v", util::JsonValue::makeNumber(
+                                    session.value().version()));
+        result = std::move(out);
+    } else if (command == "report-usage") {
+        arity(2, 2);
+        auto state = aging::loadAgingState(words[2]);
+        if (!state)
+            util::fatal(util::cat("report-usage: ",
+                                  state.error().str()));
+        result = session.value().reportUsage(
+            words[1], aging::toJson(state.value()));
+    } else if (command == "remaining-lifetime") {
+        arity(3, 4);
+        result = session.value().remainingLifetime(
+            words[1], words[2], space(words[3]),
+            words.size() > 4 ? parseTemp(words[4]) : 345.0);
     } else {
         usage(prog, stderr);
         util::fatal(util::cat("unknown command '", command, "'"));

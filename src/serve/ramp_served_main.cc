@@ -48,6 +48,9 @@ usage(const char *prog, std::FILE *out)
         "  --batch-max N       max requests per batch (default 16)\n"
         "  --idle-timeout-ms N disconnect idle peers (default "
         "30000)\n"
+        "  --aging-state PATH  per-chip aging registry: loaded at\n"
+        "                      start (corrupt files quarantined),\n"
+        "                      saved at drain\n"
         "  --metrics PATH      telemetry snapshot at exit\n"
         "  --fault-plan P      fault plan (inline JSON or file)\n"
         "  --fault-seed N      override the plan's seed\n"
@@ -90,6 +93,7 @@ main(int argc, char **argv)
         service_opts.cache_path = "ramp_eval_cache.txt";
     serve::ServerOptions server_opts;
     std::string port_file;
+    std::string aging_state_path;
     std::string metrics_path;
     std::string fault_plan;
     std::uint64_t fault_seed = 0;
@@ -126,6 +130,8 @@ main(int argc, char **argv)
         else if (arg == "--idle-timeout-ms")
             server_opts.idle_timeout_ms = static_cast<int>(
                 parseCount(prog, arg, value));
+        else if (arg == "--aging-state")
+            aging_state_path = value;
         else if (arg == "--metrics")
             metrics_path = value;
         else if (arg == "--fault-plan")
@@ -156,6 +162,15 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
 
     serve::EvaluationService service(service_opts);
+    if (!aging_state_path.empty()) {
+        // A future-version registry is a hard error (loading would
+        // mean quarantining data a newer build wrote); corruption
+        // is quarantined inside loadAgingRegistry.
+        if (auto loaded = service.loadAgingRegistry(aging_state_path);
+            !loaded)
+            util::fatal(util::cat("--aging-state: ",
+                                  loaded.error().str()));
+    }
     serve::Server server(service, server_opts);
     if (auto started = server.start(); !started)
         util::fatal(util::cat("ramp_served: ",
@@ -181,5 +196,11 @@ main(int argc, char **argv)
     std::fprintf(stderr, "ramp_served: draining (%s)\n",
                  g_signal ? "signal" : "shutdown request");
     server.stop();
+    if (!aging_state_path.empty()) {
+        if (auto saved = service.saveAgingRegistry(aging_state_path);
+            !saved)
+            util::warn(util::cat("--aging-state: ",
+                                 saved.error().str()));
+    }
     return 0;
 }

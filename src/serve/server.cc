@@ -213,7 +213,8 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
         result.set("server", statsJson());
         result.set("cache", service_.cacheStatsJson());
         sendReply(conn, fault_key,
-                  encodeResultReply(req.id, std::move(result)));
+                  encodeResultReply(req.id, std::move(result),
+                                    req.version));
         return;
       }
       case RequestType::Shutdown: {
@@ -221,12 +222,51 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
         JsonValue result = JsonValue::makeObject();
         result.set("draining", JsonValue::makeBool(true));
         sendReply(conn, fault_key,
-                  encodeResultReply(req.id, std::move(result)));
+                  encodeResultReply(req.id, std::move(result),
+                                    req.version));
+        return;
+      }
+      case RequestType::Hello: {
+        // Capability negotiation never queues: the negotiated
+        // version is min(client max, server max), and the reply
+        // carries the server's whole range so older clients can
+        // tell what they are talking to.
+        hellos_.add();
+        n_hellos_.fetch_add(1, std::memory_order_relaxed);
+        JsonValue result = JsonValue::makeObject();
+        result.set("v_min", JsonValue::makeNumber(
+                                protocol_version_min));
+        result.set("v_max", JsonValue::makeNumber(
+                                protocol_version_max));
+        result.set("negotiated_v",
+                   JsonValue::makeNumber(std::min(
+                       req.max_v, protocol_version_max)));
+        sendReply(conn, fault_key,
+                  encodeResultReply(req.id, std::move(result),
+                                    req.version));
+        return;
+      }
+      case RequestType::ReportUsage: {
+        // Registry merge touches no evaluation state, so it is
+        // answered inline from the reader thread.
+        usage_reports_.add();
+        n_usage_reports_.fetch_add(1, std::memory_order_relaxed);
+        auto result = service_.reportUsage(req);
+        sendReply(conn, fault_key,
+                  result
+                      ? encodeResultReply(req.id,
+                                          std::move(result.value()),
+                                          req.version)
+                      : encodeErrorReply(
+                            req.id,
+                            util::errorCodeName(result.error().code),
+                            result.error().message, req.version));
         return;
       }
       case RequestType::Evaluate:
       case RequestType::SelectDrm:
       case RequestType::SelectDtm:
+      case RequestType::RemainingLifetime:
         break;
     }
 
@@ -237,7 +277,8 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
         if (draining_.load(std::memory_order_acquire)) {
             sendReply(conn, fault_key,
                       encodeErrorReply(req.id, err_shutting_down,
-                                       "server is draining"));
+                                       "server is draining",
+                                       req.version));
             return;
         }
         if (queue_.size() >= opts_.queue_depth) {
@@ -248,7 +289,8 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
                 encodeErrorReply(
                     req.id, err_overloaded,
                     util::cat("admission queue is full (depth ",
-                              opts_.queue_depth, ")")));
+                              opts_.queue_depth, ")"),
+                    req.version));
             return;
         }
         queue_.push_back(Job{conn, std::move(req), fault_key,
@@ -345,16 +387,19 @@ Server::runBatch(std::vector<Job> &batch)
             result = point ? service_.encodeEvaluation(req,
                                                        point.value())
                            : Result<JsonValue>(point.error());
+        } else if (req.type == RequestType::RemainingLifetime) {
+            result = service_.remainingLifetime(req);
         } else {
             result = service_.select(req);
         }
         std::string reply =
             result ? encodeResultReply(req.id,
-                                       std::move(result.value()))
+                                       std::move(result.value()),
+                                       req.version)
                    : encodeErrorReply(
                          req.id,
                          util::errorCodeName(result.error().code),
-                         result.error().message);
+                         result.error().message, req.version);
         sendReply(job.conn, job.fault_key, reply);
         request_s_.add(secondsSince(job.admitted));
     }
@@ -410,6 +455,8 @@ Server::statsJson() const
     out.set("bad_requests", load(n_bad_requests_));
     out.set("coalesced", load(n_coalesced_));
     out.set("connections", load(n_connections_));
+    out.set("hellos", load(n_hellos_));
+    out.set("usage_reports", load(n_usage_reports_));
     out.set("queue_depth",
             JsonValue::makeNumber(static_cast<double>(depth)));
     out.set("draining", JsonValue::makeBool(draining()));

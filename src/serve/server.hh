@@ -175,6 +175,9 @@ class Server
         telemetry::counter("server.coalesced");
     telemetry::Counter connections_ =
         telemetry::counter("server.connections");
+    telemetry::Counter hellos_ = telemetry::counter("server.hellos");
+    telemetry::Counter usage_reports_ =
+        telemetry::counter("server.usage_reports");
     telemetry::Gauge queue_depth_ =
         telemetry::gauge("server.queue_depth");
     telemetry::Histogram request_s_ =
@@ -193,6 +196,8 @@ class Server
     std::atomic<std::uint64_t> n_bad_requests_{0};
     std::atomic<std::uint64_t> n_coalesced_{0};
     std::atomic<std::uint64_t> n_connections_{0};
+    std::atomic<std::uint64_t> n_hellos_{0};
+    std::atomic<std::uint64_t> n_usage_reports_{0};
 };
 
 } // namespace serve

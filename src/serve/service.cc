@@ -1,8 +1,16 @@
 #include "serve/service.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "aging/slack_bank.hh"
+#include "util/constants.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace ramp {
 namespace serve {
@@ -200,6 +208,230 @@ EvaluationService::select(const Request &req)
                                     ? sel.table[sel.index].converged
                                     : true));
     return out;
+}
+
+Result<JsonValue>
+EvaluationService::reportUsage(const Request &req)
+{
+    auto delta = aging::agingStateFromJson(req.state);
+    if (!delta)
+        return delta.error();
+
+    double age_hours = 0.0;
+    double consumed = 0.0;
+    double max_pair = 0.0;
+    {
+        std::lock_guard lock(aging_mu_);
+        aging::AgingState &state = chips_[req.chip];
+        state.add(delta.value());
+        age_hours = state.age_hours;
+        consumed = state.totalDamage();
+        max_pair = state.maxPairDamage();
+    }
+
+    JsonValue out = JsonValue::makeObject();
+    out.set("chip", JsonValue::makeString(req.chip));
+    out.set("age_hours", JsonValue::makeNumber(age_hours));
+    out.set("consumed", JsonValue::makeNumber(consumed));
+    out.set("max_pair_consumed", JsonValue::makeNumber(max_pair));
+    return out;
+}
+
+Result<JsonValue>
+EvaluationService::remainingLifetime(const Request &req)
+{
+    auto idx = appIndex(req.app);
+    if (!idx)
+        return idx.error();
+
+    auto state = chipState(req.chip);
+    if (!state)
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("unknown chip '", req.chip,
+                      "' (send report_usage before asking for its "
+                      "remaining lifetime)")};
+
+    aging::SlackBankParams policy_params;
+    policy_params.base_t_qual_k = req.t_qual_k;
+    const aging::SlackBankPolicy policy(policy_params);
+    const double consumed = state->totalDamage();
+    const double slack = policy.slack(*state);
+    const double t_eff_k = policy.effectiveTQualK(*state);
+
+    // The slack-banking trade rides through the *unmodified*
+    // Selection API: a chip with banked slack selects against a
+    // hotter effective T_qual (more feasible points, a faster
+    // winner); an over-spent chip selects against a cooler one and
+    // throttles. Oracle and surrogate paths both apply.
+    Request sel_req = req;
+    sel_req.type = RequestType::SelectDrm;
+    sel_req.t_qual_k = t_eff_k;
+    auto selection = select(sel_req);
+    if (!selection)
+        return selection.error();
+
+    const JsonValue *fit = selection.value().find("fit");
+    const double point_fit =
+        fit && fit->isNumber() ? fit->number : 0.0;
+    const double target_fit =
+        qualification(req.t_qual_k)->spec().target_fit;
+    const double eta_hours = aging::remainingHoursAtFit(
+        *state, point_fit, target_fit,
+        policy_params.service_life_years);
+
+    JsonValue out = JsonValue::makeObject();
+    out.set("chip", JsonValue::makeString(req.chip));
+    out.set("age_hours", JsonValue::makeNumber(state->age_hours));
+    out.set("consumed", JsonValue::makeNumber(consumed));
+    out.set("max_pair_consumed",
+            JsonValue::makeNumber(state->maxPairDamage()));
+    out.set("slack", JsonValue::makeNumber(slack));
+    out.set("t_qual_base_k", JsonValue::makeNumber(req.t_qual_k));
+    out.set("t_qual_eff_k", JsonValue::makeNumber(t_eff_k));
+    if (std::isfinite(eta_hours)) {
+        out.set("eta_hours", JsonValue::makeNumber(eta_hours));
+        out.set("eta_years", JsonValue::makeNumber(
+                                 eta_hours / util::hours_per_year));
+    } else {
+        // A zero-FIT selection never spends the budget; JSON has no
+        // infinity, so say so structurally instead.
+        out.set("eta_unbounded", JsonValue::makeBool(true));
+    }
+    out.set("selection", std::move(selection.value()));
+    return out;
+}
+
+std::optional<aging::AgingState>
+EvaluationService::chipState(const std::string &chip) const
+{
+    std::lock_guard lock(aging_mu_);
+    auto it = chips_.find(chip);
+    if (it == chips_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+namespace {
+
+/** Registry files share the state schema's version number. */
+constexpr int registry_version = aging::aging_state_version;
+
+telemetry::Counter &
+registryQuarantineCounter()
+{
+    static telemetry::Counter c =
+        telemetry::counter("aging.state_quarantined");
+    return c;
+}
+
+/** Parse {"v":N,"chips":{name:state}}; CorruptRecord on any shape
+ *  defect, InvalidInput when the version is from the future. */
+Result<std::map<std::string, aging::AgingState>>
+registryFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject() || doc.object.size() != 2)
+        return RampError{ErrorCode::CorruptRecord,
+                         "aging registry must be an object with "
+                         "exactly 'v' and 'chips'"};
+    const JsonValue *v = doc.find("v");
+    if (!v || !v->isNumber() ||
+        v->number != static_cast<double>(static_cast<int>(v->number)))
+        return RampError{ErrorCode::CorruptRecord,
+                         "aging registry needs an integer 'v'"};
+    if (static_cast<int>(v->number) > registry_version)
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("aging registry version ",
+                      static_cast<int>(v->number),
+                      " is newer than this build supports (v",
+                      registry_version,
+                      "); refusing to load or quarantine it")};
+    const JsonValue *chips = doc.find("chips");
+    if (!chips || !chips->isObject())
+        return RampError{ErrorCode::CorruptRecord,
+                         "aging registry needs a 'chips' object"};
+    std::map<std::string, aging::AgingState> out;
+    for (const auto &[name, state_doc] : chips->object) {
+        auto state = aging::agingStateFromJson(state_doc);
+        if (!state)
+            return RampError{
+                state.error().code,
+                util::cat("aging registry chip '", name, "': ",
+                          state.error().message)};
+        out.emplace(name, std::move(state.value()));
+    }
+    return out;
+}
+
+} // namespace
+
+Result<void>
+EvaluationService::loadAgingRegistry(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return {}; // Missing file: a fresh fleet.
+    std::ostringstream text;
+    text << is.rdbuf();
+    std::string err;
+    const auto doc = util::parseJson(text.str(), &err);
+    auto parsed =
+        doc ? registryFromJson(*doc)
+            : Result<std::map<std::string, aging::AgingState>>(
+                  RampError{ErrorCode::CorruptRecord,
+                            util::cat("aging registry '", path,
+                                      "' is not valid JSON: ", err)});
+    if (!parsed) {
+        if (parsed.error().code == ErrorCode::InvalidInput)
+            return parsed.error(); // Future version: hard stop.
+        const std::string quarantine = path + ".quarantine";
+        std::rename(path.c_str(), quarantine.c_str());
+        registryQuarantineCounter().add();
+        util::warn(util::cat("aging registry '", path,
+                             "' is corrupt (", parsed.error().message,
+                             "); quarantined to '", quarantine,
+                             "', starting fresh"));
+        return {};
+    }
+    std::lock_guard lock(aging_mu_);
+    chips_ = std::move(parsed.value());
+    return {};
+}
+
+Result<void>
+EvaluationService::saveAgingRegistry(const std::string &path) const
+{
+    JsonValue chips = JsonValue::makeObject();
+    {
+        std::lock_guard lock(aging_mu_);
+        for (const auto &[name, state] : chips_)
+            chips.set(name, aging::toJson(state));
+    }
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("v", JsonValue::makeNumber(registry_version));
+    doc.set("chips", std::move(chips));
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return RampError{
+                ErrorCode::IoFailure,
+                util::cat("cannot open '", tmp, "' for writing")};
+        util::writeJson(os, doc);
+        os << '\n';
+        os.flush();
+        if (!os)
+            return RampError{ErrorCode::IoFailure,
+                             util::cat("write to '", tmp,
+                                       "' failed")};
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return RampError{ErrorCode::IoFailure,
+                         util::cat("cannot rename '", tmp, "' to '",
+                                   path, "'")};
+    return {};
 }
 
 JsonValue

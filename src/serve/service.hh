@@ -15,12 +15,20 @@
  * the server or the direct path uses, so a served reply is
  * byte-identical to the equivalent in-process call by construction.
  *
- * Thread safety: ensureReady() and select() fan work out across the
- * owned pool and must only be called from one driver thread at a
- * time (the server's batcher). evaluatePoint()/encodeEvaluation()
- * never touch the pool and are safe to call concurrently from
- * *inside* a pool batch -- that is exactly how the server
- * parallelizes a batch of evaluate requests.
+ * The service also keeps the fleet's aging registry: per-chip
+ * aging::AgingState accumulated from report_usage deltas, consulted
+ * by remaining_lifetime to run a slack-banking selection (see
+ * aging/slack_bank.hh) at the effective qualification temperature
+ * the chip's banked slack affords.
+ *
+ * Thread safety: ensureReady(), select(), and remainingLifetime()
+ * fan work out across the owned pool and must only be called from
+ * one driver thread at a time (the server's batcher).
+ * evaluatePoint()/encodeEvaluation() never touch the pool and are
+ * safe to call concurrently from *inside* a pool batch -- that is
+ * exactly how the server parallelizes a batch of evaluate requests.
+ * reportUsage() takes only the registry lock and is safe from any
+ * thread (the server answers it inline).
  */
 
 #pragma once
@@ -28,9 +36,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "aging/state.hh"
 #include "core/evaluator.hh"
 #include "core/qualification.hh"
 #include "drm/adaptation.hh"
@@ -114,6 +124,42 @@ class EvaluationService
     /** Cache usage counters as a JSON object (stats replies). */
     util::JsonValue cacheStatsJson() const;
 
+    /**
+     * v2 report_usage: validate the request's AgingState delta and
+     * merge it into the named chip's accumulated state. Thread-safe
+     * (the registry has its own lock; no pool, no evaluation), so
+     * the server answers it inline from reader threads. Returns the
+     * chip's post-merge summary (age, consumed fraction).
+     */
+    util::Result<util::JsonValue> reportUsage(const Request &req);
+
+    /**
+     * v2 remaining_lifetime: look up the chip's accumulated state
+     * (unknown chips are InvalidInput -- report usage first), run
+     * the slack-banking policy to get the effective qualification
+     * temperature its banked slack affords, select the DRM point at
+     * that temperature (oracle or surrogate, per the request), and
+     * answer consumed fraction, slack, the selection, and the ETA
+     * until the budget is spent at the selected point's FIT.
+     * Driver-thread only (runs a selection on the pool).
+     */
+    util::Result<util::JsonValue> remainingLifetime(const Request &req);
+
+    /** A chip's accumulated state, if it has reported (tests). */
+    std::optional<aging::AgingState>
+    chipState(const std::string &chip) const;
+
+    /**
+     * Load a persisted chip registry ({"v":1,"chips":{name:state}})
+     * with recoverAgingState semantics per the whole file: missing
+     * file = empty registry, corrupt file = quarantine + empty,
+     * future version = structured InvalidInput.
+     */
+    util::Result<void> loadAgingRegistry(const std::string &path);
+
+    /** Persist the chip registry (atomic temp-file + rename). */
+    util::Result<void> saveAgingRegistry(const std::string &path) const;
+
   private:
     /** Unknown-app guard; InvalidInput with the suite's names. */
     util::Result<std::size_t> appIndex(const std::string &app) const;
@@ -148,6 +194,9 @@ class EvaluationService
     /** Driver-thread only: tiered fast path (lazily built on the
      *  first request that asks for it). */
     std::unique_ptr<drm::surrogate::TieredExplorer> tiered_;
+
+    mutable std::mutex aging_mu_; ///< Guards chips_.
+    std::map<std::string, aging::AgingState> chips_;
 };
 
 } // namespace serve

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * AgingState document tests: canonical round trips must be
+ * bit-exact, defective files must be structured errors (and the
+ * recovery helper must quarantine corruption but refuse to touch
+ * future-version data), and the damage summaries must follow the
+ * FIT-budget weighting.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "aging/state.hh"
+#include "util/json.hh"
+
+namespace ramp {
+namespace aging {
+namespace {
+
+using sim::allStructures;
+using sim::structureIndex;
+
+/** Temp file path unique to this test binary run. */
+std::string
+tmpPath(const char *tag)
+{
+    return testing::TempDir() + "ramp_aging_state_" + tag + ".json";
+}
+
+/** Replace (not append -- set() appends) a top-level key. */
+util::JsonValue
+withKey(util::JsonValue doc, const std::string &key,
+        util::JsonValue v)
+{
+    for (auto &kv : doc.object)
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return doc;
+        }
+    doc.set(key, std::move(v));
+    return doc;
+}
+
+/** A state with distinct, non-round values in every slot. */
+AgingState
+fullState()
+{
+    AgingState st;
+    st.age_hours = 12345.678;
+    for (auto s : allStructures()) {
+        const std::size_t si = structureIndex(s);
+        for (std::size_t mi = 0; mi < core::num_mechanisms; ++mi)
+            st.damage[si][mi] =
+                0.001 * static_cast<double>(si * 4 + mi + 1) / 3.0;
+        st.em_jt_hours[si] = 10.0 + static_cast<double>(si) / 7.0;
+        st.tddb_vt_hours[si] = 20.0 + static_cast<double>(si) / 9.0;
+        st.tc_cycles[si] = static_cast<double>(si * 11);
+    }
+    return st;
+}
+
+TEST(AgingState, JsonRoundTripIsBitExact)
+{
+    const AgingState st = fullState();
+    const auto back = agingStateFromJson(toJson(st));
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    // Bit-exact, not approximately equal: the document is the
+    // persistence format, and a lossy round trip would make saved
+    // fleets drift on every load/save cycle.
+    EXPECT_EQ(back.value().age_hours, st.age_hours);
+    for (auto s : allStructures()) {
+        const std::size_t si = structureIndex(s);
+        for (std::size_t mi = 0; mi < core::num_mechanisms; ++mi)
+            EXPECT_EQ(back.value().damage[si][mi],
+                      st.damage[si][mi]);
+        EXPECT_EQ(back.value().em_jt_hours[si], st.em_jt_hours[si]);
+        EXPECT_EQ(back.value().tddb_vt_hours[si],
+                  st.tddb_vt_hours[si]);
+        EXPECT_EQ(back.value().tc_cycles[si], st.tc_cycles[si]);
+    }
+    // And the serialized form itself is stable.
+    EXPECT_EQ(util::writeJson(toJson(back.value())),
+              util::writeJson(toJson(st)));
+}
+
+TEST(AgingState, FileRoundTripIsBitExact)
+{
+    const auto path = tmpPath("roundtrip");
+    const AgingState st = fullState();
+    ASSERT_TRUE(saveAgingState(path, st).ok());
+    const auto back = loadAgingState(path);
+    ASSERT_TRUE(back.ok()) << back.error().str();
+    EXPECT_EQ(util::writeJson(toJson(back.value())),
+              util::writeJson(toJson(st)));
+    std::remove(path.c_str());
+}
+
+TEST(AgingState, TruncatedFileIsCorruptRecord)
+{
+    const auto path = tmpPath("truncated");
+    const std::string full = util::writeJson(toJson(fullState()));
+    {
+        std::ofstream out(path);
+        out << full.substr(0, full.size() / 2);
+    }
+    const auto loaded = loadAgingState(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, util::ErrorCode::CorruptRecord);
+    std::remove(path.c_str());
+}
+
+TEST(AgingState, FutureVersionIsInvalidInputNotACrash)
+{
+    const util::JsonValue doc = withKey(
+        toJson(fullState()), "v",
+        util::JsonValue::makeNumber(
+            static_cast<double>(aging_state_version + 1)));
+    const auto parsed = agingStateFromJson(doc);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(parsed.error().message.find("newer"),
+              std::string::npos);
+}
+
+TEST(AgingState, ParseRejectsForeignAndMissingKeys)
+{
+    util::JsonValue extra = toJson(fullState());
+    extra.set("warranty", util::JsonValue::makeBool(true));
+    EXPECT_FALSE(agingStateFromJson(extra).ok());
+
+    // Negative damage cannot be a valid history.
+    AgingState st = fullState();
+    st.damage[0][0] = -0.5;
+    EXPECT_FALSE(agingStateFromJson(toJson(st)).ok());
+}
+
+TEST(AgingState, RecoverTreatsMissingFileAsFresh)
+{
+    const auto path = tmpPath("missing");
+    std::remove(path.c_str());
+    const auto st = recoverAgingState(path);
+    ASSERT_TRUE(st.ok()) << st.error().str();
+    EXPECT_EQ(st.value().age_hours, 0.0);
+    EXPECT_EQ(st.value().totalDamage(), 0.0);
+}
+
+TEST(AgingState, RecoverQuarantinesCorruptionAndStartsFresh)
+{
+    const auto path = tmpPath("quarantine");
+    const auto sidecar = path + ".quarantine";
+    std::remove(sidecar.c_str());
+    {
+        std::ofstream out(path);
+        out << "{\"v\":1,#garbage";
+    }
+    const auto st = recoverAgingState(path);
+    ASSERT_TRUE(st.ok()) << st.error().str();
+    EXPECT_EQ(st.value().age_hours, 0.0);
+    // The defective bytes must survive for inspection.
+    std::ifstream in(sidecar);
+    EXPECT_TRUE(in.good());
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+TEST(AgingState, RecoverRefusesToQuarantineFutureVersions)
+{
+    const auto path = tmpPath("future");
+    const auto sidecar = path + ".quarantine";
+    std::remove(sidecar.c_str());
+    const util::JsonValue doc = withKey(
+        toJson(fullState()), "v",
+        util::JsonValue::makeNumber(
+            static_cast<double>(aging_state_version + 1)));
+    {
+        std::ofstream out(path);
+        out << util::writeJson(doc);
+    }
+    const auto st = recoverAgingState(path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, util::ErrorCode::InvalidInput);
+    // A newer build's data must stay exactly where it was.
+    std::ifstream original(path);
+    EXPECT_TRUE(original.good());
+    std::ifstream quarantined(sidecar);
+    EXPECT_FALSE(quarantined.good());
+    std::remove(path.c_str());
+}
+
+TEST(AgingState, AddAccumulatesEverySlot)
+{
+    AgingState total = fullState();
+    const AgingState delta = fullState();
+    total.add(delta);
+    EXPECT_EQ(total.age_hours, 2.0 * delta.age_hours);
+    for (auto s : allStructures()) {
+        const std::size_t si = structureIndex(s);
+        for (std::size_t mi = 0; mi < core::num_mechanisms; ++mi)
+            EXPECT_EQ(total.damage[si][mi],
+                      2.0 * delta.damage[si][mi]);
+        EXPECT_EQ(total.tc_cycles[si], 2.0 * delta.tc_cycles[si]);
+    }
+}
+
+TEST(AgingState, UniformPairDamageGivesThatTotal)
+{
+    // Every pair at fraction d: the budget-weighted total is d, and
+    // so is the weakest link.
+    AgingState st;
+    for (auto s : allStructures())
+        for (std::size_t mi = 0; mi < core::num_mechanisms; ++mi)
+            st.damage[structureIndex(s)][mi] = 0.25;
+    EXPECT_NEAR(st.totalDamage(), 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(st.maxPairDamage(), 0.25);
+    for (auto s : allStructures())
+        EXPECT_NEAR(st.structureDamage(s), 0.25, 1e-12);
+}
+
+} // namespace
+} // namespace aging
+} // namespace ramp
