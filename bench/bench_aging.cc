@@ -85,7 +85,7 @@ dutyMobile(std::uint32_t)
 /** One epoch of one policy's trajectory (artifact rows). */
 struct EpochRecord
 {
-    double consumed = 0.0;
+    double consumed_frac = 0.0;
     double t_qual_eff_k = 0.0;
     double frequency_ghz = 0.0;
     double perf_rel = 0.0;
@@ -96,7 +96,7 @@ struct PolicyRun
 {
     std::vector<EpochRecord> trajectory;
     double early_perf_rel = 0.0; ///< Mean over the first 20%.
-    double final_consumed = 0.0;
+    double final_consumed_frac = 0.0;
     double final_age_hours = 0.0;
     aging::AgingState state;
 };
@@ -202,7 +202,7 @@ agePolicy(const bench::Suite &suite,
             early_sum += perf;
 
         EpochRecord rec;
-        rec.consumed = integrator.state().totalDamage();
+        rec.consumed_frac = integrator.state().totalDamage();
         rec.t_qual_eff_k = t_eff_k;
         rec.frequency_ghz = sel.config.frequency_ghz;
         rec.perf_rel = perf;
@@ -210,7 +210,7 @@ agePolicy(const bench::Suite &suite,
     }
 
     run.early_perf_rel = early_sum / early_epochs;
-    run.final_consumed = integrator.state().totalDamage();
+    run.final_consumed_frac = integrator.state().totalDamage();
     run.final_age_hours = integrator.state().age_hours;
     run.state = integrator.state();
     return run;
@@ -223,7 +223,7 @@ policyJson(const char *name, const PolicyRun &run)
     JsonValue trajectory = JsonValue::makeArray();
     for (const auto &rec : run.trajectory) {
         JsonValue row = JsonValue::makeObject();
-        row.set("consumed", JsonValue::makeNumber(rec.consumed));
+        row.set("consumed", JsonValue::makeNumber(rec.consumed_frac));
         row.set("t_qual_eff_k",
                 JsonValue::makeNumber(rec.t_qual_eff_k));
         row.set("frequency_ghz",
@@ -236,7 +236,7 @@ policyJson(const char *name, const PolicyRun &run)
     out.set("early_perf_rel",
             JsonValue::makeNumber(run.early_perf_rel));
     out.set("final_consumed",
-            JsonValue::makeNumber(run.final_consumed));
+            JsonValue::makeNumber(run.final_consumed_frac));
     out.set("final_age_hours",
             JsonValue::makeNumber(run.final_age_hours));
     out.set("trajectory", std::move(trajectory));
@@ -291,7 +291,7 @@ main(int argc, char **argv)
                   "steady", &steady},
               {"slack-bank", &slack}}) {
             t.addRow({name, util::Table::num(run->early_perf_rel, 4),
-                      util::Table::num(run->final_consumed, 4),
+                      util::Table::num(run->final_consumed_frac, 4),
                       util::Table::num(run->final_age_hours /
                                            util::hours_per_year,
                                        1)});
@@ -300,8 +300,8 @@ main(int argc, char **argv)
 
         const bool boosted =
             slack.early_perf_rel > steady.early_perf_rel;
-        const bool budgeted = slack.final_consumed <= 1.0 &&
-                              steady.final_consumed <= 1.0;
+        const bool budgeted = slack.final_consumed_frac <= 1.0 &&
+                              steady.final_consumed_frac <= 1.0;
         boost_holds &= boosted;
         budget_holds &= budgeted;
         std::printf("  early-life boost: %+.2f%% (%s), budget: "

@@ -372,9 +372,13 @@ struct Suite
         std::fprintf(stderr, "  suite: %u thread%s\n", pool.threads(),
                      pool.threads() == 1 ? "" : "s");
         base_ops.resize(apps.size());
-        pool.parallelFor(apps.size(), [&](std::size_t i) {
-            base_ops[i] = explorer.evaluateBase(apps[i]);
-        });
+        const auto batch =
+            pool.parallelFor(apps.size(), [&](std::size_t i) {
+                base_ops[i] = explorer.evaluateBase(apps[i]);
+            });
+        if (!batch.ok())
+            throw ramp::util::RampException(
+                batch.failures.front().second);
         alpha_qual = drm::alphaQualFromBaseline(base_ops);
     }
 

@@ -17,7 +17,7 @@ SlackBankPolicy::SlackBankPolicy(SlackBankParams params)
     if (params_.max_boost_k < 0.0 || params_.max_throttle_k < 0.0)
         util::fatal("slack bank boost/throttle bands must be "
                     "non-negative");
-    if (params_.initial_slack < 0.0 || params_.initial_slack >= 1.0)
+    if (params_.initial_slack_frac < 0.0 || params_.initial_slack_frac >= 1.0)
         util::fatal("slack bank initial slack must be in [0,1)");
     if (params_.service_life_years <= 0.0)
         util::fatal("slack bank service life must be positive");
@@ -29,13 +29,13 @@ SlackBankPolicy::budget(double age_hours) const
     const double life_fraction =
         age_hours /
         core::serviceLifeHours(params_.service_life_years);
-    return std::min(1.0, params_.initial_slack +
-                             (1.0 - params_.initial_slack) *
+    return std::min(1.0, params_.initial_slack_frac +
+                             (1.0 - params_.initial_slack_frac) *
                                  life_fraction);
 }
 
 double
-SlackBankPolicy::slack(const AgingState &state) const
+SlackBankPolicy::slackFrac(const AgingState &state) const
 {
     return budget(state.age_hours) - state.totalDamage();
 }
@@ -44,7 +44,7 @@ double
 SlackBankPolicy::effectiveTQualK(const AgingState &state) const
 {
     const double t_raw_k = params_.base_t_qual_k +
-                           params_.gain_k_per_life * slack(state);
+                           params_.gain_k_per_life * slackFrac(state);
     return std::clamp(t_raw_k,
                       params_.base_t_qual_k - params_.max_throttle_k,
                       params_.base_t_qual_k + params_.max_boost_k);

@@ -45,7 +45,7 @@ struct SlackBankParams
      *  margin, as a fraction of the service life. The budget
      *  schedule spends it linearly so the whole-life budget still
      *  ends at exactly 1.0. */
-    double initial_slack = 0.05;
+    double initial_slack_frac = 0.05;
 
     /** Qualified service life, years. */
     double service_life_years = 30.0;
@@ -58,13 +58,13 @@ class SlackBankPolicy
     explicit SlackBankPolicy(SlackBankParams params = {});
 
     /** Consumed-lifetime budget a chip of this age is entitled to:
-     *  initial_slack + (1 - initial_slack) * age / service life,
+     *  initial_slack_frac + (1 - initial_slack_frac) * age / service life,
      *  saturating at 1.0. */
     double budget(double age_hours) const;
 
     /** Banked slack: budget(age) minus integrated damage. Negative
      *  when the chip has outspent its schedule. */
-    double slack(const AgingState &state) const;
+    double slackFrac(const AgingState &state) const;
 
     /** The qualification temperature selection should use now:
      *  base + gain * slack, clamped to the boost/throttle band. */

@@ -89,17 +89,17 @@ util::JsonValue toJson(const AgingState &state);
  * InvalidInput ("newer than this build"); any other defect is
  * CorruptRecord.
  */
-util::Result<AgingState> agingStateFromJson(const util::JsonValue &doc);
+[[nodiscard]] util::Result<AgingState> agingStateFromJson(const util::JsonValue &doc);
 
 /** Write the state to @p path (atomically: temp file + rename). */
-util::Result<void> saveAgingState(const std::string &path,
+[[nodiscard]] util::Result<void> saveAgingState(const std::string &path,
                                   const AgingState &state);
 
 /**
  * Read and parse @p path. An unreadable file is IoFailure; parse
  * defects are reported as agingStateFromJson does.
  */
-util::Result<AgingState> loadAgingState(const std::string &path);
+[[nodiscard]] util::Result<AgingState> loadAgingState(const std::string &path);
 
 /**
  * Load-or-start-fresh for daemons and benches: a missing file is a
@@ -108,7 +108,7 @@ util::Result<AgingState> loadAgingState(const std::string &path);
  * state; a future-version file is a hard structured error, because
  * quarantining it would discard newer data.
  */
-util::Result<AgingState> recoverAgingState(const std::string &path);
+[[nodiscard]] util::Result<AgingState> recoverAgingState(const std::string &path);
 
 } // namespace aging
 } // namespace ramp

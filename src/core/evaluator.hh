@@ -115,7 +115,7 @@ class Evaluator
      * fixed-point iteration limit is NOT an error -- the point is
      * returned with converged == false for the caller to judge.
      */
-    util::Result<OperatingPoint>
+    [[nodiscard]] util::Result<OperatingPoint>
     tryEvaluate(const sim::MachineConfig &cfg,
                 const workload::AppProfile &profile) const;
 
@@ -128,7 +128,7 @@ class Evaluator
      * sample (used by the DRM oracle to re-derive temperatures and by
      * ablations). Error/convergence semantics as tryEvaluate.
      */
-    util::Result<OperatingPoint>
+    [[nodiscard]] util::Result<OperatingPoint>
     tryConvergeThermal(const sim::MachineConfig &cfg,
                        const sim::ActivitySample &activity,
                        const sim::CoreStats &stats) const;

@@ -83,6 +83,7 @@ LifetimeSimulator::estimate(const FitReport &report) const
             if (fit <= 0.0)
                 continue; // mechanism inactive for this structure
             const double unit_fit = fit / g.units;
+            // ramp-lint: convert(fit->years): MTTF = 1e9/FIT hours
             const double mean_years = util::fitToMttfYears(unit_fit);
             const double beta =
                 params_.weibull_shape[mechanismIndex(m)];
@@ -125,16 +126,16 @@ LifetimeSimulator::estimate(const FitReport &report) const
 
         // A group dies at its (spares+1)-th unit failure; the
         // processor at its first group death.
-        double lifetime = 1e300;
+        double lifetime_years = 1e300;
         for (std::size_t g = 0; g < groups.size(); ++g) {
             auto &units = unit_times[g];
             const std::size_t k = groups[g].spares; // 0-indexed
             std::nth_element(units.begin(), units.begin() + k,
                              units.end());
-            lifetime = std::min(lifetime, units[k]);
+            lifetime_years = std::min(lifetime_years, units[k]);
         }
-        minima.push_back(lifetime);
-        stat.add(lifetime);
+        minima.push_back(lifetime_years);
+        stat.add(lifetime_years);
     }
     std::sort(minima.begin(), minima.end());
 

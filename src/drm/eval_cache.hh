@@ -128,7 +128,7 @@ class EvaluationCache
      * is deferred to a future exclusive holder), IoFailure when the
      * rewrite itself fails (the log is left as-is).
      */
-    util::Result<void> tryCompact(std::size_t lines);
+    [[nodiscard]] util::Result<void> tryCompact(std::size_t lines);
 
     /** Open (or reopen) the appender with bounded retry + backoff;
      *  false when it stays unopenable. Caller holds file_mutex_ (or
@@ -136,6 +136,7 @@ class EvaluationCache
     bool openAppender();
 
     std::string path_;
+    // ramp-lint: guarded_by(mutex_)
     std::map<std::string, CachedEvaluation> entries_;
     mutable std::shared_mutex mutex_; ///< Guards entries_.
 

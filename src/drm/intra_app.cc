@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "power/power.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace ramp {
@@ -93,9 +94,13 @@ IntraAppExplorer::explore(const workload::AppProfile &app,
     };
     auto runJobs = [&](const std::vector<Job> &jobs) {
         if (pool_) {
-            pool_->parallelFor(jobs.size(), [&](std::size_t n) {
-                evalJob(jobs[n]);
-            });
+            const auto batch =
+                pool_->parallelFor(jobs.size(), [&](std::size_t n) {
+                    evalJob(jobs[n]);
+                });
+            if (!batch.ok())
+                throw util::RampException(
+                    batch.failures.front().second);
         } else {
             for (const auto &j : jobs)
                 evalJob(j);

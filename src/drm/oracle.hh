@@ -126,7 +126,7 @@ class OracleExplorer
      * cached; non-convergence is a valid point with
      * op.converged == false.
      */
-    util::Result<core::OperatingPoint>
+    [[nodiscard]] util::Result<core::OperatingPoint>
     tryEvaluate(const sim::MachineConfig &cfg,
                 const workload::AppProfile &app) const;
 
@@ -166,7 +166,7 @@ class OracleExplorer
   private:
     /** parallelFor via the pool, or a plain loop without one; either
      *  way items that throw RampException are dropped and reported. */
-    util::BatchReport
+    [[nodiscard]] util::BatchReport
     forEach(std::size_t count,
             const std::function<void(std::size_t)> &fn) const;
 

@@ -76,7 +76,7 @@ class ResponseSurface
   public:
     /** Fit targets[i] ~ dot(coef, rows[i]). @p rows are
      *  configFeatures() vectors; all rows identical is degenerate. */
-    static util::Result<ResponseSurface>
+    [[nodiscard]] static util::Result<ResponseSurface>
     fit(const std::vector<std::vector<double>> &rows,
         const std::vector<double> &targets);
 
@@ -107,7 +107,7 @@ class SurrogateModel
      * unconverged iterate). InvalidInput when the history is too
      * thin (< feature_count samples) or degenerate.
      */
-    static util::Result<SurrogateModel>
+    [[nodiscard]] static util::Result<SurrogateModel>
     fit(std::vector<TrainingSample> samples);
 
     std::size_t sampleCount() const { return samples_.size(); }
@@ -124,7 +124,7 @@ class SurrogateModel
      * the retained training points (cheap steadyFit calls, no
      * simulation); a degenerate refit surfaces as an error.
      */
-    util::Result<double> predictFit(const sim::MachineConfig &cfg,
+    [[nodiscard]] util::Result<double> predictFit(const sim::MachineConfig &cfg,
                                     const core::Qualification &qual);
 
     /** Worst training residual of the perf surface (perf_rel). */
@@ -138,10 +138,10 @@ class SurrogateModel
      * (natural-log units; 0.1 ~ 10% relative FIT error). Fits the
      * surface on first use, like predictFit.
      */
-    util::Result<double> fitLogResidual(const core::Qualification &qual);
+    [[nodiscard]] util::Result<double> fitLogResidual(const core::Qualification &qual);
 
   private:
-    util::Result<const ResponseSurface *>
+    [[nodiscard]] util::Result<const ResponseSurface *>
     fitSurface(const core::Qualification &qual);
 
     std::vector<TrainingSample> samples_;

@@ -113,13 +113,13 @@ bool sensorFaultsArmed(const FaultPlan &plan);
  * fields, non-numeric values, and out-of-range rates are all
  * InvalidInput errors.
  */
-util::Result<FaultPlan> parseFaultPlan(std::string_view json_text);
+[[nodiscard]] util::Result<FaultPlan> parseFaultPlan(std::string_view json_text);
 
 /**
  * parseFaultPlan from either inline JSON (first non-space character
  * is '{') or a file path. Unreadable files are IoFailure.
  */
-util::Result<FaultPlan> loadFaultPlan(const std::string &arg);
+[[nodiscard]] util::Result<FaultPlan> loadFaultPlan(const std::string &arg);
 
 /** Install @p plan process-wide (replacing any previous plan). Call
  *  before spawning threads; injection sites read it without locks. */

@@ -107,6 +107,8 @@ PowerModel::breakdown(const sim::ActivitySample &activity,
 {
     PowerBreakdown b;
     b.dynamic_w = dynamicPower(activity);
+    // leakagePower() owns the exponential temperature model.
+    // ramp-lint: convert(k->w): leakage is a function of temperature
     b.leakage_w = leakagePower(temps_k);
     return b;
 }

@@ -50,7 +50,7 @@ class Client
 {
   public:
     /** Connect to 127.0.0.1:opts.port. */
-    static util::Result<Client> connect(ClientOptions opts);
+    [[nodiscard]] static util::Result<Client> connect(ClientOptions opts);
 
     Client(Client &&) = default;
     Client &operator=(Client &&) = default;
@@ -61,39 +61,39 @@ class Client
      * stream) are RampErrors; an error *reply* is returned as a
      * Reply with ok == false, so callers see the server's code.
      */
-    util::Result<Reply> call(Request req);
+    [[nodiscard]] util::Result<Reply> call(Request req);
 
     /** Pipelining: send without waiting. Assigns and returns the
      *  request id the reply will echo. */
-    util::Result<std::uint64_t> sendRequest(Request req);
+    [[nodiscard]] util::Result<std::uint64_t> sendRequest(Request req);
 
     /** Pipelining: block for the next reply, whatever its id. */
-    util::Result<Reply> receiveReply();
+    [[nodiscard]] util::Result<Reply> receiveReply();
 
     /** call() an evaluate and unwrap the result object. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     evaluate(const std::string &app, drm::AdaptationSpace space,
              std::size_t config, double t_qual_k = 345.0);
 
     /** call() a select_drm and unwrap the result object. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     selectDrm(const std::string &app, drm::AdaptationSpace space,
               double t_qual_k = 345.0);
 
     /** call() a select_dtm and unwrap the result object. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     selectDtm(const std::string &app, drm::AdaptationSpace space,
               double t_design_k = 370.0, double t_qual_k = 345.0);
 
     /** call() a stats request and unwrap the result object. */
-    util::Result<util::JsonValue> stats();
+    [[nodiscard]] util::Result<util::JsonValue> stats();
 
     /** Ask the server to begin its graceful drain. */
-    util::Result<void> requestShutdown();
+    [[nodiscard]] util::Result<void> requestShutdown();
 
     /** Turn a Reply into value-or-error (error replies become
      *  RampErrors with replyErrorCode()). */
-    static util::Result<util::JsonValue> unwrap(Reply reply);
+    [[nodiscard]] static util::Result<util::JsonValue> unwrap(Reply reply);
 
   private:
     Client(util::Socket sock, ClientOptions opts)
@@ -123,7 +123,7 @@ class Session
      * client binary works against any server generation. Transport
      * failures are returned as errors.
      */
-    static util::Result<Session>
+    [[nodiscard]] static util::Result<Session>
     open(ClientOptions opts, int max_v = protocol_version_max);
 
     /** The negotiated protocol version (0 against a v0 server). */
@@ -134,32 +134,32 @@ class Session
     Client &client() { return client_; }
 
     /** evaluate at the negotiated version. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     evaluate(const std::string &app, drm::AdaptationSpace space,
              std::size_t config, double t_qual_k = 345.0);
 
     /** select_drm at the negotiated version. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     selectDrm(const std::string &app, drm::AdaptationSpace space,
               double t_qual_k = 345.0);
 
     /** select_dtm at the negotiated version. */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     selectDtm(const std::string &app, drm::AdaptationSpace space,
               double t_design_k = 370.0, double t_qual_k = 345.0);
 
     /** stats at the negotiated version. */
-    util::Result<util::JsonValue> stats();
+    [[nodiscard]] util::Result<util::JsonValue> stats();
 
     /** Ask the server to begin its graceful drain. */
-    util::Result<void> requestShutdown();
+    [[nodiscard]] util::Result<void> requestShutdown();
 
     /**
      * v2: merge an AgingState delta document into the server's
      * registry for @p chip. Returns the chip's post-merge summary.
      * InvalidInput when the negotiated version is below 2.
      */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     reportUsage(const std::string &chip, util::JsonValue state);
 
     /**
@@ -167,7 +167,7 @@ class Session
      * slack-banking selection for @p app over @p space, and the ETA
      * until the FIT budget is spent. InvalidInput below v2.
      */
-    util::Result<util::JsonValue> remainingLifetime(
+    [[nodiscard]] util::Result<util::JsonValue> remainingLifetime(
         const std::string &chip, const std::string &app,
         drm::AdaptationSpace space, double t_qual_k = 345.0,
         drm::surrogate::SurrogateMode surrogate =
@@ -180,10 +180,10 @@ class Session
     }
 
     /** Guard for the v2-only verbs. */
-    util::Result<void> needVersion(int v, const char *verb) const;
+    [[nodiscard]] util::Result<void> needVersion(int v, const char *verb) const;
 
     /** Stamp the negotiated version, call, unwrap. */
-    util::Result<util::JsonValue> callUnwrap(Request req);
+    [[nodiscard]] util::Result<util::JsonValue> callUnwrap(Request req);
 
     Client client_;
     int version_ = 0;

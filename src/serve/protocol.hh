@@ -148,7 +148,7 @@ std::string encodeRequest(const Request &req);
  * fields or types newer than the frame's `v`, a `v` this build does
  * not speak, and non-finite temperatures are all InvalidInput.
  */
-util::Result<Request> parseRequest(std::string_view payload);
+[[nodiscard]] util::Result<Request> parseRequest(std::string_view payload);
 
 /** Success reply carrying @p result (consumed). @p version is the
  *  request's negotiated frame version; 0 keeps the legacy shape. */
@@ -174,7 +174,7 @@ struct Reply
 };
 
 /** Parse a reply payload (InvalidInput on malformed shape). */
-util::Result<Reply> parseReply(std::string_view payload);
+[[nodiscard]] util::Result<Reply> parseReply(std::string_view payload);
 
 /** Nearest util::ErrorCode for a reply error code string (client
  *  Result plumbing): "overloaded" -> Overloaded, "shutting-down" ->

@@ -1,5 +1,8 @@
 #include "serve/server.hh"
 
+// ramp-lint: guarded_by(conns_mu_): conns_
+// ramp-lint: guarded_by(queue_mu_): queue_
+
 #include <algorithm>
 #include <map>
 #include <tuple>
@@ -367,7 +370,9 @@ Server::runBatch(std::vector<Job> &batch)
         unique_points.size(),
         Result<core::OperatingPoint>(
             RampError{ErrorCode::InvalidInput, "unset"}));
-    service_.pool().parallelFor(
+    // Per-item errors land in points[i] as Results; the lambda
+    // cannot throw RampException, so the report carries nothing.
+    (void)service_.pool().parallelFor(
         unique_points.size(), [&](std::size_t i) {
             const auto &[app, space, config] = *unique_points[i];
             points[i] = service_.evaluatePoint(app, space, config);

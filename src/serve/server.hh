@@ -84,7 +84,7 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /** Bind, listen, and spawn the acceptor + batcher. */
-    util::Result<void> start();
+    [[nodiscard]] util::Result<void> start();
 
     /** The bound port (valid after start()). */
     std::uint16_t port() const { return port_; }
@@ -154,10 +154,12 @@ class Server
     std::atomic<bool> draining_{false};
 
     mutable std::mutex conns_mu_;
+    // ramp-lint: guarded_by(conns_mu_)
     std::vector<std::shared_ptr<Connection>> conns_;
 
     mutable std::mutex queue_mu_;
     std::condition_variable queue_cv_;
+    // ramp-lint: guarded_by(queue_mu_)
     std::deque<Job> queue_;
 
     std::mutex done_mu_;

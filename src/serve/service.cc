@@ -1,5 +1,8 @@
 #include "serve/service.hh"
 
+// ramp-lint: guarded_by(qual_mu_): quals_
+// ramp-lint: guarded_by(aging_mu_): chips_
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +12,7 @@
 
 #include "aging/slack_bank.hh"
 #include "util/constants.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -36,9 +40,13 @@ EvaluationService::ensureReady()
 {
     std::call_once(ready_once_, [&] {
         base_ops_.resize(apps_.size());
-        pool_.parallelFor(apps_.size(), [&](std::size_t i) {
-            base_ops_[i] = explorer_.evaluateBase(apps_[i]);
-        });
+        const auto batch =
+            pool_.parallelFor(apps_.size(), [&](std::size_t i) {
+                base_ops_[i] = explorer_.evaluateBase(apps_[i]);
+            });
+        if (!batch.ok())
+            throw util::RampException(
+                batch.failures.front().second);
         alpha_qual_ = drm::alphaQualFromBaseline(base_ops_);
     });
 }
@@ -218,21 +226,21 @@ EvaluationService::reportUsage(const Request &req)
         return delta.error();
 
     double age_hours = 0.0;
-    double consumed = 0.0;
+    double consumed_frac = 0.0;
     double max_pair = 0.0;
     {
         std::lock_guard lock(aging_mu_);
         aging::AgingState &state = chips_[req.chip];
         state.add(delta.value());
         age_hours = state.age_hours;
-        consumed = state.totalDamage();
+        consumed_frac = state.totalDamage();
         max_pair = state.maxPairDamage();
     }
 
     JsonValue out = JsonValue::makeObject();
     out.set("chip", JsonValue::makeString(req.chip));
     out.set("age_hours", JsonValue::makeNumber(age_hours));
-    out.set("consumed", JsonValue::makeNumber(consumed));
+    out.set("consumed", JsonValue::makeNumber(consumed_frac));
     out.set("max_pair_consumed", JsonValue::makeNumber(max_pair));
     return out;
 }
@@ -255,8 +263,8 @@ EvaluationService::remainingLifetime(const Request &req)
     aging::SlackBankParams policy_params;
     policy_params.base_t_qual_k = req.t_qual_k;
     const aging::SlackBankPolicy policy(policy_params);
-    const double consumed = state->totalDamage();
-    const double slack = policy.slack(*state);
+    const double consumed_frac = state->totalDamage();
+    const double slack_frac = policy.slackFrac(*state);
     const double t_eff_k = policy.effectiveTQualK(*state);
 
     // The slack-banking trade rides through the *unmodified*
@@ -283,10 +291,10 @@ EvaluationService::remainingLifetime(const Request &req)
     JsonValue out = JsonValue::makeObject();
     out.set("chip", JsonValue::makeString(req.chip));
     out.set("age_hours", JsonValue::makeNumber(state->age_hours));
-    out.set("consumed", JsonValue::makeNumber(consumed));
+    out.set("consumed", JsonValue::makeNumber(consumed_frac));
     out.set("max_pair_consumed",
             JsonValue::makeNumber(state->maxPairDamage()));
-    out.set("slack", JsonValue::makeNumber(slack));
+    out.set("slack", JsonValue::makeNumber(slack_frac));
     out.set("t_qual_base_k", JsonValue::makeNumber(req.t_qual_k));
     out.set("t_qual_eff_k", JsonValue::makeNumber(t_eff_k));
     if (std::isfinite(eta_hours)) {

@@ -96,7 +96,7 @@ class EvaluationService
      * InvalidInput; evaluation failures carry their RampError
      * through. Safe inside a pool batch (never touches the pool).
      */
-    util::Result<core::OperatingPoint>
+    [[nodiscard]] util::Result<core::OperatingPoint>
     evaluatePoint(const std::string &app, drm::AdaptationSpace space,
                   std::size_t config);
 
@@ -106,7 +106,7 @@ class EvaluationService
      * app's base point, application FIT under the request's
      * qualification temperature, temperatures, power, convergence.
      */
-    util::Result<util::JsonValue>
+    [[nodiscard]] util::Result<util::JsonValue>
     encodeEvaluation(const Request &req,
                      const core::OperatingPoint &op);
 
@@ -119,7 +119,7 @@ class EvaluationService
      * fewer exact simulations; see drm/surrogate/tiered.hh).
      * Driver-thread only (fans out on the pool).
      */
-    util::Result<util::JsonValue> select(const Request &req);
+    [[nodiscard]] util::Result<util::JsonValue> select(const Request &req);
 
     /** Cache usage counters as a JSON object (stats replies). */
     util::JsonValue cacheStatsJson() const;
@@ -131,7 +131,7 @@ class EvaluationService
      * the server answers it inline from reader threads. Returns the
      * chip's post-merge summary (age, consumed fraction).
      */
-    util::Result<util::JsonValue> reportUsage(const Request &req);
+    [[nodiscard]] util::Result<util::JsonValue> reportUsage(const Request &req);
 
     /**
      * v2 remaining_lifetime: look up the chip's accumulated state
@@ -143,7 +143,7 @@ class EvaluationService
      * until the budget is spent at the selected point's FIT.
      * Driver-thread only (runs a selection on the pool).
      */
-    util::Result<util::JsonValue> remainingLifetime(const Request &req);
+    [[nodiscard]] util::Result<util::JsonValue> remainingLifetime(const Request &req);
 
     /** A chip's accumulated state, if it has reported (tests). */
     std::optional<aging::AgingState>
@@ -155,21 +155,21 @@ class EvaluationService
      * file = empty registry, corrupt file = quarantine + empty,
      * future version = structured InvalidInput.
      */
-    util::Result<void> loadAgingRegistry(const std::string &path);
+    [[nodiscard]] util::Result<void> loadAgingRegistry(const std::string &path);
 
     /** Persist the chip registry (atomic temp-file + rename). */
-    util::Result<void> saveAgingRegistry(const std::string &path) const;
+    [[nodiscard]] util::Result<void> saveAgingRegistry(const std::string &path) const;
 
   private:
     /** Unknown-app guard; InvalidInput with the suite's names. */
-    util::Result<std::size_t> appIndex(const std::string &app) const;
+    [[nodiscard]] util::Result<std::size_t> appIndex(const std::string &app) const;
 
     /** Memoized qualification for one T_qual (thread-safe). */
     std::shared_ptr<const core::Qualification>
     qualification(double t_qual_k);
 
     /** Memoized explored space (driver-thread only). */
-    util::Result<std::shared_ptr<const drm::ExploredApp>>
+    [[nodiscard]] util::Result<std::shared_ptr<const drm::ExploredApp>>
     explored(std::size_t app_index, drm::AdaptationSpace space);
 
     ServiceOptions opts_;
@@ -182,9 +182,12 @@ class EvaluationService
     std::vector<core::OperatingPoint> base_ops_;
     sim::PerStructure<double> alpha_qual_{};
 
-    std::mutex qual_mu_; ///< Guards quals_.
-    std::map<double, std::shared_ptr<const core::Qualification>>
-        quals_;
+    using QualCache =
+        std::map<double,
+                 std::shared_ptr<const core::Qualification>>;
+    std::mutex qual_mu_;
+    // ramp-lint: guarded_by(qual_mu_)
+    QualCache quals_;
 
     /** Driver-thread only (no lock): explored-space memo. */
     std::map<std::pair<std::size_t, drm::AdaptationSpace>,
@@ -195,7 +198,8 @@ class EvaluationService
      *  first request that asks for it). */
     std::unique_ptr<drm::surrogate::TieredExplorer> tiered_;
 
-    mutable std::mutex aging_mu_; ///< Guards chips_.
+    mutable std::mutex aging_mu_;
+    // ramp-lint: guarded_by(aging_mu_)
     std::map<std::string, aging::AgingState> chips_;
 };
 

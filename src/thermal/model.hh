@@ -88,7 +88,7 @@ class ThermalModel
      * not crash the control loop); a singular conductance system is
      * propagated as SingularSystem.
      */
-    util::Result<SteadyTemps>
+    [[nodiscard]] util::Result<SteadyTemps>
     trySteadyState(const sim::PerStructure<double> &power_w) const;
 
     /**

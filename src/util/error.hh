@@ -95,10 +95,12 @@ class RampException : public std::exception
 /**
  * Value-or-error return type for recoverable library failures.
  * Implicitly constructible from either side; accessing the wrong
- * side is a programming bug and panics.
+ * side is a programming bug and panics. [[nodiscard]] so the
+ * compiler backs up ramp-lint's result-discipline pass: a dropped
+ * Result is a dropped error.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     Result(T value) : v_(std::move(value)) {}
@@ -137,7 +139,7 @@ class Result
 
 /** Result<void>: success carries nothing. */
 template <>
-class Result<void>
+class [[nodiscard]] Result<void>
 {
   public:
     Result() = default;

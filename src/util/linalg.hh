@@ -52,7 +52,7 @@ class Matrix
  * recoverable per-item failure and comes back as
  * ErrorCode::SingularSystem.
  */
-Result<std::vector<double>> trySolveLinear(Matrix a,
+[[nodiscard]] Result<std::vector<double>> trySolveLinear(Matrix a,
                                            std::vector<double> b);
 
 /**

@@ -85,17 +85,17 @@ struct Listener
  * the evaluation service is an internal daemon, not an internet
  * endpoint.
  */
-Result<Listener> listenTcp(std::uint16_t port, int backlog = 64);
+[[nodiscard]] Result<Listener> listenTcp(std::uint16_t port, int backlog = 64);
 
 /**
  * Accept one connection, waiting at most @p timeout_ms (< 0 waits
  * forever). Timeout when nothing arrived; IoFailure when the listener
  * broke (e.g. closed during drain).
  */
-Result<Socket> acceptTcp(const Socket &listener, int timeout_ms);
+[[nodiscard]] Result<Socket> acceptTcp(const Socket &listener, int timeout_ms);
 
 /** Connect to 127.0.0.1:@p port within @p timeout_ms. */
-Result<Socket> connectTcp(std::uint16_t port, int timeout_ms);
+[[nodiscard]] Result<Socket> connectTcp(std::uint16_t port, int timeout_ms);
 
 /**
  * Read exactly @p n bytes within @p timeout_ms (deadline for the
@@ -109,12 +109,12 @@ Result<Socket> connectTcp(std::uint16_t port, int timeout_ms);
  * read is not poll()-gated, so a configured SO_RCVTIMEO still
  * bounds the wait.
  */
-Result<std::optional<std::string>>
+[[nodiscard]] Result<std::optional<std::string>>
 readExact(const Socket &sock, std::size_t n, int timeout_ms);
 
 /** Write all of @p data within @p timeout_ms. Timeout semantics as
  *  readExact (SO_SNDTIMEO surfaces as Timeout, never a retry). */
-Result<void> writeAll(const Socket &sock, std::string_view data,
+[[nodiscard]] Result<void> writeAll(const Socket &sock, std::string_view data,
                       int timeout_ms);
 
 /**
@@ -123,13 +123,13 @@ Result<void> writeAll(const Socket &sock, std::string_view data,
  * (garbage bytes ahead of a frame land here too -- they misparse as
  * an absurd length); Timeout/IoFailure as readExact.
  */
-Result<std::optional<std::string>>
+[[nodiscard]] Result<std::optional<std::string>>
 readFrame(const Socket &sock, std::size_t max_payload,
           int timeout_ms);
 
 /** Write one length-prefixed frame. InvalidInput when @p payload
  *  exceeds @p max_payload. */
-Result<void> writeFrame(const Socket &sock, std::string_view payload,
+[[nodiscard]] Result<void> writeFrame(const Socket &sock, std::string_view payload,
                         std::size_t max_payload, int timeout_ms);
 
 } // namespace util

@@ -1,5 +1,10 @@
 #include "util/telemetry.hh"
 
+// Intra-file lock checking for the registry's shared state
+// (declared in telemetry.hh, used here):
+// ramp-lint: guarded_by(mu_): live_
+// ramp-lint: guarded_by(trace_mu_): spans_
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>

@@ -316,10 +316,12 @@ class Registry
     std::deque<std::atomic<double>> gauges_;
     std::vector<std::uint64_t> counter_totals_;
     std::vector<HistTotals> hist_totals_;
+    // ramp-lint: guarded_by(mu_)
     std::vector<detail::ThreadState *> live_;
 
     std::atomic<bool> tracing_{false};
     mutable std::mutex trace_mu_; ///< Guards spans_.
+    // ramp-lint: guarded_by(trace_mu_)
     std::vector<Span> spans_;
     std::size_t spans_dropped_ = 0; ///< Past the cap; guarded above.
     std::chrono::steady_clock::time_point epoch_;

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hh"
 
+// ramp-lint: guarded_by(mutex_): batch_
+
 #include <algorithm>
 #include <cstdlib>
 

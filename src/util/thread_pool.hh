@@ -39,8 +39,10 @@
 namespace ramp {
 namespace util {
 
-/** Per-batch outcome of a parallelFor: which items failed, and how. */
-struct BatchReport
+/** Per-batch outcome of a parallelFor: which items failed, and how.
+ *  [[nodiscard]] so the compiler backs up ramp-lint: dropping a
+ *  report silently drops the per-item failures inside it. */
+struct [[nodiscard]] BatchReport
 {
     /** Items submitted (fn invocations attempted). */
     std::size_t items = 0;
@@ -90,7 +92,7 @@ class ThreadPool
      * BatchReport instead of killing the batch; any other exception
      * is rethrown (first wins) after the batch drains.
      */
-    BatchReport parallelFor(std::size_t count,
+    [[nodiscard]] BatchReport parallelFor(std::size_t count,
                             const std::function<void(std::size_t)> &fn);
 
   private:
@@ -128,8 +130,8 @@ class ThreadPool
     std::condition_variable work_cv_; ///< New batch or shutdown.
     std::condition_variable done_cv_; ///< Batch fully executed.
 
-    std::shared_ptr<Batch> batch_; ///< Current batch; guarded by
-                                   ///< mutex_, null when retired.
+    /** Current batch; null when retired. */
+    std::shared_ptr<Batch> batch_; // ramp-lint: guarded_by(mutex_)
     bool stop_ = false;
 };
 

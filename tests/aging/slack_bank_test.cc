@@ -37,7 +37,7 @@ TEST(SlackBankPolicy, BudgetScheduleSpansMarginToWholeLife)
     const double life_h = core::serviceLifeHours(
         policy.params().service_life_years);
     EXPECT_DOUBLE_EQ(policy.budget(0.0),
-                     policy.params().initial_slack);
+                     policy.params().initial_slack_frac);
     EXPECT_NEAR(policy.budget(life_h), 1.0, 1e-12);
     // Past end-of-life the budget saturates; it never exceeds the
     // one qualified lifetime.
@@ -51,8 +51,8 @@ TEST(SlackBankPolicy, YoungChipBoostsAboveBase)
     const SlackBankPolicy policy;
     // Fresh chip: full initial slack banked.
     const AgingState fresh = agedState(0.0, 0.0);
-    EXPECT_DOUBLE_EQ(policy.slack(fresh),
-                     policy.params().initial_slack);
+    EXPECT_DOUBLE_EQ(policy.slackFrac(fresh),
+                     policy.params().initial_slack_frac);
     EXPECT_GT(policy.effectiveTQualK(fresh),
               policy.params().base_t_qual_k);
     EXPECT_LE(policy.effectiveTQualK(fresh),
@@ -67,7 +67,7 @@ TEST(SlackBankPolicy, OverspentChipThrottlesBelowBase)
         policy.params().service_life_years);
     // Half the damage budget gone in 10% of the life.
     const AgingState hard_run = agedState(0.5, 0.1 * life_h);
-    EXPECT_LT(policy.slack(hard_run), 0.0);
+    EXPECT_LT(policy.slackFrac(hard_run), 0.0);
     EXPECT_LT(policy.effectiveTQualK(hard_run),
               policy.params().base_t_qual_k);
     EXPECT_GE(policy.effectiveTQualK(hard_run),

@@ -1,0 +1,59 @@
+/** Fixture: lock-discipline hits across all four guard kinds plus
+ *  one unguarded miss and one reasoned suppression. */
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+struct Widget
+{
+    std::mutex mu_;
+    std::shared_mutex rw_;
+    int value_ = 0; // ramp-lint: guarded_by(mu_)
+    int cached_ = 0; // ramp-lint: guarded_by(rw_)
+
+    void
+    viaLockGuard()
+    {
+        std::lock_guard lock(mu_);
+        value_ = 1;
+    }
+
+    void
+    viaUniqueLock()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        value_ = 2;
+    }
+
+    void
+    viaScopedLock()
+    {
+        std::scoped_lock lock(mu_, rw_);
+        value_ = 3;
+        cached_ = 3;
+    }
+
+    int
+    viaSharedLock()
+    {
+        std::shared_lock lock(rw_);
+        return cached_;
+    }
+
+    int
+    unguarded()
+    {
+        return value_; // line 48: no guard on mu_ in scope
+    }
+
+    int
+    deliberate()
+    {
+        // ramp-lint: allow(lock-discipline): ctor-only path, no threads yet
+        return value_; // suppressed: no finding
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+/** Fixture: Result-discipline violations in a src/ header. */
+
+#pragma once
+
+template <typename T>
+class Result
+{
+};
+
+struct Api
+{
+    Result<int> tryLoad(); // line 12: missing [[nodiscard]]
+    [[nodiscard]] Result<int> tryQuery(); // fine
+};

@@ -1,0 +1,16 @@
+/** Fixture: discarded Result-returning calls. */
+
+#include "api.hh"
+
+namespace fixture {
+
+void
+consume(Api &api)
+{
+    api.tryLoad(); // line 10: result discarded
+    (void)api.tryQuery(); // deliberate discard: no finding
+    auto kept = api.tryLoad(); // assigned: no finding
+    static_cast<void>(kept);
+}
+
+} // namespace fixture

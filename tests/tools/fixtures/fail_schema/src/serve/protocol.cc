@@ -1,0 +1,35 @@
+/** Fixture: protocol table that drifted from the design doc — the
+ *  "color" field is implemented but undocumented and untested. */
+
+namespace fixture {
+
+struct FieldRule
+{
+    int field;
+    const char *name;
+    bool required;
+    int min_version;
+};
+
+struct TypeRule
+{
+    int type;
+    int min_version;
+    const FieldRule *fields;
+    unsigned n_fields;
+};
+
+const char *const type_names[] = {"ping", "echo"};
+
+constexpr FieldRule echo_fields[] = {
+    {0, "msg", true, 0},
+    {1, "tag", false, 1},
+    {2, "color", false, 2},
+};
+
+constexpr TypeRule type_rules[] = {
+    {0, 0, nullptr, 0},
+    {1, 0, echo_fields, 3},
+};
+
+} // namespace fixture

@@ -1,0 +1,7 @@
+/** Fixture: serve tests that never exercise the "color" field. */
+
+namespace fixture {
+
+const char *const exercised[] = {"ping", "echo", "msg", "tag"};
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+/** Fixture: unit-consistency violations (and one sanctioned
+ *  conversion that must NOT fire). */
+
+namespace fixture {
+
+double
+mixedArithmetic(double t_k, double p_w)
+{
+    return t_k + p_w; // line 9: adds Kelvin to Watts
+}
+
+void
+crossAssign()
+{
+    double out_c = 0.0;
+    double in_k = 300.0;
+    out_c = in_k; // line 17: cross-unit assignment
+    // ramp-lint: convert(k->c): Kelvin to Celsius offset
+    out_c = in_k - 273.15; // sanctioned: no finding
+    // ramp-lint: convert(k->banana): not a unit
+    out_c = in_k; // line 21: marker names an unknown unit
+    (void)out_c;
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+/** Fixture: minimal protocol table consistent with the design doc,
+ *  the README, and the serve tests. */
+
+namespace fixture {
+
+struct FieldRule
+{
+    int field;
+    const char *name;
+    bool required;
+    int min_version;
+};
+
+struct TypeRule
+{
+    int type;
+    int min_version;
+    const FieldRule *fields;
+    unsigned n_fields;
+};
+
+const char *const type_names[] = {"ping", "echo"};
+
+constexpr FieldRule echo_fields[] = {
+    {0, "msg", true, 0},
+    {1, "tag", false, 1},
+};
+
+constexpr TypeRule type_rules[] = {
+    {0, 0, nullptr, 0},
+    {1, 0, echo_fields, 2},
+};
+
+} // namespace fixture

@@ -1,0 +1,7 @@
+/** Fixture: serve tests exercising every verb and field. */
+
+namespace fixture {
+
+const char *const exercised[] = {"ping", "echo", "msg", "tag"};
+
+} // namespace fixture

@@ -125,6 +125,136 @@ TEST(RampLint, IncludeHygieneFails)
     EXPECT_NE(r.output.find("bad.hh:4:"), std::string::npos);
 }
 
+TEST(RampLint, MixedUnitsAndCrossUnitAssignFail)
+{
+    const auto r = lintFixture("fail_units", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[unit-consistency]"), std::string::npos)
+        << r.output;
+    // Mixed-unit arithmetic, anchored to the offending expression.
+    EXPECT_NE(r.output.find("units.cc:9:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'t_k' (_k) vs 'p_w' (_w)"),
+              std::string::npos);
+    // Cross-unit assignment without a conversion marker.
+    EXPECT_NE(r.output.find("units.cc:17:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("cross-unit assignment"),
+              std::string::npos);
+    // A convert() marker naming an unknown unit is itself a finding
+    // and sanctions nothing: the assignment under it still fires.
+    EXPECT_NE(r.output.find("units.cc:20:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("unknown unit suffix"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("units.cc:21:"), std::string::npos)
+        << r.output;
+    // The sanctioned conversion (valid marker on line 18) is silent.
+    EXPECT_EQ(r.output.find("units.cc:19:"), std::string::npos)
+        << r.output;
+}
+
+TEST(RampLint, ResultDisciplineFails)
+{
+    const auto r = lintFixture("fail_result", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[result-discipline]"),
+              std::string::npos)
+        << r.output;
+    // Result-returning declaration in a src/ header without
+    // [[nodiscard]].
+    EXPECT_NE(r.output.find("api.hh:12:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("not [[nodiscard]]"), std::string::npos);
+    // Statement-position call whose Result is dropped.
+    EXPECT_NE(r.output.find("use.cc:10:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("is discarded"), std::string::npos);
+    // (void)-cast and assigned calls are deliberate: exactly the two
+    // findings above, nothing anchored to those lines.
+    EXPECT_EQ(r.output.find("use.cc:11:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("use.cc:12:"), std::string::npos)
+        << r.output;
+}
+
+TEST(RampLint, LockDisciplineFails)
+{
+    const auto r = lintFixture("fail_lock", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The one unguarded use, with the annotation echoed back.
+    EXPECT_NE(r.output.find("lock.cc:48:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("[lock-discipline]"), std::string::npos);
+    EXPECT_NE(r.output.find("'value_'"), std::string::npos);
+    // Uses under lock_guard / unique_lock / scoped_lock /
+    // shared_lock scopes, and the reasoned allow(), are all silent:
+    // exactly one finding in the whole fixture.
+    EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos)
+        << r.output;
+}
+
+TEST(RampLint, WireSchemaDriftFails)
+{
+    const auto r = lintFixture("fail_schema", false);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("[wire-schema]"), std::string::npos)
+        << r.output;
+    // Implemented-but-undocumented field, anchored in protocol.cc.
+    EXPECT_NE(r.output.find("protocol.cc:27:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("field 'color'"), std::string::npos);
+    // Documented-but-unimplemented verb, anchored in DESIGN.md.
+    EXPECT_NE(r.output.find("DESIGN.md:14:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("'vanish'"), std::string::npos);
+}
+
+TEST(RampLint, ConsistentWireSchemaPasses)
+{
+    const auto r = lintFixture("pass_schema", false);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+/** Drop the `scanned N files in X ms` line — the only
+ *  nondeterministic output (wall time varies run to run). */
+std::string
+withoutTimingLine(const std::string &out)
+{
+    std::string kept;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t eol = out.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = out.size();
+        const std::string line = out.substr(pos, eol - pos);
+        if (line.find("ramp-lint: scanned") == std::string::npos)
+            kept += line + "\n";
+        pos = eol + 1;
+    }
+    return kept;
+}
+
+TEST(RampLint, ThreadCountDoesNotChangeOutput)
+{
+    // Findings are path-sorted after the parallel walk, so modulo
+    // the wall-time line the report is byte-identical at any width.
+    const std::string dirs = fixtures + "/fail_units " + fixtures +
+                             "/fail_result " + fixtures +
+                             "/fail_lock";
+    const std::string base =
+        bin + " --root " + fixtures + " --no-manifest " + dirs;
+    const auto one = run(base + " --threads 1");
+    const auto four = run(base + " --threads 4");
+    EXPECT_EQ(one.exit_code, 1) << one.output;
+    EXPECT_EQ(four.exit_code, 1) << four.output;
+    EXPECT_EQ(withoutTimingLine(one.output),
+              withoutTimingLine(four.output));
+    EXPECT_NE(four.output.find("(4 threads)"), std::string::npos)
+        << four.output;
+}
+
 TEST(RampLint, RealTreeIsClean)
 {
     const auto r = run(bin + " --root " + std::string(RAMP_LINT_ROOT));
@@ -136,6 +266,20 @@ TEST(RampLint, UsageErrorsExitTwo)
     EXPECT_EQ(run(bin).exit_code, 2);
     EXPECT_EQ(run(bin + " --root /no/such/dir").exit_code, 2);
     EXPECT_EQ(run(bin + " --bogus-flag").exit_code, 2);
+    // A file is not a valid --root.
+    const std::string f = fixtures + "/fail_units/units.cc";
+    const auto file_root = run(bin + " --root " + f + " " + f);
+    EXPECT_EQ(file_root.exit_code, 2) << file_root.output;
+    EXPECT_NE(file_root.output.find("not a directory"),
+              std::string::npos)
+        << file_root.output;
+    // A nonexistent PATH is a hard error, not a silent skip.
+    const auto gone =
+        run(bin + " --root " + fixtures + " " + fixtures + "/nope.cc");
+    EXPECT_EQ(gone.exit_code, 2) << gone.output;
+    EXPECT_NE(gone.output.find("not a file or readable directory"),
+              std::string::npos)
+        << gone.output;
 }
 
 } // namespace

@@ -29,7 +29,7 @@ TEST(TelemetryConcurrency, PoolHammerMergesExactCounts)
     util::ThreadPool pool(4);
     constexpr std::size_t items = 2000;
     constexpr std::uint64_t adds_per_item = 50;
-    pool.parallelFor(items, [&](std::size_t i) {
+    (void)pool.parallelFor(items, [&](std::size_t i) {
         for (std::uint64_t k = 0; k < adds_per_item; ++k)
             c.add();
         h.add(static_cast<double>(i % 10) / 10.0);
@@ -89,7 +89,7 @@ TEST(TelemetryConcurrency, SnapshotsRaceSafelyWithWriters)
 
     util::ThreadPool pool(4);
     constexpr std::size_t items = 500;
-    pool.parallelFor(items, [&](std::size_t i) {
+    (void)pool.parallelFor(items, [&](std::size_t i) {
         c.add();
         h.add(static_cast<double>(i % 4) / 4.0);
     });
@@ -114,7 +114,7 @@ TEST(TelemetryConcurrency, LateRegistrationWhileSnapshotting)
     });
 
     util::ThreadPool pool(4);
-    pool.parallelFor(64, [&](std::size_t i) {
+    (void)pool.parallelFor(64, [&](std::size_t i) {
         // ramp-lint: allow(metrics-manifest): dynamic per-slot name.
         const Counter c = counter("tc.late." +
                                   std::to_string(i % 16));

@@ -23,7 +23,7 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce)
     EXPECT_EQ(pool.threads(), 4u);
 
     std::vector<std::atomic<int>> hits(1000);
-    pool.parallelFor(hits.size(), [&](std::size_t i) {
+    (void)pool.parallelFor(hits.size(), [&](std::size_t i) {
         hits[i].fetch_add(1);
     });
     for (const auto &h : hits)
@@ -37,7 +37,7 @@ TEST(ThreadPool, SingleThreadRunsInlineInOrder)
 
     // With no workers the loop runs on the caller, in index order.
     std::vector<std::size_t> order;
-    pool.parallelFor(64, [&](std::size_t i) { order.push_back(i); });
+    (void)pool.parallelFor(64, [&](std::size_t i) { order.push_back(i); });
     ASSERT_EQ(order.size(), 64u);
     for (std::size_t i = 0; i < order.size(); ++i)
         EXPECT_EQ(order[i], i);
@@ -47,9 +47,9 @@ TEST(ThreadPool, EmptyAndSingletonBatches)
 {
     ThreadPool pool(4);
     int calls = 0;
-    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    (void)pool.parallelFor(0, [&](std::size_t) { ++calls; });
     EXPECT_EQ(calls, 0);
-    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    (void)pool.parallelFor(1, [&](std::size_t) { ++calls; });
     EXPECT_EQ(calls, 1);
 }
 
@@ -58,7 +58,7 @@ TEST(ThreadPool, ReusableAcrossManyBatches)
     ThreadPool pool(3);
     std::atomic<long> sum{0};
     for (int batch = 0; batch < 50; ++batch)
-        pool.parallelFor(100, [&](std::size_t i) {
+        (void)pool.parallelFor(100, [&](std::size_t i) {
             sum.fetch_add(static_cast<long>(i));
         });
     EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2L));
@@ -77,7 +77,7 @@ TEST(ThreadPool, BackToBackBatchesNeverBleedIntoEachOther)
     ThreadPool pool(4);
     for (int round = 0; round < 5000; ++round) {
         std::vector<std::atomic<int>> hits(2);
-        pool.parallelFor(hits.size(), [&](std::size_t i) {
+        (void)pool.parallelFor(hits.size(), [&](std::size_t i) {
             hits[i].fetch_add(1);
         });
         for (std::size_t i = 0; i < hits.size(); ++i)
@@ -90,9 +90,9 @@ TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa)
 {
     ThreadPool pool(8);
     std::atomic<int> n{0};
-    pool.parallelFor(3, [&](std::size_t) { n.fetch_add(1); });
+    (void)pool.parallelFor(3, [&](std::size_t) { n.fetch_add(1); });
     EXPECT_EQ(n.load(), 3);
-    pool.parallelFor(555, [&](std::size_t) { n.fetch_add(1); });
+    (void)pool.parallelFor(555, [&](std::size_t) { n.fetch_add(1); });
     EXPECT_EQ(n.load(), 3 + 555);
 }
 
@@ -112,7 +112,7 @@ TEST(ThreadPool, PropagatesFirstException)
     EXPECT_EQ(executed.load(), 100);
     // And the pool stays usable.
     std::atomic<int> ok{0};
-    pool.parallelFor(10, [&](std::size_t) { ok.fetch_add(1); });
+    (void)pool.parallelFor(10, [&](std::size_t) { ok.fetch_add(1); });
     EXPECT_EQ(ok.load(), 10);
 }
 
@@ -143,7 +143,7 @@ TEST(ThreadPool, ResultsLandByIndex)
 {
     ThreadPool pool(4);
     std::vector<double> out(200, -1.0);
-    pool.parallelFor(out.size(), [&](std::size_t i) {
+    (void)pool.parallelFor(out.size(), [&](std::size_t i) {
         out[i] = static_cast<double>(i) * 0.5;
     });
     for (std::size_t i = 0; i < out.size(); ++i)

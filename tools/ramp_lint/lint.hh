@@ -7,6 +7,19 @@
  *    docs/metrics.manifest, and every manifest entry is live;
  *  - physical quantities carry unit suffixes (`temp_k`, `power_w`,
  *    `activity_af`, ...) instead of naked `double temp` names;
+ *  - unit consistency: expressions never add/subtract/assign across
+ *    different unit suffixes without an explicit conversion marker
+ *    (`// ramp-lint: convert(k->c): why`);
+ *  - Result discipline: every `Result`/`BatchReport`-returning
+ *    function declared in a src/ header is `[[nodiscard]]`, and no
+ *    call to such a function anywhere is a bare discarded statement;
+ *  - lock discipline: members annotated
+ *    `// ramp-lint: guarded_by(mutex_name)` are only touched in
+ *    scopes holding a lock_guard/unique_lock/scoped_lock/shared_lock
+ *    on that mutex (checked intra-file against a real scope tree);
+ *  - wire-schema drift: the per-version field table in
+ *    src/serve/protocol.cc matches the DESIGN.md schema table, the
+ *    README verb list, and the serve test coverage exactly;
  *  - banned patterns: `std::rand`/`srand` outside src/util/random,
  *    raw `new`/`delete`, `std::endl`, locking a mutex member
  *    directly instead of through a guard;
@@ -25,12 +38,19 @@
  * histogram, span, instant):
  *
  *     // ramp-lint: emits(<kind>, <name>)
+ *
+ * The token-level passes (unit consistency, Result discipline, lock
+ * discipline, wire schema) run over a shared tokenizer that blanks
+ * comments and understands string/char/raw-string literals, so a
+ * banned shape inside a literal never fires and every diagnostic
+ * carries an exact `file:line`.
  */
 
 #pragma once
 
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,11 +74,14 @@ struct MetricRef
     std::size_t line = 0;
 };
 
-/** One comment's text, for marker/suppression scanning. */
+/** One comment's text, for marker/suppression scanning. Markers
+ *  (`ramp-lint: ...`) are only honored in line comments; block
+ *  comments are documentation and may quote marker syntax freely. */
 struct CommentSpan
 {
     std::size_t line = 0;
     std::string text;
+    bool is_line = false; ///< true for `//`, false for `/* */`.
 };
 
 /**
@@ -86,10 +109,65 @@ SourceFile loadSource(const std::filesystem::path &path);
 /**
  * Collect the .cc/.hh files under each of @p dirs, skipping any
  * directory named `fixtures` (lint's own deliberately-failing test
- * inputs) and build trees (`build*`).
+ * inputs) and build trees (`build*`). A path that does not exist or
+ * cannot be walked is a hard error: returns false with @p error set.
  */
-std::vector<std::filesystem::path>
-collectSources(const std::vector<std::filesystem::path> &dirs);
+bool collectSources(const std::vector<std::filesystem::path> &dirs,
+                    std::vector<std::filesystem::path> &out,
+                    std::string &error);
+
+// ---------------------------------------------------------------
+// Tokenizer (shared by the token-level passes)
+// ---------------------------------------------------------------
+
+/** One lexical token of a source file. */
+struct Token
+{
+    enum class Kind { Ident, Number, String, CharLit, Punct };
+    Kind kind = Kind::Punct;
+    /** Identifier/number spelling, literal contents (quotes
+     *  stripped), or operator spelling (maximal munch: `->`, `::`,
+     *  `+=`, ... are single tokens). */
+    std::string text;
+    std::size_t line = 1;
+};
+
+/**
+ * Tokenize the comment-blanked view of @p src. String and char
+ * literals become single String/CharLit tokens holding their inner
+ * text; raw strings (`R"(...)"`) are handled. Comments never
+ * produce tokens (they are read separately via src.comments).
+ */
+std::vector<Token> tokenize(const SourceFile &src);
+
+// ---------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------
+
+/** Rule ids that exist; allow() of anything else is an error. */
+const std::set<std::string> &knownRules();
+
+/**
+ * Per-file suppression table: `ramp-lint: allow(<rule>): <reason>`
+ * covers its own and the following line. A reason-less or
+ * unknown-rule allow() is itself reported.
+ */
+class Suppressions
+{
+  public:
+    Suppressions() = default;
+    Suppressions(const SourceFile &src,
+                 std::vector<Diagnostic> &diags);
+
+    bool covers(const std::string &rule, std::size_t line) const;
+
+  private:
+    std::map<std::string, std::set<std::size_t>> lines_;
+};
+
+// ---------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------
 
 /** One docs/metrics.manifest entry. */
 struct ManifestEntry
@@ -110,6 +188,80 @@ struct Manifest
 Manifest loadManifest(const std::filesystem::path &path,
                       std::vector<Diagnostic> &diags);
 
+// ---------------------------------------------------------------
+// Per-file scan state
+// ---------------------------------------------------------------
+
+/**
+ * Everything one file contributes: its own diagnostics (emitted in
+ * path order), metric references, the names of Result-returning
+ * functions it declares (feeding the cross-TU discarded-call check),
+ * and the token stream kept for the cross-file passes.
+ */
+struct FileScan
+{
+    SourceFile src;
+    std::vector<Token> toks;
+    Suppressions sup;
+    std::vector<Diagnostic> diags;
+    std::vector<MetricRef> refs;
+    /** Functions declared here returning Result/BatchReport. */
+    std::vector<std::string> result_fns;
+};
+
+/**
+ * Load, tokenize and run every per-file pass on one file. Pure
+ * function of the file contents (plus @p root for include
+ * resolution), so scans run in parallel across a thread pool and
+ * merge deterministically in path order.
+ */
+FileScan scanFile(const std::filesystem::path &path,
+                  const std::filesystem::path &root);
+
+/** Extract metric references (call sites + `emits` markers). */
+void extractMetricRefs(const SourceFile &src,
+                       std::vector<MetricRef> &refs);
+
+/** The regex/line-level rules (naming, banned, includes). */
+void runLineRules(FileScan &scan,
+                  const std::filesystem::path &root);
+
+// ---------------------------------------------------------------
+// Token-level passes
+// ---------------------------------------------------------------
+
+/** Recognised unit suffix of @p name ("" when it carries none). */
+std::string unitSuffixOf(const std::string &name);
+
+/** Pass 1: unit consistency (mixed arithmetic, cross-unit assign,
+ *  `convert(a->b)` marker validation). */
+void checkUnits(FileScan &scan);
+
+/** Pass 2a: collect Result/BatchReport-returning function names;
+ *  in src/ headers also require `[[nodiscard]]` on each. */
+void collectResultFns(FileScan &scan, bool enforce_nodiscard);
+
+/** Pass 2b: flag statement-position calls (cross-TU, name-based)
+ *  whose callee returns Result/BatchReport. */
+void checkDiscarded(const FileScan &scan,
+                    const std::set<std::string> &result_fns,
+                    std::vector<Diagnostic> &out);
+
+/** Pass 3: guarded_by(mutex) members used without a lock in any
+ *  enclosing scope. */
+void checkLockDiscipline(FileScan &scan);
+
+/** Pass 4: protocol.cc field table vs DESIGN.md table, README verb
+ *  mentions, and tests/serve coverage. Runs only when the scanned
+ *  set contains src/serve/protocol.cc. */
+void checkWireSchema(const std::filesystem::path &root,
+                     const std::vector<FileScan> &scans,
+                     std::vector<Diagnostic> &out);
+
+// ---------------------------------------------------------------
+// Cross-file context
+// ---------------------------------------------------------------
+
 /** Context shared by every rule run. */
 struct LintContext
 {
@@ -118,13 +270,6 @@ struct LintContext
     std::vector<Diagnostic> diags;
     std::vector<MetricRef> refs;
 };
-
-/** Extract metric references (call sites + `emits` markers). */
-void extractMetricRefs(const SourceFile &src,
-                       std::vector<MetricRef> &refs);
-
-/** Run every per-file rule on @p src, appending to ctx.diags. */
-void checkFile(const SourceFile &src, LintContext &ctx);
 
 /** Cross-file rules: manifest consistency (after every file ran). */
 void checkManifest(LintContext &ctx);

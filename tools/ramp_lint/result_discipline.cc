@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Pass 2: Result discipline. Two halves:
+ *
+ *  (a) every function declared in a src/ header returning
+ *      `Result<...>` or `util::BatchReport` must be `[[nodiscard]]`
+ *      (the attribute also sits on the Result class itself, but the
+ *      per-function sweep keeps intent visible at the API surface
+ *      and catches wrappers that peel the type);
+ *
+ *  (b) a statement-position call of *any* function known (from the
+ *      whole scanned tree, cross-TU, by name) to return
+ *      Result/BatchReport is a discarded error -- this catches what
+ *      the compiler cannot see across translation units in tool
+ *      scope, and fires even in builds without -Werror.
+ *
+ * Explicit discard stays expressible as `(void) call(...)`, which
+ * the pass recognises and skips.
+ */
+
+#include "lint.hh"
+
+namespace ramp_lint {
+
+namespace {
+
+bool
+isPunct(const std::vector<Token> &t, std::size_t i,
+        const char *text)
+{
+    return i < t.size() && t[i].kind == Token::Kind::Punct &&
+           t[i].text == text;
+}
+
+bool
+isIdent(const std::vector<Token> &t, std::size_t i)
+{
+    return i < t.size() && t[i].kind == Token::Kind::Ident;
+}
+
+/**
+ * Skip a balanced template-argument list starting at the `<` at
+ * @p i; returns the index one past the closing `>`, honouring `>>`
+ * closing two levels. npos when the angles never close (comparison
+ * operator, not a template).
+ */
+std::size_t
+skipAngles(const std::vector<Token> &t, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < t.size() && j < i + 256; ++j) {
+        if (t[j].kind != Token::Kind::Punct)
+            continue;
+        const std::string &p = t[j].text;
+        if (p == "<") {
+            ++depth;
+        } else if (p == ">") {
+            if (--depth == 0)
+                return j + 1;
+        } else if (p == ">>") {
+            depth -= 2;
+            if (depth <= 0)
+                return j + 1;
+        } else if (p == ";" || p == "{" || p == "}") {
+            return std::string::npos;
+        }
+    }
+    return std::string::npos;
+}
+
+/** Does the declaration window before @p i carry [[nodiscard]]? */
+bool
+hasNodiscardBefore(const std::vector<Token> &t, std::size_t i)
+{
+    // Walk back across the return type's qualifiers to the previous
+    // statement/member boundary, looking for the attribute.
+    std::size_t steps = 0;
+    for (std::size_t j = i; j-- > 0 && steps < 16; ++steps) {
+        const Token &tok = t[j];
+        if (tok.kind == Token::Kind::Punct &&
+            (tok.text == ";" || tok.text == "{" ||
+             tok.text == "}" || tok.text == "(" ||
+             tok.text == ","))
+            return false;
+        if (tok.kind == Token::Kind::Ident &&
+            tok.text == "nodiscard")
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+collectResultFns(FileScan &scan, bool enforce_nodiscard)
+{
+    const auto &t = scan.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident)
+            continue;
+        const bool is_result = t[i].text == "Result";
+        const bool is_batch = t[i].text == "BatchReport";
+        if (!is_result && !is_batch)
+            continue;
+
+        // A trailing-return or template-argument position is not a
+        // declaration we police.
+        if (i > 0 && t[i - 1].kind == Token::Kind::Punct &&
+            (t[i - 1].text == "->" || t[i - 1].text == "<" ||
+             t[i - 1].text == ","))
+            continue;
+
+        std::size_t after = i + 1;
+        if (is_result) {
+            if (!isPunct(t, after, "<"))
+                continue;
+            after = skipAngles(t, after);
+            if (after == std::string::npos)
+                continue;
+        }
+
+        // Expect the declarator: IDENT (:: IDENT)* followed by `(`.
+        if (!isIdent(t, after))
+            continue;
+        std::size_t name_at = after;
+        while (isPunct(t, name_at + 1, "::") &&
+               isIdent(t, name_at + 2))
+            name_at += 2;
+        if (!isPunct(t, name_at + 1, "("))
+            continue;
+
+        const std::string name = t[name_at].text;
+        scan.result_fns.push_back(name);
+
+        if (enforce_nodiscard && !hasNodiscardBefore(t, i) &&
+            !scan.sup.covers("result-discipline", t[i].line)) {
+            scan.diags.push_back(
+                {scan.src.path, t[i].line, "result-discipline",
+                 "'" + name + "' returns " +
+                     (is_result ? "Result" : "BatchReport") +
+                     " but is not [[nodiscard]]; errors must not "
+                     "be silently droppable"});
+        }
+    }
+}
+
+void
+checkDiscarded(const FileScan &scan,
+               const std::set<std::string> &result_fns,
+               std::vector<Diagnostic> &out)
+{
+    const auto &t = scan.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident ||
+            !isPunct(t, i + 1, "(") || !result_fns.count(t[i].text))
+            continue;
+
+        // Walk back over the receiver chain (`obj.method`,
+        // `ns::fn`); a chain through a call result (`f().g()`) is
+        // left alone -- too little structure to judge.
+        std::size_t start = i;
+        bool judged = true;
+        while (start >= 2 && t[start - 1].kind == Token::Kind::Punct &&
+               (t[start - 1].text == "." ||
+                t[start - 1].text == "->" ||
+                t[start - 1].text == "::")) {
+            if (t[start - 2].kind != Token::Kind::Ident) {
+                judged = false;
+                break;
+            }
+            start -= 2;
+        }
+        if (!judged)
+            continue;
+
+        // Statement position: starts a block/statement, or follows
+        // a control header's `)`. `(void)` is the sanctioned
+        // explicit discard; anything else before the call means the
+        // value is consumed.
+        bool stmt = start == 0;
+        if (start > 0) {
+            const Token &prev = t[start - 1];
+            if (prev.kind == Token::Kind::Punct &&
+                (prev.text == ";" || prev.text == "{" ||
+                 prev.text == "}")) {
+                stmt = true;
+            } else if (prev.kind == Token::Kind::Ident &&
+                       prev.text == "else") {
+                stmt = true;
+            } else if (prev.kind == Token::Kind::Punct &&
+                       prev.text == ")") {
+                const bool void_cast =
+                    start >= 3 && isIdent(t, start - 2) &&
+                    t[start - 2].text == "void" &&
+                    isPunct(t, start - 3, "(");
+                stmt = !void_cast;
+            }
+        }
+        if (!stmt)
+            continue;
+
+        // The whole statement must be exactly this call: the
+        // matching `)` is immediately followed by `;`.
+        int depth = 0;
+        std::size_t close = std::string::npos;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            if (t[j].kind != Token::Kind::Punct)
+                continue;
+            if (t[j].text == "(")
+                ++depth;
+            else if (t[j].text == ")" && --depth == 0) {
+                close = j;
+                break;
+            }
+        }
+        if (close == std::string::npos ||
+            !isPunct(t, close + 1, ";"))
+            continue;
+        if (scan.sup.covers("result-discipline", t[i].line))
+            continue;
+        out.push_back(
+            {scan.src.path, t[i].line, "result-discipline",
+             "result of '" + t[i].text +
+                 "' (returns Result/BatchReport) is discarded; "
+                 "handle the error, assign it, or cast to (void) "
+                 "deliberately"});
+    }
+}
+
+} // namespace ramp_lint

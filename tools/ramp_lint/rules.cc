@@ -1,88 +1,92 @@
 /**
  * @file
- * The ramp-lint rules. Every rule reports `path:line: [rule] msg`
- * diagnostics; suppression is per-line via
+ * The regex/line-level ramp-lint rules and the per-file scan
+ * driver. Every rule reports `path:line: [rule] msg` diagnostics;
+ * suppression is per-line via
  * `ramp-lint: allow(<rule>): <reason>` comments (reason mandatory).
  *
  * Scanning runs over the comment/string-blanked views built by
  * source.cc, so tokens inside comments or string literals never
  * trigger, and metric names are read only from recognised telemetry
  * call sites (plus `emits` markers for names that reach the registry
- * through a helper function).
+ * through a helper function). The token-level passes (units, Result
+ * discipline, locks, wire schema) live in their own files and are
+ * driven from scanFile() below.
  */
 
 #include "lint.hh"
 
 #include <regex>
-#include <set>
 #include <sstream>
 
 namespace ramp_lint {
 
+const std::set<std::string> &
+knownRules()
+{
+    static const std::set<std::string> rules = {
+        "metrics-manifest", "unit-suffix",
+        "banned-rand",      "raw-new",
+        "raw-delete",       "endl",
+        "mutex-guard",      "pragma-once",
+        "include-path",     "unit-consistency",
+        "result-discipline", "lock-discipline",
+        "wire-schema",
+    };
+    return rules;
+}
+
+Suppressions::Suppressions(const SourceFile &src,
+                           std::vector<Diagnostic> &diags)
+{
+    // Built from split tokens so ramp-lint's own sources (which
+    // mention the syntax in string literals) never self-match.
+    static const std::regex allow_re(
+        std::string("ramp-lint:\\s*al") +
+        "low\\(([a-z-]+)\\)(\\s*:\\s*(\\S.*)?)?");
+    for (const auto &c : src.comments) {
+        if (!c.is_line)
+            continue; // block comments may quote the syntax
+        std::smatch m;
+        if (!std::regex_search(c.text, m, allow_re))
+            continue;
+        const std::string rule = m[1];
+        if (!knownRules().count(rule)) {
+            diags.push_back({src.path, c.line, "suppression",
+                             "allow() of unknown rule '" + rule +
+                                 "'"});
+            continue;
+        }
+        if (!m[3].matched || m[3].str().empty()) {
+            diags.push_back({src.path, c.line, "suppression",
+                             "allow(" + rule +
+                                 ") needs a reason: "
+                                 "`allow(" +
+                                 rule + "): <why>`"});
+            continue;
+        }
+        lines_[rule].insert(c.line);
+        lines_[rule].insert(c.line + 1);
+    }
+}
+
+bool
+Suppressions::covers(const std::string &rule,
+                     std::size_t line) const
+{
+    auto it = lines_.find(rule);
+    return it != lines_.end() && it->second.count(line);
+}
+
 namespace {
 
-/** Rules that exist; allow() of anything else is itself an error. */
-const std::set<std::string> known_rules = {
-    "metrics-manifest", "unit-suffix", "banned-rand", "raw-new",
-    "raw-delete",       "endl",        "mutex-guard", "pragma-once",
-    "include-path",
-};
-
-/** Per-file suppression table: rule -> suppressed lines. */
-class Suppressions
-{
-  public:
-    Suppressions(const SourceFile &src,
-                 std::vector<Diagnostic> &diags)
-    {
-        // Built from split tokens so ramp-lint's own sources (which
-        // mention the syntax in string literals) never self-match.
-        static const std::regex allow_re(
-            std::string("ramp-lint:\\s*al") +
-            "low\\(([a-z-]+)\\)(\\s*:\\s*(\\S.*)?)?");
-        for (const auto &c : src.comments) {
-            std::smatch m;
-            if (!std::regex_search(c.text, m, allow_re))
-                continue;
-            const std::string rule = m[1];
-            if (!known_rules.count(rule)) {
-                diags.push_back({src.path, c.line, "suppression",
-                                 "allow() of unknown rule '" + rule +
-                                     "'"});
-                continue;
-            }
-            if (!m[3].matched || m[3].str().empty()) {
-                diags.push_back({src.path, c.line, "suppression",
-                                 "allow(" + rule +
-                                     ") needs a reason: "
-                                     "`allow(" +
-                                     rule + "): <why>`"});
-                continue;
-            }
-            lines_[rule].insert(c.line);
-            lines_[rule].insert(c.line + 1);
-        }
-    }
-
-    bool
-    covers(const std::string &rule, std::size_t line) const
-    {
-        auto it = lines_.find(rule);
-        return it != lines_.end() && it->second.count(line);
-    }
-
-  private:
-    std::map<std::string, std::set<std::size_t>> lines_;
-};
-
 void
-report(LintContext &ctx, const SourceFile &src,
-       const Suppressions &sup, std::size_t line,
-       const std::string &rule, const std::string &msg)
+report(FileScan &scan, std::size_t line, const std::string &rule,
+       const std::string &msg)
 {
-    if (sup.covers(rule, line))
+    if (scan.sup.covers(rule, line))
         return;
-    ctx.diags.push_back({src.path, line, rule, msg});
+    scan.diags.push_back({scan.src.path, line, rule, msg});
 }
 
 /** Apply @p re to @p text, calling fn(match, line) per match. */
@@ -112,16 +116,21 @@ const std::map<std::string, std::string> quantity_words = {
     {"voltage", "_v (Volts)"},
     {"freq", "_ghz / _mhz / _hz"},
     {"frequency", "_ghz / _mhz / _hz"},
+    {"consumed", "_frac (consumed-lifetime fraction)"},
+    {"damage", "_frac (consumed-lifetime fraction)"},
+    {"slack", "_frac (banked-budget fraction)"},
+    {"age", "_hours (integrated operating time)"},
+    {"eta", "_hours (or _years) to budget exhaustion"},
+    {"lifetime", "_hours / _years"},
 };
 
 void
-checkUnitSuffix(const SourceFile &src, LintContext &ctx,
-                const Suppressions &sup)
+checkUnitSuffix(FileScan &scan)
 {
     static const std::regex decl_re(
         "\\b(?:double|float)\\s+&?\\s*([A-Za-z_][A-Za-z0-9_]*)");
     forEachMatch(
-        src, src.code, decl_re,
+        scan.src, scan.src.code, decl_re,
         [&](const std::smatch &m, std::size_t line) {
             const std::string name = m[1];
             const auto us = name.rfind('_');
@@ -131,7 +140,7 @@ checkUnitSuffix(const SourceFile &src, LintContext &ctx,
             const auto it = quantity_words.find(last);
             if (it == quantity_words.end())
                 return;
-            report(ctx, src, sup, line, "unit-suffix",
+            report(scan, line, "unit-suffix",
                    "'" + name +
                        "' carries a physical quantity but no unit "
                        "suffix; use " +
@@ -144,9 +153,9 @@ checkUnitSuffix(const SourceFile &src, LintContext &ctx,
 // ---------------------------------------------------------------
 
 void
-checkBanned(const SourceFile &src, LintContext &ctx,
-            const Suppressions &sup)
+checkBanned(FileScan &scan)
 {
+    const SourceFile &src = scan.src;
     const std::string path = src.path.generic_string();
 
     // std::rand/srand: the only sanctioned randomness source is
@@ -156,7 +165,7 @@ checkBanned(const SourceFile &src, LintContext &ctx,
             "\\bstd::rand\\b|\\bsrand\\s*\\(|[^:\\w]rand\\s*\\(");
         forEachMatch(src, src.code, rand_re,
                      [&](const std::smatch &, std::size_t line) {
-                         report(ctx, src, sup, line, "banned-rand",
+                         report(scan, line, "banned-rand",
                                 "std::rand/srand is banned; use "
                                 "util::Random (seeded, "
                                 "reproducible)");
@@ -169,7 +178,7 @@ checkBanned(const SourceFile &src, LintContext &ctx,
     static const std::regex new_re("\\bnew\\s+[A-Za-z_:<(]");
     forEachMatch(src, src.code, new_re,
                  [&](const std::smatch &, std::size_t line) {
-                     report(ctx, src, sup, line, "raw-new",
+                     report(scan, line, "raw-new",
                             "raw new is banned; use "
                             "std::make_unique or a container");
                  });
@@ -177,7 +186,7 @@ checkBanned(const SourceFile &src, LintContext &ctx,
         "\\bdelete\\s*\\[?\\]?\\s+[A-Za-z_(*]|\\bdelete\\s+\\[");
     forEachMatch(src, src.code, del_re,
                  [&](const std::smatch &, std::size_t line) {
-                     report(ctx, src, sup, line, "raw-delete",
+                     report(scan, line, "raw-delete",
                             "raw delete is banned; use RAII "
                             "ownership");
                  });
@@ -186,7 +195,7 @@ checkBanned(const SourceFile &src, LintContext &ctx,
     static const std::regex endl_re("\\bstd::endl\\b");
     forEachMatch(src, src.code, endl_re,
                  [&](const std::smatch &, std::size_t line) {
-                     report(ctx, src, sup, line, "endl",
+                     report(scan, line, "endl",
                             "std::endl is banned (hidden flush); "
                             "use '\\n'");
                  });
@@ -210,7 +219,7 @@ checkBanned(const SourceFile &src, LintContext &ctx,
                   obj.rfind("_mtx") == obj.size() - 4));
             if (!mutexish)
                 return;
-            report(ctx, src, sup, line, "mutex-guard",
+            report(scan, line, "mutex-guard",
                    "direct " + obj +
                        ".lock(); hold mutexes via "
                        "std::lock_guard/unique_lock/scoped_lock");
@@ -222,10 +231,10 @@ checkBanned(const SourceFile &src, LintContext &ctx,
 // ---------------------------------------------------------------
 
 void
-checkIncludes(const SourceFile &src, LintContext &ctx,
-              const Suppressions &sup)
+checkIncludes(FileScan &scan, const std::filesystem::path &root)
 {
     namespace fs = std::filesystem;
+    const SourceFile &src = scan.src;
 
     if (src.isHeader()) {
         // First non-blank line of the comment-stripped view must be
@@ -244,7 +253,7 @@ checkIncludes(const SourceFile &src, LintContext &ctx,
             break;
         }
         if (!pragma_first)
-            report(ctx, src, sup, 1, "pragma-once",
+            report(scan, 1, "pragma-once",
                    "header must start with #pragma once");
     }
 
@@ -255,16 +264,16 @@ checkIncludes(const SourceFile &src, LintContext &ctx,
         [&](const std::smatch &m, std::size_t line) {
             const std::string inc = m[1];
             if (inc.find("..") != std::string::npos) {
-                report(ctx, src, sup, line, "include-path",
+                report(scan, line, "include-path",
                        "upward include \"" + inc +
                            "\"; include from the src/ root "
                            "instead");
                 return;
             }
             const fs::path sibling = src.path.parent_path() / inc;
-            const fs::path rooted = ctx.root / "src" / inc;
+            const fs::path rooted = root / "src" / inc;
             if (!fs::exists(sibling) && !fs::exists(rooted))
-                report(ctx, src, sup, line, "include-path",
+                report(scan, line, "include-path",
                        "\"" + inc +
                            "\" resolves neither next to the "
                            "includer nor under src/");
@@ -389,23 +398,44 @@ checkManifest(LintContext &ctx)
     }
 }
 
+// ---------------------------------------------------------------
+// Per-file scan driver
+// ---------------------------------------------------------------
+
 void
-checkFile(const SourceFile &src, LintContext &ctx)
+runLineRules(FileScan &scan, const std::filesystem::path &root)
 {
-    Suppressions sup(src, ctx.diags);
-    checkUnitSuffix(src, ctx, sup);
-    checkBanned(src, ctx, sup);
-    checkIncludes(src, ctx, sup);
-    extractMetricRefs(src, ctx.refs);
+    checkUnitSuffix(scan);
+    checkBanned(scan);
+    checkIncludes(scan, root);
+    extractMetricRefs(scan.src, scan.refs);
 
     // Suppressions also apply to manifest diagnostics raised later
-    // at a ref site; filter here by re-checking coverage.
-    // (Manifest diags are emitted in checkManifest, which has no
-    // per-file suppression context, so drop suppressed refs now.)
-    std::erase_if(ctx.refs, [&](const MetricRef &ref) {
-        return ref.file == src.path &&
-               sup.covers("metrics-manifest", ref.line);
+    // at a ref site; manifest checking happens cross-file with no
+    // per-file suppression context, so drop suppressed refs now.
+    std::erase_if(scan.refs, [&](const MetricRef &ref) {
+        return scan.sup.covers("metrics-manifest", ref.line);
     });
+}
+
+FileScan
+scanFile(const std::filesystem::path &path,
+         const std::filesystem::path &root)
+{
+    FileScan scan;
+    scan.src = loadSource(path);
+    scan.toks = tokenize(scan.src);
+    scan.sup = Suppressions(scan.src, scan.diags);
+
+    runLineRules(scan, root);
+    checkUnits(scan);
+
+    const std::string p = path.generic_string();
+    const bool src_header =
+        scan.src.isHeader() && p.find("src/") != std::string::npos;
+    collectResultFns(scan, src_header);
+    checkLockDiscipline(scan);
+    return scan;
 }
 
 } // namespace ramp_lint

@@ -68,7 +68,7 @@ preprocess(SourceFile &src)
             if (end == std::string::npos)
                 end = raw.size();
             src.comments.push_back(
-                {line, raw.substr(i + 2, end - i - 2)});
+                {line, raw.substr(i + 2, end - i - 2), true});
             blank(src.code_str, i, end);
             blank(src.code, i, end);
             i = end;
@@ -85,7 +85,7 @@ preprocess(SourceFile &src)
                 std::size_t stop =
                     nl == std::string::npos || nl >= end ? end : nl;
                 src.comments.push_back(
-                    {seg_line, raw.substr(seg, stop - seg)});
+                    {seg_line, raw.substr(seg, stop - seg), false});
                 if (stop == nl) {
                     ++seg_line;
                     seg = nl + 1;
@@ -162,28 +162,46 @@ loadSource(const fs::path &path)
     return src;
 }
 
-std::vector<fs::path>
-collectSources(const std::vector<fs::path> &dirs)
+bool
+collectSources(const std::vector<fs::path> &dirs,
+               std::vector<fs::path> &out, std::string &error)
 {
-    std::vector<fs::path> out;
     for (const auto &dir : dirs) {
-        if (fs::is_regular_file(dir)) {
+        std::error_code ec;
+        if (fs::is_regular_file(dir, ec)) {
             out.push_back(dir);
             continue;
         }
-        if (!fs::is_directory(dir))
-            continue;
-        auto it = fs::recursive_directory_iterator(dir);
-        for (const auto &entry : it) {
-            const fs::path &p = entry.path();
+        if (!fs::is_directory(dir, ec)) {
+            // A missing or unreadable path must never degrade to a
+            // silently smaller scan: the tree "passes" because half
+            // of it was skipped.
+            error = dir.generic_string() +
+                    ": not a file or readable directory" +
+                    (ec ? " (" + ec.message() + ")" : "");
+            return false;
+        }
+        auto it = fs::recursive_directory_iterator(
+            dir, fs::directory_options::none, ec);
+        if (ec) {
+            error = dir.generic_string() + ": " + ec.message();
+            return false;
+        }
+        for (; it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (ec) {
+                error = dir.generic_string() + ": " + ec.message();
+                return false;
+            }
+            const fs::path &p = it->path();
             const std::string name = p.filename().string();
-            if (entry.is_directory() &&
+            if (it->is_directory() &&
                 (name == "fixtures" ||
                  name.rfind("build", 0) == 0)) {
                 it.disable_recursion_pending();
                 continue;
             }
-            if (!entry.is_regular_file())
+            if (!it->is_regular_file())
                 continue;
             const auto ext = p.extension();
             if (ext == ".cc" || ext == ".hh" || ext == ".h" ||
@@ -192,7 +210,7 @@ collectSources(const std::vector<fs::path> &dirs)
         }
     }
     std::sort(out.begin(), out.end());
-    return out;
+    return true;
 }
 
 } // namespace ramp_lint
