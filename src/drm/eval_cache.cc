@@ -87,10 +87,38 @@ writeFailCounter()
     return c;
 }
 
+/** The replicated-mode epoch header ("!epoch N"). */
+constexpr const char *epoch_tag = "!epoch";
+
+/**
+ * Parse one serialized record line into (key, value). False on
+ * stale versions, short or non-numeric lines -- the same policy the
+ * load path applies, shared with peer-record ingestion.
+ */
+bool
+parseRecordLine(const std::string &line, std::string &key,
+                CachedEvaluation &v)
+{
+    std::istringstream is(line);
+    int version = 0;
+    is >> version >> key;
+    if (version != record_version || key.empty())
+        return false;
+    is >> v.activity.cycles >> v.activity.retired;
+    for (auto &a : v.activity.activity)
+        is >> a;
+    is >> v.stats.cycles >> v.stats.fetched >> v.stats.retired >>
+        v.stats.dispatched >> v.stats.issued >> v.stats.branches >>
+        v.stats.mispredicts >> v.stats.ras_returns >> v.stats.loads >>
+        v.stats.stores;
+    is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >> v.l2_miss_ratio;
+    return static_cast<bool>(is);
+}
+
 } // namespace
 
-EvaluationCache::EvaluationCache(std::string path)
-    : path_(std::move(path))
+EvaluationCache::EvaluationCache(std::string path, bool replicated)
+    : path_(std::move(path)), replicated_(replicated)
 {
     if (path_.empty())
         return; // In-memory only: no log, no lock sidecar.
@@ -98,12 +126,17 @@ EvaluationCache::EvaluationCache(std::string path)
     // Advisory cross-process coordination: hold a shared lock on a
     // sidecar for as long as this cache (and its appender) lives.
     // Compaction below upgrades to exclusive, so it can never rename
-    // the log out from under another process's open appender.
-    lock_fd_ = ::open((path_ + ".lock").c_str(),
-                      O_CREAT | O_RDWR | O_CLOEXEC, 0644);
-    if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_SH) != 0) {
-        ::close(lock_fd_);
-        lock_fd_ = -1;
+    // the log out from under another process's open appender. In
+    // replicated mode the log is process-private (a backend's shard
+    // copy, re-warmable from peers via cache_append), so the sidecar
+    // is skipped and the epoch header coordinates instead.
+    if (!replicated_) {
+        lock_fd_ = ::open((path_ + ".lock").c_str(),
+                          O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (lock_fd_ >= 0 && ::flock(lock_fd_, LOCK_SH) != 0) {
+            ::close(lock_fd_);
+            lock_fd_ = -1;
+        }
     }
 #endif
 
@@ -113,29 +146,23 @@ EvaluationCache::EvaluationCache(std::string path)
         std::ifstream in(path_);
         std::string line;
         while (in && std::getline(in, line)) {
-            ++lines;
-            std::istringstream is(line);
-            int version = 0;
-            std::string key;
-            CachedEvaluation v;
-            is >> version >> key;
-            if (version != record_version || key.empty()) {
-                bad_lines.push_back(line);
+            // Epoch headers (replicated mode) are metadata, not
+            // records: adopt the highest and keep loading.
+            if (line.rfind(epoch_tag, 0) == 0) {
+                std::istringstream is(line);
+                std::string tag;
+                std::uint64_t e = 0;
+                if (is >> tag >> e &&
+                    e > epoch_.load(std::memory_order_relaxed))
+                    epoch_.store(e, std::memory_order_relaxed);
                 continue;
             }
-            is >> v.activity.cycles >> v.activity.retired;
-            for (auto &a : v.activity.activity)
-                is >> a;
-            is >> v.stats.cycles >> v.stats.fetched >>
-                v.stats.retired >> v.stats.dispatched >>
-                v.stats.issued >> v.stats.branches >>
-                v.stats.mispredicts >> v.stats.ras_returns >>
-                v.stats.loads >> v.stats.stores;
-            is >> v.l1d_miss_ratio >> v.l1i_miss_ratio >>
-                v.l2_miss_ratio;
-            if (!is) {
+            ++lines;
+            std::string key;
+            CachedEvaluation v;
+            if (!parseRecordLine(line, key, v)) {
                 bad_lines.push_back(line);
-                continue; // corrupt record
+                continue; // corrupt or stale record
             }
             // ramp-lint: allow(lock-discipline): constructor, pre-concurrency
             entries_[key] = v;
@@ -216,8 +243,9 @@ EvaluationCache::tryCompact(std::size_t lines)
     // non-blocking upgrade the shared lock may already be gone, so
     // re-acquire it (briefly blocking on at most one compacting
     // holder).
-    if (lock_fd_ < 0 ||
-        ::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    if (!replicated_ &&
+        (lock_fd_ < 0 ||
+         ::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0)) {
         if (lock_fd_ >= 0)
             ::flock(lock_fd_, LOCK_SH);
         return util::RampError{
@@ -234,15 +262,24 @@ EvaluationCache::tryCompact(std::size_t lines)
     std::ofstream out(tmp, std::ios::trunc);
     bool wrote = static_cast<bool>(out);
     if (wrote) {
+        // Replicated mode stamps the rewrite with a bumped epoch, so
+        // peers can tell a freshly compacted log from the one whose
+        // tail they were following.
+        const std::uint64_t next_epoch =
+            epoch_.load(std::memory_order_relaxed) + 1;
+        if (replicated_)
+            out << epoch_tag << ' ' << next_epoch << '\n';
         // ramp-lint: allow(lock-discipline): constructor-time compaction
         for (const auto &[key, value] : entries_)
             writeRecord(out, key, value);
         out.close();
         wrote = static_cast<bool>(out) &&
                 std::rename(tmp.c_str(), path_.c_str()) == 0;
+        if (wrote && replicated_)
+            epoch_.store(next_epoch, std::memory_order_relaxed);
     }
 #ifdef RAMP_HAVE_FLOCK
-    if (lock_fd_ >= 0)
+    if (!replicated_ && lock_fd_ >= 0)
         ::flock(lock_fd_, LOCK_SH); // downgrade for our lifetime
 #endif
     if (!wrote) {
@@ -344,14 +381,25 @@ EvaluationCache::put(const std::string &key,
         std::unique_lock lock(mutex_);
         entries_[key] = value;
     }
-    if (path_.empty())
-        return;
     // Format outside the lock, write the complete line in one go:
     // concurrent putters serialize on file_mutex_ and each line lands
     // whole (load-time parsing tolerates anything else anyway).
     std::ostringstream line;
     writeRecord(line, key, value);
     std::string text = line.str();
+
+    // Replication tap: forward the clean serialized record (never the
+    // fault-corrupted variant -- disk corruption is a local hazard,
+    // not something to propagate to peers).
+    if (observer_) {
+        std::string clean = text;
+        if (!clean.empty() && clean.back() == '\n')
+            clean.pop_back();
+        observer_(key, clean);
+    }
+
+    if (path_.empty())
+        return;
 
     // Fault hook: garble the on-disk record for hash-selected keys
     // (the in-memory entry stays good). The corruption surfaces at
@@ -365,6 +413,12 @@ EvaluationCache::put(const std::string &key,
         text += '\n';
     }
 
+    appendLine(text);
+}
+
+void
+EvaluationCache::appendLine(const std::string &text)
+{
     std::lock_guard lock(file_mutex_);
     if (!appender_ && !openAppender())
         return; // warned at construction; retried here
@@ -383,6 +437,47 @@ EvaluationCache::put(const std::string &key,
     }
     appended_.fetch_add(1, std::memory_order_relaxed);
     cacheMetrics().appends.add();
+}
+
+void
+EvaluationCache::setAppendObserver(AppendObserver observer)
+{
+    observer_ = std::move(observer);
+}
+
+std::vector<std::pair<std::string, std::string>>
+EvaluationCache::exportRecords() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    std::shared_lock lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto &[key, value] : entries_) {
+        std::ostringstream line;
+        writeRecord(line, key, value);
+        std::string text = line.str();
+        if (!text.empty() && text.back() == '\n')
+            text.pop_back();
+        out.emplace_back(key, std::move(text));
+    }
+    return out;
+}
+
+bool
+EvaluationCache::putSerialized(const std::string &key,
+                               const std::string &line)
+{
+    std::string parsed_key;
+    CachedEvaluation v;
+    if (!parseRecordLine(line, parsed_key, v) || parsed_key != key)
+        return false; // malformed or mislabelled peer record
+    {
+        std::unique_lock lock(mutex_);
+        if (!entries_.emplace(parsed_key, v).second)
+            return false; // idempotent: key already live
+    }
+    if (!path_.empty())
+        appendLine(line + '\n');
+    return true;
 }
 
 std::size_t

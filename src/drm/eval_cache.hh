@@ -35,12 +35,16 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/evaluator.hh"
 #include "sim/machine.hh"
@@ -87,8 +91,16 @@ class EvaluationCache
      * holds anything but one line per live record. Missing files are
      * fine (cold cache); an empty path means in-memory only, same as
      * the default constructor.
+     *
+     * With @p replicated the cache runs in the cluster's replicated
+     * mode: the log belongs to exactly one process (a backend's
+     * private shard copy, re-warmable from peers), so the advisory
+     * flock sidecar is not taken; instead the log carries a
+     * `!epoch N` header and every compaction rewrites it with the
+     * epoch bumped -- peers stamp replicated records with the epoch
+     * so a stale snapshot is distinguishable from a live tail.
      */
-    explicit EvaluationCache(std::string path);
+    explicit EvaluationCache(std::string path, bool replicated = false);
 
     /** Releases the advisory cross-process lock, if one is held. */
     ~EvaluationCache();
@@ -118,6 +130,45 @@ class EvaluationCache
     /** Usage counters since construction. */
     Stats stats() const;
 
+    /** Compaction epoch (replicated mode; 0 for a fresh log). */
+    std::uint64_t epoch() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Observes every locally-originated put() with the record's key
+     * and its serialized line (no trailing newline). Replicated-mode
+     * hook: the replicator tails appends through this and forwards
+     * them to peers. Ingested peer records (putSerialized) do NOT
+     * fire it, so replication cannot echo. Install before the cache
+     * is used concurrently; not thread-safe against in-flight puts.
+     */
+    using AppendObserver =
+        std::function<void(const std::string &key,
+                           const std::string &line)>;
+    void setAppendObserver(AppendObserver observer);
+
+    /**
+     * Snapshot every live record as (key, serialized line) pairs --
+     * the full-resync payload a peer replays through putSerialized.
+     * Thread-safe.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    exportRecords() const;
+
+    /**
+     * Ingest one serialized record line from a peer (cache_append).
+     * Idempotent by key: an already-present key is acknowledged
+     * without applying, so replayed snapshots and echoes are free.
+     * Malformed or stale-version lines are rejected (false) and never
+     * touch the log. Applied records append to the file but do not
+     * fire the observer. Thread-safe. Returns whether the record was
+     * newly applied.
+     */
+    bool putSerialized(const std::string &key,
+                       const std::string &line);
+
   private:
     void writeRecord(std::ostream &os, const std::string &key,
                      const CachedEvaluation &v) const;
@@ -135,7 +186,14 @@ class EvaluationCache
      *  is the constructor). */
     bool openAppender();
 
+    /** Append one already-serialized line to the log (caller formats
+     *  and, for local puts, fault-corrupts). Takes file_mutex_. */
+    void appendLine(const std::string &text);
+
     std::string path_;
+    bool replicated_ = false;
+    std::atomic<std::uint64_t> epoch_{0};
+    AppendObserver observer_;
     // ramp-lint: guarded_by(mutex_)
     std::map<std::string, CachedEvaluation> entries_;
     mutable std::shared_mutex mutex_; ///< Guards entries_.

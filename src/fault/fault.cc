@@ -30,6 +30,7 @@ constexpr std::uint64_t converge_salt = 0x636f6e7665726765ull;
 constexpr std::uint64_t stream_salt = 0x73747265616d7365ull;
 constexpr std::uint64_t conn_drop_salt = 0x636f6e6e64726f70ull;
 constexpr std::uint64_t conn_slow_salt = 0x636f6e6e736c6f77ull;
+constexpr std::uint64_t conn_refuse_salt = 0x636f6e6e72656675ull;
 
 /** splitmix64 finalizer: decorrelates structured hash inputs. */
 std::uint64_t
@@ -55,7 +56,7 @@ const char *const kind_names[num_fault_kinds] = {
     "sensor-noise",  "sensor-quantize", "sensor-stuck",
     "sensor-dropout", "sensor-delay",   "cache-corrupt",
     "non-convergence", "power-nan",     "conn-drop",
-    "conn-slow",
+    "conn-slow",      "conn-refuse",
 };
 
 FaultPlan &
@@ -278,6 +279,7 @@ countFault(FaultKind kind)
             telemetry::counter("fault.power_nan"),
             telemetry::counter("fault.conn_drop"),
             telemetry::counter("fault.conn_slow"),
+            telemetry::counter("fault.conn_refuse"),
         };
     counters[static_cast<std::size_t>(kind)].add();
 }
@@ -395,6 +397,22 @@ slowReplyMs(const FaultPlan &plan, std::string_view request_key)
         return 0.0;
     countFault(FaultKind::ConnSlow);
     return spec.delay_ms;
+}
+
+bool
+refuseConnect(const FaultPlan &plan, std::uint16_t port,
+              std::uint64_t attempt)
+{
+    const auto &spec = plan.spec(FaultKind::ConnRefuse);
+    if (spec.rate <= 0.0)
+        return false;
+    const std::uint64_t h =
+        mix(plan.seed ^ conn_refuse_salt) ^
+        mix((static_cast<std::uint64_t>(port) << 32) ^ attempt);
+    if (!hashChance(h, spec.rate))
+        return false;
+    countFault(FaultKind::ConnRefuse);
+    return true;
 }
 
 SensorFaulter::SensorFaulter(const FaultPlan &plan,

@@ -47,9 +47,10 @@ enum class FaultKind : std::uint8_t {
     PowerNan,        ///< One block's power sample becomes NaN.
     ConnDrop,        ///< Server drops a connection instead of replying.
     ConnSlow,        ///< Server delays a reply by `delay_ms`.
+    ConnRefuse,      ///< Client-side connect attempt refused outright.
 };
 
-inline constexpr std::size_t num_fault_kinds = 10;
+inline constexpr std::size_t num_fault_kinds = 11;
 
 /** Stable kebab-case name ("sensor-noise") for plans and logs. */
 const char *faultKindName(FaultKind kind);
@@ -183,6 +184,17 @@ bool dropConnection(const FaultPlan &plan,
  */
 double slowReplyMs(const FaultPlan &plan,
                    std::string_view request_key);
+
+/**
+ * True when the connect attempt number @p attempt toward TCP port
+ * @p port should be refused before the socket is even opened (pure
+ * hash decision per (seed, port, attempt); counts
+ * fault.conn_refuse). Connection-establishing callers -- the router
+ * and the retrying CLI -- consult this so a campaign exercises the
+ * "backend refuses connections" failure mode deterministically.
+ */
+bool refuseConnect(const FaultPlan &plan, std::uint16_t port,
+                   std::uint64_t attempt);
 
 /**
  * Applies the sensor-stream fault kinds to one scalar reading

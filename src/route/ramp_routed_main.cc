@@ -1,9 +1,11 @@
 /**
  * @file
- * The RAMP evaluation daemon. Listens on loopback, serves the
- * protocol of serve/protocol.hh, and drains gracefully on SIGTERM /
- * SIGINT or a client shutdown request: admitted work is answered,
- * new work is rejected with "shutting-down", then the process exits.
+ * The RAMP routing daemon: a fault-tolerant sharding front tier over
+ * N ramp_served backends (see route/router.hh). Listens on loopback,
+ * speaks the serving protocol to clients, consistent-hashes requests
+ * across the backends with health-checked retry and failover, and
+ * drains gracefully on SIGTERM / SIGINT or a client shutdown
+ * request.
  *
  * The bound port is printed to stdout (and optionally a --port-file)
  * so scripts can use an ephemeral port without racing the daemon.
@@ -13,14 +15,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/fault.hh"
-#include "serve/replicator.hh"
-#include "serve/server.hh"
+#include "route/router.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -39,24 +39,21 @@ usage(const char *prog, std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: %s [options]\n"
+        "usage: %s --backends P1,P2,... [options]\n"
+        "  --backends LIST     comma-separated backend ports\n"
+        "                      (required)\n"
         "  --port N            listen port (default 0 = ephemeral)\n"
         "  --port-file PATH    write the bound port to PATH\n"
-        "  --cache PATH        evaluation cache file (wins over\n"
-        "                      RAMP_EVAL_CACHE; default\n"
-        "                      ramp_eval_cache.txt)\n"
-        "  --threads N         evaluation pool concurrency\n"
-        "  --apps N            serve only the first N suite apps\n"
-        "  --queue-depth N     admission queue bound (default 64)\n"
-        "  --batch-max N       max requests per batch (default 16)\n"
-        "  --idle-timeout-ms N disconnect idle peers (default "
+        "  --probe-interval-ms N  health-probe period (default "
+        "250)\n"
+        "  --fail-threshold N  consecutive failures before a\n"
+        "                      backend is down (default 2)\n"
+        "  --retries N         forwarding re-attempts (default 2)\n"
+        "  --backoff-ms N      base retry backoff (default 50)\n"
+        "  --idle-timeout-ms N disconnect idle clients (default "
         "30000)\n"
-        "  --aging-state PATH  per-chip aging registry: loaded at\n"
-        "                      start (corrupt files quarantined),\n"
-        "                      saved at drain\n"
-        "  --peers P1,P2,...   peer ramp_served ports: run the eval\n"
-        "                      cache in replicated mode and stream\n"
-        "                      appends to the peers (cache_append)\n"
+        "  --io-timeout-ms N   backend round-trip leg deadline\n"
+        "                      (default 5000)\n"
         "  --metrics PATH      telemetry snapshot at exit\n"
         "  --fault-plan P      fault plan (inline JSON or file)\n"
         "  --fault-seed N      override the plan's seed\n"
@@ -114,20 +111,13 @@ main(int argc, char **argv)
 {
     using namespace ramp;
 
-    serve::ServiceOptions service_opts;
-    if (const char *env = std::getenv("RAMP_EVAL_CACHE"))
-        service_opts.cache_path = env;
-    else
-        service_opts.cache_path = "ramp_eval_cache.txt";
-    serve::ServerOptions server_opts;
+    route::RouterOptions opts;
     std::string port_file;
-    std::string aging_state_path;
     std::string metrics_path;
     std::string fault_plan;
     std::uint64_t fault_seed = 0;
-    std::vector<std::uint16_t> peers;
 
-    const char *prog = argc > 0 ? argv[0] : "ramp_served";
+    const char *prog = argc > 0 ? argv[0] : "ramp_routed";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -137,37 +127,31 @@ main(int argc, char **argv)
         if (i + 1 >= argc)
             badFlag(prog, util::cat(arg, " needs a value"));
         const std::string value = argv[++i];
-        if (arg == "--port")
-            server_opts.port = static_cast<std::uint16_t>(
+        if (arg == "--backends")
+            opts.backends = parsePorts(prog, arg, value);
+        else if (arg == "--port")
+            opts.port = static_cast<std::uint16_t>(
                 parseCount(prog, arg, value));
         else if (arg == "--port-file")
             port_file = value;
-        else if (arg == "--cache")
-            service_opts.cache_path = value;
-        else if (arg == "--threads")
-            service_opts.threads = static_cast<unsigned>(
+        else if (arg == "--probe-interval-ms")
+            opts.probe_interval_ms = static_cast<int>(
                 parseCount(prog, arg, value));
-        else if (arg == "--apps")
-            service_opts.max_apps = static_cast<std::size_t>(
+        else if (arg == "--fail-threshold")
+            opts.fail_threshold = static_cast<int>(
                 parseCount(prog, arg, value));
-        else if (arg == "--queue-depth")
-            server_opts.queue_depth = static_cast<std::size_t>(
+        else if (arg == "--retries")
+            opts.retry.retries = static_cast<int>(
                 parseCount(prog, arg, value));
-        else if (arg == "--batch-max")
-            server_opts.batch_max = static_cast<std::size_t>(
+        else if (arg == "--backoff-ms")
+            opts.retry.backoff_ms = static_cast<int>(
                 parseCount(prog, arg, value));
         else if (arg == "--idle-timeout-ms")
-            server_opts.idle_timeout_ms = static_cast<int>(
+            opts.idle_timeout_ms = static_cast<int>(
                 parseCount(prog, arg, value));
-        else if (arg == "--aging-state")
-            aging_state_path = value;
-        else if (arg == "--peers") {
-            peers = parsePorts(prog, arg, value);
-            // Peered daemons own their cache log privately (peers
-            // re-warm each other over the wire), so the flock
-            // sidecar is skipped and the log carries epoch headers.
-            service_opts.replicated_cache = true;
-        }
+        else if (arg == "--io-timeout-ms")
+            opts.io_timeout_ms = static_cast<int>(
+                parseCount(prog, arg, value));
         else if (arg == "--metrics")
             metrics_path = value;
         else if (arg == "--fault-plan")
@@ -180,6 +164,8 @@ main(int argc, char **argv)
                               "' (see --help)"));
     }
 
+    if (opts.backends.empty())
+        badFlag(prog, "--backends is required");
     if (!metrics_path.empty())
         telemetry::writeFilesAtExit(metrics_path, "");
     if (fault_seed != 0 && fault_plan.empty())
@@ -192,68 +178,39 @@ main(int argc, char **argv)
         if (fault_seed != 0)
             plan.value().seed = fault_seed;
         fault::installFaultPlan(plan.value());
+        opts.retry.seed = plan.value().seed;
     }
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
-    // A peer (or client) closing mid-write must surface as a write
-    // error, not kill the daemon.
+    // A backend dying mid-write must surface as a write error, not
+    // kill the router.
     std::signal(SIGPIPE, SIG_IGN);
 
-    serve::EvaluationService service(service_opts);
-    if (!aging_state_path.empty()) {
-        // A future-version registry is a hard error (loading would
-        // mean quarantining data a newer build wrote); corruption
-        // is quarantined inside loadAgingRegistry.
-        if (auto loaded = service.loadAgingRegistry(aging_state_path);
-            !loaded)
-            util::fatal(util::cat("--aging-state: ",
-                                  loaded.error().str()));
-    }
-    serve::Server server(service, server_opts);
-    if (auto started = server.start(); !started)
-        util::fatal(util::cat("ramp_served: ",
+    route::Router router(opts);
+    if (auto started = router.start(); !started)
+        util::fatal(util::cat("ramp_routed: ",
                               started.error().str()));
 
-    std::unique_ptr<serve::Replicator> replicator;
-    if (!peers.empty()) {
-        serve::ReplicatorOptions repl_opts;
-        repl_opts.peers = peers;
-        replicator = std::make_unique<serve::Replicator>(
-            service.cache(), repl_opts);
-        // ramp-lint: allow(result-discipline): Replicator::start returns void; name collision
-        replicator->start();
-    }
-
-    std::fprintf(stdout, "ramp_served: listening on 127.0.0.1:%u\n",
-                 server.port());
+    std::fprintf(stdout, "ramp_routed: listening on 127.0.0.1:%u\n",
+                 router.port());
     std::fflush(stdout);
     if (!port_file.empty()) {
         // Written after listen() succeeds, so a watcher that sees the
         // file can connect immediately.
         std::ofstream out(port_file);
-        out << server.port() << "\n";
+        out << router.port() << "\n";
         if (!out)
             util::fatal(util::cat("cannot write --port-file ",
                                   port_file));
     }
 
-    while (g_signal == 0 && !server.draining())
+    while (g_signal == 0 && !router.draining())
         std::this_thread::sleep_for(
             std::chrono::milliseconds(100));
 
-    std::fprintf(stderr, "ramp_served: draining (%s)\n",
+    std::fprintf(stderr, "ramp_routed: draining (%s)\n",
                  g_signal ? "signal" : "shutdown request");
-    server.stop();
-    // Stop replication after the drain so appends from admitted
-    // work still reach the peers' queues.
-    if (replicator)
-        replicator->stop();
-    if (!aging_state_path.empty()) {
-        if (auto saved = service.saveAgingRegistry(aging_state_path);
-            !saved)
-            util::warn(util::cat("--aging-state: ",
-                                 saved.error().str()));
-    }
+    router.stop();
     return 0;
 }

@@ -1,0 +1,57 @@
+#include "route/retry.hh"
+
+#include <algorithm>
+
+namespace ramp {
+namespace route {
+
+namespace {
+
+/** splitmix64 finalizer: a cheap, well-mixed pure hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+int
+RetryPolicy::delayMs(std::uint64_t op_key, int retry) const
+{
+    if (backoff_ms <= 0 || retry <= 0)
+        return 0;
+    // Double per retry without overflowing: cap the shift first.
+    const int doublings = std::min(retry - 1, 20);
+    const std::int64_t raw = static_cast<std::int64_t>(backoff_ms)
+                             << doublings;
+    const int base = static_cast<int>(std::min<std::int64_t>(
+        raw, std::max(backoff_max_ms, backoff_ms)));
+    const int half = base / 2;
+    const std::uint64_t h =
+        mix(seed ^ mix(op_key ^
+                       (static_cast<std::uint64_t>(retry) << 48)));
+    const int span = base - half;
+    return half + static_cast<int>(
+                      h % static_cast<std::uint64_t>(span + 1));
+}
+
+bool
+RetryPolicy::transient(util::ErrorCode code)
+{
+    switch (code) {
+    case util::ErrorCode::Timeout:
+    case util::ErrorCode::IoFailure:
+    case util::ErrorCode::Overloaded:
+    case util::ErrorCode::Unavailable:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace route
+} // namespace ramp

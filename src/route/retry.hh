@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The cluster's shared retry policy: bounded attempts with
+ * deterministic jittered exponential backoff.
+ *
+ * Both the router (re-resolving a request to the next healthy
+ * backend) and ramp_client's --retries flag use this one class, so
+ * "how a RAMP caller retries" has a single definition. The jitter is
+ * a pure hash of (seed, operation key, retry ordinal) -- two runs
+ * with the same seed sleep the same schedule, which keeps the fault
+ * benches reproducible, while different operations still de-correlate
+ * (no thundering herd against a recovering backend).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hh"
+
+namespace ramp {
+namespace route {
+
+/** Bounded jittered-backoff retry schedule. */
+struct RetryPolicy
+{
+    /** Re-attempts after the first try (0 = no retry). */
+    int retries = 2;
+    /** Base delay before the first retry; doubles per retry. */
+    int backoff_ms = 50;
+    /** Ceiling for the doubled base delay. */
+    int backoff_max_ms = 2'000;
+    /** Jitter seed (reuse the fault seed for reproducible runs). */
+    std::uint64_t seed = 1;
+
+    /** Total tries including the first. */
+    int attempts() const { return retries + 1; }
+
+    /**
+     * Sleep before retry @p retry (1-based) of the operation hashed
+     * as @p op_key. Deterministic: in [base/2, base] where base is
+     * backoff_ms doubled per retry and capped at backoff_max_ms.
+     */
+    [[nodiscard]] int delayMs(std::uint64_t op_key, int retry) const;
+
+    /**
+     * True for errors worth re-trying against another replica (or
+     * the same one later): transport faults and explicit backpressure
+     * -- Timeout, IoFailure, Overloaded, Unavailable. Evaluation and
+     * validation errors are deterministic and never retried.
+     */
+    [[nodiscard]] static bool transient(util::ErrorCode code);
+};
+
+} // namespace route
+} // namespace ramp

@@ -1,0 +1,105 @@
+#include "route/ring.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace route {
+
+namespace {
+
+constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
+
+/** Murmur3's 64-bit finalizer. FNV-1a of short, similar strings
+ *  ("backend-0#1", "backend-0#2", ...) varies mostly in its low
+ *  bits, but ring position is dominated by the high bits -- without
+ *  this avalanche the vnode points cluster and the arcs (and so the
+ *  key load) end up wildly uneven. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = fnv_offset;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= fnv_prime;
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t backends, std::size_t vnodes)
+    : backends_(backends)
+{
+    ring_.reserve(backends * vnodes);
+    for (std::size_t b = 0; b < backends; ++b) {
+        for (std::size_t v = 0; v < vnodes; ++v) {
+            const std::string label = util::cat("backend-", b, "#", v);
+            ring_.push_back(Vnode{fnv1a(label), b});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Vnode &a, const Vnode &b) {
+                  if (a.hash != b.hash)
+                      return a.hash < b.hash;
+                  return a.backend < b.backend;
+              });
+}
+
+std::uint64_t
+HashRing::hashKey(std::string_view key)
+{
+    return fnv1a(key);
+}
+
+std::optional<std::size_t>
+HashRing::pick(std::string_view key,
+               const std::function<bool(std::size_t)> &usable) const
+{
+    if (ring_.empty())
+        return std::nullopt;
+    const std::uint64_t h = fnv1a(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Vnode &v, std::uint64_t x) { return v.hash < x; });
+    // Walk clockwise; visit each distinct backend once.
+    std::vector<bool> seen(backends_, false);
+    std::size_t distinct = 0;
+    for (std::size_t step = 0;
+         step < ring_.size() && distinct < backends_; ++step) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        const std::size_t b = it->backend;
+        ++it;
+        if (seen[b])
+            continue;
+        seen[b] = true;
+        ++distinct;
+        if (usable(b))
+            return b;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+HashRing::pick(std::string_view key) const
+{
+    return pick(key, [](std::size_t) { return true; });
+}
+
+} // namespace route
+} // namespace ramp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Consistent-hash ring over the cluster's backends.
+ *
+ * Each backend contributes `vnodes` virtual points (FNV-1a of
+ * "backend-<i>#<v>") on a 64-bit ring; a request key resolves to the
+ * first virtual point clockwise from its own hash. Two properties
+ * matter to the router:
+ *
+ *  - Stability: the mapping depends only on (backend count, vnode
+ *    count, key), never on request order or health history, so every
+ *    router instance -- and the bench's oracle -- agrees on where a
+ *    key lives.
+ *  - Graceful exclusion: pick() walks clockwise past points whose
+ *    backend the caller's predicate rejects (down, or already tried
+ *    this request), so losing a backend only remaps the keys that
+ *    lived on it.
+ *
+ * The ring is immutable after construction; membership changes mean
+ * building a new ring (the router's backend set is fixed at start).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace ramp {
+namespace route {
+
+/** Immutable consistent-hash ring over backend indices [0, n). */
+class HashRing
+{
+  public:
+    HashRing() = default;
+
+    /** @param backends Backend count.
+     *  @param vnodes Virtual points per backend. */
+    explicit HashRing(std::size_t backends, std::size_t vnodes = 64);
+
+    /** The backend count the ring was built over. */
+    std::size_t backends() const { return backends_; }
+
+    /** The 64-bit FNV-1a the ring uses for keys (exposed so tests
+     *  and the bench can predict placements). */
+    static std::uint64_t hashKey(std::string_view key);
+
+    /**
+     * The first backend clockwise from @p key whose index @p usable
+     * accepts. Walks each distinct backend at most once, in ring
+     * order. nullopt when the ring is empty or every backend is
+     * rejected.
+     */
+    [[nodiscard]] std::optional<std::size_t>
+    pick(std::string_view key,
+         const std::function<bool(std::size_t)> &usable) const;
+
+    /** pick() accepting every backend (primary placement). */
+    [[nodiscard]] std::optional<std::size_t>
+    pick(std::string_view key) const;
+
+  private:
+    struct Vnode
+    {
+        std::uint64_t hash = 0;
+        std::size_t backend = 0;
+    };
+
+    std::vector<Vnode> ring_; ///< Sorted by hash.
+    std::size_t backends_ = 0;
+};
+
+} // namespace route
+} // namespace ramp

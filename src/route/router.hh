@@ -1,0 +1,230 @@
+/**
+ * @file
+ * ramp_routed's core: a fault-tolerant sharding front tier over N
+ * ramp_served backends.
+ *
+ * The router speaks the serving protocol on both sides. Client
+ * frames are parsed only to classify and route them; the frame that
+ * reaches the chosen backend is the client's *original payload*, and
+ * the reply written back is the backend's reply payload, both
+ * verbatim -- so a routed reply is byte-identical to a direct call
+ * by construction, not by re-encoding.
+ *
+ * Placement is a consistent-hash ring (route/ring.hh) over the
+ * request's shard key: `chip` for the v2 fleet verbs (a chip's aging
+ * registry lives on exactly one backend), (app, space, config) for
+ * evaluate, and (app, space) for selections, so repeat requests hit
+ * the same backend's caches. Stats, hello, and shutdown are answered
+ * by the router itself; cache_append is the backends' replication
+ * verb and is rejected as a bad request when a client sends it.
+ *
+ * Fault tolerance is three cooperating pieces:
+ *
+ *  - A health table (route/health.hh) fed by a periodic stats-probe
+ *    thread and by passive observation of forwarding failures.
+ *  - Bounded retry with deterministic jittered backoff
+ *    (route/retry.hh): a transport failure marks the backend,
+ *    re-resolves the key to the next usable replica (ring walk,
+ *    excluding backends already tried this request), and re-sends.
+ *  - Explicit structured failure: when every replica is down or the
+ *    retry budget is spent, the client gets an err_no_backend error
+ *    reply -- the router never converts a dead backend into a hang.
+ *
+ * Threading: one acceptor, one reader thread per client connection
+ * (which also owns that connection's pool of backend sockets -- no
+ * cross-thread sharing), one probe thread.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "route/health.hh"
+#include "route/retry.hh"
+#include "route/ring.hh"
+#include "serve/protocol.hh"
+#include "util/json.hh"
+#include "util/net.hh"
+#include "util/telemetry.hh"
+
+namespace ramp {
+namespace route {
+
+/** Routing knobs. */
+struct RouterOptions
+{
+    /** Listen port; 0 = kernel-assigned (see Router::port()). */
+    std::uint16_t port = 0;
+    /** Backend ramp_served ports, in shard order. */
+    std::vector<std::uint16_t> backends;
+    /** Virtual points per backend on the ring. */
+    std::size_t vnodes = 64;
+    /** Consecutive failures before a backend is Down. */
+    int fail_threshold = 2;
+    /** Health-probe period (one stats round trip per backend). */
+    int probe_interval_ms = 250;
+    /** Retry schedule for forwarding failures. */
+    RetryPolicy retry{};
+    /** Per-frame payload cap, both sides. */
+    std::size_t max_frame_bytes = serve::default_max_frame;
+    /** Reader wait for the next client frame. */
+    int idle_timeout_ms = 30'000;
+    /** Deadline for one backend round trip leg (write or read). */
+    int io_timeout_ms = 5'000;
+    /** Deadline for one backend connect. */
+    int connect_timeout_ms = 1'000;
+};
+
+/** The routing daemon. start() .. stop() brackets a lifetime. */
+class Router
+{
+  public:
+    explicit Router(RouterOptions opts);
+
+    /** Stops (draining) if still running. */
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + probe thread. */
+    [[nodiscard]] util::Result<void> start();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** True once a drain has begun. */
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    /** Begin graceful drain (idempotent, non-blocking). */
+    void requestDrain();
+
+    /** Block until the drain completes and all threads are joined. */
+    void wait();
+
+    /** requestDrain() + wait(). Safe to call repeatedly. */
+    void stop();
+
+    /** Health table (tests and the bench assert transitions). */
+    const HealthTable &health() const { return health_; }
+
+    /** The placement ring (the bench predicts shard homes with it). */
+    const HashRing &ring() const { return ring_; }
+
+    /**
+     * The shard key a request routes by: "chip|<chip>" for the v2
+     * fleet verbs, "pt|app|space|config" for evaluate,
+     * "sel|app|space" for selections. Exposed so the bench and tests
+     * can predict placement without a router instance.
+     */
+    static std::string routeKey(const serve::Request &req);
+
+    /** Router counters + per-backend health (stats replies). */
+    util::JsonValue statsJson() const;
+
+  private:
+    /** One accepted client connection. Its reader thread owns the
+     *  backend socket pool, so no per-connection locking. */
+    struct Connection
+    {
+        util::Socket sock;
+        std::thread thread;
+        std::atomic<bool> done{false}; ///< Reader exited (reapable).
+    };
+
+    /** The reader thread's cached backend connections. */
+    using BackendLinks = std::map<std::size_t, util::Socket>;
+
+    void acceptLoop();
+    void clientLoop(const std::shared_ptr<Connection> &conn);
+    void probeLoop();
+
+    /** Answer one parsed request: inline verbs locally, everything
+     *  else through the forwarding path. Returns the reply payload. */
+    std::string handleRequest(const serve::Request &req,
+                              const std::string &payload,
+                              BackendLinks &links);
+
+    /** The retry loop: resolve, forward, observe, re-resolve. */
+    std::string forward(const serve::Request &req,
+                        const std::string &payload,
+                        BackendLinks &links);
+
+    /** One send/receive against backend @p b (connects on demand,
+     *  consulting fault::refuseConnect). Transport errors only; a
+     *  structured error reply from the backend is a success here. */
+    [[nodiscard]] util::Result<std::string>
+    forwardOnce(BackendLinks &links, std::size_t b,
+                const std::string &payload);
+
+    /** Drain-aware sleep (returns early when draining begins). */
+    void sleepFor(int ms);
+
+    RouterOptions opts_;
+    HashRing ring_;
+    HealthTable health_;
+
+    util::Listener listener_;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::thread prober_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+
+    mutable std::mutex conns_mu_;
+    // ramp-lint: guarded_by(conns_mu_)
+    std::vector<std::shared_ptr<Connection>> conns_;
+
+    std::mutex stop_mu_;
+    std::condition_variable stop_cv_;
+
+    std::mutex done_mu_;
+    // ramp-lint: guarded_by(done_mu_): joined_
+    bool joined_ = false;
+
+    /** Monotonic connect-attempt ordinals per backend (the
+     *  deterministic conn-refuse fault key). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> attempts_;
+
+    telemetry::Counter connections_ =
+        telemetry::counter("route.connections");
+    telemetry::Counter requests_ =
+        telemetry::counter("route.requests");
+    telemetry::Counter forwarded_ =
+        telemetry::counter("route.forwarded");
+    telemetry::Counter retries_ = telemetry::counter("route.retries");
+    telemetry::Counter failovers_ =
+        telemetry::counter("route.failovers");
+    telemetry::Counter no_backend_ =
+        telemetry::counter("route.no_backend");
+    telemetry::Counter bad_requests_ =
+        telemetry::counter("route.bad_requests");
+    telemetry::Counter probes_ = telemetry::counter("route.probes");
+    telemetry::Counter probe_failures_ =
+        telemetry::counter("route.probe_failures");
+
+    /** Plain tallies mirrored into statsJson(). */
+    std::atomic<std::uint64_t> n_connections_{0};
+    std::atomic<std::uint64_t> n_requests_{0};
+    std::atomic<std::uint64_t> n_forwarded_{0};
+    std::atomic<std::uint64_t> n_retries_{0};
+    std::atomic<std::uint64_t> n_failovers_{0};
+    std::atomic<std::uint64_t> n_no_backend_{0};
+    std::atomic<std::uint64_t> n_bad_requests_{0};
+    std::atomic<std::uint64_t> n_probes_{0};
+    std::atomic<std::uint64_t> n_probe_failures_{0};
+};
+
+} // namespace route
+} // namespace ramp

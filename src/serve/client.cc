@@ -266,7 +266,8 @@ Session::requestShutdown()
 }
 
 Result<JsonValue>
-Session::reportUsage(const std::string &chip, JsonValue state)
+Session::reportUsage(const std::string &chip, JsonValue state,
+                     std::uint64_t seq)
 {
     if (auto ok = needVersion(2, "report_usage"); !ok)
         return ok.error();
@@ -274,6 +275,7 @@ Session::reportUsage(const std::string &chip, JsonValue state)
     req.type = RequestType::ReportUsage;
     req.chip = chip;
     req.state = std::move(state);
+    req.seq = seq;
     return callUnwrap(std::move(req));
 }
 

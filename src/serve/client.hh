@@ -157,10 +157,14 @@ class Session
     /**
      * v2: merge an AgingState delta document into the server's
      * registry for @p chip. Returns the chip's post-merge summary.
-     * InvalidInput when the negotiated version is below 2.
+     * InvalidInput when the negotiated version is below 2. A
+     * non-zero @p seq makes the merge idempotent (the server skips
+     * deltas whose seq it already applied), so a caller that retries
+     * after a lost reply sends the same seq and cannot double-count.
      */
     [[nodiscard]] util::Result<util::JsonValue>
-    reportUsage(const std::string &chip, util::JsonValue state);
+    reportUsage(const std::string &chip, util::JsonValue state,
+                std::uint64_t seq = 0);
 
     /**
      * v2: the chip's consumed lifetime, banked slack, the

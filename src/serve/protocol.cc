@@ -18,7 +18,7 @@ namespace {
 const char *const type_names[] = {
     "evaluate",    "select_drm",   "select_dtm",
     "stats",       "shutdown",     "hello",
-    "report_usage", "remaining_lifetime",
+    "report_usage", "remaining_lifetime", "cache_append",
 };
 
 // --- The per-version field table -------------------------------------
@@ -39,6 +39,10 @@ enum class Field : std::uint8_t {
     MaxV,
     Chip,
     State,
+    Seq,
+    Key,
+    Record,
+    Epoch,
 };
 
 struct FieldRule
@@ -89,6 +93,7 @@ constexpr FieldRule hello_fields[] = {
 constexpr FieldRule report_usage_fields[] = {
     {Field::Chip, "chip", true, 2},
     {Field::State, "state", true, 2},
+    {Field::Seq, "seq", false, 2, true},
 };
 
 constexpr FieldRule remaining_lifetime_fields[] = {
@@ -97,6 +102,12 @@ constexpr FieldRule remaining_lifetime_fields[] = {
     {Field::Space, "space", true, 2},
     {Field::TQualK, "t_qual_k", false, 2},
     {Field::Surrogate, "surrogate", false, 2, true},
+};
+
+constexpr FieldRule cache_append_fields[] = {
+    {Field::Key, "key", true, 2},
+    {Field::Record, "record", true, 2},
+    {Field::Epoch, "epoch", true, 2},
 };
 
 constexpr TypeRule type_rules[] = {
@@ -113,6 +124,8 @@ constexpr TypeRule type_rules[] = {
      std::size(report_usage_fields)},
     {RequestType::RemainingLifetime, 2, remaining_lifetime_fields,
      std::size(remaining_lifetime_fields)},
+    {RequestType::CacheAppend, 2, cache_append_fields,
+     std::size(cache_append_fields)},
 };
 
 const TypeRule &
@@ -231,6 +244,38 @@ parseField(const FieldRule &rule, const JsonValue &value,
                              "'state'"};
         req.state = value;
         return {};
+      case Field::Seq: {
+        auto s = nonNegativeInt(value);
+        if (!s)
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 'seq' must be a "
+                             "non-negative integer"};
+        req.seq = s.value();
+        return {};
+      }
+      case Field::Key:
+        if (!value.isString() || value.str.empty())
+            return RampError{ErrorCode::InvalidInput,
+                             "cache_append needs a non-empty string "
+                             "'key'"};
+        req.key = value.str;
+        return {};
+      case Field::Record:
+        if (!value.isString() || value.str.empty())
+            return RampError{ErrorCode::InvalidInput,
+                             "cache_append needs a non-empty string "
+                             "'record'"};
+        req.record = value.str;
+        return {};
+      case Field::Epoch: {
+        auto e = nonNegativeInt(value);
+        if (!e)
+            return RampError{ErrorCode::InvalidInput,
+                             "cache_append needs a non-negative "
+                             "integer 'epoch'"};
+        req.epoch = e.value();
+        return {};
+      }
     }
     util::panic("parseField: bad field id");
 }
@@ -275,6 +320,21 @@ encodeField(const FieldRule &rule, const Request &req,
         return;
       case Field::State:
         root.set("state", req.state);
+        return;
+      case Field::Seq:
+        if (req.seq != 0)
+            root.set("seq", JsonValue::makeNumber(
+                                static_cast<double>(req.seq)));
+        return;
+      case Field::Key:
+        root.set("key", JsonValue::makeString(req.key));
+        return;
+      case Field::Record:
+        root.set("record", JsonValue::makeString(req.record));
+        return;
+      case Field::Epoch:
+        root.set("epoch", JsonValue::makeNumber(
+                              static_cast<double>(req.epoch)));
         return;
     }
     util::panic("encodeField: bad field id");
@@ -512,6 +572,8 @@ replyErrorCode(std::string_view code)
     if (code == err_overloaded)
         return ErrorCode::Overloaded;
     if (code == err_shutting_down)
+        return ErrorCode::Unavailable;
+    if (code == err_no_backend)
         return ErrorCode::Unavailable;
     for (ErrorCode c :
          {ErrorCode::SingularSystem, ErrorCode::NonFiniteValue,

@@ -33,9 +33,23 @@
  *   {"id":5,"type":"shutdown"}
  *   {"id":6,"v":1,"type":"hello","max_v":2}
  *   {"id":7,"v":2,"type":"report_usage","chip":"fleet-0042",
- *    "state":{...AgingState document...}}
+ *    "state":{...AgingState document...},"seq":3}
  *   {"id":8,"v":2,"type":"remaining_lifetime","chip":"fleet-0042",
  *    "app":"gzip","space":"DVS","t_qual_k":345}
+ *   {"id":9,"v":2,"type":"cache_append","key":"gzip|w128...",
+ *    "record":"3 gzip|w128... 1234 ...","epoch":2}
+ *
+ * report_usage's optional `seq` makes retries idempotent: the server
+ * keeps each chip's last-applied sequence number and acknowledges a
+ * replayed `seq` without re-merging the (additive) delta, so a retry
+ * after a lost reply cannot double-count damage. `seq` 0 (or absent)
+ * is the legacy unsequenced form, merged unconditionally.
+ *
+ * cache_append is the backend-to-backend replication verb: one
+ * serialized eval-cache record, stamped with the sender's compaction
+ * epoch, applied idempotently by record key (drm/eval_cache.hh). A
+ * restarted backend re-warms its cache from the snapshots its peers
+ * push on (re)connect. The router never forwards it from clients.
  *
  * select_* requests additionally accept an optional
  * `"surrogate":"off"|"rank"|"auto"` field choosing the tiered
@@ -85,6 +99,8 @@ inline constexpr int protocol_version_min = 0;
 inline constexpr const char *err_overloaded = "overloaded";
 inline constexpr const char *err_bad_request = "bad-request";
 inline constexpr const char *err_shutting_down = "shutting-down";
+/** Router reply when no healthy backend can take the request. */
+inline constexpr const char *err_no_backend = "no-backend";
 
 /** The request verbs. */
 enum class RequestType : std::uint8_t {
@@ -96,6 +112,7 @@ enum class RequestType : std::uint8_t {
     Hello,             ///< v1: capability negotiation.
     ReportUsage,       ///< v2: merge an AgingState delta for a chip.
     RemainingLifetime, ///< v2: consumed life + safe point + ETA.
+    CacheAppend,       ///< v2: peer replication of one cache record.
 };
 
 /** Wire name ("evaluate", "select_drm", ...). */
@@ -136,6 +153,15 @@ struct Request
     std::string chip;
     /** AgingState delta document (report_usage). */
     util::JsonValue state;
+    /** report_usage idempotency sequence; 0 = unsequenced legacy. */
+    std::uint64_t seq = 0;
+
+    /** cache_append: the replicated record's cache key. */
+    std::string key;
+    /** cache_append: the full serialized record line. */
+    std::string record;
+    /** cache_append: the sender's compaction epoch. */
+    std::uint64_t epoch = 0;
 };
 
 /** Serialize a request to its wire payload (v0 byte-identical to

@@ -1,6 +1,7 @@
 /**
  * @file
- * Command-line client for ramp_served. One invocation, one request:
+ * Command-line client for ramp_served / ramp_routed. One invocation,
+ * one request:
  *
  *   ramp_client --port N evaluate APP SPACE CONFIG [T_QUAL_K]
  *   ramp_client --port N select-drm APP SPACE [T_QUAL_K]
@@ -17,17 +18,29 @@
  * fleet commands (report-usage, remaining-lifetime) need v2 and
  * fail with a structured error against older servers.
  *
+ * --retries N turns transient failures (connect refusal, timeout,
+ * torn stream, "overloaded", "shutting-down") into bounded
+ * re-attempts on a *fresh* connection, sleeping the router's
+ * deterministic jittered backoff (route/retry.hh) between attempts.
+ * report-usage retries are safe against double-merging: the request
+ * carries an idempotency seq that every attempt reuses. Evaluation
+ * and validation errors never retry.
+ *
  * The reply's result object is printed to stdout as one JSON line.
  * Error replies (including "overloaded" and "shutting-down") print
  * the structured code to stderr and exit nonzero.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "aging/state.hh"
+#include "fault/fault.hh"
+#include "route/retry.hh"
 #include "serve/client.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -39,7 +52,16 @@ usage(const char *prog, std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: %s --port N [--timeout-ms N] COMMAND [args]\n"
+        "usage: %s --port N [options] COMMAND [args]\n"
+        "options:\n"
+        "  --timeout-ms N   per-call I/O deadline (default 30000)\n"
+        "  --retries N      re-attempts on transient failures\n"
+        "                   (default 0 = fail fast)\n"
+        "  --backoff-ms N   base retry backoff, jittered and doubled\n"
+        "                   per attempt (default 50)\n"
+        "  --fault-plan P   fault plan (inline JSON or file);\n"
+        "                   arms conn-refuse for retry testing\n"
+        "  --fault-seed N   override the plan's seed\n"
         "commands:\n"
         "  evaluate APP SPACE CONFIG [T_QUAL_K]\n"
         "  select-drm APP SPACE [T_QUAL_K]\n"
@@ -72,6 +94,10 @@ main(int argc, char **argv)
     using namespace ramp;
 
     serve::ClientOptions opts;
+    route::RetryPolicy policy;
+    policy.retries = 0; // CLI default: one attempt, fail fast.
+    std::string fault_plan;
+    std::uint64_t fault_seed = 0;
     std::vector<std::string> words;
 
     const char *prog = argc > 0 ? argv[0] : "ramp_client";
@@ -81,7 +107,9 @@ main(int argc, char **argv)
             usage(prog, stdout);
             return 0;
         }
-        if (arg == "--port" || arg == "--timeout-ms") {
+        if (arg == "--port" || arg == "--timeout-ms" ||
+            arg == "--retries" || arg == "--backoff-ms" ||
+            arg == "--fault-seed") {
             if (i + 1 >= argc)
                 util::fatal(util::cat(arg, " needs a value"));
             const std::string value = argv[++i];
@@ -94,8 +122,20 @@ main(int argc, char **argv)
                                       value, "'"));
             if (arg == "--port")
                 opts.port = static_cast<std::uint16_t>(n);
-            else
+            else if (arg == "--timeout-ms")
                 opts.io_timeout_ms = static_cast<int>(n);
+            else if (arg == "--retries")
+                policy.retries = static_cast<int>(n);
+            else if (arg == "--backoff-ms")
+                policy.backoff_ms = static_cast<int>(n);
+            else
+                fault_seed = n;
+            continue;
+        }
+        if (arg == "--fault-plan") {
+            if (i + 1 >= argc)
+                util::fatal(util::cat(arg, " needs a value"));
+            fault_plan = argv[++i];
             continue;
         }
         words.push_back(arg);
@@ -103,6 +143,18 @@ main(int argc, char **argv)
     if (opts.port == 0 || words.empty()) {
         usage(prog, stderr);
         util::fatal("need --port and a command");
+    }
+    if (fault_seed != 0 && fault_plan.empty())
+        util::fatal("--fault-seed requires --fault-plan");
+    if (!fault_plan.empty()) {
+        auto plan = fault::loadFaultPlan(fault_plan);
+        if (!plan)
+            util::fatal(
+                util::cat("--fault-plan: ", plan.error().str()));
+        if (fault_seed != 0)
+            plan.value().seed = fault_seed;
+        fault::installFaultPlan(plan.value());
+        policy.seed = plan.value().seed;
     }
 
     const std::string &command = words[0];
@@ -122,66 +174,115 @@ main(int argc, char **argv)
         return *s;
     };
 
-    auto session = serve::Session::open(opts);
-    if (!session)
-        util::fatal(util::cat("cannot connect to 127.0.0.1:",
-                              opts.port, ": ",
-                              session.error().str()));
+    // report-usage needs one idempotency seq shared by every retry
+    // of this invocation (and larger than any previous invocation's,
+    // so the server never deduplicates a genuinely new report).
+    const std::uint64_t report_seq = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+    // One attempt: fresh connection, negotiate, dispatch.
+    const auto attemptOnce =
+        [&]() -> util::Result<util::JsonValue> {
+        auto session = serve::Session::open(opts);
+        if (!session)
+            return session.error();
+        if (command == "evaluate") {
+            arity(3, 4);
+            return session.value().evaluate(
+                words[1], space(words[2]),
+                static_cast<std::size_t>(
+                    std::strtoull(words[3].c_str(), nullptr, 10)),
+                words.size() > 4 ? parseTemp(words[4]) : 345.0);
+        }
+        if (command == "select-drm") {
+            arity(2, 3);
+            return session.value().selectDrm(
+                words[1], space(words[2]),
+                words.size() > 3 ? parseTemp(words[3]) : 345.0);
+        }
+        if (command == "select-dtm") {
+            arity(2, 4);
+            return session.value().selectDtm(
+                words[1], space(words[2]),
+                words.size() > 3 ? parseTemp(words[3]) : 370.0,
+                words.size() > 4 ? parseTemp(words[4]) : 345.0);
+        }
+        if (command == "stats") {
+            arity(0, 0);
+            return session.value().stats();
+        }
+        if (command == "shutdown") {
+            arity(0, 0);
+            auto done = session.value().requestShutdown();
+            if (!done)
+                return done.error();
+            util::JsonValue out = util::JsonValue::makeObject();
+            out.set("draining", util::JsonValue::makeBool(true));
+            return out;
+        }
+        if (command == "hello") {
+            arity(0, 0);
+            // The session already negotiated; report what it
+            // learned.
+            util::JsonValue out = util::JsonValue::makeObject();
+            out.set("negotiated_v",
+                    util::JsonValue::makeNumber(
+                        session.value().version()));
+            return out;
+        }
+        if (command == "report-usage") {
+            arity(2, 2);
+            auto state = aging::loadAgingState(words[2]);
+            if (!state)
+                return state.error();
+            return session.value().reportUsage(
+                words[1], aging::toJson(state.value()),
+                report_seq);
+        }
+        if (command == "remaining-lifetime") {
+            arity(3, 4);
+            return session.value().remainingLifetime(
+                words[1], words[2], space(words[3]),
+                words.size() > 4 ? parseTemp(words[4]) : 345.0);
+        }
+        usage(prog, stderr);
+        util::fatal(util::cat("unknown command '", command, "'"));
+    };
 
     util::Result<util::JsonValue> result =
         util::RampError{util::ErrorCode::InvalidInput, "unset"};
-    if (command == "evaluate") {
-        arity(3, 4);
-        result = session.value().evaluate(
-            words[1], space(words[2]),
-            static_cast<std::size_t>(
-                std::strtoull(words[3].c_str(), nullptr, 10)),
-            words.size() > 4 ? parseTemp(words[4]) : 345.0);
-    } else if (command == "select-drm") {
-        arity(2, 3);
-        result = session.value().selectDrm(
-            words[1], space(words[2]),
-            words.size() > 3 ? parseTemp(words[3]) : 345.0);
-    } else if (command == "select-dtm") {
-        arity(2, 4);
-        result = session.value().selectDtm(
-            words[1], space(words[2]),
-            words.size() > 3 ? parseTemp(words[3]) : 370.0,
-            words.size() > 4 ? parseTemp(words[4]) : 345.0);
-    } else if (command == "stats") {
-        arity(0, 0);
-        result = session.value().stats();
-    } else if (command == "shutdown") {
-        arity(0, 0);
-        auto done = session.value().requestShutdown();
-        if (!done)
-            util::fatal(util::cat("shutdown: ",
-                                  done.error().str()));
-        std::fprintf(stdout, "{\"draining\":true}\n");
-        return 0;
-    } else if (command == "hello") {
-        arity(0, 0);
-        // The session already negotiated; report what it learned.
-        util::JsonValue out = util::JsonValue::makeObject();
-        out.set("negotiated_v", util::JsonValue::makeNumber(
-                                    session.value().version()));
-        result = std::move(out);
-    } else if (command == "report-usage") {
-        arity(2, 2);
-        auto state = aging::loadAgingState(words[2]);
-        if (!state)
-            util::fatal(util::cat("report-usage: ",
-                                  state.error().str()));
-        result = session.value().reportUsage(
-            words[1], aging::toJson(state.value()));
-    } else if (command == "remaining-lifetime") {
-        arity(3, 4);
-        result = session.value().remainingLifetime(
-            words[1], words[2], space(words[3]),
-            words.size() > 4 ? parseTemp(words[4]) : 345.0);
-    } else {
-        usage(prog, stderr);
-        util::fatal(util::cat("unknown command '", command, "'"));
+    for (int attempt = 0; attempt < policy.attempts(); ++attempt) {
+        if (attempt > 0) {
+            const int delay = policy.delayMs(opts.port, attempt);
+            std::fprintf(stderr,
+                         "%s: transient failure (%s), retry %d/%d "
+                         "in %d ms\n",
+                         command.c_str(),
+                         result.error().str().c_str(), attempt,
+                         policy.retries, delay);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+        // The deterministic conn-refuse fault models a backend
+        // refusing connections; the retrying CLI is one of its
+        // connection-establishing consumers.
+        if (const fault::FaultPlan *plan = fault::activeFaultPlan();
+            plan &&
+            fault::refuseConnect(
+                *plan, opts.port,
+                static_cast<std::uint64_t>(attempt) + 1)) {
+            result = util::RampError{
+                util::ErrorCode::Unavailable,
+                util::cat("connect to 127.0.0.1:", opts.port,
+                          " refused (fault plan)")};
+            continue;
+        }
+        result = attemptOnce();
+        if (result ||
+            !route::RetryPolicy::transient(result.error().code))
+            break;
     }
 
     if (!result) {

@@ -266,6 +266,24 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
                             result.error().message, req.version));
         return;
       }
+      case RequestType::CacheAppend: {
+        // Peer replication touches only the cache's own locks, so it
+        // is answered inline from the reader thread -- a replication
+        // stream never competes with clients for batcher slots.
+        cache_appends_.add();
+        n_cache_appends_.fetch_add(1, std::memory_order_relaxed);
+        auto result = service_.cacheAppend(req);
+        sendReply(conn, fault_key,
+                  result
+                      ? encodeResultReply(req.id,
+                                          std::move(result.value()),
+                                          req.version)
+                      : encodeErrorReply(
+                            req.id,
+                            util::errorCodeName(result.error().code),
+                            result.error().message, req.version));
+        return;
+      }
       case RequestType::Evaluate:
       case RequestType::SelectDrm:
       case RequestType::SelectDtm:
@@ -462,6 +480,7 @@ Server::statsJson() const
     out.set("connections", load(n_connections_));
     out.set("hellos", load(n_hellos_));
     out.set("usage_reports", load(n_usage_reports_));
+    out.set("cache_appends", load(n_cache_appends_));
     out.set("queue_depth",
             JsonValue::makeNumber(static_cast<double>(depth)));
     out.set("draining", JsonValue::makeBool(draining()));

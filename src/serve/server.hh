@@ -180,6 +180,8 @@ class Server
     telemetry::Counter hellos_ = telemetry::counter("server.hellos");
     telemetry::Counter usage_reports_ =
         telemetry::counter("server.usage_reports");
+    telemetry::Counter cache_appends_ =
+        telemetry::counter("server.cache_appends");
     telemetry::Gauge queue_depth_ =
         telemetry::gauge("server.queue_depth");
     telemetry::Histogram request_s_ =
@@ -200,6 +202,7 @@ class Server
     std::atomic<std::uint64_t> n_connections_{0};
     std::atomic<std::uint64_t> n_hellos_{0};
     std::atomic<std::uint64_t> n_usage_reports_{0};
+    std::atomic<std::uint64_t> n_cache_appends_{0};
 };
 
 } // namespace serve

@@ -2,6 +2,7 @@
 
 // ramp-lint: guarded_by(qual_mu_): quals_
 // ramp-lint: guarded_by(aging_mu_): chips_
+// ramp-lint: guarded_by(aging_mu_): chip_seq_
 
 #include <algorithm>
 #include <cmath>
@@ -26,7 +27,7 @@ using util::Result;
 
 EvaluationService::EvaluationService(ServiceOptions opts)
     : opts_(std::move(opts)),
-      cache_(opts_.cache_path),
+      cache_(opts_.cache_path, opts_.replicated_cache),
       pool_(opts_.threads),
       explorer_(opts_.eval_params, &cache_, &pool_),
       apps_(workload::standardApps())
@@ -228,10 +229,22 @@ EvaluationService::reportUsage(const Request &req)
     double age_hours = 0.0;
     double consumed_frac = 0.0;
     double max_pair = 0.0;
+    bool applied = true;
     {
         std::lock_guard lock(aging_mu_);
         aging::AgingState &state = chips_[req.chip];
-        state.add(delta.value());
+        // Sequenced merges are idempotent: a replayed (or stale) seq
+        // acknowledges with the current summary instead of re-adding
+        // the delta, so a retry after a lost reply cannot
+        // double-count damage. seq 0 = legacy, merged every time.
+        std::uint64_t &last_seq = chip_seq_[req.chip];
+        if (req.seq != 0 && req.seq <= last_seq) {
+            applied = false;
+        } else {
+            state.add(delta.value());
+            if (req.seq != 0)
+                last_seq = req.seq;
+        }
         age_hours = state.age_hours;
         consumed_frac = state.totalDamage();
         max_pair = state.maxPairDamage();
@@ -242,6 +255,27 @@ EvaluationService::reportUsage(const Request &req)
     out.set("age_hours", JsonValue::makeNumber(age_hours));
     out.set("consumed", JsonValue::makeNumber(consumed_frac));
     out.set("max_pair_consumed", JsonValue::makeNumber(max_pair));
+    if (req.seq != 0)
+        out.set("applied", JsonValue::makeBool(applied));
+    return out;
+}
+
+Result<JsonValue>
+EvaluationService::cacheAppend(const Request &req)
+{
+    const bool applied = cache_.putSerialized(req.key, req.record);
+    if (!applied && !cache_.contains(req.key))
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("cache_append: record for key '", req.key,
+                      "' is malformed or from a stale format "
+                      "version")};
+    JsonValue out = JsonValue::makeObject();
+    out.set("applied", JsonValue::makeBool(applied));
+    out.set("records", JsonValue::makeNumber(
+                           static_cast<double>(cache_.size())));
+    out.set("epoch", JsonValue::makeNumber(
+                         static_cast<double>(cache_.epoch())));
     return out;
 }
 

@@ -65,6 +65,10 @@ struct ServiceOptions
     std::size_t max_apps = 0;
     /** Simulation controls (keyed into the cache). */
     core::EvalParams eval_params{};
+    /** Run the eval cache in replicated (epoch-header) mode: the
+     *  log is process-private and peers re-warm it via cache_append,
+     *  so the flock sidecar is skipped (drm/eval_cache.hh). */
+    bool replicated_cache = false;
 };
 
 /** The long-lived evaluation state behind the server. */
@@ -130,8 +134,24 @@ class EvaluationService
      * (the registry has its own lock; no pool, no evaluation), so
      * the server answers it inline from reader threads. Returns the
      * chip's post-merge summary (age, consumed fraction).
+     *
+     * A non-zero req.seq makes the merge idempotent: the registry
+     * remembers each chip's highest applied sequence number and
+     * acknowledges a replayed (or out-of-date) seq with the current
+     * summary *without* re-adding the delta -- the additive merge
+     * would otherwise double-count damage when a client retries
+     * after a lost reply. seq 0 is the legacy unsequenced form.
      */
     [[nodiscard]] util::Result<util::JsonValue> reportUsage(const Request &req);
+
+    /**
+     * v2 cache_append: ingest one replicated eval-cache record from
+     * a peer backend. Idempotent by record key; malformed records
+     * are InvalidInput. Thread-safe (cache locks only; no pool), so
+     * the server answers it inline from reader threads. Returns
+     * {"applied":bool,"records":N,"epoch":E}.
+     */
+    [[nodiscard]] util::Result<util::JsonValue> cacheAppend(const Request &req);
 
     /**
      * v2 remaining_lifetime: look up the chip's accumulated state
@@ -201,6 +221,9 @@ class EvaluationService
     mutable std::mutex aging_mu_;
     // ramp-lint: guarded_by(aging_mu_)
     std::map<std::string, aging::AgingState> chips_;
+    /** Highest applied report_usage seq per chip (0 = none). */
+    // ramp-lint: guarded_by(aging_mu_)
+    std::map<std::string, std::uint64_t> chip_seq_;
 };
 
 } // namespace serve

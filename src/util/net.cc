@@ -168,10 +168,14 @@ connectTcp(std::uint16_t port, int timeout_ms)
     return sock;
 }
 
+namespace {
+
+/** readExact against an absolute deadline (shared across the reads
+ *  that make up one frame). */
 Result<std::optional<std::string>>
-readExact(const Socket &sock, std::size_t n, int timeout_ms)
+readExactUntil(const Socket &sock, std::size_t n,
+               const std::optional<Clock::time_point> &deadline)
 {
-    const auto deadline = deadlineFrom(timeout_ms);
     std::string out;
     out.resize(n);
     std::size_t got = 0;
@@ -212,6 +216,14 @@ readExact(const Socket &sock, std::size_t n, int timeout_ms)
     return std::optional<std::string>(std::move(out));
 }
 
+} // namespace
+
+Result<std::optional<std::string>>
+readExact(const Socket &sock, std::size_t n, int timeout_ms)
+{
+    return readExactUntil(sock, n, deadlineFrom(timeout_ms));
+}
+
 Result<void>
 writeAll(const Socket &sock, std::string_view data, int timeout_ms)
 {
@@ -248,7 +260,13 @@ writeAll(const Socket &sock, std::string_view data, int timeout_ms)
 Result<std::optional<std::string>>
 readFrame(const Socket &sock, std::size_t max_payload, int timeout_ms)
 {
-    auto prefix = readExact(sock, 4, timeout_ms);
+    // One deadline covers the prefix *and* the payload. Giving the
+    // payload read a fresh timeout of its own would let a peer that
+    // dies after sending a partial frame (or trickles one byte per
+    // deadline) hold the reader for up to twice the configured
+    // bound -- the hang-shaped edge the serve clients hit.
+    const auto deadline = deadlineFrom(timeout_ms);
+    auto prefix = readExactUntil(sock, 4, deadline);
     if (!prefix)
         return prefix.error();
     if (!prefix.value().has_value())
@@ -272,7 +290,7 @@ readFrame(const Socket &sock, std::size_t max_payload, int timeout_ms)
             cat("frame of ", len, " bytes exceeds the ", max_payload,
                 "-byte limit (or the stream is desynchronized)")};
 
-    auto payload = readExact(sock, len, timeout_ms);
+    auto payload = readExactUntil(sock, len, deadline);
     if (!payload)
         return payload.error();
     if (!payload.value().has_value())

@@ -121,7 +121,10 @@ readExact(const Socket &sock, std::size_t n, int timeout_ms);
  * Read one length-prefixed frame. nullopt on clean EOF at a frame
  * boundary; InvalidInput when the prefix exceeds @p max_payload
  * (garbage bytes ahead of a frame land here too -- they misparse as
- * an absurd length); Timeout/IoFailure as readExact.
+ * an absurd length); Timeout/IoFailure as readExact. @p timeout_ms
+ * is one deadline for the *whole* frame -- prefix and payload share
+ * it, so a peer that dies after a partial frame surfaces as a
+ * structured error within a single timeout, never two.
  */
 [[nodiscard]] Result<std::optional<std::string>>
 readFrame(const Socket &sock, std::size_t max_payload,

@@ -384,6 +384,78 @@ TEST_F(FaultPlanGuard, ConnectionKindsAreDecorrelated)
     EXPECT_LT(agree, 600);
 }
 
+TEST_F(FaultPlanGuard, RefuseConnectFollowsRateDeterministically)
+{
+    FaultPlan plan;
+    plan.seed = 13;
+    // Unarmed (rate 0) the fault is inert at any attempt.
+    for (std::uint64_t attempt = 1; attempt <= 8; ++attempt)
+        EXPECT_FALSE(refuseConnect(plan, 9'000, attempt));
+
+    plan.spec(FaultKind::ConnRefuse).rate = 1.0;
+    EXPECT_TRUE(refuseConnect(plan, 9'000, 1));
+
+    // Pure hash of (seed, port, attempt): replayable in any call
+    // order, decorrelated across ports, attempts, and seeds -- so a
+    // retrying caller sees a *schedule* of refusals, not a mood.
+    plan.spec(FaultKind::ConnRefuse).rate = 0.5;
+    int refused = 0;
+    for (std::uint64_t attempt = 1; attempt <= 500; ++attempt) {
+        const bool first = refuseConnect(plan, 9'000, attempt);
+        EXPECT_EQ(refuseConnect(plan, 9'000, attempt), first);
+        if (first)
+            ++refused;
+    }
+    EXPECT_GT(refused, 175);
+    EXPECT_LT(refused, 325);
+
+    int port_agree = 0, seed_agree = 0;
+    FaultPlan other = plan;
+    other.seed = 14;
+    for (std::uint64_t attempt = 1; attempt <= 500; ++attempt) {
+        const bool here = refuseConnect(plan, 9'000, attempt);
+        if (here == refuseConnect(plan, 9'001, attempt))
+            ++port_agree;
+        if (here == refuseConnect(other, 9'000, attempt))
+            ++seed_agree;
+    }
+    EXPECT_GT(port_agree, 175);
+    EXPECT_LT(port_agree, 325);
+    EXPECT_GT(seed_agree, 175);
+    EXPECT_LT(seed_agree, 325);
+}
+
+TEST_F(FaultPlanGuard, RefuseConnectCountsOnlyRefusals)
+{
+    const auto counter = [] {
+        return telemetry::Registry::instance()
+            .snapshot()
+            .counter("fault.conn_refuse");
+    };
+    FaultPlan plan;
+    plan.seed = 3;
+    const auto before = counter();
+    // Inert plan: probed but never counted.
+    EXPECT_FALSE(refuseConnect(plan, 9'100, 1));
+    EXPECT_EQ(counter(), before);
+
+    plan.spec(FaultKind::ConnRefuse).rate = 1.0;
+    EXPECT_TRUE(refuseConnect(plan, 9'100, 1));
+    EXPECT_TRUE(refuseConnect(plan, 9'100, 2));
+    EXPECT_EQ(counter(), before + 2);
+}
+
+TEST(ParseFaultPlan, ParsesConnRefuse)
+{
+    const auto plan = parseFaultPlan(
+        R"({"seed": 11, "faults": {"conn-refuse": {"rate": 0.25}}})");
+    ASSERT_TRUE(plan.ok()) << plan.error().str();
+    EXPECT_DOUBLE_EQ(
+        plan.value().spec(FaultKind::ConnRefuse).rate, 0.25);
+    EXPECT_EQ(faultKindName(FaultKind::ConnRefuse),
+              std::string("conn-refuse"));
+}
+
 TEST_F(FaultPlanGuard, CountFaultFeedsTelemetry)
 {
     const auto before = telemetry::Registry::instance()

@@ -10,6 +10,7 @@
 
 #include <sys/socket.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 
@@ -208,6 +209,62 @@ TEST(Framing, SocketReceiveTimeoutSurfacesAsTimeout)
         << frame.error().str();
     EXPECT_GE(waited_ms, 90.0);
     EXPECT_LT(waited_ms, 5'000.0);
+}
+
+TEST(Framing, WriteIntoClosedPeerFailsStructurallyNotSigpipe)
+{
+    Pair pair = loopbackPair();
+    pair.server = Socket(); // Close the receiving end entirely.
+
+    // The first write usually lands in the kernel buffer before the
+    // RST arrives; keep writing until the failure surfaces. Writing
+    // into the dead half raises SIGPIPE unless the writer sends with
+    // MSG_NOSIGNAL -- the process surviving to return a structured
+    // error IS the assertion (a router must observe a killed
+    // backend, not die with it).
+    Result<void> written;
+    for (int i = 0; i < 50 && written.ok(); ++i) {
+        written = writeFrame(pair.client,
+                             std::string(4'096, 'p'), 1 << 20,
+                             1'000);
+        if (written.ok())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_FALSE(written.ok());
+    EXPECT_EQ(written.error().code, ErrorCode::IoFailure);
+}
+
+TEST(Framing, StalledMidFrameDeadlineCoversTheWholeFrame)
+{
+    Pair pair = loopbackPair();
+    // Promise 1000 bytes and dribble one byte every 40 ms -- each
+    // arrival beats a per-read deadline, so a codec that restarts
+    // its timeout per chunk hangs for 40 seconds on a reply frame
+    // that never completes. The deadline must cover the whole
+    // frame: one structured Timeout, ~300 ms after the read began.
+    std::atomic<bool> stop{false};
+    std::thread dribbler([&] {
+        rawSend(pair.client, prefix(1'000));
+        while (!stop.load()) {
+            const char byte = 'z';
+            (void)::send(pair.client.fd(), &byte, 1, MSG_NOSIGNAL);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(40));
+        }
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    auto frame = readFrame(pair.server, 1 << 20, 300);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    stop.store(true);
+    dribbler.join();
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.error().code, ErrorCode::Timeout);
+    EXPECT_GE(waited_ms, 250.0);
+    EXPECT_LT(waited_ms, 2'000.0);
 }
 
 TEST(Framing, WriterRefusesOversizedPayload)

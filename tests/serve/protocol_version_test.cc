@@ -186,6 +186,80 @@ TEST(ProtocolVersion, RemainingLifetimeParsesStrictly)
                      .ok());
 }
 
+TEST(ProtocolVersion, ReportUsageSeqIsOptionalAndOmittedAtDefault)
+{
+    // seq arrived in v2 as the idempotency handle for retried
+    // reports. It is optional, and the encoder omits it at its
+    // default -- a seq-less v2 report keeps its old bytes.
+    Request req;
+    req.id = 13;
+    req.version = 2;
+    req.type = RequestType::ReportUsage;
+    req.chip = "c0";
+    req.state = util::JsonValue::makeObject();
+    EXPECT_EQ(encodeRequest(req).find("\"seq\""),
+              std::string::npos);
+
+    req.seq = 77;
+    const std::string encoded = encodeRequest(req);
+    EXPECT_NE(encoded.find("\"seq\":77"), std::string::npos);
+    const auto parsed = parseRequest(encoded);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_EQ(parsed.value().seq, 77u);
+
+    // Absent seq parses as 0 (no dedup).
+    const auto bare = parseRequest(
+        "{\"id\":1,\"v\":2,\"type\":\"report_usage\",\"chip\":"
+        "\"c0\",\"state\":{}}");
+    ASSERT_TRUE(bare.ok()) << bare.error().str();
+    EXPECT_EQ(bare.value().seq, 0u);
+}
+
+TEST(ProtocolVersion, CacheAppendParsesStrictly)
+{
+    EXPECT_EQ(requestTypeMinVersion(RequestType::CacheAppend), 2);
+
+    Request req;
+    req.id = 14;
+    req.version = 2;
+    req.type = RequestType::CacheAppend;
+    req.key = "cfg-key";
+    req.record = "cfg-key 1 2 3";
+    req.epoch = 6;
+    const std::string encoded = encodeRequest(req);
+    const auto parsed = parseRequest(encoded);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_EQ(parsed.value().key, "cfg-key");
+    EXPECT_EQ(parsed.value().record, "cfg-key 1 2 3");
+    EXPECT_EQ(parsed.value().epoch, 6u);
+
+    // The replication verb needs v2...
+    EXPECT_FALSE(parseRequest(
+                     "{\"id\":1,\"v\":1,\"type\":\"cache_append\","
+                     "\"key\":\"k\",\"record\":\"k 1\","
+                     "\"epoch\":0}")
+                     .ok());
+    // ...and key, record, and epoch are all required.
+    EXPECT_FALSE(parseRequest(
+                     "{\"id\":1,\"v\":2,\"type\":\"cache_append\","
+                     "\"record\":\"k 1\",\"epoch\":0}")
+                     .ok());
+    EXPECT_FALSE(parseRequest(
+                     "{\"id\":1,\"v\":2,\"type\":\"cache_append\","
+                     "\"key\":\"k\",\"epoch\":0}")
+                     .ok());
+    EXPECT_FALSE(parseRequest(
+                     "{\"id\":1,\"v\":2,\"type\":\"cache_append\","
+                     "\"key\":\"k\",\"record\":\"k 1\"}")
+                     .ok());
+    // Foreign fields stay rejected.
+    EXPECT_FALSE(parseRequest(
+                     "{\"id\":1,\"v\":2,\"type\":\"cache_append\","
+                     "\"key\":\"k\",\"record\":\"k 1\","
+                     "\"epoch\":0,\"config\":1}")
+                     .ok());
+}
+
 } // namespace
 } // namespace serve
 } // namespace ramp
