@@ -11,8 +11,9 @@
  * All benches accept the same flags (see Options::usage):
  * `--threads N`, `--seed N`, `--apps N`, `--cache PATH`,
  * `--surrogate MODE`, `--bench-json PATH`, `--metrics PATH`,
- * `--trace PATH`, `--fault-plan P` and `--fault-seed N`, plus
- * `--help`. Unknown flags are rejected, except in the stripping mode
+ * `--trace PATH`, `--fault-plan P` and `--fault-seed N`, plus the
+ * chip-shape flags `--cores N` and `--floorplan PATH` (meaningful to
+ * bench_cmp, accepted everywhere) and `--help`. Unknown flags are rejected, except in the stripping mode
  * bench_kernels uses to coexist with google-benchmark's own flags.
  * The RAMP_THREADS and RAMP_EVAL_CACHE environment variables provide
  * defaults for the worker count and the cache path; an explicit
@@ -101,6 +102,12 @@ struct Options
     std::string fault_plan;
     /** Overrides the plan's own seed when nonzero. */
     std::uint64_t fault_seed = 0;
+    /** Chip floorplan JSON for the CMP bench ("" = built-in grids).
+     *  Wins over --cores. */
+    std::string floorplan_path;
+    /** Restrict the CMP bench to one built-in grid size; 0 = the
+     *  bench's default core-count sweep. */
+    std::size_t cores = 0;
 
     static void
     usage(const char *prog, std::FILE *out)
@@ -138,6 +145,12 @@ struct Options
             "clean)\n"
             "  --fault-seed N  override the plan's seed (requires "
             "--fault-plan)\n"
+            "  --cores N       built-in chip grid size for bench_cmp "
+            "(1, 2, 4,\n"
+            "                  or 8; default: sweep 2/4/8)\n"
+            "  --floorplan P   chip floorplan JSON for bench_cmp "
+            "(wins over\n"
+            "                  --cores; default: built-in grids)\n"
             "  --help          show this message and exit\n"
             "environment:\n"
             "  RAMP_THREADS    default worker count\n"
@@ -211,9 +224,11 @@ struct Options
                   {"--bench-json", &opts.bench_json_path},
                   {"--aging-state", &opts.aging_state_path},
                   {"--fault-plan", &opts.fault_plan},
+                  {"--floorplan", &opts.floorplan_path},
                   {"--threads", nullptr},
                   {"--seed", nullptr},
                   {"--fault-seed", nullptr},
+                  {"--cores", nullptr},
                   {"--apps", nullptr}}) {
                 if (arg == name ||
                     arg.rfind(std::string(name) + "=", 0) == 0) {
@@ -263,6 +278,9 @@ struct Options
                 opts.seed = parsePositive(flag, value);
             } else if (std::string(flag) == "--fault-seed") {
                 opts.fault_seed = parsePositive(flag, value);
+            } else if (std::string(flag) == "--cores") {
+                opts.cores = static_cast<std::size_t>(
+                    parsePositive(flag, value));
             } else { // --apps
                 opts.max_apps = static_cast<std::size_t>(
                     parsePositive(flag, value));

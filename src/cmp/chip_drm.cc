@@ -1,0 +1,159 @@
+#include "cmp/chip_drm.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace cmp {
+
+const char *
+budgetPolicyName(BudgetPolicy policy)
+{
+    switch (policy) {
+    case BudgetPolicy::PerCore:
+        return "per-core";
+    case BudgetPolicy::Global:
+        return "global";
+    }
+    util::panic("unknown budget policy");
+}
+
+std::optional<BudgetPolicy>
+budgetPolicyFromName(std::string_view name)
+{
+    if (name == "per-core")
+        return BudgetPolicy::PerCore;
+    if (name == "global")
+        return BudgetPolicy::Global;
+    return std::nullopt;
+}
+
+ChipSelection
+selectChipDrm(const std::vector<const drm::ExploredApp *> &cores,
+              const core::QualificationSpec &chip_spec,
+              BudgetPolicy policy)
+{
+    const std::size_t n = cores.size();
+    if (n == 0)
+        util::panic("chip selection needs at least one core");
+    const double share =
+        chip_spec.target_fit / static_cast<double>(n);
+
+    // ONE shared qualification normalized at the per-core share:
+    // every point's FIT is priced against the same allocations, so
+    // per-core values are comparable and the chip sum is meaningful.
+    // (Scaling target_fit rescales the allocations proportionally,
+    // so selection against one's own target is scale-invariant --
+    // the chip-level trade has to be on the SUM, not on per-core
+    // re-targeting.)
+    core::QualificationSpec share_spec = chip_spec;
+    share_spec.target_fit = share;
+    const core::Qualification qual(share_spec);
+
+    ChipSelection out;
+    out.cores.reserve(n);
+
+    // Equal-share baseline: every core selected against its static
+    // share in isolation -- the PerCore answer, and the floor the
+    // Global policy only ever improves on.
+    bool all_within_share = true;
+    for (std::size_t c = 0; c < n; ++c) {
+        drm::Selection sel = drm::selectDrm(*cores[c], qual);
+        all_within_share = all_within_share && sel.feasible;
+        out.cores.push_back(std::move(sel));
+    }
+
+    if (policy == BudgetPolicy::Global) {
+        // Cap the chip SUM only: grant the headroom cool cores left
+        // unused to whichever upgrade (a higher-perf valid point
+        // from a core's selectDrm table) gains the most throughput
+        // per round and still fits. Deterministic tie-breaks: larger
+        // gain, then smaller extra FIT, then lower core index, then
+        // lower point index. Each round strictly improves one core
+        // over a finite point set, so the loop terminates.
+        double consumed_fit = 0.0;
+        for (const drm::Selection &sel : out.cores)
+            consumed_fit += sel.fit;
+        for (;;) {
+            double headroom = chip_spec.target_fit - consumed_fit;
+            if (headroom <= 0.0)
+                break;
+            std::size_t best_core = n;
+            std::size_t best_point = 0;
+            double best_gain = 0.0;
+            double best_extra = 0.0;
+            for (std::size_t c = 0; c < n; ++c) {
+                const drm::Selection &cur = out.cores[c];
+                const auto &table = cur.table;
+                for (std::size_t p = 0; p < table.size(); ++p) {
+                    const drm::SelectionPoint &pt = table[p];
+                    if (!pt.valid || !pt.converged)
+                        continue;
+                    const double gain = pt.perf_rel - cur.perf_rel;
+                    const double extra = pt.fit - cur.fit;
+                    if (gain <= 0.0 || extra > headroom)
+                        continue;
+                    const bool better =
+                        gain > best_gain ||
+                        (gain == best_gain && best_core < n &&
+                         extra < best_extra);
+                    if (best_core == n || better) {
+                        best_core = c;
+                        best_point = p;
+                        best_gain = gain;
+                        best_extra = extra;
+                    }
+                }
+            }
+            if (best_core == n)
+                break;
+            drm::Selection &sel = out.cores[best_core];
+            const drm::SelectionPoint &pt = sel.table[best_point];
+            consumed_fit += pt.fit - sel.fit;
+            sel.index = best_point;
+            sel.config =
+                cores[best_core]->points[best_point].op.config;
+            sel.perf_rel = pt.perf_rel;
+            sel.fit = pt.fit;
+            sel.max_temp_k = pt.max_temp_k;
+            sel.feasible = true; // within the chip-sum budget
+        }
+    }
+
+    out.budget_fit.reserve(n);
+    for (const drm::Selection &sel : out.cores) {
+        out.budget_fit.push_back(sel.fit);
+        out.chip_fit += sel.fit;
+        out.throughput_rel += sel.perf_rel;
+    }
+    out.feasible = policy == BudgetPolicy::Global
+                       ? out.chip_fit <= chip_spec.target_fit
+                       : all_within_share;
+    return out;
+}
+
+std::vector<drm::ExploredApp>
+exploreApps(const drm::OracleExplorer &explorer,
+            util::ThreadPool *pool,
+            const std::vector<const workload::AppProfile *> &apps,
+            drm::AdaptationSpace space)
+{
+    std::vector<drm::ExploredApp> out(apps.size());
+    const auto explore_one = [&](std::size_t i) {
+        out[i] = explorer.explore(*apps[i], space);
+    };
+    if (pool == nullptr) {
+        for (std::size_t i = 0; i < apps.size(); ++i)
+            explore_one(i);
+        return out;
+    }
+    const util::BatchReport report =
+        pool->parallelFor(apps.size(), explore_one);
+    if (!report.ok())
+        util::panic("exploreApps items never throw RampException");
+    return out;
+}
+
+} // namespace cmp
+} // namespace ramp

@@ -1,0 +1,179 @@
+#include "cmp/evaluator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cmp/telemetry.hh"
+#include "power/power.hh"
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace ramp {
+namespace cmp {
+
+using sim::num_structures;
+using sim::PerStructure;
+
+double
+ChipOperatingPoint::uopsPerSecond() const
+{
+    double sum = 0.0;
+    for (const auto &op : cores)
+        sum += op.uopsPerSecond();
+    return sum;
+}
+
+double
+ChipOperatingPoint::maxTemp() const
+{
+    double m = cores[0].maxTemp();
+    for (const auto &op : cores)
+        m = std::max(m, op.maxTemp());
+    return m;
+}
+
+ChipEvaluator::ChipEvaluator(ChipFloorplan floorplan,
+                             const drm::OracleExplorer *explorer,
+                             util::ThreadPool *pool)
+    : thermal_(std::move(floorplan),
+               explorer->evaluator().params().thermal_params),
+      explorer_(explorer), pool_(pool)
+{
+}
+
+util::Result<ChipOperatingPoint>
+ChipEvaluator::tryEvaluate(
+    const std::vector<const workload::AppProfile *> &apps,
+    const std::vector<sim::MachineConfig> &cfgs) const
+{
+    const std::size_t n = numCores();
+    if (apps.size() != n || cfgs.size() != n)
+        util::panic(util::cat("chip evaluation got ", apps.size(),
+                              " apps and ", cfgs.size(),
+                              " configs for ", n, " cores"));
+    static const telemetry::Counter converge_calls =
+        telemetry::counter("cmp.converge_calls");
+    static const telemetry::Counter non_converged =
+        telemetry::counter("cmp.non_converged");
+
+    // Per-core timing (plus the cached single-core fixed point),
+    // fanned across the pool; results land by core index, failures
+    // come back by index, so the outcome is identical at any thread
+    // count.
+    ChipOperatingPoint chip;
+    chip.cores.resize(n);
+    std::vector<std::pair<std::size_t, util::RampError>> failures;
+    const auto eval_one = [&](std::size_t i) {
+        coreCounter(i, "evals").add();
+        auto r = explorer_->tryEvaluate(cfgs[i], *apps[i]);
+        if (!r)
+            throw util::RampException(r.error());
+        chip.cores[i] = std::move(r.value());
+    };
+    if (pool_ != nullptr) {
+        const util::BatchReport report =
+            pool_->parallelFor(n, eval_one);
+        failures = report.failures;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                eval_one(i);
+            } catch (const util::RampException &e) {
+                failures.emplace_back(i, e.error());
+            }
+        }
+    }
+    if (!failures.empty())
+        return util::RampError{
+            failures.front().second.code,
+            util::cat("core ", failures.front().first, ": ",
+                      failures.front().second.message)};
+
+    // The coupled power/thermal fixed point, mirroring the
+    // single-core loop with the chip network.
+    const core::EvalParams &params = explorer_->evaluator().params();
+    std::vector<power::PowerModel> pmodels;
+    pmodels.reserve(n);
+    for (const auto &cfg : cfgs)
+        pmodels.emplace_back(cfg, params.power_params);
+
+    std::vector<PerStructure<double>> temps(n);
+    for (auto &t : temps)
+        t.fill(params.thermal_params.ambient_k + 30.0);
+
+    // Same clamp as the single-core evaluator: above ~450 K the
+    // exponential leakage loop has no stable fixed point.
+    constexpr double leak_temp_cap = 450.0;
+
+    converge_calls.add();
+    std::vector<PerStructure<double>> dyn(n);
+    for (std::size_t c = 0; c < n; ++c)
+        dyn[c] = pmodels[c].dynamicPower(chip.cores[c].activity);
+
+    double final_residual_k = 0.0;
+    ChipSteadyTemps steady{};
+    std::vector<PerStructure<double>> total(n);
+    for (std::uint32_t it = 0; it < params.max_iterations; ++it) {
+        for (std::size_t c = 0; c < n; ++c) {
+            PerStructure<double> leak_temps = temps[c];
+            for (auto &t : leak_temps)
+                t = std::min(t, leak_temp_cap);
+            if (!params.leakage_feedback)
+                leak_temps.fill(params.power_params.leakage_t_ref);
+            const auto leak = pmodels[c].leakagePower(leak_temps);
+            for (std::size_t i = 0; i < num_structures; ++i)
+                total[c][i] = dyn[c][i] + leak[i];
+        }
+        auto solve = thermal_.trySteadyState(total);
+        if (!solve)
+            return solve.error();
+        steady = std::move(solve.value());
+
+        double worst = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            for (std::size_t i = 0; i < num_structures; ++i) {
+                worst = std::max(
+                    worst, std::fabs(steady.core_k[c][i] -
+                                     temps[c][i]));
+                temps[c][i] =
+                    0.5 * temps[c][i] + 0.5 * steady.core_k[c][i];
+            }
+        }
+        final_residual_k = worst;
+        if (worst < params.tolerance_k)
+            break;
+        if (it + 1 == params.max_iterations)
+            util::warn("chip thermal fixed point hit the iteration "
+                       "limit");
+    }
+
+    chip.converged = final_residual_k < params.tolerance_k;
+    if (!chip.converged)
+        non_converged.add();
+
+    chip.sink_temp_k = steady.sink_k;
+    for (std::size_t c = 0; c < n; ++c) {
+        core::OperatingPoint &op = chip.cores[c];
+        op.temps_k = temps[c];
+        op.sink_temp_k = steady.sink_k;
+        op.converged = chip.converged;
+        PerStructure<double> leak_temps = temps[c];
+        for (auto &t : leak_temps)
+            t = std::min(t, leak_temp_cap);
+        if (!params.leakage_feedback)
+            leak_temps.fill(params.power_params.leakage_t_ref);
+        op.power = pmodels[c].breakdown(op.activity, leak_temps);
+        for (double t : op.temps_k)
+            if (!std::isfinite(t))
+                return util::RampError{
+                    util::ErrorCode::NonFiniteValue,
+                    util::cat("chip thermal fixed point produced "
+                              "non-finite temperatures on core ",
+                              c)};
+    }
+    return chip;
+}
+
+} // namespace cmp
+} // namespace ramp

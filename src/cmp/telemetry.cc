@@ -1,0 +1,16 @@
+#include "cmp/telemetry.hh"
+
+#include "util/logging.hh"
+
+namespace ramp {
+namespace cmp {
+
+telemetry::Counter
+coreCounter(std::size_t core, std::string_view suffix)
+{
+    return telemetry::counter(
+        util::cat("cmp.core", core, ".", suffix));
+}
+
+} // namespace cmp
+} // namespace ramp

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Per-core metric naming. Chip-level code labels per-core counters
+ * as `cmp.core<i>.<suffix>`; the manifest documents each suffix once
+ * with the literal `<i>` placeholder (docs/metrics.manifest), and
+ * ramp-lint extracts coreCounter() call sites into that templated
+ * name, so N cores never need N manifest rows.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "util/telemetry.hh"
+
+namespace ramp {
+namespace cmp {
+
+/** The counter `cmp.core<core>.<suffix>` (registered on demand). */
+telemetry::Counter coreCounter(std::size_t core,
+                               std::string_view suffix);
+
+} // namespace cmp
+} // namespace ramp

@@ -1,0 +1,188 @@
+#include "cmp/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace ramp {
+namespace cmp {
+
+using sim::allStructures;
+using sim::num_structures;
+using sim::PerStructure;
+using sim::structureIndex;
+
+double
+ChipSteadyTemps::maxCore(std::size_t core) const
+{
+    double m = core_k[core][0];
+    for (double t : core_k[core])
+        m = std::max(m, t);
+    return m;
+}
+
+double
+ChipSteadyTemps::maxChip() const
+{
+    double m = maxCore(0);
+    for (std::size_t c = 1; c < core_k.size(); ++c)
+        m = std::max(m, maxCore(c));
+    return m;
+}
+
+ChipThermalModel::ChipThermalModel(ChipFloorplan floorplan,
+                                   thermal::ThermalParams params)
+    : floorplan_(std::move(floorplan)), params_(params),
+      spreader_(blockNodes()), sink_(blockNodes() + 1),
+      g_(nodes(), nodes()), g_amb_(nodes(), 0.0)
+{
+    if (params_.ambient_k <= 0.0)
+        util::fatal("ambient temperature must be positive kelvin");
+    if (params_.r_vertical_mm2 <= 0.0 || params_.r_spreader <= 0.0 ||
+        params_.r_convection <= 0.0)
+        util::fatal("thermal resistances must be positive");
+    if (params_.area_scale <= 0.0)
+        util::fatal("thermal area scale must be positive");
+    buildNetwork();
+}
+
+void
+ChipThermalModel::buildNetwork()
+{
+    const std::size_t cores = floorplan_.numCores();
+    const thermal::Floorplan &core_fp = floorplan_.coreFloorplan();
+
+    // Vertical block -> spreader conduction, tile by tile: the same
+    // per-structure conductances, accumulated in the same order, as
+    // the single-core model's buildNetwork.
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (auto id : allStructures()) {
+            const std::size_t i =
+                c * num_structures + structureIndex(id);
+            const double area =
+                core_fp.block(id).area() * params_.area_scale;
+            const double g = area / params_.r_vertical_mm2;
+            g_.at(i, spreader_) += g;
+            g_.at(spreader_, i) += g;
+        }
+    }
+
+    // Intra-tile lateral conduction (identical to the single-core
+    // model per tile), then cross-tile lateral conduction between
+    // blocks abutting along a shared tile border.
+    const double kt = params_.k_silicon * params_.die_thickness;
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (auto a : allStructures()) {
+            for (auto b : allStructures()) {
+                if (structureIndex(b) <= structureIndex(a))
+                    continue;
+                const double border = core_fp.sharedBorder(a, b);
+                if (border <= 0.0)
+                    continue;
+                const double dist = core_fp.centerDistance(a, b);
+                const double g = kt * border / dist;
+                const std::size_t i =
+                    c * num_structures + structureIndex(a);
+                const std::size_t j =
+                    c * num_structures + structureIndex(b);
+                g_.at(i, j) += g;
+                g_.at(j, i) += g;
+            }
+        }
+    }
+    for (std::size_t c = 0; c < cores; ++c) {
+        for (std::size_t d = c + 1; d < cores; ++d) {
+            if (!floorplan_.tilesAdjacent(c, d))
+                continue;
+            for (auto a : allStructures()) {
+                for (auto b : allStructures()) {
+                    const double border =
+                        floorplan_.sharedBorder(c, a, d, b);
+                    if (border <= 0.0)
+                        continue;
+                    const double dist =
+                        floorplan_.centerDistance(c, a, d, b);
+                    const double g = kt * border / dist;
+                    const std::size_t i =
+                        c * num_structures + structureIndex(a);
+                    const std::size_t j =
+                        d * num_structures + structureIndex(b);
+                    g_.at(i, j) += g;
+                    g_.at(j, i) += g;
+                }
+            }
+        }
+    }
+
+    // Shared spreader -> shared sink, sink -> ambient.
+    g_.at(spreader_, sink_) += 1.0 / params_.r_spreader;
+    g_.at(sink_, spreader_) += 1.0 / params_.r_spreader;
+    g_amb_[sink_] = 1.0 / params_.r_convection;
+}
+
+util::Result<ChipSteadyTemps>
+ChipThermalModel::trySteadyState(
+    const std::vector<PerStructure<double>> &power_w) const
+{
+    if (power_w.size() != numCores())
+        util::panic(util::cat("chip thermal solve got ",
+                              power_w.size(), " power maps for ",
+                              numCores(), " cores"));
+    static const telemetry::Counter solves =
+        telemetry::counter("cmp.chip_solves");
+    solves.add();
+
+    // Solve A*T = b with A_ii = sum_j g_ij + g_amb_i, A_ij = -g_ij,
+    // b_i = P_i + g_amb_i * T_amb -- the single-core assembly
+    // generalized to cores * num_structures block rows.
+    const std::size_t n = nodes();
+    util::Matrix a(n, n);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double diag = g_amb_[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            diag += g_.at(i, j);
+            if (i != j && g_.at(i, j) > 0.0)
+                a.at(i, j) = -g_.at(i, j);
+        }
+        a.at(i, i) = diag;
+        b[i] = g_amb_[i] * params_.ambient_k;
+        if (i < blockNodes()) {
+            const double p =
+                power_w[i / num_structures][i % num_structures];
+            if (!std::isfinite(p))
+                return util::RampError{
+                    util::ErrorCode::NonFiniteValue,
+                    util::cat("non-finite block power ", p,
+                              " at core ", i / num_structures,
+                              " structure ", i % num_structures,
+                              " in chip thermal solve")};
+            if (p < 0.0)
+                return util::RampError{
+                    util::ErrorCode::InvalidInput,
+                    util::cat("negative block power ", p, " at core ",
+                              i / num_structures, " structure ",
+                              i % num_structures,
+                              " in chip thermal solve")};
+            b[i] += p;
+        }
+    }
+    auto t = util::trySolveLinear(std::move(a), std::move(b));
+    if (!t)
+        return t.error();
+
+    ChipSteadyTemps out;
+    out.core_k.resize(numCores());
+    for (std::size_t c = 0; c < numCores(); ++c)
+        for (std::size_t i = 0; i < num_structures; ++i)
+            out.core_k[c][i] = t.value()[c * num_structures + i];
+    out.spreader_k = t.value()[spreader_];
+    out.sink_k = t.value()[sink_];
+    return out;
+}
+
+} // namespace cmp
+} // namespace ramp

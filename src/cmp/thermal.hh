@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Coupled chip-level RC thermal model for a tiled CMP floorplan.
+ *
+ * One silicon node per structure per core (core-major order), one
+ * shared heat-spreader node, one shared heat-sink node, and the
+ * ambient as a fixed-temperature boundary. Within a tile the network
+ * is exactly the single-core model (thermal/model.hh): vertical
+ * die+TIM conduction into the spreader and lateral conduction
+ * between adjacent blocks. Across tiles, blocks that abut along a
+ * tile border conduct laterally through the die with the same
+ * kt * border / distance conductance, so a core's temperature
+ * depends on its neighbors' power -- the coupling that makes
+ * chip-level budget allocation a real trade.
+ *
+ * For a 1-core floorplan the assembled system is, operation for
+ * operation, the single-core ThermalModel's: identical conductances
+ * accumulated in identical order, so trySteadyState is bit-identical
+ * to the single-core solver (locked in by tests/cmp).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cmp/floorplan.hh"
+#include "thermal/model.hh"
+#include "util/error.hh"
+#include "util/linalg.hh"
+
+namespace ramp {
+namespace cmp {
+
+/** Result of a chip steady-state solve. */
+struct ChipSteadyTemps
+{
+    /** Per-core block temperatures, indexed by core then structure. */
+    std::vector<sim::PerStructure<double>> core_k;
+    double spreader_k = 0.0;
+    double sink_k = 0.0;
+
+    /** Hottest structure temperature on one core. */
+    double maxCore(std::size_t core) const;
+
+    /** Hottest structure temperature on the chip. */
+    double maxChip() const;
+};
+
+/** The coupled RC network with a steady-state solver. */
+class ChipThermalModel
+{
+  public:
+    /** @param floorplan Tile placement; copied.
+     *  @param params Package constants shared by every tile. */
+    explicit ChipThermalModel(ChipFloorplan floorplan,
+                              thermal::ThermalParams params = {});
+
+    /**
+     * Steady-state temperatures for fixed per-core per-block power
+     * maps (W). @p power_w must carry one entry per core (panic
+     * otherwise -- a size mismatch is a caller bug, not input).
+     * Negative or non-finite block power is an InvalidInput /
+     * NonFiniteValue error; a singular conductance system propagates
+     * as SingularSystem.
+     */
+    [[nodiscard]] util::Result<ChipSteadyTemps> trySteadyState(
+        const std::vector<sim::PerStructure<double>> &power_w) const;
+
+    std::size_t numCores() const { return floorplan_.numCores(); }
+    const ChipFloorplan &floorplan() const { return floorplan_; }
+    const thermal::ThermalParams &params() const { return params_; }
+
+  private:
+    std::size_t blockNodes() const
+    {
+        return floorplan_.numCores() * sim::num_structures;
+    }
+    std::size_t nodes() const { return blockNodes() + 2; }
+    void buildNetwork();
+
+    ChipFloorplan floorplan_;
+    thermal::ThermalParams params_;
+
+    std::size_t spreader_; ///< Node index of the shared spreader.
+    std::size_t sink_;     ///< Node index of the shared sink.
+
+    /** Conductance matrix G (W/K), symmetric, zero diagonal. */
+    util::Matrix g_;
+    std::vector<double> g_amb_; ///< Node -> ambient conductance.
+};
+
+} // namespace cmp
+} // namespace ramp

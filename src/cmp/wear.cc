@@ -1,0 +1,109 @@
+#include "cmp/wear.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "cmp/telemetry.hh"
+#include "power/power.hh"
+#include "sim/machine.hh"
+#include "util/logging.hh"
+
+namespace ramp {
+namespace cmp {
+
+WearLeveler::WearLeveler(const core::Qualification &qual,
+                         std::size_t cores, WearParams params)
+    : params_(params)
+{
+    if (cores == 0)
+        util::fatal("wear leveling needs at least one core");
+    if (params_.migrate_spread_frac <= 0.0 ||
+        params_.rearm_spread_frac <= 0.0 ||
+        params_.migrate_spread_frac <= params_.rearm_spread_frac)
+        util::fatal("wear-leveling thresholds must satisfy "
+                    "0 < rearm < migrate");
+    const sim::PerStructure<double> on_fractions =
+        power::poweredFractions(sim::baseMachine());
+    integrators_.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        integrators_.emplace_back(qual, on_fractions);
+}
+
+void
+WearLeveler::addInterval(std::size_t core,
+                         const core::OperatingPoint &op, double hours)
+{
+    if (hours <= 0.0)
+        return;
+    integrators_[core].addInterval(
+        op.temps_k, op.activity.activity, op.config.voltage_v,
+        op.config.frequency_ghz, hours * 3600.0);
+}
+
+double
+WearLeveler::consumedFrac(std::size_t core) const
+{
+    return integrators_[core].state().totalDamage();
+}
+
+double
+WearLeveler::spreadFrac() const
+{
+    double lo = consumedFrac(0);
+    double hi = lo;
+    for (std::size_t c = 1; c < integrators_.size(); ++c) {
+        const double d = consumedFrac(c);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    return hi - lo;
+}
+
+bool
+WearLeveler::maybeMigrate(std::vector<std::size_t> &assignment)
+{
+    if (assignment.size() != integrators_.size())
+        util::panic(util::cat("wear leveling got ",
+                              assignment.size(), " app slots for ",
+                              integrators_.size(), " cores"));
+    const double spread = spreadFrac();
+    // Re-arm when the last migration ran its course: either the
+    // spread closed below the re-arm threshold, or it regrew past the
+    // level we last acted at (with 3+ distinct damage rates the
+    // spread has a rising floor and may never close, but growing
+    // beyond the last trigger point proves another swap is due).
+    if (!armed_ && (spread < params_.rearm_spread_frac ||
+                    spread > last_migration_spread_))
+        armed_ = true;
+    ++epochs_since_migration_;
+    if (!armed_ || spread <= params_.migrate_spread_frac ||
+        epochs_since_migration_ < params_.cooldown_epochs)
+        return false;
+
+    std::size_t hottest = 0;
+    std::size_t coolest = 0;
+    for (std::size_t c = 1; c < integrators_.size(); ++c) {
+        if (consumedFrac(c) > consumedFrac(hottest))
+            hottest = c;
+        if (consumedFrac(c) < consumedFrac(coolest))
+            coolest = c;
+    }
+    if (hottest == coolest)
+        return false;
+    std::swap(assignment[hottest], assignment[coolest]);
+    coreCounter(hottest, "migrations").add();
+    armed_ = false;
+    last_migration_spread_ = spread;
+    epochs_since_migration_ = 0;
+    ++migrations_;
+    return true;
+}
+
+const aging::AgingState &
+WearLeveler::state(std::size_t core) const
+{
+    return integrators_[core].state();
+}
+
+} // namespace cmp
+} // namespace ramp

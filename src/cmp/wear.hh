@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cross-core wear-leveling: per-core damage state plus a hysteretic
+ * migration policy -- an adaptation the single-core paper could not
+ * express.
+ *
+ * Each core carries its own damage-accumulation integrator
+ * (aging/damage.hh) fed by the chip-coupled temperatures of whatever
+ * app it is running. When the consumed-lifetime spread between the
+ * most- and least-damaged cores exceeds a trigger threshold, the two
+ * cores swap apps: the hot app migrates off the most-consumed core
+ * onto the least-consumed one, flipping their damage rates so the
+ * spread closes again. Hysteresis keeps the policy from thrashing --
+ * after a migration the trigger is disarmed while the spread sits in
+ * the band between the lower re-arm threshold and the spread the
+ * migration acted at: closing below the band re-arms (the swap
+ * worked), and regrowing past its top re-arms too (with three or
+ * more distinct damage rates the spread has a rising floor and may
+ * never close, but exceeding the last trigger point proves another
+ * swap is due). A cooldown additionally enforces a minimum number of
+ * epochs between migrations.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "aging/damage.hh"
+#include "core/evaluator.hh"
+#include "core/qualification.hh"
+
+namespace ramp {
+namespace cmp {
+
+/** Migration-policy knobs (consumed-lifetime fractions). */
+struct WearParams
+{
+    /** Spread (max - min consumed fraction) that triggers a
+     *  migration when armed. */
+    double migrate_spread_frac = 0.02;
+
+    /** Spread below which the trigger re-arms after a migration. */
+    double rearm_spread_frac = 0.01;
+
+    /** Minimum epochs (maybeMigrate calls) between migrations. */
+    std::uint32_t cooldown_epochs = 2;
+};
+
+/** Per-core damage state with the hysteretic migration policy. */
+class WearLeveler
+{
+  public:
+    /**
+     * @param qual The shipped qualification damage is measured
+     *        against (copied into every core's integrator).
+     * @param cores Number of cores tracked.
+     * @param params Policy knobs; trigger must exceed re-arm and
+     *        both must be positive (fatal otherwise).
+     */
+    WearLeveler(const core::Qualification &qual, std::size_t cores,
+                WearParams params = {});
+
+    /** Integrate one interval of one core's operating history (the
+     *  chip-coupled operating point held for @p hours). */
+    void addInterval(std::size_t core,
+                     const core::OperatingPoint &op, double hours);
+
+    /** Consumed-lifetime fraction of one core. */
+    double consumedFrac(std::size_t core) const;
+
+    /** Max - min consumed fraction across cores. */
+    double spreadFrac() const;
+
+    /**
+     * Advance the policy one epoch and, when triggered, swap the
+     * apps of the most- and least-consumed cores in @p assignment
+     * (one app slot per core; ties break to the lowest core index,
+     * so the decision is deterministic).
+     * @return true when a migration happened.
+     */
+    bool maybeMigrate(std::vector<std::size_t> &assignment);
+
+    /** Full damage state of one core. */
+    const aging::AgingState &state(std::size_t core) const;
+
+    std::size_t numCores() const { return integrators_.size(); }
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    WearParams params_;
+    std::vector<aging::DamageIntegrator> integrators_;
+    bool armed_ = true;
+    /** Spread the last migration acted at (top of the disarm band). */
+    double last_migration_spread_ = 0.0;
+    std::uint32_t epochs_since_migration_ = 0;
+    std::uint64_t migrations_ = 0;
+};
+
+} // namespace cmp
+} // namespace ramp

@@ -233,6 +233,7 @@ Router::handleRequest(const Request &req, const std::string &payload,
       case RequestType::Evaluate:
       case RequestType::SelectDrm:
       case RequestType::SelectDtm:
+      case RequestType::SelectChip:
       case RequestType::ReportUsage:
       case RequestType::RemainingLifetime:
         break;
@@ -257,6 +258,15 @@ Router::routeKey(const Request &req)
         return util::cat("pt|", req.app, "|",
                          static_cast<int>(req.space), "|",
                          req.config);
+    case RequestType::SelectChip: {
+        // Key on the whole app mix so identical chips stick to one
+        // backend's explored-space memos.
+        std::string mix;
+        for (const auto &app : req.core_apps)
+            mix += app + ",";
+        return util::cat("chip-sel|", mix,
+                         static_cast<int>(req.space));
+    }
     default:
         return util::cat("sel|", req.app, "|",
                          static_cast<int>(req.space));

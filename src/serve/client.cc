@@ -298,5 +298,23 @@ Session::remainingLifetime(const std::string &chip,
     return callUnwrap(std::move(req));
 }
 
+Result<JsonValue>
+Session::selectChip(const std::vector<std::string> &apps,
+                    drm::AdaptationSpace space,
+                    cmp::BudgetPolicy policy, double t_qual_k,
+                    JsonValue floorplan)
+{
+    if (auto ok = needVersion(3, "select_chip"); !ok)
+        return ok.error();
+    Request req;
+    req.type = RequestType::SelectChip;
+    req.core_apps = apps;
+    req.space = space;
+    req.budget_policy = policy;
+    req.t_qual_k = t_qual_k;
+    req.floorplan = std::move(floorplan);
+    return callUnwrap(std::move(req));
+}
+
 } // namespace serve
 } // namespace ramp

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.hh"
 #include "util/net.hh"
@@ -176,6 +177,20 @@ class Session
         drm::AdaptationSpace space, double t_qual_k = 345.0,
         drm::surrogate::SurrogateMode surrogate =
             drm::surrogate::SurrogateMode::Off);
+
+    /**
+     * v3: chip-level DRM selection for one application per core
+     * under one chip-wide FIT budget (cmp::selectChipDrm). A
+     * Null @p floorplan selects the built-in grid for apps.size()
+     * cores; an object must be a valid cmp::ChipFloorplan document.
+     * InvalidInput when the negotiated version is below 3.
+     */
+    [[nodiscard]] util::Result<util::JsonValue> selectChip(
+        const std::vector<std::string> &apps,
+        drm::AdaptationSpace space,
+        cmp::BudgetPolicy policy = cmp::BudgetPolicy::Global,
+        double t_qual_k = 345.0,
+        util::JsonValue floorplan = util::JsonValue::makeNull());
 
   private:
     Session(Client client, int version)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cmp/floorplan.hh"
 #include "util/logging.hh"
 
 namespace ramp {
@@ -19,6 +20,7 @@ const char *const type_names[] = {
     "evaluate",    "select_drm",   "select_dtm",
     "stats",       "shutdown",     "hello",
     "report_usage", "remaining_lifetime", "cache_append",
+    "select_chip",
 };
 
 // --- The per-version field table -------------------------------------
@@ -43,6 +45,9 @@ enum class Field : std::uint8_t {
     Key,
     Record,
     Epoch,
+    Apps,
+    Policy,
+    Floorplan,
 };
 
 struct FieldRule
@@ -110,6 +115,14 @@ constexpr FieldRule cache_append_fields[] = {
     {Field::Epoch, "epoch", true, 2},
 };
 
+constexpr FieldRule select_chip_fields[] = {
+    {Field::Apps, "apps", true, 3},
+    {Field::Space, "space", true, 3},
+    {Field::Policy, "policy", false, 3},
+    {Field::Floorplan, "floorplan", false, 3, true},
+    {Field::TQualK, "t_qual_k", false, 3},
+};
+
 constexpr TypeRule type_rules[] = {
     {RequestType::Evaluate, 0, evaluate_fields,
      std::size(evaluate_fields)},
@@ -126,6 +139,8 @@ constexpr TypeRule type_rules[] = {
      std::size(remaining_lifetime_fields)},
     {RequestType::CacheAppend, 2, cache_append_fields,
      std::size(cache_append_fields)},
+    {RequestType::SelectChip, 3, select_chip_fields,
+     std::size(select_chip_fields)},
 };
 
 const TypeRule &
@@ -276,6 +291,52 @@ parseField(const FieldRule &rule, const JsonValue &value,
         req.epoch = e.value();
         return {};
       }
+      case Field::Apps: {
+        if (!value.isArray() || value.array.empty())
+            return RampError{ErrorCode::InvalidInput,
+                             "select_chip needs a non-empty array "
+                             "'apps' (one application per core)"};
+        req.core_apps.clear();
+        for (std::size_t i = 0; i < value.array.size(); ++i) {
+            const JsonValue &name = value.array[i];
+            if (!name.isString() || name.str.empty())
+                return RampError{
+                    ErrorCode::InvalidInput,
+                    util::cat("select_chip 'apps[", i,
+                              "]' must be a non-empty string")};
+            req.core_apps.push_back(name.str);
+        }
+        return {};
+      }
+      case Field::Policy: {
+        if (!value.isString())
+            return RampError{ErrorCode::InvalidInput,
+                             "request field 'policy' must be a "
+                             "string"};
+        const auto p = cmp::budgetPolicyFromName(value.str);
+        if (!p)
+            return RampError{
+                ErrorCode::InvalidInput,
+                util::cat("unknown budget policy '", value.str,
+                          "' (per-core or global)")};
+        req.budget_policy = *p;
+        return {};
+      }
+      case Field::Floorplan: {
+        // Validate the placement document here so a malformed
+        // floorplan is a structured bad-request naming the offending
+        // core ("request:cores[2]: ..."), not a later evaluation
+        // failure.
+        if (!value.isObject())
+            return RampError{ErrorCode::InvalidInput,
+                             "select_chip needs an object "
+                             "'floorplan'"};
+        auto plan = cmp::ChipFloorplan::tryParse(value, "request");
+        if (!plan)
+            return plan.error();
+        req.floorplan = value;
+        return {};
+      }
     }
     util::panic("parseField: bad field id");
 }
@@ -335,6 +396,22 @@ encodeField(const FieldRule &rule, const Request &req,
       case Field::Epoch:
         root.set("epoch", JsonValue::makeNumber(
                               static_cast<double>(req.epoch)));
+        return;
+      case Field::Apps: {
+        JsonValue apps = JsonValue::makeArray();
+        for (const auto &name : req.core_apps)
+            apps.push(JsonValue::makeString(name));
+        root.set("apps", std::move(apps));
+        return;
+      }
+      case Field::Policy:
+        root.set("policy",
+                 JsonValue::makeString(
+                     cmp::budgetPolicyName(req.budget_policy)));
+        return;
+      case Field::Floorplan:
+        if (req.floorplan.isObject())
+            root.set("floorplan", req.floorplan);
         return;
     }
     util::panic("encodeField: bad field id");

@@ -38,6 +38,21 @@
  *    "app":"gzip","space":"DVS","t_qual_k":345}
  *   {"id":9,"v":2,"type":"cache_append","key":"gzip|w128...",
  *    "record":"3 gzip|w128... 1234 ...","epoch":2}
+ *   {"id":10,"v":3,"type":"select_chip","apps":["gzip","MPGdec"],
+ *    "space":"DVS","policy":"global",
+ *    "floorplan":{"cores":[...]},"t_qual_k":345}
+ *
+ * `"v":3` adds the CMP verb: `select_chip` runs one chip-level DRM
+ * selection (cmp/chip_drm.hh) for one application per core under a
+ * single chip-wide FIT budget (the per-core default share times the
+ * core count). `apps` names one application per core; `policy`
+ * ("per-core" or "global", default "global") picks the budget
+ * allocation; the optional `floorplan` object is a
+ * cmp::ChipFloorplan document fixing the chip's shape (absent means
+ * the built-in grid for the core count). Floorplan documents are
+ * validated structurally at parse time, so a malformed placement is
+ * a `bad-request` with the offending core named
+ * (`request:cores[2]: ...`), never an evaluation-layer failure.
  *
  * report_usage's optional `seq` makes retries idempotent: the server
  * keeps each chip's last-applied sequence number and acknowledges a
@@ -76,7 +91,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "cmp/chip_drm.hh"
 #include "drm/adaptation.hh"
 #include "drm/surrogate/mode.hh"
 #include "util/error.hh"
@@ -90,7 +107,7 @@ inline constexpr std::size_t default_max_frame = std::size_t{1}
                                                  << 20;
 
 /** Highest protocol version this build speaks ("v" field). */
-inline constexpr int protocol_version_max = 2;
+inline constexpr int protocol_version_max = 3;
 
 /** Lowest version (the unversioned legacy wire shape). */
 inline constexpr int protocol_version_min = 0;
@@ -113,6 +130,7 @@ enum class RequestType : std::uint8_t {
     ReportUsage,       ///< v2: merge an AgingState delta for a chip.
     RemainingLifetime, ///< v2: consumed life + safe point + ETA.
     CacheAppend,       ///< v2: peer replication of one cache record.
+    SelectChip,        ///< v3: chip-level DRM over one app per core.
 };
 
 /** Wire name ("evaluate", "select_drm", ...). */
@@ -162,6 +180,14 @@ struct Request
     std::string record;
     /** cache_append: the sender's compaction epoch. */
     std::uint64_t epoch = 0;
+
+    /** select_chip: one application name per core. */
+    std::vector<std::string> core_apps;
+    /** select_chip: how the chip FIT budget is split. */
+    cmp::BudgetPolicy budget_policy = cmp::BudgetPolicy::Global;
+    /** select_chip: optional cmp::ChipFloorplan document (Null =
+     *  the built-in grid for core_apps.size() cores). */
+    util::JsonValue floorplan;
 };
 
 /** Serialize a request to its wire payload (v0 byte-identical to

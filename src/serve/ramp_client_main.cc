@@ -11,6 +11,7 @@
  *   ramp_client --port N hello
  *   ramp_client --port N report-usage CHIP STATEFILE
  *   ramp_client --port N remaining-lifetime CHIP APP SPACE [T_QUAL_K]
+ *   ramp_client --port N select-chip POLICY SPACE APP [APP...]
  *
  * Every invocation opens a Session: the protocol version is
  * negotiated once with a hello, and requests go out at the
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "aging/state.hh"
+#include "cmp/chip_drm.hh"
 #include "fault/fault.hh"
 #include "route/retry.hh"
 #include "serve/client.hh"
@@ -71,7 +73,9 @@ usage(const char *prog, std::FILE *out)
         "  hello\n"
         "  report-usage CHIP STATEFILE\n"
         "  remaining-lifetime CHIP APP SPACE [T_QUAL_K]\n"
-        "SPACE is one of Arch, DVS, ArchDVS, FetchThrottle.\n",
+        "  select-chip POLICY SPACE APP [APP...]\n"
+        "SPACE is one of Arch, DVS, ArchDVS, FetchThrottle.\n"
+        "POLICY is per-core or global.\n",
         prog);
 }
 
@@ -246,6 +250,18 @@ main(int argc, char **argv)
             return session.value().remainingLifetime(
                 words[1], words[2], space(words[3]),
                 words.size() > 4 ? parseTemp(words[4]) : 345.0);
+        }
+        if (command == "select-chip") {
+            arity(3, words.size()); // POLICY SPACE APP [APP...]
+            const auto policy = cmp::budgetPolicyFromName(words[1]);
+            if (!policy)
+                util::fatal(util::cat("unknown budget policy '",
+                                      words[1],
+                                      "' (per-core or global)"));
+            const std::vector<std::string> apps(words.begin() + 3,
+                                                words.end());
+            return session.value().selectChip(apps, space(words[2]),
+                                              *policy);
         }
         usage(prog, stderr);
         util::fatal(util::cat("unknown command '", command, "'"));

@@ -287,6 +287,7 @@ Server::replyInline(const std::shared_ptr<Connection> &conn,
       case RequestType::Evaluate:
       case RequestType::SelectDrm:
       case RequestType::SelectDtm:
+      case RequestType::SelectChip:
       case RequestType::RemainingLifetime:
         break;
     }
@@ -412,6 +413,8 @@ Server::runBatch(std::vector<Job> &batch)
                            : Result<JsonValue>(point.error());
         } else if (req.type == RequestType::RemainingLifetime) {
             result = service_.remainingLifetime(req);
+        } else if (req.type == RequestType::SelectChip) {
+            result = service_.selectChip(req);
         } else {
             result = service_.select(req);
         }

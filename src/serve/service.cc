@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "aging/slack_bank.hh"
+#include "cmp/chip_drm.hh"
+#include "cmp/floorplan.hh"
 #include "util/constants.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -216,6 +218,102 @@ EvaluationService::select(const Request &req)
             JsonValue::makeBool(sel.index < sel.table.size()
                                     ? sel.table[sel.index].converged
                                     : true));
+    return out;
+}
+
+Result<JsonValue>
+EvaluationService::selectChip(const Request &req)
+{
+    const std::size_t n = req.core_apps.size();
+
+    // Resolve the chip shape first: the request's floorplan (already
+    // structurally validated by parseRequest) or the built-in grid.
+    // grid() treats unsupported counts as a caller bug, so guard the
+    // wire path with a structured error instead.
+    Result<cmp::ChipFloorplan> plan =
+        req.floorplan.isObject()
+            ? cmp::ChipFloorplan::tryParse(req.floorplan, "request")
+            : (n == 1 || n == 2 || n == 4 || n == 8)
+                  ? Result<cmp::ChipFloorplan>(
+                        cmp::ChipFloorplan::grid(n))
+                  : Result<cmp::ChipFloorplan>(RampError{
+                        ErrorCode::InvalidInput,
+                        util::cat("no built-in floorplan for ", n,
+                                  " cores (1, 2, 4, or 8); send an "
+                                  "explicit 'floorplan'")});
+    if (!plan)
+        return plan.error();
+    if (plan.value().numCores() != n)
+        return RampError{
+            ErrorCode::InvalidInput,
+            util::cat("select_chip names ", n, " apps but the "
+                      "floorplan places ",
+                      plan.value().numCores(), " cores")};
+
+    std::vector<std::shared_ptr<const drm::ExploredApp>> spaces;
+    spaces.reserve(n);
+    for (const auto &app : req.core_apps) {
+        auto idx = appIndex(app);
+        if (!idx)
+            return idx.error();
+        auto space = explored(idx.value(), req.space);
+        if (!space)
+            return space.error();
+        spaces.push_back(std::move(space.value()));
+    }
+    std::vector<const drm::ExploredApp *> cores;
+    cores.reserve(n);
+    for (const auto &space : spaces)
+        cores.push_back(space.get());
+
+    // One shared qualification prices every core's points, so FIT is
+    // comparable and summable chip-wide; the chip budget is the
+    // default per-core target scaled by the core count.
+    core::QualificationSpec chip_spec;
+    chip_spec.t_qual_k = req.t_qual_k;
+    chip_spec.alpha_qual = alpha_qual_;
+    const double budget_fit = chip_spec.target_fit * static_cast<double>(n);
+    chip_spec.target_fit = budget_fit;
+
+    const cmp::ChipSelection sel =
+        cmp::selectChipDrm(cores, chip_spec, req.budget_policy);
+
+    JsonValue out = JsonValue::makeObject();
+    JsonValue apps = JsonValue::makeArray();
+    for (const auto &app : req.core_apps)
+        apps.push(JsonValue::makeString(app));
+    out.set("apps", std::move(apps));
+    out.set("space", JsonValue::makeString(
+                         drm::adaptationSpaceName(req.space)));
+    out.set("policy", JsonValue::makeString(
+                          cmp::budgetPolicyName(req.budget_policy)));
+    out.set("t_qual_k", JsonValue::makeNumber(req.t_qual_k));
+    out.set("budget_fit", JsonValue::makeNumber(budget_fit));
+    out.set("chip_fit", JsonValue::makeNumber(sel.chip_fit));
+    out.set("throughput_rel",
+            JsonValue::makeNumber(sel.throughput_rel));
+    out.set("feasible", JsonValue::makeBool(sel.feasible));
+    JsonValue core_list = JsonValue::makeArray();
+    for (std::size_t c = 0; c < n; ++c) {
+        const drm::Selection &core = sel.cores[c];
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("app", JsonValue::makeString(req.core_apps[c]));
+        entry.set("index", JsonValue::makeNumber(
+                               static_cast<double>(core.index)));
+        entry.set("frequency_ghz",
+                  JsonValue::makeNumber(core.config.frequency_ghz));
+        entry.set("voltage_v",
+                  JsonValue::makeNumber(core.config.voltage_v));
+        entry.set("perf_rel", JsonValue::makeNumber(core.perf_rel));
+        entry.set("fit", JsonValue::makeNumber(core.fit));
+        entry.set("budget_fit",
+                  JsonValue::makeNumber(sel.budget_fit[c]));
+        entry.set("max_temp_k",
+                  JsonValue::makeNumber(core.max_temp_k));
+        entry.set("feasible", JsonValue::makeBool(core.feasible));
+        core_list.push(std::move(entry));
+    }
+    out.set("cores", std::move(core_list));
     return out;
 }
 

@@ -125,6 +125,19 @@ class EvaluationService
      */
     [[nodiscard]] util::Result<util::JsonValue> select(const Request &req);
 
+    /**
+     * v3 select_chip: one chip-level DRM selection
+     * (cmp::selectChipDrm) for one application per core under a
+     * single chip-wide FIT budget -- the default per-core target
+     * times the core count -- priced by one shared qualification at
+     * the request's T_qual. The request's floorplan (already
+     * validated by the protocol layer) or the built-in grid fixes
+     * the chip shape; its core count must match the app list.
+     * Explored spaces are memoized per (app, space) exactly like
+     * select(). Driver-thread only (fans out on the pool).
+     */
+    [[nodiscard]] util::Result<util::JsonValue> selectChip(const Request &req);
+
     /** Cache usage counters as a JSON object (stats replies). */
     util::JsonValue cacheStatsJson() const;
 

@@ -84,11 +84,41 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+ThreadPool *&
+ThreadPool::currentPool()
+{
+    static thread_local ThreadPool *current = nullptr;
+    return current;
+}
+
+namespace {
+
+/** Marks the calling thread as executing items of one pool for the
+ *  current scope, restoring the previous marker on exit. */
+struct ExecutingScope
+{
+    explicit ExecutingScope(ThreadPool **slot, ThreadPool *pool)
+        : slot_(slot), previous_(*slot)
+    {
+        *slot_ = pool;
+    }
+    ~ExecutingScope() { *slot_ = previous_; }
+    ExecutingScope(const ExecutingScope &) = delete;
+    ExecutingScope &operator=(const ExecutingScope &) = delete;
+
+  private:
+    ThreadPool **slot_;
+    ThreadPool *previous_;
+};
+
+} // namespace
+
 std::size_t
 ThreadPool::drainBatch(
     Batch &batch, std::exception_ptr &error,
     std::vector<std::pair<std::size_t, RampError>> &failures)
 {
+    const ExecutingScope scope(&currentPool(), this);
     std::size_t executed = 0;
     for (;;) {
         const std::size_t i =
@@ -159,7 +189,13 @@ ThreadPool::parallelFor(std::size_t count,
                                  "pool");
     timer.arg("count", static_cast<double>(count));
 
-    if (workers_.empty() || count == 1) {
+    // Inline serial path: no workers, a single item, or a reentrant
+    // submission from inside one of this very pool's batch items (a
+    // worker thread, or the caller while it drains). Running the
+    // nested batch on the submitting thread keeps reentrant
+    // parallelFor deadlock-free without a second scheduling layer.
+    if (workers_.empty() || count == 1 || currentPool() == this) {
+        const ExecutingScope scope(&currentPool(), this);
         std::exception_ptr error;
         for (std::size_t i = 0; i < count; ++i) {
             try {

@@ -85,8 +85,12 @@ class ThreadPool
     /**
      * Run fn(i) for every i in [0, count) across the pool and block
      * until all calls return. The caller participates, so this is
-     * safe (and serial) on a 1-thread pool. Not reentrant: fn must
-     * not itself call parallelFor on the same pool.
+     * safe (and serial) on a 1-thread pool. Reentrant submissions
+     * are safe but not parallel: a call made from inside a batch
+     * item of the *same* pool (a worker, or the caller while it
+     * drains) runs its items inline on the submitting thread, so
+     * nested per-core work can call parallelFor without deadlocking
+     * against the outer batch.
      *
      * Items that throw RampException are reported in the returned
      * BatchReport instead of killing the batch; any other exception
@@ -119,10 +123,17 @@ class ThreadPool
     void workerLoop();
     /** Claim and run indices of @p batch; returns how many this
      *  thread executed, recording the first non-Ramp exception and
-     *  collecting RampException failures per item. */
-    static std::size_t
+     *  collecting RampException failures per item. Marks the
+     *  calling thread as executing for this pool (currentPool())
+     *  while inside fn, so reentrant parallelFor calls detect
+     *  themselves and run inline. */
+    std::size_t
     drainBatch(Batch &batch, std::exception_ptr &error,
                std::vector<std::pair<std::size_t, RampError>> &failures);
+
+    /** The pool whose batch item the calling thread is currently
+     *  executing, nullptr outside any item. */
+    static ThreadPool *&currentPool();
 
     std::vector<std::thread> workers_;
 

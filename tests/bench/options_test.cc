@@ -111,6 +111,28 @@ TEST(BenchOptionsDeath, UnknownSurrogateModeIsFatal)
                 testing::ExitedWithCode(1), "off, rank, or auto");
 }
 
+TEST(BenchOptions, ChipShapeFlagsParse)
+{
+    const Options plain = parseArgs({});
+    EXPECT_EQ(plain.cores, 0u);
+    EXPECT_TRUE(plain.floorplan_path.empty());
+
+    EXPECT_EQ(parseArgs({"--cores", "4"}).cores, 4u);
+    EXPECT_EQ(parseArgs({"--cores=8"}).cores, 8u);
+    EXPECT_EQ(parseArgs({"--floorplan", "chip.json"}).floorplan_path,
+              "chip.json");
+}
+
+TEST(BenchOptionsDeath, BadChipShapeFlagsAreFatal)
+{
+    EXPECT_EXIT(parseArgs({"--cores", "0"}),
+                testing::ExitedWithCode(1), "positive integer");
+    EXPECT_EXIT(parseArgs({"--cores", "two"}),
+                testing::ExitedWithCode(1), "positive integer");
+    EXPECT_EXIT(parseArgs({"--floorplan", ""}),
+                testing::ExitedWithCode(1), "non-empty path");
+}
+
 TEST(BenchOptions, BenchJsonDefaultsOverridesAndDisables)
 {
     const Options plain = parseArgs({});

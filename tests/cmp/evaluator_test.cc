@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the chip operating-point evaluator: exact 1-core
+ * reduction to the single-core evaluation, cold-run determinism at
+ * any thread count, and the coupled fixed point actually coupling
+ * (a busy neighbor warms an idle core's point).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cmp/evaluator.hh"
+#include "drm/oracle.hh"
+#include "util/thread_pool.hh"
+#include "workload/profile.hh"
+
+namespace ramp::cmp {
+namespace {
+
+core::EvalParams
+quickParams()
+{
+    core::EvalParams p;
+    p.warmup_uops = 30'000;
+    p.measure_uops = 40'000;
+    return p;
+}
+
+/** Exact (bit-level, via ==) equality of two operating points. */
+void
+expectOpIdentical(const core::OperatingPoint &a,
+                  const core::OperatingPoint &b)
+{
+    EXPECT_EQ(a.activity.cycles, b.activity.cycles);
+    EXPECT_EQ(a.activity.retired, b.activity.retired);
+    for (std::size_t i = 0; i < sim::num_structures; ++i) {
+        EXPECT_EQ(a.activity.activity[i], b.activity.activity[i]);
+        EXPECT_EQ(a.temps_k[i], b.temps_k[i]) << i;
+    }
+    EXPECT_EQ(a.sink_temp_k, b.sink_temp_k);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.totalPower(), b.totalPower());
+    EXPECT_EQ(a.uopsPerSecond(), b.uopsPerSecond());
+}
+
+TEST(ChipEvaluator, OneCoreMatchesSingleCoreBitForBit)
+{
+    // A 1-core chip runs the same timing sample and the same fixed
+    // point over a bit-identical thermal system, so the whole
+    // operating point reduces exactly to the single-core path.
+    const drm::OracleExplorer explorer(quickParams());
+    const ChipEvaluator chip(ChipFloorplan::grid(1), &explorer);
+    const auto &app = workload::findApp("twolf");
+    const auto cfg = sim::baseMachine();
+
+    const auto got = chip.tryEvaluate({&app}, {cfg});
+    ASSERT_TRUE(got.ok()) << got.error().message;
+    const auto want = explorer.tryEvaluate(cfg, app);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got.value().cores.size(), 1u);
+    expectOpIdentical(got.value().cores[0], want.value());
+    EXPECT_EQ(got.value().sink_temp_k, want.value().sink_temp_k);
+    EXPECT_EQ(got.value().uopsPerSecond(),
+              want.value().uopsPerSecond());
+}
+
+TEST(ChipEvaluator, ColdRunsBitIdenticalAtAnyThreadCount)
+{
+    const auto &twolf = workload::findApp("twolf");
+    const auto &gzip = workload::findApp("gzip");
+    const std::vector<const workload::AppProfile *> apps{
+        &twolf, &gzip, &gzip, &twolf};
+    std::vector<sim::MachineConfig> cfgs(4, sim::baseMachine());
+    cfgs[1].frequency_ghz = 3.5;
+    cfgs[1].voltage_v = 0.95;
+
+    const drm::OracleExplorer serial_explorer(quickParams());
+    const ChipEvaluator serial(ChipFloorplan::grid(4),
+                               &serial_explorer);
+    const auto want = serial.tryEvaluate(apps, cfgs);
+    ASSERT_TRUE(want.ok()) << want.error().message;
+
+    util::ThreadPool pool(4);
+    const drm::OracleExplorer pooled_explorer(quickParams());
+    const ChipEvaluator pooled(ChipFloorplan::grid(4),
+                               &pooled_explorer, &pool);
+    const auto got = pooled.tryEvaluate(apps, cfgs);
+    ASSERT_TRUE(got.ok()) << got.error().message;
+
+    ASSERT_EQ(got.value().cores.size(), want.value().cores.size());
+    for (std::size_t c = 0; c < 4; ++c)
+        expectOpIdentical(got.value().cores[c],
+                          want.value().cores[c]);
+    EXPECT_EQ(got.value().sink_temp_k, want.value().sink_temp_k);
+    EXPECT_EQ(got.value().converged, want.value().converged);
+}
+
+TEST(ChipEvaluator, BusyNeighborWarmsAnIdleCorePoint)
+{
+    // The chip fixed point must couple the cores: the same app on
+    // core0 comes out hotter when core1 runs flat out than when the
+    // whole comparison chip is identical except for core1's clock.
+    const drm::OracleExplorer explorer(quickParams());
+    const ChipEvaluator chip(ChipFloorplan::grid(2), &explorer);
+    const auto &app = workload::findApp("twolf");
+
+    auto evaluate_with_neighbor = [&](double neighbor_ghz) {
+        std::vector<sim::MachineConfig> cfgs(2, sim::baseMachine());
+        cfgs[1].frequency_ghz = neighbor_ghz;
+        const auto r = chip.tryEvaluate({&app, &app}, cfgs);
+        EXPECT_TRUE(r.ok());
+        return r.value();
+    };
+    const auto slow = evaluate_with_neighbor(3.0);
+    const auto fast = evaluate_with_neighbor(4.75);
+    EXPECT_GT(fast.cores[0].maxTemp(), slow.cores[0].maxTemp());
+    // Core0's own timing sample is neighbor-independent.
+    EXPECT_EQ(fast.cores[0].activity.cycles,
+              slow.cores[0].activity.cycles);
+    EXPECT_EQ(fast.cores[0].uopsPerSecond(),
+              slow.cores[0].uopsPerSecond());
+}
+
+TEST(ChipEvaluator, ThroughputSumsCores)
+{
+    const drm::OracleExplorer explorer(quickParams());
+    const ChipEvaluator chip(ChipFloorplan::grid(2), &explorer);
+    const auto &app = workload::findApp("gzip");
+    const std::vector<sim::MachineConfig> cfgs(2,
+                                               sim::baseMachine());
+    const auto r = chip.tryEvaluate({&app, &app}, cfgs);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().uopsPerSecond(),
+                     r.value().cores[0].uopsPerSecond() +
+                         r.value().cores[1].uopsPerSecond());
+    EXPECT_GE(r.value().maxTemp(), r.value().cores[0].maxTemp());
+}
+
+} // namespace
+} // namespace ramp::cmp

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property tests for the coupled chip thermal model: exact 1-core
+ * reduction to the single-core solver, energy balance, reciprocity
+ * (the network symmetry), cross-core coupling, and monotonicity in
+ * a neighbor's power.
+ */
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cmp/thermal.hh"
+#include "thermal/model.hh"
+#include "util/json.hh"
+
+namespace ramp::cmp {
+namespace {
+
+using sim::num_structures;
+using sim::PerStructure;
+
+PerStructure<double>
+flatPower(double watts_per_block)
+{
+    PerStructure<double> p;
+    p.fill(watts_per_block);
+    return p;
+}
+
+ChipSteadyTemps
+solve(const ChipThermalModel &model,
+      const std::vector<PerStructure<double>> &power)
+{
+    auto t = model.trySteadyState(power);
+    EXPECT_TRUE(t.ok())
+        << (t.ok() ? "" : t.error().message);
+    return std::move(t.value());
+}
+
+TEST(ChipThermal, OneCoreIsBitIdenticalToSingleCoreModel)
+{
+    // The acceptance bar for the whole generalization: a 1-core chip
+    // assembles the same system in the same operation order as
+    // thermal::ThermalModel, so the solutions are EQ-exact, not just
+    // close.
+    const ChipThermalModel chip(ChipFloorplan::grid(1));
+    const thermal::ThermalModel single;
+
+    for (const double watts : {0.0, 0.7, 2.0, 6.3}) {
+        PerStructure<double> power = flatPower(watts);
+        // An asymmetric bump so lateral terms matter.
+        power[0] += 1.25;
+        power[num_structures - 1] += 0.5;
+        const auto got = solve(chip, {power});
+        const auto want = single.steadyState(power);
+        for (std::size_t i = 0; i < num_structures; ++i)
+            EXPECT_EQ(got.core_k[0][i], want.block_k[i]) << i;
+        EXPECT_EQ(got.spreader_k, want.spreader_k);
+        EXPECT_EQ(got.sink_k, want.sink_k);
+        EXPECT_EQ(got.maxChip(), want.maxBlock());
+    }
+}
+
+TEST(ChipThermal, ZeroPowerIsAmbientEverywhere)
+{
+    const ChipThermalModel model(ChipFloorplan::grid(4));
+    const auto t =
+        solve(model, std::vector<PerStructure<double>>(
+                         4, flatPower(0.0)));
+    for (std::size_t c = 0; c < 4; ++c)
+        for (double temp_k : t.core_k[c])
+            EXPECT_NEAR(temp_k, model.params().ambient_k, 1e-6);
+    EXPECT_NEAR(t.sink_k, model.params().ambient_k, 1e-6);
+}
+
+TEST(ChipThermal, EnergyBalanceAtTheSharedSink)
+{
+    // All injected power leaves through the one shared sink:
+    // T_sink - T_amb = P_total * R_convection, at any core count.
+    for (const std::size_t cores : {2u, 4u, 8u}) {
+        const ChipThermalModel model(ChipFloorplan::grid(cores));
+        std::vector<PerStructure<double>> power;
+        double total = 0.0;
+        for (std::size_t c = 0; c < cores; ++c) {
+            const double per_block = 0.5 + 0.25 * c;
+            power.push_back(flatPower(per_block));
+            total += per_block * num_structures;
+        }
+        const auto t = solve(model, power);
+        EXPECT_NEAR(t.sink_k - model.params().ambient_k,
+                    total * model.params().r_convection, 1e-6)
+            << cores << " cores";
+    }
+}
+
+TEST(ChipThermal, ReciprocityAcrossCores)
+{
+    // The conductance network is symmetric, so the temperature rise
+    // at node j per watt injected at node i equals the rise at i per
+    // watt injected at j -- even across different cores. This pins
+    // the cross-tile coupling terms to a physical (symmetric)
+    // network, not just any perturbation.
+    const ChipThermalModel model(ChipFloorplan::grid(2));
+    const std::vector<PerStructure<double>> idle(2, flatPower(0.0));
+    const auto base = solve(model, idle);
+
+    const std::size_t block_i = 0;
+    const std::size_t block_j = num_structures - 1;
+    auto bump = [&](std::size_t core, std::size_t block) {
+        auto power = idle;
+        power[core][block] = 1.0;
+        return solve(model, power);
+    };
+    const auto inject_0 = bump(0, block_i);
+    const auto inject_1 = bump(1, block_j);
+    const double rise_at_1 =
+        inject_0.core_k[1][block_j] - base.core_k[1][block_j];
+    const double rise_at_0 =
+        inject_1.core_k[0][block_i] - base.core_k[0][block_i];
+    EXPECT_GT(rise_at_1, 0.0);
+    EXPECT_NEAR(rise_at_1, rise_at_0, 1e-9);
+}
+
+TEST(ChipThermal, NeighborPowerWarmsEveryTile)
+{
+    // Cross-core coupling: raising ONLY core1's power strictly warms
+    // every structure of idle core0 (through the die laterally and
+    // through the shared spreader), and monotonically -- more
+    // neighbor power, more heat.
+    const ChipThermalModel model(ChipFloorplan::grid(2));
+    auto with_neighbor = [&](double watts) {
+        return solve(model, {flatPower(1.0), flatPower(watts)});
+    };
+    const auto cool = with_neighbor(0.0);
+    const auto warm = with_neighbor(2.0);
+    const auto hot = with_neighbor(6.0);
+    for (std::size_t i = 0; i < num_structures; ++i) {
+        EXPECT_GT(warm.core_k[0][i], cool.core_k[0][i]) << i;
+        EXPECT_GT(hot.core_k[0][i], warm.core_k[0][i]) << i;
+    }
+    // And the loaded core is hotter than the idle one.
+    EXPECT_GT(hot.maxCore(1), hot.maxCore(0));
+}
+
+TEST(ChipThermal, CouplingDecaysWithDistance)
+{
+    // On an 8-core 4x2 grid, heating one corner core raises the
+    // adjacent core's temperature more than the far corner's.
+    const ChipThermalModel model(ChipFloorplan::grid(8));
+    std::vector<PerStructure<double>> power(8, flatPower(0.0));
+    power[0] = flatPower(5.0);
+    const auto t = solve(model, power);
+    // core1 abuts core0; core7 is the opposite corner.
+    EXPECT_GT(t.maxCore(1), t.maxCore(7));
+    // Everyone still sits above ambient -- the spreader couples all.
+    for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_GT(t.maxCore(c), model.params().ambient_k);
+}
+
+TEST(ChipThermal, TranslationInvariance)
+{
+    // The same relative placement at a different chip origin is the
+    // same network: absolute coordinates must not leak into the
+    // conductances beyond rounding.
+    std::string error;
+    const auto near_doc = util::parseJson(
+        "{\"cores\": [{\"x_mm\": 0.0, \"y_mm\": 0.0},"
+        "{\"x_mm\": 4.5, \"y_mm\": 0.0}]}",
+        &error);
+    const auto far_doc = util::parseJson(
+        "{\"cores\": [{\"x_mm\": 16.0, \"y_mm\": 8.0},"
+        "{\"x_mm\": 20.5, \"y_mm\": 8.0}]}",
+        &error);
+    ASSERT_TRUE(near_doc && far_doc) << error;
+    const auto near_plan =
+        ChipFloorplan::tryParse(*near_doc, "near");
+    const auto far_plan = ChipFloorplan::tryParse(*far_doc, "far");
+    ASSERT_TRUE(near_plan.ok() && far_plan.ok());
+
+    const ChipThermalModel near_model(near_plan.value());
+    const ChipThermalModel far_model(far_plan.value());
+    const std::vector<PerStructure<double>> power{flatPower(3.0),
+                                                  flatPower(0.5)};
+    const auto a = solve(near_model, power);
+    const auto b = solve(far_model, power);
+    for (std::size_t c = 0; c < 2; ++c)
+        for (std::size_t i = 0; i < num_structures; ++i)
+            EXPECT_NEAR(a.core_k[c][i], b.core_k[c][i], 1e-9);
+}
+
+TEST(ChipThermal, RejectsBadPower)
+{
+    const ChipThermalModel model(ChipFloorplan::grid(2));
+    std::vector<PerStructure<double>> power(2, flatPower(1.0));
+    power[1][3] = -0.5;
+    auto negative = model.trySteadyState(power);
+    ASSERT_FALSE(negative.ok());
+    EXPECT_EQ(negative.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(negative.error().message.find("core 1"),
+              std::string::npos);
+
+    power[1][3] = std::numeric_limits<double>::quiet_NaN();
+    auto nan = model.trySteadyState(power);
+    ASSERT_FALSE(nan.ok());
+    EXPECT_EQ(nan.error().code, util::ErrorCode::NonFiniteValue);
+}
+
+} // namespace
+} // namespace ramp::cmp

@@ -81,7 +81,7 @@ TEST(ProtocolVersion, VersionedRequestsRoundTripTheirVersion)
 TEST(ProtocolVersion, FutureVersionIsRefusedStructurally)
 {
     const auto r =
-        parseRequest("{\"id\":1,\"v\":3,\"type\":\"stats\"}");
+        parseRequest("{\"id\":1,\"v\":4,\"type\":\"stats\"}");
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.error().code, util::ErrorCode::InvalidInput);
     EXPECT_NE(r.error().message.find("newer"), std::string::npos);
@@ -257,6 +257,113 @@ TEST(ProtocolVersion, CacheAppendParsesStrictly)
                      "{\"id\":1,\"v\":2,\"type\":\"cache_append\","
                      "\"key\":\"k\",\"record\":\"k 1\","
                      "\"epoch\":0,\"config\":1}")
+                     .ok());
+}
+
+TEST(ProtocolVersion, SelectChipRoundTripsAndNeedsV3)
+{
+    EXPECT_EQ(requestTypeMinVersion(RequestType::SelectChip), 3);
+
+    Request req;
+    req.id = 15;
+    req.version = 3;
+    req.type = RequestType::SelectChip;
+    req.core_apps = {"gzip", "MPGdec"};
+    req.space = drm::AdaptationSpace::Dvs;
+    req.budget_policy = cmp::BudgetPolicy::Global;
+    const std::string wire = encodeRequest(req);
+    // The default-Null floorplan is omitted; policy and t_qual_k
+    // ride along explicitly.
+    EXPECT_EQ(wire,
+              "{\"id\":15,\"v\":3,\"type\":\"select_chip\","
+              "\"apps\":[\"gzip\",\"MPGdec\"],\"space\":\"DVS\","
+              "\"policy\":\"global\",\"t_qual_k\":345}");
+    const auto parsed = parseRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_EQ(parsed.value().type, RequestType::SelectChip);
+    ASSERT_EQ(parsed.value().core_apps.size(), 2u);
+    EXPECT_EQ(parsed.value().core_apps[0], "gzip");
+    EXPECT_EQ(parsed.value().core_apps[1], "MPGdec");
+    EXPECT_EQ(parsed.value().budget_policy,
+              cmp::BudgetPolicy::Global);
+    EXPECT_TRUE(parsed.value().floorplan.isNull());
+
+    // The verb arrived in v3: a v2 frame using it is refused.
+    const auto v2 = parseRequest(
+        "{\"id\":1,\"v\":2,\"type\":\"select_chip\",\"apps\":"
+        "[\"gzip\"],\"space\":\"DVS\"}");
+    ASSERT_FALSE(v2.ok());
+    EXPECT_NE(v2.error().message.find("needs protocol v3"),
+              std::string::npos);
+}
+
+TEST(ProtocolVersion, SelectChipParsesStrictly)
+{
+    // apps must be a non-empty array of non-empty strings.
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[],"
+                              "\"space\":\"DVS\"}")
+                     .ok());
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[\"x\",7],"
+                              "\"space\":\"DVS\"}")
+                     .ok());
+    // apps and space are required; unknown policies and foreign
+    // fields are rejected.
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"space\":\"DVS\"}")
+                     .ok());
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[\"x\"]}")
+                     .ok());
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[\"x\"],"
+                              "\"space\":\"DVS\",\"policy\":"
+                              "\"fair\"}")
+                     .ok());
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[\"x\"],"
+                              "\"space\":\"DVS\",\"config\":1}")
+                     .ok());
+}
+
+TEST(ProtocolVersion, SelectChipFloorplanIsValidatedAtParseTime)
+{
+    // A valid placement document round-trips...
+    Request req;
+    req.id = 16;
+    req.version = 3;
+    req.type = RequestType::SelectChip;
+    req.core_apps = {"gzip", "MPGdec"};
+    req.space = drm::AdaptationSpace::Dvs;
+    std::string err;
+    const auto plan = util::parseJson(
+        "{\"cores\":[{\"name\":\"c0\",\"x_mm\":0,\"y_mm\":0},"
+        "{\"name\":\"c1\",\"x_mm\":4.5,\"y_mm\":0}]}",
+        &err);
+    ASSERT_TRUE(plan.has_value()) << err;
+    req.floorplan = *plan;
+    const auto parsed = parseRequest(encodeRequest(req));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+    EXPECT_TRUE(parsed.value().floorplan.isObject());
+
+    // ...while a malformed one is a structured parse failure naming
+    // the offending core, so the server answers bad-request instead
+    // of failing deep in evaluation.
+    const auto bad = parseRequest(
+        "{\"id\":1,\"v\":3,\"type\":\"select_chip\",\"apps\":"
+        "[\"x\",\"y\"],\"space\":\"DVS\",\"floorplan\":{\"cores\":"
+        "[{\"name\":\"c0\",\"x_mm\":0,\"y_mm\":0},{\"name\":\"c1\","
+        "\"x_mm\":1.0,\"y_mm\":0}]}}");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(bad.error().message.find("request:cores"),
+              std::string::npos);
+
+    // A floorplan that is not an object at all is rejected too.
+    EXPECT_FALSE(parseRequest("{\"id\":1,\"v\":3,\"type\":"
+                              "\"select_chip\",\"apps\":[\"x\"],"
+                              "\"space\":\"DVS\",\"floorplan\":7}")
                      .ok());
 }
 

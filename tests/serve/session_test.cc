@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -208,6 +209,95 @@ TEST_F(SessionTest, FleetVerbsRefuseLocallyBelowV2)
     // reaches the server.
     EXPECT_FALSE(service_->chipState("session-test-v1")
                      .has_value());
+}
+
+TEST_F(SessionTest, SelectChipServesChipSelections)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Session session = openTo(server);
+    ASSERT_EQ(session.version(), 3);
+
+    const std::vector<std::string> apps{app_, app_};
+    auto per_core =
+        session.selectChip(apps, drm::AdaptationSpace::Dvs,
+                           cmp::BudgetPolicy::PerCore);
+    ASSERT_TRUE(per_core.ok()) << per_core.error().str();
+    auto global = session.selectChip(apps, drm::AdaptationSpace::Dvs,
+                                     cmp::BudgetPolicy::Global);
+    ASSERT_TRUE(global.ok()) << global.error().str();
+
+    const auto &doc = global.value();
+    ASSERT_NE(doc.find("policy"), nullptr);
+    EXPECT_EQ(doc.find("policy")->str, "global");
+    ASSERT_NE(doc.find("budget_fit"), nullptr);
+    ASSERT_NE(doc.find("chip_fit"), nullptr);
+    ASSERT_NE(doc.find("cores"), nullptr);
+    EXPECT_EQ(doc.find("cores")->array.size(), 2u);
+    // The chip budget is the per-core default share times the core
+    // count, and the global sum stays within it.
+    EXPECT_DOUBLE_EQ(doc.find("budget_fit")->number, 8000.0);
+    EXPECT_LE(doc.find("chip_fit")->number,
+              doc.find("budget_fit")->number + 1e-9);
+    // Reallocating cool cores' headroom never loses throughput.
+    EXPECT_GE(doc.find("throughput_rel")->number,
+              per_core.value().find("throughput_rel")->number -
+                  1e-9);
+
+    // An explicit floorplan equal to the built-in grid answers
+    // identically (the placement only fixes the chip's shape).
+    std::string err;
+    const auto plan = util::parseJson(
+        "{\"cores\":[{\"name\":\"c0\",\"x_mm\":0,\"y_mm\":0},"
+        "{\"name\":\"c1\",\"x_mm\":4.5,\"y_mm\":0}]}",
+        &err);
+    ASSERT_TRUE(plan.has_value()) << err;
+    auto planned =
+        session.selectChip(apps, drm::AdaptationSpace::Dvs,
+                           cmp::BudgetPolicy::Global, 345.0, *plan);
+    ASSERT_TRUE(planned.ok()) << planned.error().str();
+    EXPECT_EQ(util::writeJson(planned.value()),
+              util::writeJson(global.value()));
+}
+
+TEST_F(SessionTest, SelectChipRejectsShapeMismatchesStructurally)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Session session = openTo(server);
+
+    // Three cores have no built-in grid and no floorplan was sent.
+    auto three = session.selectChip({app_, app_, app_},
+                                    drm::AdaptationSpace::Dvs);
+    ASSERT_FALSE(three.ok());
+    EXPECT_EQ(three.error().code, util::ErrorCode::InvalidInput);
+
+    // A floorplan whose core count disagrees with the app list.
+    std::string err;
+    const auto plan = util::parseJson(
+        "{\"cores\":[{\"name\":\"c0\",\"x_mm\":0,\"y_mm\":0}]}",
+        &err);
+    ASSERT_TRUE(plan.has_value()) << err;
+    auto mismatch =
+        session.selectChip({app_, app_}, drm::AdaptationSpace::Dvs,
+                           cmp::BudgetPolicy::Global, 345.0, *plan);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_EQ(mismatch.error().code,
+              util::ErrorCode::InvalidInput);
+}
+
+TEST_F(SessionTest, SelectChipRefusesLocallyBelowV3)
+{
+    Server server(*service_, ServerOptions{});
+    ASSERT_TRUE(server.start().ok());
+    Session session = openTo(server, 2);
+    ASSERT_EQ(session.version(), 2);
+    auto sel =
+        session.selectChip({app_}, drm::AdaptationSpace::Dvs);
+    ASSERT_FALSE(sel.ok());
+    EXPECT_EQ(sel.error().code, util::ErrorCode::InvalidInput);
+    EXPECT_NE(sel.error().message.find("select_chip"),
+              std::string::npos);
 }
 
 TEST_F(SessionTest, StatsCountsHellosAndUsageReports)

@@ -1,0 +1,21 @@
+/** Per-core names: one documented suffix, two nobody documented. */
+
+#include <cstddef>
+#include <string>
+
+namespace telemetry {
+struct Counter { void add() const {} };
+Counter counter(const std::string &);
+} // namespace telemetry
+
+namespace cmp {
+telemetry::Counter coreCounter(std::size_t, const std::string &);
+} // namespace cmp
+
+void
+touch(std::size_t core)
+{
+    cmp::coreCounter(core, "good").add();
+    cmp::coreCounter(core, "rogue").add();
+    telemetry::counter("cmp.core7.bad").add();
+}

@@ -2,6 +2,7 @@
 
 #include "clean.hh"
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -9,6 +10,10 @@ namespace telemetry {
 struct Counter { void add() const {} };
 Counter counter(const std::string &);
 } // namespace telemetry
+
+namespace cmp {
+telemetry::Counter coreCounter(std::size_t, const std::string &);
+} // namespace cmp
 
 namespace fixture {
 
@@ -18,6 +23,15 @@ readTemperature(const Sensor &s)
     telemetry::counter("fixture.reads").add();
     auto owned = std::make_unique<Sensor>(s);
     return owned->temp_k;
+}
+
+void
+tickCore(std::size_t core)
+{
+    // Extracted as the templated name cmp.core<i>.ticks.
+    cmp::coreCounter(core, "ticks").add();
+    // A literal digit run matches the same templated manifest row.
+    telemetry::counter("cmp.core0.ticks").add();
 }
 
 } // namespace fixture

@@ -80,6 +80,29 @@ TEST(RampLint, UndocumentedMetricFailsWithFileAndLine)
               std::string::npos);
 }
 
+TEST(RampLint, CoreCounterNamesAreTemplated)
+{
+    const auto r = lintFixture("fail_core", true);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // coreCounter(core, "rogue") is extracted as the templated
+    // name and anchored to its call site.
+    EXPECT_NE(r.output.find("code.cc:19:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("cmp.core<i>.rogue"),
+              std::string::npos)
+        << r.output;
+    // A literal digit-run name is undocumented only after the
+    // templated fallback also misses.
+    EXPECT_NE(r.output.find("code.cc:20:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("cmp.core7.bad"), std::string::npos)
+        << r.output;
+    // The documented suffix matches; its row is not dead either.
+    EXPECT_EQ(r.output.find("cmp.core<i>.good"),
+              std::string::npos)
+        << r.output;
+}
+
 TEST(RampLint, NakedQuantityNamesFail)
 {
     const auto r = lintFixture("fail_suffix", false);

@@ -5,9 +5,11 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -137,6 +139,85 @@ TEST(ThreadPool, ZeroMeansDefault)
     ThreadPool pool;
     EXPECT_EQ(pool.threads(), 2u);
     ::unsetenv("RAMP_THREADS");
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInline)
+{
+    // Reentrant submission: a batch item calling parallelFor on the
+    // *same* pool must not deadlock against the outer batch. The
+    // nested batch runs inline on the submitting thread -- proven by
+    // the inner items executing in index order on a plain (unguarded)
+    // vector, which a genuinely parallel inner batch could not do.
+    ThreadPool pool(4);
+    constexpr std::size_t outer_n = 8;
+    constexpr std::size_t inner_n = 16;
+    std::vector<std::atomic<int>> hits(outer_n * inner_n);
+    std::atomic<int> ordered_inner_batches{0};
+    (void)pool.parallelFor(outer_n, [&](std::size_t outer) {
+        std::vector<std::size_t> order;
+        (void)pool.parallelFor(inner_n, [&](std::size_t inner) {
+            order.push_back(inner);
+            hits[outer * inner_n + inner].fetch_add(1);
+        });
+        bool in_order = order.size() == inner_n;
+        for (std::size_t i = 0; in_order && i < order.size(); ++i)
+            in_order = order[i] == i;
+        if (in_order)
+            ordered_inner_batches.fetch_add(1);
+    });
+    EXPECT_EQ(ordered_inner_batches.load(),
+              static_cast<int>(outer_n));
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedFailuresStayWithTheInnerBatch)
+{
+    ThreadPool pool(3);
+    std::atomic<int> inner_failures{0};
+    const BatchReport outer =
+        pool.parallelFor(6, [&](std::size_t) {
+            const BatchReport inner =
+                pool.parallelFor(4, [&](std::size_t i) {
+                    if (i == 2)
+                        throw RampException(RampError{
+                            ErrorCode::InvalidInput, "inner"});
+                });
+            inner_failures.fetch_add(
+                static_cast<int>(inner.failures.size()));
+        });
+    // Inner RampExceptions surface in the *inner* report; the outer
+    // batch itself stays clean.
+    EXPECT_TRUE(outer.ok());
+    EXPECT_EQ(inner_failures.load(), 6);
+}
+
+TEST(ThreadPool, NestedOnADifferentPoolStillParallelises)
+{
+    // The inline guard is per-pool: submitting to a *different* pool
+    // from inside a batch item is an ordinary (parallel) submission.
+    // The outer pool is serial so the inner pool still sees one
+    // submitter at a time (its usual contract).
+    ThreadPool outer_pool(1);
+    ThreadPool inner_pool(4);
+    std::atomic<int> n{0};
+    std::atomic<int> worker_hits{0};
+    const auto caller = std::this_thread::get_id();
+    (void)outer_pool.parallelFor(4, [&](std::size_t) {
+        (void)inner_pool.parallelFor(64, [&](std::size_t) {
+            // Slow enough that the inner workers reliably wake and
+            // claim items before the caller can drain the batch.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+            n.fetch_add(1);
+            if (std::this_thread::get_id() != caller)
+                worker_hits.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(n.load(), 4 * 64);
+    // At least one inner item should have landed on an inner-pool
+    // worker thread, proving the inner batches really went parallel.
+    EXPECT_GT(worker_hits.load(), 0);
 }
 
 TEST(ThreadPool, ResultsLandByIndex)

@@ -16,6 +16,7 @@
 
 #include "lint.hh"
 
+#include <cctype>
 #include <regex>
 #include <sstream>
 
@@ -334,6 +335,20 @@ extractMetricRefs(const SourceFile &src,
                          {"instant", m[1], src.path, line});
                  });
 
+    // cmp::coreCounter builds per-core names: the first argument is
+    // the core index (an expression), the second the suffix of
+    // `cmp.core<i>.<suffix>`. The manifest documents each suffix
+    // once in that templated form.
+    static const std::regex core_re(
+        std::string("\\bcoreCoun") +
+        "ter\\s*\\(\\s*[^,()\"]*,\\s*\"([^\"]+)\"");
+    forEachMatch(src, src.code_str, core_re,
+                 [&](const std::smatch &m, std::size_t line) {
+                     refs.push_back({"counter",
+                                     "cmp.core<i>." + m[1].str(),
+                                     src.path, line});
+                 });
+
     // Names that reach the registry through a helper carry a marker
     // comment at the call site.
     static const std::regex marker_re(
@@ -354,11 +369,43 @@ extractMetricRefs(const SourceFile &src,
 // Cross-file: manifest consistency
 // ---------------------------------------------------------------
 
+namespace {
+
+/** Each maximal digit run replaced with `<i>`, so a literal site
+ *  like `counter("cmp.core3.evals")` can match the one templated
+ *  manifest row `cmp.core<i>.evals`. */
+std::string
+templateDigits(const std::string &name)
+{
+    std::string out;
+    for (std::size_t i = 0; i < name.size();) {
+        if (std::isdigit(static_cast<unsigned char>(name[i]))) {
+            out += "<i>";
+            while (i < name.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(name[i])))
+                ++i;
+        } else {
+            out += name[i++];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 void
 checkManifest(LintContext &ctx)
 {
     for (const auto &ref : ctx.refs) {
         auto it = ctx.manifest.entries.find(ref.name);
+        if (it == ctx.manifest.entries.end()) {
+            // Fall back to the templated form before declaring the
+            // name undocumented.
+            const std::string templated = templateDigits(ref.name);
+            if (templated != ref.name)
+                it = ctx.manifest.entries.find(templated);
+        }
         if (it == ctx.manifest.entries.end()) {
             ctx.diags.push_back(
                 {ref.file, ref.line, "metrics-manifest",
